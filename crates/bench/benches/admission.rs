@@ -1,0 +1,87 @@
+//! Benchmarks for the paper's headline complexity claim: admission control
+//! is `O(N)` in the number of stages and **independent of the number of
+//! live tasks** — unlike per-task schedulability analyses whose cost grows
+//! with the task population.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frap_core::admission::{Admission, ExactContributions};
+use frap_core::graph::TaskSpec;
+use frap_core::region::FeasibleRegion;
+use frap_core::time::{Time, TimeDelta};
+use std::hint::black_box;
+
+fn small_task(stages: usize) -> TaskSpec {
+    let comps = vec![TimeDelta::from_micros(100); stages];
+    TaskSpec::pipeline(TimeDelta::from_secs(10), &comps).expect("valid pipeline")
+}
+
+/// Admission decision latency as the number of stages grows (expected:
+/// linear in N).
+fn admission_vs_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission_decision_vs_stages");
+    for stages in [1usize, 2, 4, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &n| {
+            let mut ac = Admission::new(FeasibleRegion::deadline_monotonic(n), ExactContributions);
+            let spec = small_task(n);
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                black_box(ac.try_admit(Time::from_micros(t), black_box(&spec)))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Admission decision latency as the number of *live tasks* grows
+/// (expected: flat — the paper's key scalability property).
+fn admission_vs_live_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission_decision_vs_live_tasks");
+    for live in [100u64, 1_000, 10_000, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(live), &live, |b, &live| {
+            let mut ac = Admission::new(FeasibleRegion::deadline_monotonic(2), ExactContributions);
+            // Pre-load `live` tiny tasks with far-future deadlines.
+            let tiny = TaskSpec::pipeline(
+                TimeDelta::from_secs(100_000),
+                &[TimeDelta::from_micros(1), TimeDelta::from_micros(1)],
+            )
+            .expect("valid");
+            for _ in 0..live {
+                ac.try_admit(Time::ZERO, &tiny);
+            }
+            let spec = small_task(2);
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                black_box(ac.try_admit(Time::from_micros(t), black_box(&spec)))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A strawman admission test whose cost grows with the task population:
+/// it walks every live task on every decision (the style of per-task
+/// response-time analyses). Contrast with `admission_decision_vs_live_tasks`.
+fn task_count_dependent_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_per_task_walk");
+    for live in [100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(live), &live, |b, &live| {
+            let tasks: Vec<(f64, f64)> =
+                (0..live).map(|i| (1e-6, 100.0 + (i % 7) as f64)).collect();
+            b.iter(|| {
+                // Naive test: recompute total demand over all live tasks.
+                let total: f64 = tasks.iter().map(|&(c, d)| c / d).sum();
+                black_box(total < 1.0)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = admission_vs_stages, admission_vs_live_tasks, task_count_dependent_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! End-to-end simulator throughput: how many simulated tasks per wall
+//! second the discrete-event substrate sustains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frap_core::time::Time;
+use frap_sim::pipeline::SimBuilder;
+use frap_workload::taskgen::PipelineWorkloadBuilder;
+use std::hint::black_box;
+
+fn pipeline_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_one_second");
+    for stages in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &n| {
+            b.iter(|| {
+                let horizon = Time::from_secs(1);
+                let mut sim = SimBuilder::new(n).build();
+                let wl = PipelineWorkloadBuilder::new(n)
+                    .load(1.0)
+                    .resolution(100.0)
+                    .seed(7)
+                    .build()
+                    .until(horizon);
+                let m = sim.run(wl, horizon);
+                black_box(m.completed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn sim_with_critical_sections(c: &mut Criterion) {
+    use frap_workload::taskgen::CriticalSectionConfig;
+    c.bench_function("simulate_one_second_pcp", |b| {
+        b.iter(|| {
+            let horizon = Time::from_secs(1);
+            let mut sim = SimBuilder::new(2).build();
+            let wl = PipelineWorkloadBuilder::new(2)
+                .load(0.8)
+                .resolution(100.0)
+                .critical_sections(CriticalSectionConfig {
+                    probability: 0.5,
+                    fraction: 0.3,
+                    locks_per_stage: 2,
+                })
+                .seed(7)
+                .build()
+                .until(horizon);
+            let m = sim.run(wl, horizon);
+            black_box(m.completed)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = pipeline_sim, sim_with_critical_sections
+}
+criterion_main!(benches);

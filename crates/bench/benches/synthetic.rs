@@ -1,0 +1,66 @@
+//! Synthetic-utilization tracker operation costs: the bookkeeping the
+//! admission controller performs on every arrival, deadline, and idle
+//! reset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frap_core::synthetic::StageTracker;
+use frap_core::task::TaskId;
+use frap_core::time::{Time, TimeDelta};
+use std::hint::black_box;
+
+/// Add + expire churn at various live-set sizes.
+fn tracker_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracker_add_expire");
+    for live in [100u64, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(live), &live, |b, &live| {
+            let mut tr = StageTracker::new(0.0);
+            let lifetime = TimeDelta::from_micros(live); // keeps ~live entries live
+            let mut t = 0u64;
+            // Warm up to steady state.
+            for _ in 0..live {
+                t += 1;
+                tr.add(TaskId::new(t), 1e-6, Time::from_micros(t) + lifetime);
+            }
+            b.iter(|| {
+                t += 1;
+                tr.advance_to(Time::from_micros(t));
+                tr.add(TaskId::new(t), 1e-6, Time::from_micros(t) + lifetime);
+                black_box(tr.value())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The idle reset: removing all departed contributions at once.
+fn tracker_idle_reset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracker_idle_reset");
+    for departed in [10u64, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(departed),
+            &departed,
+            |b, &departed| {
+                b.iter_batched(
+                    || {
+                        let mut tr = StageTracker::new(0.1);
+                        for i in 0..departed {
+                            tr.add(TaskId::new(i), 1e-6, Time::from_secs(1_000));
+                            tr.mark_departed(TaskId::new(i));
+                        }
+                        tr
+                    },
+                    |mut tr| black_box(tr.reset_idle()),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = tracker_churn, tracker_idle_reset
+}
+criterion_main!(benches);

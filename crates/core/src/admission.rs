@@ -1,0 +1,725 @@
+//! Utilization-based admission control (Sections 4 and 5).
+//!
+//! The admission controller sits at the first stage. On each arrival it
+//! tentatively adds the task's contributions `C_ij / D_i` to every stage's
+//! synthetic-utilization counter and admits the task only if the system
+//! stays inside the feasible region — an `O(N)` test in the number of
+//! stages, independent of how many tasks are live. Counters are
+//! decremented at deadlines and reset (for departed tasks) when a stage
+//! idles.
+//!
+//! Variants implemented here:
+//!
+//! * [`Admission`] with [`ExactContributions`] — the paper's exact
+//!   controller (knows each task's computation times).
+//! * [`Admission`] with [`MeanContributions`] — Section 4.4's *approximate*
+//!   controller that only knows mean per-stage computation times; admitted
+//!   tasks may then (rarely) miss deadlines, which Figure 7 quantifies.
+//! * Reservations — pass reservation floors to [`Admission::with_reservations`]
+//!   (Section 5: capacity set aside for critical tasks).
+//! * [`Admission::try_admit_or_shed`] — Section 5's overload architecture:
+//!   if an important arrival falls outside the region, shed less important
+//!   admitted work (reverse order of semantic importance) until it fits.
+//! * Baselines: [`PerStageBound`] + [`SplitDeadlineContributions`] — the
+//!   intermediate-deadline strawman the introduction argues against — and
+//!   [`AlwaysAdmit`] (no admission control).
+
+use crate::graph::TaskSpec;
+use crate::region::RegionTest;
+use crate::synthetic::SyntheticState;
+use crate::task::{Importance, StageId, TaskId};
+use crate::time::{Time, TimeDelta};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+
+/// Maps an arriving task to the per-stage contributions the admission
+/// controller will charge for it.
+///
+/// The exact controller charges true `C_ij / D_i`; the approximate one
+/// charges `C̄_j / D_i` from operator-supplied means (Section 4.4).
+pub trait ContributionModel: std::fmt::Debug {
+    /// Appends `(stage, contribution)` pairs for `spec` to `out`.
+    ///
+    /// `out` is cleared by the caller; one entry per distinct stage.
+    fn contributions_into(&self, spec: &TaskSpec, out: &mut Vec<(StageId, f64)>);
+}
+
+impl<T: ContributionModel + ?Sized> ContributionModel for Box<T> {
+    fn contributions_into(&self, spec: &TaskSpec, out: &mut Vec<(StageId, f64)>) {
+        (**self).contributions_into(spec, out)
+    }
+}
+
+/// Charges the true synthetic-utilization contributions `C_ij / D_i`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactContributions;
+
+impl ContributionModel for ExactContributions {
+    fn contributions_into(&self, spec: &TaskSpec, out: &mut Vec<(StageId, f64)>) {
+        out.extend(spec.contributions());
+    }
+}
+
+/// Charges `C̄_j / D_i` using operator-estimated mean computation times per
+/// stage, for workloads whose exact computation times are unknown at
+/// arrival (Section 4.4).
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::admission::{ContributionModel, MeanContributions};
+/// use frap_core::graph::TaskSpec;
+/// use frap_core::time::TimeDelta;
+///
+/// let ms = TimeDelta::from_millis;
+/// let model = MeanContributions::new(vec![ms(10), ms(10)]);
+/// // The task's true demand (3 ms, 25 ms) is unknown to the controller…
+/// let spec = TaskSpec::pipeline(ms(1000), &[ms(3), ms(25)])?;
+/// let mut out = Vec::new();
+/// model.contributions_into(&spec, &mut out);
+/// // …so both stages are charged the mean: 10/1000.
+/// assert!((out[0].1 - 0.01).abs() < 1e-12);
+/// assert!((out[1].1 - 0.01).abs() < 1e-12);
+/// # Ok::<(), frap_core::error::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeanContributions {
+    means: Vec<TimeDelta>,
+}
+
+impl MeanContributions {
+    /// Creates the model from mean computation times, one per stage.
+    pub fn new(means: Vec<TimeDelta>) -> MeanContributions {
+        MeanContributions { means }
+    }
+
+    /// The configured mean computation time of `stage` (zero if unknown).
+    pub fn mean(&self, stage: StageId) -> TimeDelta {
+        self.means
+            .get(stage.index())
+            .copied()
+            .unwrap_or(TimeDelta::ZERO)
+    }
+}
+
+impl ContributionModel for MeanContributions {
+    fn contributions_into(&self, spec: &TaskSpec, out: &mut Vec<(StageId, f64)>) {
+        for (stage, _) in spec.contributions() {
+            out.push((stage, self.mean(stage).ratio(spec.deadline)));
+        }
+    }
+}
+
+/// Contribution model of the intermediate-deadline baseline: the end-to-end
+/// deadline is split evenly into per-stage deadlines `D_i / n_i` (where
+/// `n_i` is the number of stages task `i` uses) and each stage is charged
+/// `C_ij / (D_i / n_i)`.
+///
+/// Combined with [`PerStageBound`], this reproduces the classical
+/// per-stage analysis the paper's introduction contrasts against: it
+/// requires intermediate deadlines and is substantially more pessimistic
+/// than the end-to-end region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SplitDeadlineContributions;
+
+impl ContributionModel for SplitDeadlineContributions {
+    fn contributions_into(&self, spec: &TaskSpec, out: &mut Vec<(StageId, f64)>) {
+        let stages_used = spec.graph.stages_used().len().max(1) as f64;
+        for (stage, c) in spec.contributions() {
+            out.push((stage, c * stages_used));
+        }
+    }
+}
+
+/// Per-stage scalar bound: feasible iff `U_j ≤ bound` at every stage.
+///
+/// With `bound = `[`crate::delay::UNIPROCESSOR_BOUND`] this is the
+/// uniprocessor aperiodic test applied independently per stage — the
+/// baseline admission region for [`SplitDeadlineContributions`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerStageBound {
+    stages: usize,
+    bound: f64,
+}
+
+impl PerStageBound {
+    /// A per-stage bound test for `stages` stages.
+    pub fn new(stages: usize, bound: f64) -> PerStageBound {
+        PerStageBound { stages, bound }
+    }
+
+    /// The scalar per-stage bound.
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+}
+
+impl RegionTest for PerStageBound {
+    fn stages(&self) -> usize {
+        self.stages
+    }
+
+    fn feasible(&self, utilizations: &[f64]) -> bool {
+        utilizations.iter().all(|&u| u <= self.bound)
+    }
+}
+
+/// The no-admission-control baseline: everything is admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlwaysAdmit {
+    stages: usize,
+}
+
+impl AlwaysAdmit {
+    /// An always-true test for `stages` stages.
+    pub fn new(stages: usize) -> AlwaysAdmit {
+        AlwaysAdmit { stages }
+    }
+}
+
+impl RegionTest for AlwaysAdmit {
+    fn stages(&self) -> usize {
+        self.stages
+    }
+
+    fn feasible(&self, _utilizations: &[f64]) -> bool {
+        true
+    }
+}
+
+/// Counters describing an admission controller's decisions so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Tasks admitted.
+    pub admitted: u64,
+    /// Tasks rejected.
+    pub rejected: u64,
+    /// Admitted tasks later shed at overload.
+    pub shed: u64,
+}
+
+impl AdmissionStats {
+    /// Fraction of decisions that admitted the task (1 if no decisions yet).
+    pub fn acceptance_ratio(&self) -> f64 {
+        let total = self.admitted + self.rejected;
+        if total == 0 {
+            1.0
+        } else {
+            self.admitted as f64 / total as f64
+        }
+    }
+}
+
+/// The outcome of an admission attempt that may shed lower-importance work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// Admitted without disturbing existing work.
+    Admitted(TaskId),
+    /// Admitted after shedding the listed (less important) tasks.
+    AdmittedAfterShedding {
+        /// The new task's identifier.
+        task: TaskId,
+        /// Tasks evicted, least important first.
+        shed: Vec<TaskId>,
+    },
+    /// Rejected: infeasible even after shedding everything less important.
+    Rejected,
+}
+
+impl AdmitOutcome {
+    /// The admitted task's id, if the task was admitted.
+    pub fn task(&self) -> Option<TaskId> {
+        match self {
+            AdmitOutcome::Admitted(t) => Some(*t),
+            AdmitOutcome::AdmittedAfterShedding { task, .. } => Some(*task),
+            AdmitOutcome::Rejected => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LiveTask {
+    importance: Importance,
+    expiry: Time,
+}
+
+/// The feasible-region admission controller.
+///
+/// Generic over the [`RegionTest`] (which region) and the
+/// [`ContributionModel`] (what each task is charged). Maintains the
+/// per-stage synthetic-utilization counters and an importance-ordered index
+/// of live tasks for shedding.
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::admission::{Admission, ExactContributions};
+/// use frap_core::graph::TaskSpec;
+/// use frap_core::region::FeasibleRegion;
+/// use frap_core::time::{Time, TimeDelta};
+///
+/// let ms = TimeDelta::from_millis;
+/// let mut ac = Admission::new(FeasibleRegion::deadline_monotonic(2), ExactContributions);
+/// let task = TaskSpec::pipeline(ms(100), &[ms(10), ms(10)])?;
+/// // C/D = 0.1 per stage: comfortably inside the two-stage region.
+/// assert!(ac.try_admit(Time::ZERO, &task).is_some());
+/// # Ok::<(), frap_core::error::GraphError>(())
+/// ```
+#[derive(Debug)]
+pub struct Admission<R, M> {
+    region: R,
+    model: M,
+    state: SyntheticState,
+    live: HashMap<TaskId, LiveTask>,
+    by_importance: BTreeSet<(Importance, TaskId)>,
+    live_expiry: BinaryHeap<Reverse<(Time, TaskId)>>,
+    next_id: u64,
+    stats: AdmissionStats,
+    scratch: Vec<(StageId, f64)>,
+}
+
+impl<R: RegionTest, M: ContributionModel> Admission<R, M> {
+    /// A controller with no reservations.
+    pub fn new(region: R, model: M) -> Admission<R, M> {
+        let stages = region.stages();
+        Admission {
+            region,
+            model,
+            state: SyntheticState::new(stages),
+            live: HashMap::new(),
+            by_importance: BTreeSet::new(),
+            live_expiry: BinaryHeap::new(),
+            next_id: 0,
+            stats: AdmissionStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// A controller whose counters are pre-loaded with per-stage
+    /// reservations for critical tasks (Section 5). Idle resets restore
+    /// counters to these floors, never below.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reservations.len()` differs from the region's stage count.
+    pub fn with_reservations(region: R, model: M, reservations: &[f64]) -> Admission<R, M> {
+        assert_eq!(
+            reservations.len(),
+            region.stages(),
+            "one reservation per stage"
+        );
+        let mut ac = Admission::new(region, model);
+        ac.state = SyntheticState::with_reservations(reservations);
+        ac
+    }
+
+    /// The region this controller enforces.
+    pub fn region(&self) -> &R {
+        &self.region
+    }
+
+    /// The synthetic-utilization state (for inspection and metrics).
+    pub fn state(&self) -> &SyntheticState {
+        &self.state
+    }
+
+    /// Mutable synthetic-utilization state — used by the simulator to
+    /// report departures and idle periods.
+    pub fn state_mut(&mut self) -> &mut SyntheticState {
+        &mut self.state
+    }
+
+    /// Decision counters.
+    pub fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+
+    /// Number of admitted tasks whose deadlines have not yet expired.
+    pub fn live_tasks(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Applies the decrement-at-deadline rule up to `now` on every stage
+    /// and drops expired tasks from the shedding index.
+    pub fn advance_to(&mut self, now: Time) {
+        self.state.advance_to(now);
+        while let Some(&Reverse((expiry, task))) = self.live_expiry.peek() {
+            if expiry > now {
+                break;
+            }
+            self.live_expiry.pop();
+            if let Some(lt) = self.live.get(&task) {
+                if lt.expiry == expiry {
+                    self.by_importance.remove(&(lt.importance, task));
+                    self.live.remove(&task);
+                }
+            }
+        }
+    }
+
+    /// Attempts to admit `spec` arriving at `now`. Returns the new task id
+    /// on admission, or `None` (and counts a rejection) if admitting it
+    /// would leave the feasible region.
+    pub fn try_admit(&mut self, now: Time, spec: &TaskSpec) -> Option<TaskId> {
+        self.advance_to(now);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.model.contributions_into(spec, &mut scratch);
+        let feasible = {
+            let vector = self.state.utilizations_with(&scratch);
+            self.region.feasible(vector)
+        };
+        let result = if feasible {
+            Some(self.commit(now, spec, &scratch))
+        } else {
+            self.stats.rejected += 1;
+            None
+        };
+        self.scratch = scratch;
+        result
+    }
+
+    /// Attempts to admit `spec`; when infeasible, sheds live tasks that are
+    /// strictly less important than `spec` (least important first) until
+    /// the arrival fits or no candidates remain (Section 5's overload
+    /// architecture).
+    pub fn try_admit_or_shed(&mut self, now: Time, spec: &TaskSpec) -> AdmitOutcome {
+        self.advance_to(now);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.model.contributions_into(spec, &mut scratch);
+
+        let feasible = {
+            let vector = self.state.utilizations_with(&scratch);
+            self.region.feasible(vector)
+        };
+        if feasible {
+            let id = self.commit(now, spec, &scratch);
+            self.scratch = scratch;
+            return AdmitOutcome::Admitted(id);
+        }
+
+        // Shed in reverse order of semantic importance, but never work at
+        // or above the arrival's own importance.
+        let mut shed = Vec::new();
+        let mut fits = false;
+        while let Some(&(imp, victim)) = self.by_importance.iter().next() {
+            if imp >= spec.importance {
+                break;
+            }
+            self.remove_live(victim);
+            self.state.shed_task(victim);
+            self.stats.shed += 1;
+            shed.push(victim);
+            let vector = self.state.utilizations_with(&scratch);
+            if self.region.feasible(vector) {
+                fits = true;
+                break;
+            }
+        }
+
+        let outcome = if fits {
+            let id = self.commit(now, spec, &scratch);
+            AdmitOutcome::AdmittedAfterShedding { task: id, shed }
+        } else {
+            // Shedding was insufficient: the shed tasks stay shed (they
+            // were the least important and the system is overloaded), and
+            // the arrival is rejected.
+            self.stats.rejected += 1;
+            AdmitOutcome::Rejected
+        };
+        self.scratch = scratch;
+        outcome
+    }
+
+    /// Admits a *pre-certified* task without charging synthetic
+    /// utilization: its capacity is already covered by the per-stage
+    /// reservations established at certification time (Section 5). The
+    /// task gets an identity and is never a shedding candidate.
+    pub fn admit_reserved(&mut self, _now: Time, _spec: &TaskSpec) -> TaskId {
+        let id = TaskId::new(self.next_id);
+        self.next_id += 1;
+        self.stats.admitted += 1;
+        id
+    }
+
+    /// Reports that `task`'s last subtask on `stage` finished, making its
+    /// contribution eligible for the next idle reset there.
+    pub fn on_stage_departure(&mut self, stage: StageId, task: TaskId) {
+        self.state.stage_mut(stage).mark_departed(task);
+    }
+
+    /// Reports that `stage` has gone idle: departed tasks' contributions
+    /// are removed from its counter (Section 4's reset rule).
+    pub fn on_stage_idle(&mut self, now: Time, stage: StageId) {
+        self.state.stage_mut(stage).advance_to(now);
+        self.state.stage_mut(stage).reset_idle();
+    }
+
+    /// Forcibly evicts an admitted task (external shedding), removing its
+    /// contributions everywhere.
+    pub fn shed(&mut self, task: TaskId) {
+        if self.live.contains_key(&task) {
+            self.remove_live(task);
+            self.state.shed_task(task);
+            self.stats.shed += 1;
+        }
+    }
+
+    fn commit(&mut self, now: Time, spec: &TaskSpec, contributions: &[(StageId, f64)]) -> TaskId {
+        let id = TaskId::new(self.next_id);
+        self.next_id += 1;
+        let expiry = now.saturating_add(spec.deadline);
+        self.state.add_task(id, contributions, expiry);
+        self.live.insert(
+            id,
+            LiveTask {
+                importance: spec.importance,
+                expiry,
+            },
+        );
+        self.by_importance.insert((spec.importance, id));
+        self.live_expiry.push(Reverse((expiry, id)));
+        self.stats.admitted += 1;
+        id
+    }
+
+    fn remove_live(&mut self, task: TaskId) {
+        if let Some(lt) = self.live.remove(&task) {
+            self.by_importance.remove(&(lt.importance, task));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::UNIPROCESSOR_BOUND;
+    use crate::region::FeasibleRegion;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    fn pipeline_task(deadline_ms: u64, per_stage_ms: &[u64]) -> TaskSpec {
+        let comps: Vec<TimeDelta> = per_stage_ms.iter().map(|&c| ms(c)).collect();
+        TaskSpec::pipeline(ms(deadline_ms), &comps).unwrap()
+    }
+
+    fn exact_two_stage() -> Admission<FeasibleRegion, ExactContributions> {
+        Admission::new(FeasibleRegion::deadline_monotonic(2), ExactContributions)
+    }
+
+    #[test]
+    fn admits_until_region_is_full() {
+        let mut ac = exact_two_stage();
+        // Each task contributes 0.05 per stage. The symmetric two-stage
+        // bound is f⁻¹(1/2) ≈ 0.382, so about 7 admissions fit.
+        let spec = pipeline_task(200, &[10, 10]);
+        let mut admitted = 0;
+        for _ in 0..20 {
+            if ac.try_admit(Time::ZERO, &spec).is_some() {
+                admitted += 1;
+            }
+        }
+        assert!((6..=8).contains(&admitted), "admitted={admitted}");
+        assert_eq!(ac.stats().admitted, admitted);
+        assert_eq!(ac.stats().rejected, 20 - admitted);
+    }
+
+    #[test]
+    fn counters_decrement_at_deadline() {
+        let mut ac = exact_two_stage();
+        let spec = pipeline_task(100, &[30, 30]);
+        assert!(ac.try_admit(Time::ZERO, &spec).is_some());
+        // 0.3 per stage: a second identical arrival fails (f(0.6)*2 > 1).
+        assert!(ac.try_admit(Time::from_millis(1), &spec).is_none());
+        // After the first task's deadline, capacity returns.
+        assert!(ac.try_admit(Time::from_millis(100), &spec).is_some());
+        assert_eq!(ac.live_tasks(), 1);
+    }
+
+    #[test]
+    fn idle_reset_frees_capacity_early() {
+        let mut ac = exact_two_stage();
+        let spec = pipeline_task(100, &[30, 30]);
+        let id = ac.try_admit(Time::ZERO, &spec).unwrap();
+        assert!(ac.try_admit(Time::from_millis(1), &spec).is_none());
+        // Task departs both stages at t = 2 ms and the stages go idle: the
+        // paper's reset rule makes room well before the deadline.
+        ac.on_stage_departure(StageId::new(0), id);
+        ac.on_stage_departure(StageId::new(1), id);
+        ac.on_stage_idle(Time::from_millis(2), StageId::new(0));
+        ac.on_stage_idle(Time::from_millis(2), StageId::new(1));
+        assert!(ac.try_admit(Time::from_millis(2), &spec).is_some());
+    }
+
+    #[test]
+    fn reservations_preload_counters() {
+        let region = FeasibleRegion::deadline_monotonic(3);
+        let mut ac = Admission::with_reservations(region, ExactContributions, &[0.4, 0.25, 0.1]);
+        // The TSCE reservations leave only 0.07 of budget (0.93 used).
+        let small = pipeline_task(1000, &[10, 2, 2]);
+        assert!(ac.try_admit(Time::ZERO, &small).is_some());
+        let big = pipeline_task(1000, &[200, 2, 2]);
+        assert!(ac.try_admit(Time::ZERO, &big).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "one reservation per stage")]
+    fn reservation_arity_must_match() {
+        let _ = Admission::with_reservations(
+            FeasibleRegion::deadline_monotonic(2),
+            ExactContributions,
+            &[0.1],
+        );
+    }
+
+    #[test]
+    fn approximate_model_charges_means() {
+        let region = FeasibleRegion::deadline_monotonic(2);
+        let model = MeanContributions::new(vec![ms(10), ms(10)]);
+        let mut ac = Admission::new(region, model);
+        // True demand is huge, but the controller only sees the mean.
+        let heavy = pipeline_task(100, &[90, 90]);
+        assert!(ac.try_admit(Time::ZERO, &heavy).is_some());
+    }
+
+    #[test]
+    fn split_deadline_baseline_is_more_pessimistic() {
+        // End-to-end controller: two-stage region.
+        let mut e2e = exact_two_stage();
+        // Baseline: per-stage uniprocessor bound on C/(D/2).
+        let mut base = Admission::new(
+            PerStageBound::new(2, UNIPROCESSOR_BOUND),
+            SplitDeadlineContributions,
+        );
+        let spec = pipeline_task(200, &[10, 10]);
+        let (mut e2e_n, mut base_n) = (0, 0);
+        for _ in 0..40 {
+            if e2e.try_admit(Time::ZERO, &spec).is_some() {
+                e2e_n += 1;
+            }
+            if base.try_admit(Time::ZERO, &spec).is_some() {
+                base_n += 1;
+            }
+        }
+        // Baseline charges 0.1/stage against 0.586 → ~5 tasks; end-to-end
+        // charges 0.05/stage against the sum-form region → ~7 tasks.
+        assert!(
+            e2e_n > base_n,
+            "end-to-end ({e2e_n}) should beat split-deadline ({base_n})"
+        );
+    }
+
+    #[test]
+    fn always_admit_never_rejects() {
+        let mut ac = Admission::new(AlwaysAdmit::new(2), ExactContributions);
+        let spec = pipeline_task(10, &[100, 100]);
+        for _ in 0..100 {
+            assert!(ac.try_admit(Time::ZERO, &spec).is_some());
+        }
+        assert_eq!(ac.stats().rejected, 0);
+    }
+
+    #[test]
+    fn shedding_evicts_least_important_first() {
+        let mut ac = exact_two_stage();
+        let low = pipeline_task(100, &[15, 15]).with_importance(Importance::new(1));
+        let mid = pipeline_task(100, &[15, 15]).with_importance(Importance::new(2));
+        let id_low = ac.try_admit(Time::ZERO, &low).unwrap();
+        let _id_mid = ac.try_admit(Time::ZERO, &mid).unwrap();
+        // 0.3/stage live; a critical 0.2/stage arrival is infeasible
+        // (f(0.5)·2 = 1.5) until someone is shed.
+        let critical = pipeline_task(100, &[20, 20]).with_importance(Importance::CRITICAL);
+        match ac.try_admit_or_shed(Time::from_millis(1), &critical) {
+            AdmitOutcome::AdmittedAfterShedding { shed, .. } => {
+                assert_eq!(shed, vec![id_low], "least important shed first");
+            }
+            other => panic!("expected shedding admission, got {other:?}"),
+        }
+        assert_eq!(ac.stats().shed, 1);
+    }
+
+    #[test]
+    fn shedding_never_evicts_equal_or_higher_importance() {
+        let mut ac = exact_two_stage();
+        let a = pipeline_task(100, &[30, 30]).with_importance(Importance::new(5));
+        ac.try_admit(Time::ZERO, &a).unwrap();
+        let b = pipeline_task(100, &[30, 30]).with_importance(Importance::new(5));
+        assert_eq!(
+            ac.try_admit_or_shed(Time::from_millis(1), &b),
+            AdmitOutcome::Rejected
+        );
+        assert_eq!(ac.stats().shed, 0);
+        assert_eq!(ac.live_tasks(), 1);
+    }
+
+    #[test]
+    fn outcome_task_accessor() {
+        assert_eq!(AdmitOutcome::Rejected.task(), None);
+        assert_eq!(
+            AdmitOutcome::Admitted(TaskId::new(3)).task(),
+            Some(TaskId::new(3))
+        );
+        assert_eq!(
+            AdmitOutcome::AdmittedAfterShedding {
+                task: TaskId::new(4),
+                shed: vec![]
+            }
+            .task(),
+            Some(TaskId::new(4))
+        );
+    }
+
+    #[test]
+    fn acceptance_ratio() {
+        let mut s = AdmissionStats::default();
+        assert_eq!(s.acceptance_ratio(), 1.0);
+        s.admitted = 3;
+        s.rejected = 1;
+        assert!((s.acceptance_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graph_task_contributions_cover_used_stages_only() {
+        use crate::graph::TaskGraph;
+        use crate::task::SubtaskSpec;
+        let g = TaskGraph::fork_join(
+            SubtaskSpec::new(StageId::new(0), ms(10)),
+            vec![
+                SubtaskSpec::new(StageId::new(1), ms(10)),
+                SubtaskSpec::new(StageId::new(2), ms(10)),
+            ],
+            SubtaskSpec::new(StageId::new(3), ms(10)),
+        )
+        .unwrap();
+        let spec = TaskSpec::new(ms(1000), g);
+        let mut ac = Admission::new(FeasibleRegion::deadline_monotonic(5), ExactContributions);
+        let id = ac.try_admit(Time::ZERO, &spec).unwrap();
+        assert!(ac.state().stage(StageId::new(0)).contains(id));
+        assert!(ac.state().stage(StageId::new(3)).contains(id));
+        assert!(!ac.state().stage(StageId::new(4)).contains(id));
+    }
+
+    #[test]
+    fn expired_tasks_leave_shedding_index() {
+        let mut ac = exact_two_stage();
+        let spec = pipeline_task(50, &[10, 10]);
+        ac.try_admit(Time::ZERO, &spec).unwrap();
+        assert_eq!(ac.live_tasks(), 1);
+        ac.advance_to(Time::from_millis(50));
+        assert_eq!(ac.live_tasks(), 0);
+    }
+
+    #[test]
+    fn external_shed_is_idempotent() {
+        let mut ac = exact_two_stage();
+        let spec = pipeline_task(100, &[10, 10]);
+        let id = ac.try_admit(Time::ZERO, &spec).unwrap();
+        ac.shed(id);
+        ac.shed(id);
+        assert_eq!(ac.stats().shed, 1);
+        assert_eq!(ac.live_tasks(), 0);
+    }
+}

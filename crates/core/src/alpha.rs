@@ -1,0 +1,261 @@
+//! The urgency-inversion parameter `α` (Section 2).
+//!
+//! A fixed-priority policy may assign a less urgent task (longer relative
+//! deadline) a priority equal to or higher than a more urgent one — an
+//! *urgency inversion*. The parameter
+//!
+//! ```text
+//! α = min_{T_hi ⪰ T_lo}  D_lo / D_hi
+//! ```
+//!
+//! (minimum relative-deadline ratio over all priority-ordered pairs, capped
+//! at 1) quantifies the worst inversion. Deadline-monotonic assignment has
+//! no inversions, so `α = 1`; random assignment degrades to
+//! `α = D_least / D_most`. The feasible-region budget scales linearly with
+//! `α` (Equation 2), which is what the DM-vs-random ablation measures.
+
+use crate::error::RegionError;
+use crate::task::Priority;
+use crate::time::TimeDelta;
+
+/// A validated urgency-inversion parameter in `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::alpha::Alpha;
+/// let a = Alpha::new(0.5)?;
+/// assert_eq!(a.value(), 0.5);
+/// assert_eq!(Alpha::DEADLINE_MONOTONIC.value(), 1.0);
+/// # Ok::<(), frap_core::error::RegionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Alpha(f64);
+
+impl Alpha {
+    /// `α = 1`: no urgency inversion (deadline-monotonic scheduling).
+    pub const DEADLINE_MONOTONIC: Alpha = Alpha(1.0);
+
+    /// Creates an `Alpha`, validating `0 < value ≤ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegionError::InvalidAlpha`] for values outside `(0, 1]`
+    /// or non-finite values.
+    pub fn new(value: f64) -> Result<Alpha, RegionError> {
+        if !value.is_finite() || value <= 0.0 || value > 1.0 {
+            return Err(RegionError::InvalidAlpha { value });
+        }
+        Ok(Alpha(value))
+    }
+
+    /// The raw parameter value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The `α` of a policy that assigns priorities with no relation to
+    /// deadlines, over a task population whose relative deadlines span
+    /// `[d_least, d_most]`: `α = d_least / d_most` (Section 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegionError::InvalidAlpha`] if either deadline is zero.
+    pub fn for_random_priorities(
+        d_least: TimeDelta,
+        d_most: TimeDelta,
+    ) -> Result<Alpha, RegionError> {
+        let ratio = d_least.ratio(d_most);
+        Alpha::new(ratio.min(1.0))
+    }
+}
+
+impl Default for Alpha {
+    /// Defaults to [`Alpha::DEADLINE_MONOTONIC`].
+    fn default() -> Self {
+        Alpha::DEADLINE_MONOTONIC
+    }
+}
+
+impl std::fmt::Display for Alpha {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "alpha={}", self.0)
+    }
+}
+
+/// Computes `α` exactly for a concrete priority assignment.
+///
+/// `tasks` lists `(priority, relative_deadline)` pairs. For every ordered
+/// pair where the first task's priority is **equal to or higher** than the
+/// second's, the ratio `D_lo / D_hi` is a candidate; `α` is the minimum
+/// candidate, capped at 1. An empty or singleton input has no pairs and
+/// yields `α = 1`.
+///
+/// Runs in `O(n log n)`.
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::alpha::alpha_for_assignment;
+/// use frap_core::task::Priority;
+/// use frap_core::time::TimeDelta;
+///
+/// // Deadline-monotonic: priority key = deadline, so no inversion.
+/// let dm = [
+///     (Priority::new(100), TimeDelta::from_micros(100)),
+///     (Priority::new(400), TimeDelta::from_micros(400)),
+/// ];
+/// assert_eq!(alpha_for_assignment(&dm).value(), 1.0);
+///
+/// // Inverted: the lax task (D = 400) outranks the urgent one (D = 100).
+/// let inv = [
+///     (Priority::new(1), TimeDelta::from_micros(400)),
+///     (Priority::new(2), TimeDelta::from_micros(100)),
+/// ];
+/// assert_eq!(alpha_for_assignment(&inv).value(), 0.25);
+/// ```
+pub fn alpha_for_assignment(tasks: &[(Priority, TimeDelta)]) -> Alpha {
+    if tasks.len() < 2 {
+        return Alpha::DEADLINE_MONOTONIC;
+    }
+    // Sort by priority, most urgent first; group equal priorities together.
+    let mut sorted: Vec<(Priority, TimeDelta)> = tasks.to_vec();
+    sorted.sort_by_key(|&(priority, _)| std::cmp::Reverse(priority));
+
+    let mut alpha = 1.0f64;
+    // Largest deadline seen among tasks of higher-or-equal priority.
+    let mut max_hi = TimeDelta::ZERO;
+    let mut i = 0;
+    while i < sorted.len() {
+        // The group of equal-priority tasks starting at i.
+        let mut j = i;
+        let mut group_max = TimeDelta::ZERO;
+        while j < sorted.len() && sorted[j].0 == sorted[i].0 {
+            group_max = group_max.max(sorted[j].1);
+            j += 1;
+        }
+        // Equal-priority tasks count as "equal or higher" for each other,
+        // so the hi-candidate pool for this group includes the group itself.
+        let pool_max = max_hi.max(group_max);
+        if !pool_max.is_zero() {
+            for t in &sorted[i..j] {
+                let ratio = t.1.ratio(pool_max);
+                if ratio < alpha {
+                    alpha = ratio;
+                }
+            }
+        }
+        max_hi = pool_max;
+        i = j;
+    }
+    Alpha::new(alpha.clamp(f64::MIN_POSITIVE, 1.0)).unwrap_or(Alpha::DEADLINE_MONOTONIC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> TimeDelta {
+        TimeDelta::from_micros(v)
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Alpha::new(0.5).is_ok());
+        assert!(Alpha::new(1.0).is_ok());
+        assert!(Alpha::new(0.0).is_err());
+        assert!(Alpha::new(-0.1).is_err());
+        assert!(Alpha::new(1.1).is_err());
+        assert!(Alpha::new(f64::NAN).is_err());
+        assert!(Alpha::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn default_is_dm() {
+        assert_eq!(Alpha::default(), Alpha::DEADLINE_MONOTONIC);
+    }
+
+    #[test]
+    fn random_priorities_ratio() {
+        let a = Alpha::for_random_priorities(us(100), us(400)).unwrap();
+        assert!((a.value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dm_assignment_has_alpha_one() {
+        let tasks: Vec<(Priority, TimeDelta)> = (1..=10)
+            .map(|i| (Priority::new(i * 100), us(i * 100)))
+            .collect();
+        assert_eq!(alpha_for_assignment(&tasks).value(), 1.0);
+    }
+
+    #[test]
+    fn singleton_and_empty_have_alpha_one() {
+        assert_eq!(alpha_for_assignment(&[]).value(), 1.0);
+        assert_eq!(
+            alpha_for_assignment(&[(Priority::new(1), us(5))]).value(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn full_inversion() {
+        // Most urgent deadline gets the lowest priority.
+        let tasks = [
+            (Priority::new(1), us(1000)), // lax but top priority
+            (Priority::new(2), us(500)),
+            (Priority::new(3), us(100)), // urgent but bottom priority
+        ];
+        // Worst pair: hi = D 1000, lo = D 100 → 0.1.
+        assert!((alpha_for_assignment(&tasks).value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_priorities_count_both_ways() {
+        let tasks = [(Priority::new(5), us(200)), (Priority::new(5), us(800))];
+        // Same priority: pair (hi=800, lo=200) → 0.25.
+        assert!((alpha_for_assignment(&tasks).value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inversion_only_counts_higher_or_equal_priority() {
+        // The lax task has *lower* priority than the urgent one: that pair
+        // is DM-consistent and must not reduce alpha.
+        let tasks = [
+            (Priority::new(1), us(100)),  // urgent, high priority
+            (Priority::new(9), us(1000)), // lax, low priority
+        ];
+        assert_eq!(alpha_for_assignment(&tasks).value(), 1.0);
+    }
+
+    #[test]
+    fn alpha_matches_brute_force() {
+        // Cross-check the grouped scan against the O(n²) definition.
+        let tasks = [
+            (Priority::new(3), us(700)),
+            (Priority::new(1), us(300)),
+            (Priority::new(3), us(150)),
+            (Priority::new(2), us(900)),
+            (Priority::new(4), us(50)),
+        ];
+        let mut brute = 1.0f64;
+        for hi in &tasks {
+            for lo in &tasks {
+                if std::ptr::eq(hi, lo) {
+                    continue;
+                }
+                if hi.0 >= lo.0 {
+                    brute = brute.min(lo.1.ratio(hi.1));
+                }
+            }
+        }
+        let fast = alpha_for_assignment(&tasks).value();
+        assert!((fast - brute).abs() < 1e-12, "fast={fast} brute={brute}");
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", Alpha::DEADLINE_MONOTONIC).is_empty());
+    }
+}

@@ -1,0 +1,305 @@
+//! Capacity planning on the feasible region.
+//!
+//! The bounding surface `Σ_j f(U_j) = budget` supports more than a
+//! yes/no admission test: operators want to know *how much* headroom a
+//! stage has, how to split a budget across stages with unequal demand,
+//! and what a deeper pipeline costs. These closed-form helpers answer
+//! those questions using `f`'s inverse (`f⁻¹(x) = 1 + x − √(1 + x²)`),
+//! without search except where the allocation is genuinely nonlinear
+//! (weighted allocation, solved by bisection).
+
+use crate::delay::{stage_delay_factor, stage_delay_factor_inverse};
+use crate::error::RegionError;
+use crate::region::FeasibleRegion;
+use crate::task::StageId;
+
+/// The largest additional synthetic utilization stage `stage` can accept
+/// while the system stays inside `region`, given current utilizations.
+///
+/// This is the admission controller's headroom query: a task whose
+/// contribution at `stage` is below the returned value (and zero
+/// elsewhere) is guaranteed admissible.
+///
+/// Returns 0 when the system is already on or outside the surface.
+///
+/// # Errors
+///
+/// Returns [`RegionError::DimensionMismatch`] /
+/// [`RegionError::InvalidUtilization`] for malformed inputs and
+/// [`RegionError::StageOutOfRange`] for a bad stage index.
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::capacity::stage_headroom;
+/// use frap_core::region::FeasibleRegion;
+/// use frap_core::task::StageId;
+///
+/// let region = FeasibleRegion::deadline_monotonic(2);
+/// let h = stage_headroom(&region, &[0.2, 0.2], StageId::new(0))?;
+/// // Adding h at stage 0 lands exactly on the surface.
+/// assert!(region.contains(&[0.2 + h - 1e-9, 0.2])?);
+/// assert!(!region.contains(&[0.2 + h + 1e-9, 0.2])?);
+/// # Ok::<(), frap_core::error::RegionError>(())
+/// ```
+pub fn stage_headroom(
+    region: &FeasibleRegion,
+    utilizations: &[f64],
+    stage: StageId,
+) -> Result<f64, RegionError> {
+    let value = region.value(utilizations)?;
+    let j = stage.index();
+    if j >= region.stages() {
+        return Err(RegionError::StageOutOfRange {
+            index: j,
+            stages: region.stages(),
+        });
+    }
+    let u_j = utilizations[j];
+    let own = stage_delay_factor(u_j);
+    let others = value - own;
+    let budget_for_stage = region.budget() - others;
+    if !budget_for_stage.is_finite() || budget_for_stage <= own {
+        return Ok(0.0);
+    }
+    Ok((stage_delay_factor_inverse(budget_for_stage) - u_j).max(0.0))
+}
+
+/// The utilization vector that splits the whole budget equally across
+/// stages: every stage at `f⁻¹(budget / N)` (the symmetric point on the
+/// surface).
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::capacity::balanced_allocation;
+/// use frap_core::region::FeasibleRegion;
+///
+/// let region = FeasibleRegion::deadline_monotonic(3);
+/// let alloc = balanced_allocation(&region);
+/// let total: f64 = alloc
+///     .iter()
+///     .map(|&u| frap_core::delay::stage_delay_factor(u))
+///     .sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// ```
+pub fn balanced_allocation(region: &FeasibleRegion) -> Vec<f64> {
+    vec![region.max_equal_utilization(); region.stages()]
+}
+
+/// Splits the region budget across stages **proportionally to demand
+/// weights**: finds the largest `t` such that `U_j = min(t·w_j, cap)`
+/// stays on/inside the surface, and returns that vector.
+///
+/// Weights are relative per-stage demand rates (e.g. mean computation
+/// time per stage when every task visits every stage); the result is the
+/// utilization operating point that saturates all stages simultaneously
+/// relative to their demand, which is how an imbalanced pipeline should
+/// be provisioned.
+///
+/// Solved by bisection on `t` (the map is strictly monotone); `cap`
+/// bounds each stage below 1 where `f` diverges.
+///
+/// # Errors
+///
+/// Returns [`RegionError::DimensionMismatch`] if `weights.len()` differs
+/// from the region's stage count, or [`RegionError::InvalidUtilization`]
+/// if any weight is negative, NaN, or all weights are zero.
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::capacity::weighted_allocation;
+/// use frap_core::region::FeasibleRegion;
+///
+/// // Stage 0 carries twice the demand of stage 1.
+/// let region = FeasibleRegion::deadline_monotonic(2);
+/// let alloc = weighted_allocation(&region, &[2.0, 1.0])?;
+/// assert!((alloc[0] / alloc[1] - 2.0).abs() < 1e-6);
+/// assert!(region.contains(&alloc)?);
+/// # Ok::<(), frap_core::error::RegionError>(())
+/// ```
+pub fn weighted_allocation(
+    region: &FeasibleRegion,
+    weights: &[f64],
+) -> Result<Vec<f64>, RegionError> {
+    if weights.len() != region.stages() {
+        return Err(RegionError::DimensionMismatch {
+            expected: region.stages(),
+            got: weights.len(),
+        });
+    }
+    for &w in weights {
+        if w.is_nan() || w < 0.0 {
+            return Err(RegionError::InvalidUtilization { value: w });
+        }
+    }
+    let w_max = weights.iter().cloned().fold(0.0f64, f64::max);
+    if w_max == 0.0 {
+        return Err(RegionError::InvalidUtilization { value: 0.0 });
+    }
+    let budget = region.budget();
+    if budget <= 0.0 {
+        return Ok(vec![0.0; weights.len()]);
+    }
+
+    // U_j(t) = min(t · w_j, CAP); Σ f(U_j(t)) is continuous and strictly
+    // increasing in t until all stages cap out.
+    const CAP: f64 = 0.999_999;
+    let value_at = |t: f64| -> f64 {
+        weights
+            .iter()
+            .map(|&w| stage_delay_factor((t * w).min(CAP)))
+            .sum()
+    };
+    let mut lo = 0.0f64;
+    let mut hi = CAP / w_max;
+    if value_at(hi) <= budget {
+        // Even fully capped the budget is not exhausted (budget can reach
+        // Σ f(CAP) only in degenerate configurations).
+        return Ok(weights.iter().map(|&w| (hi * w).min(CAP)).collect());
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if value_at(mid) <= budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(weights.iter().map(|&w| (lo * w).min(CAP)).collect())
+}
+
+/// How much total budget an `n`-stage deadline-monotonic pipeline leaves
+/// per stage at the symmetric point, for `n = 1..=max_stages` — the
+/// "cost of depth" table (Section 3.1's argument that the bound does not
+/// degrade with `N` because per-stage demand also scales as `O(1/N)`).
+///
+/// Each row is `(n, per_stage_bound, n × per_stage_bound)`: the last
+/// column (aggregate admissible synthetic utilization) *grows* with
+/// depth, approaching the liquid limit.
+pub fn depth_table(max_stages: usize) -> Vec<(usize, f64, f64)> {
+    (1..=max_stages)
+        .map(|n| {
+            let u = FeasibleRegion::deadline_monotonic(n).max_equal_utilization();
+            (n, u, n as f64 * u)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::Alpha;
+    use crate::delay::UNIPROCESSOR_BOUND;
+
+    #[test]
+    fn headroom_reaches_surface_exactly() {
+        let region = FeasibleRegion::deadline_monotonic(3);
+        let utils = [0.1, 0.3, 0.2];
+        for j in 0..3 {
+            let h = stage_headroom(&region, &utils, StageId::new(j)).unwrap();
+            let mut at = utils;
+            at[j] += h;
+            let v = region.value(&at).unwrap();
+            assert!((v - region.budget()).abs() < 1e-9, "stage {j}: v={v}");
+        }
+    }
+
+    #[test]
+    fn headroom_zero_when_saturated() {
+        let region = FeasibleRegion::deadline_monotonic(1);
+        let h = stage_headroom(&region, &[UNIPROCESSOR_BOUND + 0.1], StageId::new(0)).unwrap();
+        assert_eq!(h, 0.0);
+        // Saturated by the *other* stage.
+        let region2 = FeasibleRegion::deadline_monotonic(2);
+        let h = stage_headroom(&region2, &[0.0, 0.99], StageId::new(0)).unwrap();
+        assert_eq!(h, 0.0);
+    }
+
+    #[test]
+    fn headroom_on_empty_single_stage_is_the_bound() {
+        let region = FeasibleRegion::deadline_monotonic(1);
+        let h = stage_headroom(&region, &[0.0], StageId::new(0)).unwrap();
+        assert!((h - UNIPROCESSOR_BOUND).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headroom_errors() {
+        let region = FeasibleRegion::deadline_monotonic(2);
+        assert!(stage_headroom(&region, &[0.1], StageId::new(0)).is_err());
+        assert!(stage_headroom(&region, &[0.1, 0.1], StageId::new(5)).is_err());
+        assert!(stage_headroom(&region, &[-0.1, 0.1], StageId::new(0)).is_err());
+    }
+
+    #[test]
+    fn balanced_allocation_is_on_surface() {
+        for n in 1..=6 {
+            let region = FeasibleRegion::deadline_monotonic(n);
+            let alloc = balanced_allocation(&region);
+            assert_eq!(alloc.len(), n);
+            let v = region.value(&alloc).unwrap();
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_allocation_matches_balanced_for_equal_weights() {
+        let region = FeasibleRegion::deadline_monotonic(3);
+        let w = weighted_allocation(&region, &[1.0, 1.0, 1.0]).unwrap();
+        let b = balanced_allocation(&region);
+        for (x, y) in w.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn weighted_allocation_respects_ratios_and_surface() {
+        let region = FeasibleRegion::deadline_monotonic(2);
+        let alloc = weighted_allocation(&region, &[3.0, 1.0]).unwrap();
+        assert!((alloc[0] / alloc[1] - 3.0).abs() < 1e-6);
+        let v = region.value(&alloc).unwrap();
+        assert!((v - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_allocation_with_zero_weight_stage() {
+        // A stage nobody uses gets nothing; the rest share the budget.
+        let region = FeasibleRegion::deadline_monotonic(2);
+        let alloc = weighted_allocation(&region, &[1.0, 0.0]).unwrap();
+        assert_eq!(alloc[1], 0.0);
+        assert!((alloc[0] - UNIPROCESSOR_BOUND).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_allocation_scales_with_budget() {
+        let tight = FeasibleRegion::with_alpha(2, Alpha::new(0.5).unwrap());
+        let loose = FeasibleRegion::deadline_monotonic(2);
+        let a_tight = weighted_allocation(&tight, &[1.0, 1.0]).unwrap();
+        let a_loose = weighted_allocation(&loose, &[1.0, 1.0]).unwrap();
+        assert!(a_tight[0] < a_loose[0]);
+    }
+
+    #[test]
+    fn weighted_allocation_errors() {
+        let region = FeasibleRegion::deadline_monotonic(2);
+        assert!(weighted_allocation(&region, &[1.0]).is_err());
+        assert!(weighted_allocation(&region, &[-1.0, 1.0]).is_err());
+        assert!(weighted_allocation(&region, &[0.0, 0.0]).is_err());
+        assert!(weighted_allocation(&region, &[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn depth_table_aggregate_grows() {
+        let table = depth_table(10);
+        assert_eq!(table.len(), 10);
+        assert!((table[0].1 - UNIPROCESSOR_BOUND).abs() < 1e-12);
+        for w in table.windows(2) {
+            assert!(w[1].1 < w[0].1, "per-stage bound shrinks with depth");
+            assert!(
+                w[1].2 > w[0].2,
+                "aggregate admissible utilization grows with depth"
+            );
+        }
+    }
+}

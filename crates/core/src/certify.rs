@@ -1,0 +1,229 @@
+//! Offline certification of critical task sets (Section 5's workflow).
+//!
+//! Before runtime, an operator reserves synthetic utilization for the
+//! critical periodic/aperiodic tasks and checks that the reservations fit
+//! the feasible region (Equation 13/Theorem 2). The paper's TSCE example
+//! sums contributions on shared stages but takes the **maximum** on
+//! stages where tasks use mutually exclusive physical resources (each
+//! task has its own console): [`ReservationPlan`] captures both rules.
+//!
+//! ```
+//! use frap_core::certify::ReservationPlan;
+//! use frap_core::graph::TaskSpec;
+//! use frap_core::region::FeasibleRegion;
+//! use frap_core::task::StageId;
+//! use frap_core::time::TimeDelta;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ms = TimeDelta::from_millis;
+//! let mut plan = ReservationPlan::new(2);
+//! plan.add(&TaskSpec::pipeline(ms(100), &[ms(10), ms(5)])?);   // 0.10, 0.05
+//! plan.add(&TaskSpec::pipeline(ms(200), &[ms(20), ms(10)])?);  // 0.10, 0.05
+//! let report = plan.certify(&FeasibleRegion::deadline_monotonic(2));
+//! assert!(report.feasible);
+//! assert!((report.reservations[0] - 0.20).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::graph::TaskSpec;
+use crate::region::FeasibleRegion;
+use crate::task::StageId;
+
+/// The outcome of certifying a reservation plan against a region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertificationReport {
+    /// The per-stage reservations `U_j^res` the plan requires.
+    pub reservations: Vec<f64>,
+    /// The region expression's value at the reservations (`Σ f(U_j^res)`).
+    pub value: f64,
+    /// The region budget (`α (1 − Σ β_j)`).
+    pub budget: f64,
+    /// Whether the critical set certifies (`value ≤ budget`).
+    pub feasible: bool,
+}
+
+impl CertificationReport {
+    /// Budget left over for dynamically admitted tasks.
+    pub fn margin(&self) -> f64 {
+        self.budget - self.value
+    }
+}
+
+/// Accumulates per-stage reservations for a critical task set.
+///
+/// * [`ReservationPlan::add`] — the task shares its stages with other
+///   critical tasks: contributions **sum**.
+/// * [`ReservationPlan::add_exclusive_group`] — the tasks use mutually
+///   exclusive physical resources behind one logical stage (the TSCE
+///   consoles): the group reserves the **maximum** contribution.
+#[derive(Debug, Clone)]
+pub struct ReservationPlan {
+    reservations: Vec<f64>,
+}
+
+impl ReservationPlan {
+    /// An empty plan for a `stages`-stage system.
+    pub fn new(stages: usize) -> ReservationPlan {
+        ReservationPlan {
+            reservations: vec![0.0; stages],
+        }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// Reserves a task's full contribution `C_ij / D_i` on every stage it
+    /// uses (additive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task references a stage outside the plan.
+    pub fn add(&mut self, task: &TaskSpec) -> &mut Self {
+        for (stage, c) in task.contributions() {
+            assert!(
+                stage.index() < self.reservations.len(),
+                "task references {stage} outside the {}-stage plan",
+                self.reservations.len()
+            );
+            self.reservations[stage.index()] += c;
+        }
+        self
+    }
+
+    /// Reserves, at `stage` only, the **maximum** contribution among
+    /// `tasks` — for tasks that use distinct physical resources
+    /// multiplexed behind one stage (each its own console/weapon mount),
+    /// so their demands do not add (the paper's stage-3 rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is outside the plan.
+    pub fn add_exclusive_group(&mut self, stage: StageId, tasks: &[&TaskSpec]) -> &mut Self {
+        assert!(stage.index() < self.reservations.len());
+        let max = tasks
+            .iter()
+            .map(|t| t.contribution_at(stage))
+            .fold(0.0f64, f64::max);
+        self.reservations[stage.index()] += max;
+        self
+    }
+
+    /// Adds a raw reservation amount at one stage (operator-specified
+    /// slack, measurement-derived values, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is outside the plan or `amount` is negative/NaN.
+    pub fn add_raw(&mut self, stage: StageId, amount: f64) -> &mut Self {
+        assert!(stage.index() < self.reservations.len());
+        assert!(amount.is_finite() && amount >= 0.0);
+        self.reservations[stage.index()] += amount;
+        self
+    }
+
+    /// The accumulated per-stage reservations.
+    pub fn reservations(&self) -> &[f64] {
+        &self.reservations
+    }
+
+    /// Certifies the plan against `region` (Equation 13 / 15 / 12).
+    pub fn certify(&self, region: &FeasibleRegion) -> CertificationReport {
+        let value = region
+            .value(&self.reservations)
+            .expect("reservations are a valid utilization vector");
+        let budget = region.budget();
+        CertificationReport {
+            reservations: self.reservations.clone(),
+            value,
+            budget,
+            feasible: value <= budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeDelta;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    #[test]
+    fn additive_reservations() {
+        let mut plan = ReservationPlan::new(2);
+        plan.add(&TaskSpec::pipeline(ms(100), &[ms(10), ms(20)]).unwrap());
+        plan.add(&TaskSpec::pipeline(ms(100), &[ms(10), ms(20)]).unwrap());
+        assert!((plan.reservations()[0] - 0.2).abs() < 1e-12);
+        assert!((plan.reservations()[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusive_group_takes_max() {
+        let a = TaskSpec::pipeline(ms(100), &[ms(1), ms(30)]).unwrap();
+        let b = TaskSpec::pipeline(ms(100), &[ms(1), ms(10)]).unwrap();
+        let mut plan = ReservationPlan::new(2);
+        plan.add_exclusive_group(StageId::new(1), &[&a, &b]);
+        assert_eq!(plan.reservations()[0], 0.0);
+        assert!((plan.reservations()[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_reservation() {
+        let mut plan = ReservationPlan::new(3);
+        plan.add_raw(StageId::new(2), 0.15);
+        assert_eq!(plan.reservations(), &[0.0, 0.0, 0.15]);
+    }
+
+    #[test]
+    fn report_margin_and_feasibility() {
+        let mut plan = ReservationPlan::new(1);
+        plan.add_raw(StageId::new(0), 0.3);
+        let report = plan.certify(&FeasibleRegion::deadline_monotonic(1));
+        assert!(report.feasible);
+        assert!(report.margin() > 0.0);
+        assert!((report.value + report.margin() - report.budget).abs() < 1e-12);
+
+        let mut too_much = ReservationPlan::new(1);
+        too_much.add_raw(StageId::new(0), 0.9);
+        let report = too_much.certify(&FeasibleRegion::deadline_monotonic(1));
+        assert!(!report.feasible);
+        assert!(report.margin() < 0.0);
+    }
+
+    #[test]
+    fn reproduces_tsce_arithmetic() {
+        // Table 1's three critical tasks, built via the plan API.
+        let wd = TaskSpec::pipeline(ms(500), &[ms(100), ms(65)]).unwrap();
+        let wt = TaskSpec::pipeline(ms(50), &[ms(5), ms(5)]).unwrap();
+        let uav = TaskSpec::pipeline(ms(500), &[ms(50), ms(10)]).unwrap();
+        // Stage-3 contributions (per-task consoles): 0.06, 0.1, 0.1.
+        let wd3 = TaskSpec::pipeline(ms(500), &[ms(0), ms(0), ms(30)]).unwrap();
+        let wt3 = TaskSpec::pipeline(ms(50), &[ms(0), ms(0), ms(5)]).unwrap();
+        let uav3 = TaskSpec::pipeline(ms(500), &[ms(0), ms(0), ms(50)]).unwrap();
+
+        let mut plan = ReservationPlan::new(3);
+        plan.add(&wd).add(&wt).add(&uav);
+        plan.add_exclusive_group(StageId::new(2), &[&wd3, &wt3, &uav3]);
+
+        let r = plan.reservations();
+        assert!((r[0] - 0.40).abs() < 1e-12);
+        assert!((r[1] - 0.25).abs() < 1e-12);
+        assert!((r[2] - 0.10).abs() < 1e-12);
+
+        let report = plan.certify(&FeasibleRegion::deadline_monotonic(3));
+        assert!(report.feasible);
+        assert!((report.value - 0.93).abs() < 0.005);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_stage_panics() {
+        let t = TaskSpec::pipeline(ms(10), &[ms(1), ms(1), ms(1)]).unwrap();
+        ReservationPlan::new(2).add(&t);
+    }
+}

@@ -1,0 +1,278 @@
+//! The stage delay theorem (Theorem 1) and its algebra.
+//!
+//! The paper's central analytical device: if the synthetic utilization of
+//! stage `j` never exceeds `U_j`, then the time any task spends at stage `j`
+//! is at most
+//!
+//! ```text
+//! L_j ≤ f(U_j) · D_max,     f(u) = u (1 − u/2) / (1 − u)
+//! ```
+//!
+//! where `D_max` is the maximum relative deadline of a higher-priority task.
+//! Summing `f` along a pipeline (or taking the longest path through a DAG)
+//! and comparing against the urgency-inversion parameter `α` yields the
+//! feasible region (see [`crate::region`]).
+//!
+//! `f` is strictly increasing and convex on `[0, 1)` with `f(0) = 0` and
+//! `f(u) → ∞` as `u → 1`; its inverse has the closed form
+//! `f⁻¹(x) = 1 + x − √(1 + x²)`. Setting `f(U) = 1` recovers the
+//! uniprocessor aperiodic bound `U = 2 − √2 = 1/(1 + √½) ≈ 0.586` of
+//! Abdelzaher & Lu, which the paper uses as its single-resource sanity
+//! check.
+
+use crate::time::TimeDelta;
+
+/// The uniprocessor aperiodic utilization bound `2 − √2 = 1/(1 + √½)`.
+///
+/// This is the single point the feasible region collapses to for `N = 1`
+/// under deadline-monotonic scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::delay::{stage_delay_factor, UNIPROCESSOR_BOUND};
+/// assert!((stage_delay_factor(UNIPROCESSOR_BOUND) - 1.0).abs() < 1e-12);
+/// assert!((UNIPROCESSOR_BOUND - 0.5857864376269049).abs() < 1e-15);
+/// ```
+pub const UNIPROCESSOR_BOUND: f64 = 2.0 - std::f64::consts::SQRT_2;
+
+/// The normalized stage-delay function `f(u) = u (1 − u/2) / (1 − u)`.
+///
+/// `f(u) · D_max` upper-bounds the delay a task experiences at a stage
+/// whose synthetic utilization never exceeds `u` (Theorem 1).
+///
+/// Returns `f64::INFINITY` for `u ≥ 1` (the bound degenerates as the stage
+/// saturates) and propagates `NaN` inputs.
+///
+/// # Panics
+///
+/// Debug builds panic on negative input; release builds return a
+/// meaningless negative value, so validate inputs at the API boundary
+/// (see [`crate::region::FeasibleRegion`]).
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::delay::stage_delay_factor;
+/// assert_eq!(stage_delay_factor(0.0), 0.0);
+/// assert!((stage_delay_factor(0.5) - 0.75).abs() < 1e-12);
+/// assert_eq!(stage_delay_factor(1.0), f64::INFINITY);
+/// ```
+#[inline]
+pub fn stage_delay_factor(u: f64) -> f64 {
+    // NaN-tolerant check: `!(u < 0.0)` accepts NaN (which propagates).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    {
+        debug_assert!(!(u < 0.0), "synthetic utilization must be non-negative");
+    }
+    if u >= 1.0 {
+        return f64::INFINITY;
+    }
+    u * (1.0 - 0.5 * u) / (1.0 - u)
+}
+
+/// The inverse of [`stage_delay_factor`] on `[0, 1)`:
+/// `f⁻¹(x) = 1 + x − √(1 + x²)`.
+///
+/// Given a normalized per-stage delay budget `x`, returns the largest
+/// synthetic utilization a stage may carry while its delay bound stays
+/// within `x · D_max`.
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::delay::{stage_delay_factor_inverse, UNIPROCESSOR_BOUND};
+/// // A full budget of 1 recovers the uniprocessor bound.
+/// assert!((stage_delay_factor_inverse(1.0) - UNIPROCESSOR_BOUND).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn stage_delay_factor_inverse(x: f64) -> f64 {
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    {
+        debug_assert!(!(x < 0.0), "delay budget must be non-negative");
+    }
+    1.0 + x - (1.0 + x * x).sqrt()
+}
+
+/// First derivative of [`stage_delay_factor`]:
+/// `f′(u) = 1 + (u − u²/2) / (1 − u)²`.
+///
+/// Strictly greater than 1 on `(0, 1)`, witnessing that `f` is strictly
+/// increasing; used in tests and by search-based admission planners.
+#[inline]
+pub fn stage_delay_factor_derivative(u: f64) -> f64 {
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    {
+        debug_assert!(!(u < 0.0));
+    }
+    if u >= 1.0 {
+        return f64::INFINITY;
+    }
+    let one_minus = 1.0 - u;
+    1.0 + (u - 0.5 * u * u) / (one_minus * one_minus)
+}
+
+/// The absolute delay bound of Theorem 1: `L_j ≤ f(u) · D_max`.
+///
+/// Returns [`TimeDelta::MAX`] when the factor is infinite (stage
+/// saturated).
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::delay::stage_delay_bound;
+/// use frap_core::time::TimeDelta;
+/// let d_max = TimeDelta::from_secs(1);
+/// // A half-utilized stage delays a task at most 0.75 s.
+/// assert_eq!(stage_delay_bound(0.5, d_max), TimeDelta::from_millis(750));
+/// ```
+pub fn stage_delay_bound(u: f64, d_max: TimeDelta) -> TimeDelta {
+    let factor = stage_delay_factor(u);
+    if !factor.is_finite() {
+        return TimeDelta::MAX;
+    }
+    d_max.mul_f64(factor)
+}
+
+/// The largest per-stage synthetic utilization for an `n`-stage pipeline in
+/// which all stages carry equal load: `f⁻¹(budget / n)`.
+///
+/// `budget` is the right-hand side of the region inequality — 1 for
+/// deadline-monotonic scheduling, `α (1 − Σ β_j)` in general.
+///
+/// Returns 0 when `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::delay::{symmetric_stage_bound, UNIPROCESSOR_BOUND};
+/// assert!((symmetric_stage_bound(1, 1.0) - UNIPROCESSOR_BOUND).abs() < 1e-12);
+/// // With more stages, each stage must be kept lighter…
+/// assert!(symmetric_stage_bound(2, 1.0) < symmetric_stage_bound(1, 1.0));
+/// // …but scales as O(1/n), so the aggregate budget does not collapse.
+/// assert!(symmetric_stage_bound(10, 1.0) > 0.09);
+/// ```
+pub fn symmetric_stage_bound(n: usize, budget: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    stage_delay_factor_inverse(budget / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_at_zero_is_zero() {
+        assert_eq!(stage_delay_factor(0.0), 0.0);
+    }
+
+    #[test]
+    fn factor_saturates_at_one() {
+        assert_eq!(stage_delay_factor(1.0), f64::INFINITY);
+        assert_eq!(stage_delay_factor(1.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn factor_known_values() {
+        // f(0.5) = 0.5 * 0.75 / 0.5 = 0.75
+        assert!((stage_delay_factor(0.5) - 0.75).abs() < 1e-12);
+        // f(2 − √2) = 1 (the uniprocessor bound)
+        assert!((stage_delay_factor(UNIPROCESSOR_BOUND) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tsce_certification_value() {
+        // Section 5: reserved synthetic utilizations 0.4, 0.25, 0.1 sum to
+        // 0.93 under Equation (13) — the paper's certification arithmetic.
+        let v = stage_delay_factor(0.4) + stage_delay_factor(0.25) + stage_delay_factor(0.1);
+        assert!((v - 0.93).abs() < 0.005, "got {v}");
+        assert!(v < 1.0);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        for i in 0..100 {
+            let u = i as f64 / 101.0;
+            let x = stage_delay_factor(u);
+            let back = stage_delay_factor_inverse(x);
+            assert!((back - u).abs() < 1e-9, "u={u} back={back}");
+        }
+    }
+
+    #[test]
+    fn inverse_of_one_is_uniprocessor_bound() {
+        assert!((stage_delay_factor_inverse(1.0) - UNIPROCESSOR_BOUND).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_strictly_increasing() {
+        let mut prev = -1.0;
+        for i in 0..1000 {
+            let u = i as f64 / 1000.0;
+            let v = stage_delay_factor(u);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        for i in 1..90 {
+            let u = i as f64 / 100.0;
+            let h = 1e-7;
+            let fd = (stage_delay_factor(u + h) - stage_delay_factor(u - h)) / (2.0 * h);
+            let an = stage_delay_factor_derivative(u);
+            assert!((fd - an).abs() < 1e-4, "u={u} fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn derivative_at_least_one() {
+        assert!((stage_delay_factor_derivative(0.0) - 1.0).abs() < 1e-12);
+        for i in 1..100 {
+            let u = i as f64 / 100.0;
+            assert!(stage_delay_factor_derivative(u) > 1.0);
+        }
+        assert_eq!(stage_delay_factor_derivative(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn delay_bound_scales_with_dmax() {
+        let d = TimeDelta::from_secs(2);
+        assert_eq!(stage_delay_bound(0.5, d), TimeDelta::from_millis(1500));
+        assert_eq!(stage_delay_bound(1.0, d), TimeDelta::MAX);
+        assert_eq!(stage_delay_bound(0.0, d), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn symmetric_bound_properties() {
+        assert_eq!(symmetric_stage_bound(0, 1.0), 0.0);
+        let mut prev = 1.0;
+        for n in 1..=16 {
+            let b = symmetric_stage_bound(n, 1.0);
+            assert!(b < prev, "bound must shrink with more stages");
+            assert!(b > 0.0);
+            prev = b;
+        }
+        // O(1/n): n·f(bound(n)) == budget exactly.
+        for n in 1..=16 {
+            let b = symmetric_stage_bound(n, 1.0);
+            let total = n as f64 * stage_delay_factor(b);
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn symmetric_bound_with_reduced_budget() {
+        // Blocking/urgency inversion shrink the budget and thus the bound.
+        assert!(symmetric_stage_bound(2, 0.5) < symmetric_stage_bound(2, 1.0));
+        assert_eq!(symmetric_stage_bound(2, 0.0), 0.0);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(stage_delay_factor(f64::NAN).is_nan());
+    }
+}

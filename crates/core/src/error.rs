@@ -1,0 +1,160 @@
+//! Error types for `frap-core`.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors from constructing or validating a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The graph has no subtasks.
+    Empty,
+    /// An edge referenced a subtask index that does not exist.
+    NodeOutOfRange {
+        /// The offending subtask index.
+        index: usize,
+        /// Number of subtasks in the graph.
+        len: usize,
+    },
+    /// An edge connected a subtask to itself.
+    SelfLoop {
+        /// The subtask with the self-edge.
+        index: usize,
+    },
+    /// The precedence relation contains a cycle.
+    Cycle,
+    /// A subtask has no segments (zero-length subtasks must still have one
+    /// empty segment to be well-formed).
+    EmptySubtask {
+        /// The offending subtask index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "task graph has no subtasks"),
+            GraphError::NodeOutOfRange { index, len } => write!(
+                f,
+                "edge references subtask {index} but the graph has {len} subtasks"
+            ),
+            GraphError::SelfLoop { index } => {
+                write!(f, "subtask {index} has a precedence edge to itself")
+            }
+            GraphError::Cycle => write!(f, "precedence relation contains a cycle"),
+            GraphError::EmptySubtask { index } => {
+                write!(f, "subtask {index} has no execution segments")
+            }
+        }
+    }
+}
+
+impl StdError for GraphError {}
+
+/// Errors from feasible-region construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RegionError {
+    /// A utilization value was negative, NaN, or otherwise unusable.
+    InvalidUtilization {
+        /// The offending value.
+        value: f64,
+    },
+    /// The urgency-inversion parameter `alpha` must lie in (0, 1].
+    InvalidAlpha {
+        /// The offending value.
+        value: f64,
+    },
+    /// A per-stage blocking factor `beta_j` must lie in [0, 1).
+    InvalidBlocking {
+        /// The offending value.
+        value: f64,
+    },
+    /// The utilization vector length does not match the number of stages.
+    DimensionMismatch {
+        /// Stages the region was built for.
+        expected: usize,
+        /// Length of the vector supplied.
+        got: usize,
+    },
+    /// A referenced stage index is out of range for this system.
+    StageOutOfRange {
+        /// The offending stage index.
+        index: usize,
+        /// Number of stages in the system.
+        stages: usize,
+    },
+}
+
+impl fmt::Display for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionError::InvalidUtilization { value } => {
+                write!(f, "invalid synthetic utilization {value}")
+            }
+            RegionError::InvalidAlpha { value } => write!(
+                f,
+                "urgency-inversion parameter alpha must be in (0, 1], got {value}"
+            ),
+            RegionError::InvalidBlocking { value } => {
+                write!(f, "blocking factor beta must be in [0, 1), got {value}")
+            }
+            RegionError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} per-stage utilizations, got {got}")
+            }
+            RegionError::StageOutOfRange { index, stages } => write!(
+                f,
+                "stage index {index} out of range for a {stages}-stage system"
+            ),
+        }
+    }
+}
+
+impl StdError for RegionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_errors_display() {
+        let cases: Vec<GraphError> = vec![
+            GraphError::Empty,
+            GraphError::NodeOutOfRange { index: 5, len: 3 },
+            GraphError::SelfLoop { index: 1 },
+            GraphError::Cycle,
+            GraphError::EmptySubtask { index: 0 },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn region_errors_display() {
+        let cases: Vec<RegionError> = vec![
+            RegionError::InvalidUtilization { value: -1.0 },
+            RegionError::InvalidAlpha { value: 2.0 },
+            RegionError::InvalidBlocking { value: 1.0 },
+            RegionError::DimensionMismatch {
+                expected: 3,
+                got: 2,
+            },
+            RegionError::StageOutOfRange {
+                index: 9,
+                stages: 3,
+            },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<GraphError>();
+        assert_err::<RegionError>();
+    }
+}

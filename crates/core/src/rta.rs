@@ -1,0 +1,470 @@
+//! Holistic response-time analysis (RTA) for *periodic* pipeline task
+//! sets — the classical offline baseline the paper's introduction
+//! contrasts with its aperiodic end-to-end approach.
+//!
+//! Traditional tools analyze resource pipelines by per-stage fixed-point
+//! response-time equations with *jitter propagation* (Tindell & Clark's
+//! holistic analysis): a task's worst-case response at stage `j`,
+//!
+//! ```text
+//! R_ij = C_ij + Σ_{k ∈ hp(i)} ⌈ (R_ij + J_kj) / T_k ⌉ · C_kj
+//! ```
+//!
+//! feeds the release jitter downstream
+//! (`J_{i,j+1} = J_{i,1} + Σ_{l ≤ j} (R_il − C_il)`), and the whole system
+//! iterates to a fixed point. The end-to-end response is `Σ_j R_ij`.
+//!
+//! This is exactly the machinery the paper argues against for open
+//! systems: it needs periods, grows pessimistic as jitter approaches the
+//! period, and must be recomputed offline whenever the task set changes —
+//! whereas the feasible-region test is O(N) per arrival and needs no
+//! periodicity at all. Implementing it here lets the experiments compare
+//! both on the same workloads.
+
+use crate::task::Priority;
+use crate::time::TimeDelta;
+
+/// A periodic task traversing every stage of a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeriodicTask {
+    /// Minimum inter-arrival time `T_i`.
+    pub period: TimeDelta,
+    /// Relative end-to-end deadline `D_i`.
+    pub deadline: TimeDelta,
+    /// Release jitter at the first stage `J_i1`.
+    pub release_jitter: TimeDelta,
+    /// Per-stage worst-case computation times `C_ij` (one per stage;
+    /// zero entries mean the stage is skipped).
+    pub computations: Vec<TimeDelta>,
+    /// Fixed priority (constant across stages, as in the paper's model).
+    pub priority: Priority,
+}
+
+impl PeriodicTask {
+    /// A deadline-monotonic periodic task (priority key = deadline).
+    pub fn deadline_monotonic(
+        period: TimeDelta,
+        deadline: TimeDelta,
+        computations: Vec<TimeDelta>,
+    ) -> PeriodicTask {
+        PeriodicTask {
+            period,
+            deadline,
+            release_jitter: TimeDelta::ZERO,
+            computations,
+            priority: Priority::new(deadline.as_micros()),
+        }
+    }
+
+    /// Sets the release jitter (builder style).
+    pub fn with_jitter(mut self, jitter: TimeDelta) -> PeriodicTask {
+        self.release_jitter = jitter;
+        self
+    }
+}
+
+/// Per-task analysis outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskResponse {
+    /// Worst-case response time at each stage.
+    pub per_stage: Vec<TimeDelta>,
+    /// Worst-case end-to-end response (`Σ_j R_ij`).
+    pub total: TimeDelta,
+    /// Whether `total ≤ D_i`.
+    pub schedulable: bool,
+}
+
+/// The whole-set analysis outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisResult {
+    /// Per-task responses, in input order.
+    pub tasks: Vec<TaskResponse>,
+    /// Whether every task met its deadline.
+    pub schedulable: bool,
+    /// Whether the fixed-point iteration converged (false means some
+    /// response diverged past its deadline bound and the set was declared
+    /// unschedulable without a finite response value).
+    pub converged: bool,
+}
+
+/// Holistic response-time analysis over a fixed periodic task set.
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::rta::{HolisticAnalysis, PeriodicTask};
+/// use frap_core::time::TimeDelta;
+///
+/// let ms = TimeDelta::from_millis;
+/// let mut rta = HolisticAnalysis::new(2);
+/// rta.add(PeriodicTask::deadline_monotonic(ms(10), ms(10), vec![ms(2), ms(1)]));
+/// rta.add(PeriodicTask::deadline_monotonic(ms(50), ms(50), vec![ms(5), ms(10)]));
+/// let result = rta.analyze();
+/// assert!(result.schedulable);
+/// // The urgent task is uncontended: its response is its own computation.
+/// assert_eq!(result.tasks[0].total, ms(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HolisticAnalysis {
+    stages: usize,
+    tasks: Vec<PeriodicTask>,
+}
+
+impl HolisticAnalysis {
+    /// An analysis over a `stages`-stage pipeline.
+    pub fn new(stages: usize) -> HolisticAnalysis {
+        HolisticAnalysis {
+            stages,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Adds a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task's computation vector length differs from the
+    /// stage count, or its period is zero.
+    pub fn add(&mut self, task: PeriodicTask) -> &mut Self {
+        assert_eq!(
+            task.computations.len(),
+            self.stages,
+            "one computation time per stage"
+        );
+        assert!(!task.period.is_zero(), "period must be positive");
+        self.tasks.push(task);
+        self
+    }
+
+    /// Number of tasks in the set.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Runs the holistic fixed-point iteration.
+    ///
+    /// Responses are capped: if a stage response exceeds the task's
+    /// deadline (a sufficient condition for unschedulability under this
+    /// analysis), iteration stops growing that task and the set is
+    /// reported unschedulable with `converged = false`.
+    pub fn analyze(&self) -> AnalysisResult {
+        let n = self.tasks.len();
+        if n == 0 {
+            return AnalysisResult {
+                tasks: Vec::new(),
+                schedulable: true,
+                converged: true,
+            };
+        }
+
+        // Stage-entry jitters J_ij; start with release jitter everywhere.
+        let mut jitter: Vec<Vec<TimeDelta>> = self
+            .tasks
+            .iter()
+            .map(|t| vec![t.release_jitter; self.stages])
+            .collect();
+        let mut response: Vec<Vec<TimeDelta>> =
+            self.tasks.iter().map(|t| t.computations.clone()).collect();
+        let mut diverged = false;
+
+        // Outer iteration: jitters feed responses feed jitters; both are
+        // monotonically non-decreasing, so this converges or diverges.
+        for _round in 0..256 {
+            let mut changed = false;
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..self.stages {
+                for i in 0..n {
+                    let new_r = self.stage_response(i, j, &jitter);
+                    let capped = match new_r {
+                        Some(r) => r,
+                        None => {
+                            diverged = true;
+                            // Pin to a value past the deadline so the task
+                            // reports unschedulable.
+                            self.tasks[i].deadline + TimeDelta::from_micros(1)
+                        }
+                    };
+                    if capped != response[i][j] {
+                        response[i][j] = capped;
+                        changed = true;
+                    }
+                }
+            }
+            // Propagate jitters: J_{i,j+1} = J_i1 + Σ_{l≤j} (R_il − C_il).
+            for i in 0..n {
+                let mut acc = self.tasks[i].release_jitter;
+                for j in 0..self.stages.saturating_sub(1) {
+                    acc += response[i][j].saturating_sub(self.tasks[i].computations[j]);
+                    if jitter[i][j + 1] != acc {
+                        jitter[i][j + 1] = acc;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let tasks: Vec<TaskResponse> = (0..n)
+            .map(|i| {
+                let total: TimeDelta = response[i].iter().copied().sum();
+                TaskResponse {
+                    per_stage: response[i].clone(),
+                    total,
+                    schedulable: total <= self.tasks[i].deadline,
+                }
+            })
+            .collect();
+        let schedulable = !diverged && tasks.iter().all(|t| t.schedulable);
+        AnalysisResult {
+            tasks,
+            schedulable,
+            converged: !diverged,
+        }
+    }
+
+    /// Fixed-point `R_ij = C_ij + Σ_hp ⌈(R_ij + J_kj)/T_k⌉ C_kj`, or
+    /// `None` if it exceeds the task's deadline (divergence cap).
+    fn stage_response(&self, i: usize, j: usize, jitter: &[Vec<TimeDelta>]) -> Option<TimeDelta> {
+        let me = &self.tasks[i];
+        let c = me.computations[j];
+        if c.is_zero() {
+            return Some(TimeDelta::ZERO);
+        }
+        let mut w = c;
+        for _ in 0..1_000 {
+            let mut interference = TimeDelta::ZERO;
+            for (k, other) in self.tasks.iter().enumerate() {
+                if k == i || other.priority < me.priority {
+                    continue; // strictly lower priority: no interference
+                }
+                if other.computations[j].is_zero() {
+                    continue;
+                }
+                // ⌈(w + J_kj) / T_k⌉ releases of task k inside the window.
+                let window = w + jitter[k][j];
+                let releases = window.as_micros().div_ceil(other.period.as_micros()).max(1);
+                interference += other.computations[j] * releases;
+            }
+            let next = c + interference;
+            if next > me.deadline {
+                return None;
+            }
+            if next == w {
+                return Some(w);
+            }
+            w = next;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    #[test]
+    fn empty_set_is_schedulable() {
+        let result = HolisticAnalysis::new(2).analyze();
+        assert!(result.schedulable);
+        assert!(result.converged);
+        assert!(result.tasks.is_empty());
+    }
+
+    #[test]
+    fn single_task_response_is_its_computation() {
+        let mut rta = HolisticAnalysis::new(3);
+        rta.add(PeriodicTask::deadline_monotonic(
+            ms(100),
+            ms(100),
+            vec![ms(5), ms(10), ms(5)],
+        ));
+        let r = rta.analyze();
+        assert!(r.schedulable);
+        assert_eq!(r.tasks[0].total, ms(20));
+        assert_eq!(r.tasks[0].per_stage, vec![ms(5), ms(10), ms(5)]);
+    }
+
+    #[test]
+    fn classic_single_stage_interference() {
+        // Textbook example: T1 (T=D=10, C=3), T2 (T=D=20, C=6) on one CPU.
+        // R1 = 3; R2 = 6 + ⌈R2/10⌉·3 with fixed point R2 = 9.
+        let mut rta = HolisticAnalysis::new(1);
+        rta.add(PeriodicTask::deadline_monotonic(
+            ms(10),
+            ms(10),
+            vec![ms(3)],
+        ));
+        rta.add(PeriodicTask::deadline_monotonic(
+            ms(20),
+            ms(20),
+            vec![ms(6)],
+        ));
+        let r = rta.analyze();
+        assert!(r.schedulable);
+        assert_eq!(r.tasks[0].total, ms(3));
+        assert_eq!(r.tasks[1].total, ms(9));
+        // A heavier low-priority task crosses into the second release.
+        let mut rta2 = HolisticAnalysis::new(1);
+        rta2.add(PeriodicTask::deadline_monotonic(
+            ms(10),
+            ms(10),
+            vec![ms(3)],
+        ));
+        rta2.add(PeriodicTask::deadline_monotonic(
+            ms(20),
+            ms(20),
+            vec![ms(8)],
+        ));
+        let r2 = rta2.analyze();
+        // R = 8 + ⌈R/10⌉·3: w=11 → 2 releases → 14; w=14 → 14. Fixed.
+        assert_eq!(r2.tasks[1].total, ms(14));
+    }
+
+    #[test]
+    fn overloaded_stage_is_unschedulable() {
+        let mut rta = HolisticAnalysis::new(1);
+        rta.add(PeriodicTask::deadline_monotonic(
+            ms(10),
+            ms(10),
+            vec![ms(6)],
+        ));
+        rta.add(PeriodicTask::deadline_monotonic(
+            ms(10),
+            ms(10),
+            vec![ms(6)],
+        ));
+        let r = rta.analyze();
+        assert!(!r.schedulable);
+    }
+
+    #[test]
+    fn jitter_increases_interference() {
+        // The low-priority task sees more interference when the
+        // high-priority task has release jitter.
+        let build = |jitter: TimeDelta| {
+            let mut rta = HolisticAnalysis::new(1);
+            rta.add(
+                PeriodicTask::deadline_monotonic(ms(10), ms(10), vec![ms(3)]).with_jitter(jitter),
+            );
+            rta.add(PeriodicTask::deadline_monotonic(
+                ms(30),
+                ms(30),
+                vec![ms(6)],
+            ));
+            rta.analyze()
+        };
+        let no_jitter = build(TimeDelta::ZERO);
+        let jittery = build(ms(9));
+        assert!(no_jitter.schedulable);
+        assert!(
+            jittery.tasks[1].total > no_jitter.tasks[1].total,
+            "{} vs {}",
+            jittery.tasks[1].total,
+            no_jitter.tasks[1].total
+        );
+    }
+
+    #[test]
+    fn pipeline_jitter_propagates_downstream() {
+        // A high-priority task whose stage-0 response varies creates
+        // downstream jitter that hits the low-priority task at stage 1.
+        let mut rta = HolisticAnalysis::new(2);
+        // Urgent but slowed at stage 0 by nothing (highest priority).
+        rta.add(PeriodicTask::deadline_monotonic(
+            ms(20),
+            ms(20),
+            vec![ms(4), ms(4)],
+        ));
+        rta.add(PeriodicTask::deadline_monotonic(
+            ms(100),
+            ms(100),
+            vec![ms(10), ms(10)],
+        ));
+        let r = rta.analyze();
+        assert!(r.schedulable);
+        // Low-priority stage-0 response: 10 + ⌈w/20⌉·4 → 14.
+        assert_eq!(r.tasks[1].per_stage[0], ms(14));
+        // End-to-end includes stage-1 interference as well.
+        assert!(r.tasks[1].total >= ms(28));
+    }
+
+    #[test]
+    fn zero_computation_stage_is_skipped() {
+        let mut rta = HolisticAnalysis::new(2);
+        rta.add(PeriodicTask::deadline_monotonic(
+            ms(10),
+            ms(10),
+            vec![ms(2), TimeDelta::ZERO],
+        ));
+        rta.add(PeriodicTask::deadline_monotonic(
+            ms(40),
+            ms(40),
+            vec![TimeDelta::ZERO, ms(5)],
+        ));
+        let r = rta.analyze();
+        assert!(r.schedulable);
+        assert_eq!(r.tasks[0].per_stage[1], TimeDelta::ZERO);
+        // No shared stage → no interference.
+        assert_eq!(r.tasks[1].total, ms(5));
+    }
+
+    #[test]
+    fn near_full_jitter_breaks_the_analysis_but_not_the_region() {
+        // The paper's motivating case: jitter ≈ period makes holistic RTA
+        // declare the set unschedulable, while the aperiodic region can
+        // still certify the same demand.
+        let mut rta = HolisticAnalysis::new(2);
+        for _ in 0..6 {
+            rta.add(
+                PeriodicTask::deadline_monotonic(ms(100), ms(100), vec![ms(8), ms(8)])
+                    .with_jitter(ms(95)),
+            );
+        }
+        let r = rta.analyze();
+        assert!(
+            !r.schedulable,
+            "full jitter doubles worst-case interference"
+        );
+
+        // Aperiodic view: each instance contributes C/D = 0.08 per stage;
+        // six concurrent instances → U_j = 0.48 per stage… Σf = 1.33 > 1,
+        // so the region would *also* throttle six-at-once. But at the real
+        // sustainable level (streams admitted as they arrive), admission
+        // control guarantees whatever it accepts — no offline analysis
+        // needed. The comparison experiment lives in the test suite.
+        use crate::region::FeasibleRegion;
+        let region = FeasibleRegion::deadline_monotonic(2);
+        assert!(region.contains(&[0.32, 0.32]).unwrap(), "four fit");
+    }
+
+    #[test]
+    #[should_panic(expected = "one computation time per stage")]
+    fn wrong_arity_panics() {
+        HolisticAnalysis::new(2).add(PeriodicTask::deadline_monotonic(
+            ms(10),
+            ms(10),
+            vec![ms(1)],
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_panics() {
+        HolisticAnalysis::new(1).add(PeriodicTask::deadline_monotonic(
+            TimeDelta::ZERO,
+            ms(10),
+            vec![ms(1)],
+        ));
+    }
+}

@@ -1,0 +1,549 @@
+//! Synthetic (instantaneous) utilization tracking (Sections 2 and 4).
+//!
+//! The synthetic utilization of stage `j` at time `t` is
+//! `U_j(t) = Σ_{T_i ∈ S(t)} C_ij / D_i` over the *current* tasks
+//! `S(t) = {T_i | A_i ≤ t < A_i + D_i}` — tasks that have arrived and whose
+//! deadlines have not yet expired. The admission controller keeps one
+//! counter per stage:
+//!
+//! * **increment** by `C_ij / D_i` on every stage when a task is admitted
+//!   (at its arrival to the first stage);
+//! * **decrement** when the task's absolute deadline passes;
+//! * **reset on idle** — the paper's key pessimism-reduction tool: when a
+//!   stage becomes idle, contributions of tasks that already *departed*
+//!   that stage are removed immediately (they cannot affect the stage's
+//!   future schedule), down to a configured reservation floor.
+//!
+//! Reservations (Section 5) pre-load a counter with `U_j^res` for critical
+//! tasks; the floor survives idle resets.
+
+use crate::task::{StageId, TaskId};
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{BinaryHeap, HashMap};
+
+#[derive(Debug, Clone)]
+struct Contribution {
+    amount: f64,
+    expiry: Time,
+    departed: bool,
+}
+
+/// The synthetic-utilization counter of a single stage.
+///
+/// Tracks live per-task contributions with their expiry instants, a
+/// reservation floor, and departure flags for idle resets. All operations
+/// are `O(log n)` or better in the number of live tasks.
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::synthetic::StageTracker;
+/// use frap_core::task::TaskId;
+/// use frap_core::time::Time;
+///
+/// let mut tr = StageTracker::new(0.0);
+/// tr.add(TaskId::new(1), 0.25, Time::from_secs(1));
+/// assert_eq!(tr.value(), 0.25);
+/// tr.advance_to(Time::from_secs(1)); // deadline reached → decrement
+/// assert_eq!(tr.value(), 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StageTracker {
+    reserved: f64,
+    extra: f64,
+    peak: f64,
+    entries: HashMap<TaskId, Contribution>,
+    expiry_heap: BinaryHeap<Reverse<(Time, TaskId)>>,
+}
+
+impl StageTracker {
+    /// Creates a tracker with a reservation floor (0 for none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserved` is negative or not finite.
+    pub fn new(reserved: f64) -> StageTracker {
+        assert!(
+            reserved.is_finite() && reserved >= 0.0,
+            "reservation must be a finite non-negative utilization"
+        );
+        StageTracker {
+            reserved,
+            extra: 0.0,
+            peak: reserved,
+            entries: HashMap::new(),
+            expiry_heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Current synthetic utilization: reservation floor plus the sum of
+    /// live contributions.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.reserved + self.extra
+    }
+
+    /// The reservation floor `U_j^res`.
+    #[inline]
+    pub fn reserved(&self) -> f64 {
+        self.reserved
+    }
+
+    /// The highest synthetic utilization ever observed (watermark). This
+    /// is the `U_j` of Theorem 1: stage delays are bounded by
+    /// `f(peak) · D_max` as long as utilization never exceeded the peak.
+    #[inline]
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Number of live (unexpired, unshed) contributions.
+    pub fn live_tasks(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether `task` currently contributes to this stage.
+    pub fn contains(&self, task: TaskId) -> bool {
+        self.entries.contains_key(&task)
+    }
+
+    /// The live contribution of `task`, if any.
+    pub fn contribution(&self, task: TaskId) -> Option<f64> {
+        self.entries.get(&task).map(|c| c.amount)
+    }
+
+    /// Registers a task's contribution `C_ij / D_i`, expiring at the task's
+    /// absolute deadline. Re-adding a task accumulates its contribution and
+    /// keeps the later expiry (multiple subtasks of one task on one stage
+    /// are normally pre-summed by [`crate::graph::TaskSpec::contributions`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount` is negative or not finite.
+    pub fn add(&mut self, task: TaskId, amount: f64, expiry: Time) {
+        assert!(
+            amount.is_finite() && amount >= 0.0,
+            "contribution must be a finite non-negative utilization"
+        );
+        match self.entries.entry(task) {
+            MapEntry::Occupied(mut o) => {
+                let c = o.get_mut();
+                c.amount += amount;
+                if expiry > c.expiry {
+                    c.expiry = expiry;
+                    self.expiry_heap.push(Reverse((expiry, task)));
+                }
+            }
+            MapEntry::Vacant(v) => {
+                v.insert(Contribution {
+                    amount,
+                    expiry,
+                    departed: false,
+                });
+                self.expiry_heap.push(Reverse((expiry, task)));
+            }
+        }
+        self.extra += amount;
+        if self.value() > self.peak {
+            self.peak = self.value();
+        }
+    }
+
+    /// Removes every contribution whose expiry is at or before `now`
+    /// (the decrement-at-deadline rule). Returns the number removed.
+    pub fn advance_to(&mut self, now: Time) -> usize {
+        let mut removed = 0;
+        while let Some(&Reverse((expiry, task))) = self.expiry_heap.peek() {
+            if expiry > now {
+                break;
+            }
+            self.expiry_heap.pop();
+            // Lazy deletion: the entry may have been shed, reset, or
+            // superseded by a later expiry.
+            if let Some(c) = self.entries.get(&task) {
+                if c.expiry == expiry {
+                    let c = self.entries.remove(&task).expect("entry just observed");
+                    self.extra -= c.amount;
+                    removed += 1;
+                }
+            }
+        }
+        self.normalize();
+        removed
+    }
+
+    /// Marks `task` as departed from this stage (its last subtask here has
+    /// finished), making it eligible for removal at the next idle reset.
+    pub fn mark_departed(&mut self, task: TaskId) {
+        if let Some(c) = self.entries.get_mut(&task) {
+            c.departed = true;
+        }
+    }
+
+    /// The idle reset (Section 4): removes contributions of all departed
+    /// tasks, as they can no longer affect this stage's schedule. Call when
+    /// the stage has no running or ready subtask. Returns the number
+    /// removed. The reservation floor is untouched.
+    pub fn reset_idle(&mut self) -> usize {
+        let mut removed = 0;
+        let extra = &mut self.extra;
+        self.entries.retain(|_, c| {
+            if c.departed {
+                *extra -= c.amount;
+                removed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.normalize();
+        removed
+    }
+
+    /// Forcibly removes a task's contribution (load shedding). Returns the
+    /// removed amount, or `None` if the task was not live here.
+    pub fn shed(&mut self, task: TaskId) -> Option<f64> {
+        let c = self.entries.remove(&task)?;
+        self.extra -= c.amount;
+        self.normalize();
+        Some(c.amount)
+    }
+
+    /// Exact recomputation of the live sum — counters drift by at most
+    /// float rounding; this is used by tests and long-running deployments.
+    pub fn recompute(&mut self) {
+        self.extra = self.entries.values().map(|c| c.amount).sum();
+    }
+
+    fn normalize(&mut self) {
+        if self.entries.is_empty() {
+            // Pin to the floor exactly: no drift survives an empty tracker.
+            self.extra = 0.0;
+        } else if self.extra < 0.0 {
+            self.extra = 0.0;
+        }
+    }
+}
+
+/// The synthetic-utilization state of a whole `N`-stage system: one
+/// [`StageTracker`] per stage plus a scratch vector for region tests.
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::synthetic::SyntheticState;
+/// use frap_core::task::{StageId, TaskId};
+/// use frap_core::time::Time;
+///
+/// let mut st = SyntheticState::new(2);
+/// st.add_task(
+///     TaskId::new(0),
+///     &[(StageId::new(0), 0.1), (StageId::new(1), 0.2)],
+///     Time::from_secs(1),
+/// );
+/// assert_eq!(st.utilizations(), &[0.1, 0.2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticState {
+    stages: Vec<StageTracker>,
+    scratch: Vec<f64>,
+}
+
+impl SyntheticState {
+    /// A system of `stages` stages with no reservations.
+    pub fn new(stages: usize) -> SyntheticState {
+        SyntheticState {
+            stages: (0..stages).map(|_| StageTracker::new(0.0)).collect(),
+            scratch: vec![0.0; stages],
+        }
+    }
+
+    /// A system with per-stage reservation floors (Section 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any reservation is negative or not finite.
+    pub fn with_reservations(reservations: &[f64]) -> SyntheticState {
+        SyntheticState {
+            stages: reservations.iter().map(|&r| StageTracker::new(r)).collect(),
+            scratch: vec![0.0; reservations.len()],
+        }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The tracker for one stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn stage(&self, stage: StageId) -> &StageTracker {
+        &self.stages[stage.index()]
+    }
+
+    /// Mutable access to one stage's tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn stage_mut(&mut self, stage: StageId) -> &mut StageTracker {
+        &mut self.stages[stage.index()]
+    }
+
+    /// Applies the decrement-at-deadline rule on every stage.
+    pub fn advance_to(&mut self, now: Time) {
+        for s in &mut self.stages {
+            s.advance_to(now);
+        }
+    }
+
+    /// Adds a task's contributions (one `(stage, C_ij/D_i)` pair per stage
+    /// it uses), all expiring at the task's absolute deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage index is out of range or a contribution is
+    /// negative/not finite.
+    pub fn add_task(&mut self, task: TaskId, contributions: &[(StageId, f64)], expiry: Time) {
+        for &(stage, amount) in contributions {
+            self.stages[stage.index()].add(task, amount, expiry);
+        }
+    }
+
+    /// Removes a task from every stage (load shedding). Returns the total
+    /// contribution removed.
+    pub fn shed_task(&mut self, task: TaskId) -> f64 {
+        self.stages.iter_mut().filter_map(|s| s.shed(task)).sum()
+    }
+
+    /// The current utilization vector `(U_1, …, U_N)`.
+    pub fn utilizations(&mut self) -> &[f64] {
+        for (i, s) in self.stages.iter().enumerate() {
+            self.scratch[i] = s.value();
+        }
+        &self.scratch
+    }
+
+    /// The utilization vector as the system would look *after* admitting a
+    /// task with the given contributions — the admission controller's
+    /// tentative test vector, computed without mutating any tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage index is out of range.
+    pub fn utilizations_with(&mut self, contributions: &[(StageId, f64)]) -> &[f64] {
+        for (i, s) in self.stages.iter().enumerate() {
+            self.scratch[i] = s.value();
+        }
+        for &(stage, amount) in contributions {
+            self.scratch[stage.index()] += amount;
+        }
+        &self.scratch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(task: u64) -> TaskId {
+        TaskId::new(task)
+    }
+
+    fn at(secs: u64) -> Time {
+        Time::from_secs(secs)
+    }
+
+    #[test]
+    fn add_and_expire() {
+        let mut tr = StageTracker::new(0.0);
+        tr.add(t(1), 0.2, at(10));
+        tr.add(t(2), 0.3, at(20));
+        assert!((tr.value() - 0.5).abs() < 1e-12);
+        assert_eq!(tr.live_tasks(), 2);
+
+        assert_eq!(tr.advance_to(at(9)), 0);
+        assert_eq!(tr.advance_to(at(10)), 1); // deadline inclusive
+        assert!((tr.value() - 0.3).abs() < 1e-12);
+        assert_eq!(tr.advance_to(at(30)), 1);
+        assert_eq!(tr.value(), 0.0);
+        assert_eq!(tr.live_tasks(), 0);
+    }
+
+    #[test]
+    fn reservation_is_a_floor() {
+        let mut tr = StageTracker::new(0.4);
+        assert_eq!(tr.value(), 0.4);
+        tr.add(t(1), 0.1, at(5));
+        assert!((tr.value() - 0.5).abs() < 1e-12);
+        tr.advance_to(at(5));
+        assert_eq!(tr.value(), 0.4);
+        tr.mark_departed(t(2)); // unknown task: no-op
+        tr.reset_idle();
+        assert_eq!(tr.value(), 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "reservation")]
+    fn negative_reservation_panics() {
+        let _ = StageTracker::new(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "contribution")]
+    fn negative_contribution_panics() {
+        let mut tr = StageTracker::new(0.0);
+        tr.add(t(1), -0.1, at(1));
+    }
+
+    #[test]
+    fn idle_reset_removes_only_departed() {
+        let mut tr = StageTracker::new(0.0);
+        tr.add(t(1), 0.2, at(100));
+        tr.add(t(2), 0.3, at(100));
+        tr.mark_departed(t(1));
+        assert_eq!(tr.reset_idle(), 1);
+        assert!((tr.value() - 0.3).abs() < 1e-12);
+        assert!(!tr.contains(t(1)));
+        assert!(tr.contains(t(2)));
+    }
+
+    #[test]
+    fn shed_removes_any_live_task() {
+        let mut tr = StageTracker::new(0.0);
+        tr.add(t(1), 0.2, at(100));
+        assert_eq!(tr.shed(t(1)), Some(0.2));
+        assert_eq!(tr.shed(t(1)), None);
+        assert_eq!(tr.value(), 0.0);
+    }
+
+    #[test]
+    fn shed_then_expiry_is_harmless() {
+        // Lazy heap deletion must not double-remove.
+        let mut tr = StageTracker::new(0.0);
+        tr.add(t(1), 0.2, at(10));
+        tr.add(t(2), 0.3, at(10));
+        tr.shed(t(1));
+        assert_eq!(tr.advance_to(at(10)), 1);
+        assert_eq!(tr.value(), 0.0);
+    }
+
+    #[test]
+    fn readd_accumulates_and_extends() {
+        let mut tr = StageTracker::new(0.0);
+        tr.add(t(1), 0.1, at(10));
+        tr.add(t(1), 0.2, at(20));
+        assert!((tr.value() - 0.3).abs() < 1e-12);
+        assert_eq!(tr.live_tasks(), 1);
+        // The earlier heap entry must not remove the extended entry.
+        assert_eq!(tr.advance_to(at(10)), 0);
+        assert!((tr.value() - 0.3).abs() < 1e-12);
+        assert_eq!(tr.advance_to(at(20)), 1);
+        assert_eq!(tr.value(), 0.0);
+    }
+
+    #[test]
+    fn readd_with_earlier_expiry_keeps_later() {
+        let mut tr = StageTracker::new(0.0);
+        tr.add(t(1), 0.1, at(20));
+        tr.add(t(1), 0.2, at(10));
+        assert_eq!(tr.advance_to(at(10)), 0);
+        assert!((tr.value() - 0.3).abs() < 1e-9);
+        tr.advance_to(at(20));
+        assert_eq!(tr.value(), 0.0);
+    }
+
+    #[test]
+    fn contribution_lookup() {
+        let mut tr = StageTracker::new(0.0);
+        tr.add(t(1), 0.25, at(10));
+        assert_eq!(tr.contribution(t(1)), Some(0.25));
+        assert_eq!(tr.contribution(t(9)), None);
+    }
+
+    #[test]
+    fn recompute_matches_incremental() {
+        let mut tr = StageTracker::new(0.1);
+        for i in 0..1000 {
+            tr.add(t(i), 0.001, at(i + 1));
+        }
+        tr.advance_to(at(500));
+        let incremental = tr.value();
+        tr.recompute();
+        assert!((tr.value() - incremental).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_tracker_has_exact_floor() {
+        let mut tr = StageTracker::new(0.0);
+        for i in 0..100 {
+            tr.add(t(i), 0.1 / 3.0, at(1));
+        }
+        tr.advance_to(at(1));
+        // Bit-exact zero, not accumulated float noise.
+        assert_eq!(tr.value(), 0.0);
+    }
+
+    #[test]
+    fn system_add_and_query() {
+        let mut st = SyntheticState::new(3);
+        assert_eq!(st.stages(), 3);
+        st.add_task(
+            t(1),
+            &[(StageId::new(0), 0.1), (StageId::new(2), 0.3)],
+            at(10),
+        );
+        assert_eq!(st.utilizations(), &[0.1, 0.0, 0.3]);
+        assert!(st.stage(StageId::new(0)).contains(t(1)));
+        assert!(!st.stage(StageId::new(1)).contains(t(1)));
+    }
+
+    #[test]
+    fn system_tentative_vector_does_not_mutate() {
+        let mut st = SyntheticState::new(2);
+        st.add_task(t(1), &[(StageId::new(0), 0.1)], at(10));
+        let v = st
+            .utilizations_with(&[(StageId::new(0), 0.2), (StageId::new(1), 0.3)])
+            .to_vec();
+        assert_eq!(v, vec![0.30000000000000004, 0.3]);
+        assert_eq!(st.utilizations(), &[0.1, 0.0]);
+    }
+
+    #[test]
+    fn system_shed_task_totals() {
+        let mut st = SyntheticState::new(2);
+        st.add_task(
+            t(1),
+            &[(StageId::new(0), 0.1), (StageId::new(1), 0.2)],
+            at(10),
+        );
+        let removed = st.shed_task(t(1));
+        assert!((removed - 0.3).abs() < 1e-12);
+        assert_eq!(st.utilizations(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn system_with_reservations() {
+        let mut st = SyntheticState::with_reservations(&[0.4, 0.25, 0.1]);
+        assert_eq!(st.utilizations(), &[0.4, 0.25, 0.1]);
+        st.advance_to(at(1_000));
+        assert_eq!(st.utilizations(), &[0.4, 0.25, 0.1]);
+    }
+
+    #[test]
+    fn system_advance_expires_everywhere() {
+        let mut st = SyntheticState::new(2);
+        st.add_task(
+            t(1),
+            &[(StageId::new(0), 0.1), (StageId::new(1), 0.2)],
+            at(5),
+        );
+        st.advance_to(at(5));
+        assert_eq!(st.utilizations(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the holistic response-time analysis baseline.
+
+use frap_core::rta::{HolisticAnalysis, PeriodicTask};
+use frap_core::time::TimeDelta;
+use proptest::prelude::*;
+
+fn ms(v: u64) -> TimeDelta {
+    TimeDelta::from_millis(v)
+}
+
+/// A small random periodic task set over 2 stages with implicit deadlines.
+fn task_set() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    // (period_ms, c0_ms, c1_ms) with per-task utilization ≤ ~60 %.
+    proptest::collection::vec((20u64..200, 1u64..20, 1u64..20), 1..6)
+}
+
+fn build(tasks: &[(u64, u64, u64)], jitter_ms: u64) -> HolisticAnalysis {
+    let mut rta = HolisticAnalysis::new(2);
+    for &(p, c0, c1) in tasks {
+        rta.add(
+            PeriodicTask::deadline_monotonic(ms(p), ms(p), vec![ms(c0), ms(c1)])
+                .with_jitter(ms(jitter_ms.min(p - 1))),
+        );
+    }
+    rta
+}
+
+proptest! {
+    /// Responses are at least the task's own computation and (when the
+    /// set is schedulable) at most its deadline.
+    #[test]
+    fn responses_bracketed(tasks in task_set()) {
+        let result = build(&tasks, 0).analyze();
+        for (i, &(p, c0, c1)) in tasks.iter().enumerate() {
+            let r = &result.tasks[i];
+            prop_assert!(r.total >= ms(c0 + c1), "response below own work");
+            if result.schedulable {
+                prop_assert!(r.total <= ms(p));
+            }
+        }
+    }
+
+    /// Adding one more task never decreases anyone's response time
+    /// (interference is monotone).
+    #[test]
+    fn adding_a_task_is_monotone(tasks in task_set(), extra in (20u64..200, 1u64..20, 1u64..20)) {
+        let before = build(&tasks, 0).analyze();
+        let mut with_extra = tasks.clone();
+        with_extra.push(extra);
+        let after = build(&with_extra, 0).analyze();
+        if !before.converged || !after.converged {
+            return Ok(());
+        }
+        for i in 0..tasks.len() {
+            prop_assert!(
+                after.tasks[i].total >= before.tasks[i].total,
+                "task {i}: {} < {}",
+                after.tasks[i].total,
+                before.tasks[i].total
+            );
+        }
+    }
+
+    /// Increasing release jitter never decreases any response time.
+    #[test]
+    fn jitter_is_monotone(tasks in task_set(), j in 1u64..19) {
+        let calm = build(&tasks, 0).analyze();
+        let jittery = build(&tasks, j).analyze();
+        if !calm.converged || !jittery.converged {
+            return Ok(());
+        }
+        for i in 0..tasks.len() {
+            prop_assert!(jittery.tasks[i].total >= calm.tasks[i].total);
+        }
+    }
+
+    /// A stage utilization above 1 is always reported unschedulable.
+    #[test]
+    fn overload_is_detected(extra_tasks in 2u64..6) {
+        // n identical tasks each using 60% of stage 0.
+        let tasks: Vec<(u64, u64, u64)> =
+            (0..extra_tasks).map(|_| (100, 60, 1)).collect();
+        let result = build(&tasks, 0).analyze();
+        prop_assert!(!result.schedulable, "{} tasks at 60% each", extra_tasks);
+    }
+}

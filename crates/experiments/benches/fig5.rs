@@ -1,0 +1,8 @@
+//! `cargo bench` regeneration target: runs the fig5 sweep at quick scale
+//! and prints the same rows/series as the publication binary.
+
+fn main() {
+    let table = frap_experiments::fig5::run(frap_experiments::common::Scale::quick());
+    table.print();
+    table.write_csv("fig5_quick");
+}

@@ -1,0 +1,8 @@
+//! `cargo bench` regeneration target: runs the table1 sweep at quick scale
+//! and prints the same rows/series as the publication binary.
+
+fn main() {
+    let table = frap_experiments::table1::run(frap_experiments::common::Scale::quick());
+    table.print();
+    table.write_csv("table1_quick");
+}

@@ -1,0 +1,271 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Reset-on-idle** — the paper's pessimism-reduction rule, on vs off.
+//! 2. **Urgency inversion (α)** — deadline-monotonic (α = 1) vs random
+//!    priorities (α = D_least/D_most), each admitted against its own
+//!    region, plus the unsound combination (random priorities with the
+//!    α = 1 region) to show why α matters.
+//! 3. **Blocking (β)** — critical sections under PCP with and without the
+//!    blocking-aware region of Equation (15).
+//! 4. **Admission policy** — exact vs approximate (mean) vs the
+//!    intermediate-deadline baseline vs no admission control.
+
+use crate::common::{f, Scale, Table};
+use crate::runner::run_point;
+use frap_core::admission::{
+    AlwaysAdmit, MeanContributions, PerStageBound, SplitDeadlineContributions,
+};
+use frap_core::alpha::Alpha;
+use frap_core::delay::UNIPROCESSOR_BOUND;
+use frap_core::graph::TaskSpec;
+use frap_core::region::FeasibleRegion;
+use frap_core::task::{LockId, Segment, StageId, SubtaskSpec};
+use frap_core::time::{Time, TimeDelta};
+use frap_sim::pipeline::SimBuilder;
+use frap_sim::sched::RandomPriority;
+use frap_workload::arrivals::{ArrivalProcess, PoissonProcess};
+use frap_workload::rng::Rng;
+use frap_workload::taskgen::PipelineWorkloadBuilder;
+
+/// Runs all four ablations; returns the combined table.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Ablations: reset-on-idle, alpha, blocking, admission policy",
+        &["ablation", "variant", "mean_util", "acceptance", "missed"],
+    );
+    reset_on_idle(scale, &mut table);
+    alpha_policies(scale, &mut table);
+    blocking(scale, &mut table);
+    admission_policies(scale, &mut table);
+    table
+}
+
+fn standard_workload(
+    scale: Scale,
+    load: f64,
+) -> impl Fn(u64) -> Box<dyn Iterator<Item = (Time, TaskSpec)>> {
+    let horizon = Time::from_secs(scale.horizon_secs);
+    move |seed| {
+        Box::new(
+            PipelineWorkloadBuilder::new(2)
+                .resolution(100.0)
+                .load(load)
+                .seed(seed)
+                .build()
+                .until(horizon),
+        )
+    }
+}
+
+fn push(table: &mut Table, ablation: &str, variant: &str, r: &crate::runner::PointResult) {
+    table.push_row(vec![
+        ablation.into(),
+        variant.into(),
+        f(r.mean_util),
+        f(r.acceptance),
+        r.missed.to_string(),
+    ]);
+}
+
+/// Ablation 1: synthetic-utilization reset on idle, on vs off.
+fn reset_on_idle(scale: Scale, table: &mut Table) {
+    let wl = standard_workload(scale, 1.2);
+    let on = run_point(scale, || SimBuilder::new(2).build(), &wl);
+    let off = run_point(scale, || SimBuilder::new(2).idle_resets(false).build(), &wl);
+    push(table, "reset-on-idle", "on (paper)", &on);
+    push(table, "reset-on-idle", "off", &off);
+    println!(
+        "[ablation:reset] idle reset lifts mean utilization {:.3} -> {:.3}",
+        off.mean_util, on.mean_util
+    );
+}
+
+/// Ablation 2: deadline-monotonic vs random priorities.
+fn alpha_policies(scale: Scale, table: &mut Table) {
+    let wl = standard_workload(scale, 1.2);
+    // Deadlines are uniform over [0.5, 1.5]·mean → α = 0.5/1.5 = 1/3 for
+    // a deadline-oblivious (random) priority assignment.
+    let alpha_random = Alpha::new(1.0 / 3.0).expect("valid alpha");
+
+    let dm = run_point(scale, || SimBuilder::new(2).build(), &wl);
+    let random_sound = run_point(
+        scale,
+        || {
+            SimBuilder::new(2)
+                .region(FeasibleRegion::with_alpha(2, alpha_random))
+                .policy(RandomPriority::new(99))
+                .build()
+        },
+        &wl,
+    );
+    let random_unsound = run_point(
+        scale,
+        || {
+            SimBuilder::new(2).policy(RandomPriority::new(99)).build() // α = 1 region: not valid for this policy
+        },
+        &wl,
+    );
+    push(table, "alpha", "DM, alpha=1 (paper)", &dm);
+    push(table, "alpha", "random, alpha=1/3 (Eq.12)", &random_sound);
+    push(table, "alpha", "random, alpha=1 (unsound)", &random_unsound);
+    assert_eq!(random_sound.missed, 0, "Eq. (12) region must stay safe");
+    println!(
+        "[ablation:alpha] utilization cost of urgency inversion: {:.3} (DM) vs {:.3} (random, sound); \
+         unsound pairing missed {} deadlines",
+        dm.mean_util, random_sound.mean_util, random_unsound.missed
+    );
+}
+
+/// A fixed-computation workload with critical sections, so the blocking
+/// factors `β_j = max B_ij / D_i` are known a priori.
+fn blocking_workload(horizon: Time, seed: u64) -> Box<dyn Iterator<Item = (Time, TaskSpec)>> {
+    // C = 10 ms per stage, a 5 ms critical section in the middle of each
+    // subtask, D uniform in [80, 240] ms → β_j = 5/80 = 0.0625.
+    let mut rng = Rng::new(seed);
+    let mut poisson = PoissonProcess::new(60.0);
+    let mut out = Vec::new();
+    let mut t = Time::ZERO;
+    loop {
+        t += poisson.next_gap(&mut rng);
+        if t > horizon {
+            break;
+        }
+        let deadline = TimeDelta::from_micros(rng.range_u64(160_000) + 80_000);
+        let subtasks = (0..2)
+            .map(|j| {
+                SubtaskSpec::with_segments(
+                    StageId::new(j),
+                    vec![
+                        Segment::compute(TimeDelta::from_micros(2_500)),
+                        Segment::critical(
+                            TimeDelta::from_micros(5_000),
+                            LockId::new((rng.range_u64(2)) as usize),
+                        ),
+                        Segment::compute(TimeDelta::from_micros(2_500)),
+                    ],
+                )
+            })
+            .collect();
+        let graph = frap_core::graph::TaskGraph::chain(subtasks).expect("chain");
+        out.push((t, TaskSpec::new(deadline, graph)));
+    }
+    Box::new(out.into_iter())
+}
+
+/// Ablation 3: blocking-aware region (Eq. 15) vs blocking-blind region.
+fn blocking(scale: Scale, table: &mut Table) {
+    let horizon = Time::from_secs(scale.horizon_secs);
+    let beta = 5.0 / 80.0; // max critical section / min deadline
+    let aware = run_point(
+        scale,
+        || {
+            SimBuilder::new(2)
+                .region(
+                    FeasibleRegion::deadline_monotonic(2)
+                        .with_blocking(vec![beta, beta])
+                        .expect("valid blocking"),
+                )
+                .build()
+        },
+        |seed| blocking_workload(horizon, seed),
+    );
+    let blind = run_point(
+        scale,
+        || SimBuilder::new(2).build(),
+        |seed| blocking_workload(horizon, seed),
+    );
+    push(table, "blocking", "Eq.(15) with beta=0.0625", &aware);
+    push(table, "blocking", "blocking-blind (beta=0)", &blind);
+    assert_eq!(aware.missed, 0, "the blocking-aware region must stay safe");
+    println!(
+        "[ablation:blocking] beta-aware region: util {:.3}, 0 misses; \
+         blind region: util {:.3}, {} misses",
+        aware.mean_util, blind.mean_util, blind.missed
+    );
+}
+
+/// Ablation 4: admission policies at 120 % load.
+fn admission_policies(scale: Scale, table: &mut Table) {
+    let wl = standard_workload(scale, 1.2);
+    let means = vec![TimeDelta::from_millis(10); 2];
+
+    let exact = run_point(scale, || SimBuilder::new(2).build(), &wl);
+    let approx = run_point(
+        scale,
+        || {
+            SimBuilder::new(2)
+                .model(MeanContributions::new(means.clone()))
+                .build()
+        },
+        &wl,
+    );
+    let split = run_point(
+        scale,
+        || {
+            SimBuilder::new(2)
+                .region(PerStageBound::new(2, UNIPROCESSOR_BOUND))
+                .model(SplitDeadlineContributions)
+                .build()
+        },
+        &wl,
+    );
+    let none = run_point(
+        scale,
+        || SimBuilder::new(2).region(AlwaysAdmit::new(2)).build(),
+        &wl,
+    );
+    push(table, "admission", "exact end-to-end (paper)", &exact);
+    push(table, "admission", "approximate (means)", &approx);
+    push(table, "admission", "intermediate-deadline baseline", &split);
+    push(table, "admission", "none (always admit)", &none);
+    assert_eq!(exact.missed, 0);
+    println!(
+        "[ablation:admission] end-to-end util {:.3} vs intermediate-deadline {:.3}; \
+         no-AC misses {} of {} completions",
+        exact.mean_util, split.mean_util, none.missed, none.completed
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_produce_expected_orderings() {
+        let scale = Scale {
+            horizon_secs: 5,
+            replications: 1,
+        };
+        let t = run(scale);
+        let find = |ablation: &str, variant_prefix: &str| -> Vec<f64> {
+            t.rows
+                .iter()
+                .find(|r| r[0] == ablation && r[1].starts_with(variant_prefix))
+                .map(|r| {
+                    vec![
+                        r[2].parse().unwrap(),
+                        r[3].parse().unwrap(),
+                        r[4].parse().unwrap(),
+                    ]
+                })
+                .expect("row exists")
+        };
+        // Reset-on-idle increases utilization.
+        let on = find("reset-on-idle", "on");
+        let off = find("reset-on-idle", "off");
+        assert!(on[0] > off[0], "reset should help: {} vs {}", on[0], off[0]);
+        // DM beats sound random priorities.
+        let dm = find("alpha", "DM");
+        let rnd = find("alpha", "random, alpha=1/3");
+        assert!(dm[0] >= rnd[0]);
+        assert_eq!(rnd[2], 0.0);
+        // End-to-end beats the intermediate-deadline baseline.
+        let exact = find("admission", "exact");
+        let split = find("admission", "intermediate");
+        assert!(exact[0] > split[0]);
+        assert_eq!(exact[2], 0.0);
+        // No admission control misses deadlines at 120 % load.
+        let none = find("admission", "none");
+        assert!(none[2] > 0.0);
+    }
+}

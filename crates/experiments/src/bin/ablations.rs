@@ -1,0 +1,8 @@
+//! Runs the design-choice ablations listed in DESIGN.md.
+
+fn main() {
+    let scale = frap_experiments::common::Scale::from_args();
+    let table = frap_experiments::ablations::run(scale);
+    table.print();
+    table.write_csv("ablations");
+}

@@ -1,0 +1,9 @@
+//! Regenerates the illustrative Figures 1 and 2 (synthetic-utilization
+//! curve and worst-case pattern).
+
+fn main() {
+    let scale = frap_experiments::common::Scale::from_args();
+    let table = frap_experiments::fig1_2::run(scale);
+    table.print();
+    table.write_csv("fig2_worst_case_pattern");
+}

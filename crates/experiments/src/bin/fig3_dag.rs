@@ -1,0 +1,9 @@
+//! Regenerates the Figure 3 / Equation (16) DAG feasible-region example
+//! and validates Theorem 2 by simulation.
+
+fn main() {
+    let scale = frap_experiments::common::Scale::from_args();
+    let table = frap_experiments::fig3_dag::run(scale);
+    table.print();
+    table.write_csv("fig3_dag_boundary");
+}

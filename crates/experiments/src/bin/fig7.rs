@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig7 result at publication scale.
+//! Pass `--quick` for a fast smoke run.
+
+fn main() {
+    let scale = frap_experiments::common::Scale::from_args();
+    let table = frap_experiments::fig7::run(scale);
+    table.print();
+    table.write_csv("fig7");
+}

@@ -1,0 +1,9 @@
+//! Runs the jitter motivation experiment (holistic RTA vs online
+//! feasible-region admission on jittery periodic streams).
+
+fn main() {
+    let scale = frap_experiments::common::Scale::from_args();
+    let table = frap_experiments::jitter::run(scale);
+    table.print();
+    table.write_csv("jitter");
+}

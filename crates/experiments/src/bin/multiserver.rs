@@ -1,0 +1,8 @@
+//! Runs the multi-server tier comparison (partitioned vs global queue).
+
+fn main() {
+    let scale = frap_experiments::common::Scale::from_args();
+    let table = frap_experiments::multiserver::run(scale);
+    table.print();
+    table.write_csv("multiserver");
+}

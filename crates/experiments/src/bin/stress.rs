@@ -1,0 +1,8 @@
+//! Runs the stress extensions (heavy tails, bursts, EDF ablation).
+
+fn main() {
+    let scale = frap_experiments::common::Scale::from_args();
+    let table = frap_experiments::stress::run(scale);
+    table.print();
+    table.write_csv("stress");
+}

@@ -1,0 +1,105 @@
+//! Figure 6 — *Effect of Load Imbalance*.
+//!
+//! Bottleneck-stage real utilization versus the ratio of mean computation
+//! times across a two-stage pipeline, with total mean computation fixed.
+//! The midpoint (ratio 1) is balanced; moving away in either direction the
+//! system approaches single-resource behaviour and the admission
+//! controller opportunistically raises the bottleneck stage's utilization
+//! — the expected curve is U-shaped with its minimum at balance.
+
+use crate::common::{ascii_chart, f, Scale, Table};
+use crate::runner::run_point;
+use frap_core::time::Time;
+use frap_sim::pipeline::SimBuilder;
+use frap_workload::taskgen::PipelineWorkloadBuilder;
+
+/// Stage-mean ratios swept (log-symmetric around 1).
+pub const RATIOS: [f64; 7] = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+
+/// Fixed arrival rate (tasks/second): the balanced configuration's
+/// capacity. As imbalance grows, the bottleneck's offered load exceeds 1.
+pub const RATE_HZ: f64 = 100.0;
+
+/// Total mean computation across both stages (milliseconds), kept fixed.
+pub const TOTAL_MEAN_MS: f64 = 20.0;
+
+/// Runs the sweep: rows are `ratio, bottleneck_util, other_util, misses`.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 6: bottleneck stage utilization vs load imbalance (2 stages)",
+        &["ratio", "bottleneck_util", "other_util", "misses"],
+    );
+    let mut bottleneck_series = Vec::new();
+
+    for &ratio in &RATIOS {
+        // Stage means with fixed total: m0/m1 = ratio.
+        let m1 = TOTAL_MEAN_MS / (1.0 + ratio);
+        let m0 = TOTAL_MEAN_MS - m1;
+        // The builder's load knob is bottleneck-relative; convert the
+        // fixed arrival rate into it.
+        let load = RATE_HZ * m0.max(m1) / 1e3;
+        let horizon = Time::from_secs(scale.horizon_secs);
+        let r = run_point(
+            scale,
+            || SimBuilder::new(2).build(),
+            |seed| {
+                PipelineWorkloadBuilder::new(2)
+                    .stage_means_ms(&[m0, m1])
+                    .resolution(100.0)
+                    .load(load)
+                    .seed(seed)
+                    .build()
+                    .until(horizon)
+            },
+        );
+        let (bottleneck, other) = if m0 >= m1 {
+            (r.per_stage_util[0], r.per_stage_util[1])
+        } else {
+            (r.per_stage_util[1], r.per_stage_util[0])
+        };
+        bottleneck_series.push(bottleneck);
+        table.push_row(vec![
+            f(ratio),
+            f(bottleneck),
+            f(other),
+            r.missed.to_string(),
+        ]);
+    }
+
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 6 (shape): bottleneck utilization vs log2(imbalance ratio)",
+            &RATIOS.map(f64::log2),
+            &[("bottleneck", bottleneck_series)],
+            "bottleneck utilization",
+        )
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u_shape_minimum_at_balance() {
+        let scale = Scale {
+            horizon_secs: 6,
+            replications: 1,
+        };
+        let t = run(scale);
+        let util = |i: usize| -> f64 { t.rows[i][1].parse().unwrap() };
+        let balanced = util(3); // ratio 1.0
+        let extreme_lo = util(0); // ratio 0.125
+        let extreme_hi = util(6); // ratio 8.0
+        assert!(
+            extreme_lo > balanced && extreme_hi > balanced,
+            "imbalance should raise bottleneck utilization: \
+             lo={extreme_lo} bal={balanced} hi={extreme_hi}"
+        );
+        for row in &t.rows {
+            assert_eq!(row[3], "0");
+        }
+    }
+}

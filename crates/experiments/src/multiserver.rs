@@ -1,0 +1,156 @@
+//! Multi-server stages (future-work extension): three ways to spend `m`
+//! identical servers on one hot tier, compared on the same workload.
+//!
+//! 1. **Partitioned** (sound, the paper's analysis per replica): each
+//!    replica is its own analyzed stage; arrivals are bound to the
+//!    least-utilized replica at admission.
+//! 2. **Global queue, conservative region** (sound): one `m`-server stage
+//!    behind the single-resource region — extra servers only help
+//!    (capacity beyond what admission assumes), never hurt.
+//! 3. **Global queue, scaled bound** (heuristic, *no guarantee*): admit
+//!    against `U ≤ m · 0.586`, banking on the servers to keep up. This is
+//!    what a naive operator might configure; the experiment measures what
+//!    it costs.
+
+use crate::common::{f, Scale, Table};
+use frap_core::admission::PerStageBound;
+use frap_core::delay::UNIPROCESSOR_BOUND;
+use frap_core::graph::TaskSpec;
+use frap_core::synthetic::SyntheticState;
+use frap_core::task::StageId;
+use frap_core::time::{Time, TimeDelta};
+use frap_sim::pipeline::SimBuilder;
+use frap_sim::SimMetrics;
+use frap_workload::dist::{Distribution, Exponential, Uniform};
+use frap_workload::rng::Rng;
+
+/// Servers backing the hot tier.
+pub const SERVERS: usize = 3;
+
+/// Offered load relative to a single server's capacity.
+pub const LOAD: f64 = 3.5;
+
+fn arrivals(horizon: Time, seed: u64) -> Vec<(Time, TaskSpec)> {
+    let mut rng = Rng::new(seed);
+    let comp = Exponential::new(0.010);
+    let deadline = Uniform::new(0.4, 1.2);
+    let rate = LOAD / 0.010;
+    let mut out = Vec::new();
+    let mut t = Time::ZERO;
+    loop {
+        t += TimeDelta::from_secs_f64(-(1.0 - rng.next_f64()).ln() / rate);
+        if t > horizon {
+            break;
+        }
+        let spec = TaskSpec::pipeline(
+            deadline.sample_delta(&mut rng),
+            &[comp.sample_delta(&mut rng)],
+        )
+        .expect("valid");
+        out.push((t, spec));
+    }
+    out
+}
+
+fn partitioned(horizon: Time, seed: u64) -> SimMetrics {
+    // One logical arrival stage rewritten to replicas 0..SERVERS.
+    let replicas: Vec<StageId> = (0..SERVERS).map(StageId::new).collect();
+    let route = move |state: &SyntheticState, spec: TaskSpec| -> TaskSpec {
+        let best = replicas
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                state
+                    .stage(*a)
+                    .value()
+                    .partial_cmp(&state.stage(*b).value())
+                    .expect("finite")
+            })
+            .expect("replicas");
+        spec.remap_stages(|_| best)
+    };
+    let mut sim = SimBuilder::new(SERVERS).router(route).build();
+    sim.run(arrivals(horizon, seed).into_iter(), horizon)
+        .clone()
+}
+
+fn global_conservative(horizon: Time, seed: u64) -> SimMetrics {
+    let mut sim = SimBuilder::new(1).stage_servers(0, SERVERS).build();
+    sim.run(arrivals(horizon, seed).into_iter(), horizon)
+        .clone()
+}
+
+fn global_scaled(horizon: Time, seed: u64) -> SimMetrics {
+    let mut sim = SimBuilder::new(1)
+        .stage_servers(0, SERVERS)
+        .region(PerStageBound::new(1, SERVERS as f64 * UNIPROCESSOR_BOUND))
+        .build();
+    sim.run(arrivals(horizon, seed).into_iter(), horizon)
+        .clone()
+}
+
+/// Runs the comparison; rows are
+/// `strategy, acceptance, tier_util, p95_ms, missed`.
+pub fn run(scale: Scale) -> Table {
+    let horizon = Time::from_secs(scale.horizon_secs.max(8));
+    let mut table = Table::new(
+        "Multi-server tier: partitioned vs global-queue strategies (3 servers, load 3.5)",
+        &["strategy", "acceptance", "tier_util", "p95_ms", "missed"],
+    );
+    let mut push = |name: &str, m: &SimMetrics, util: f64| {
+        table.push_row(vec![
+            name.into(),
+            f(m.acceptance_ratio()),
+            f(util),
+            format!("{:.1}", m.response_percentile(0.95).as_secs_f64() * 1e3),
+            m.missed.to_string(),
+        ]);
+    };
+    let p = partitioned(horizon, 17);
+    let util_p = (0..SERVERS).map(|j| p.stage_utilization(j)).sum::<f64>() / SERVERS as f64;
+    push("partitioned + least-utilized (sound)", &p, util_p);
+    let g = global_conservative(horizon, 17);
+    push(
+        "global queue, 1x region (sound)",
+        &g,
+        g.stage_utilization(0),
+    );
+    let s = global_scaled(horizon, 17);
+    push(
+        "global queue, 3x bound (heuristic)",
+        &s,
+        s.stage_utilization(0),
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sound_strategies_never_miss_and_partitioned_uses_capacity() {
+        let scale = Scale {
+            horizon_secs: 8,
+            replications: 1,
+        };
+        let t = run(scale);
+        let missed = |i: usize| -> u64 { t.rows[i][4].parse().unwrap() };
+        let acc = |i: usize| -> f64 { t.rows[i][1].parse().unwrap() };
+        assert_eq!(missed(0), 0, "partitioned is covered by the analysis");
+        assert_eq!(missed(1), 0, "conservative global is safe a fortiori");
+        // Partitioned admission sees three analyzed stages; the
+        // conservative global config admits against one stage's region —
+        // idle resets close some of the gap, but partitioned should not
+        // accept less.
+        assert!(
+            acc(0) >= acc(1) * 0.95,
+            "partitioned {} vs conservative {}",
+            acc(0),
+            acc(1)
+        );
+        // The heuristic admits the most; whether it misses is workload
+        // dependent — it merely must parse.
+        assert!(acc(2) >= acc(1));
+    }
+}

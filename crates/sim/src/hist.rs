@@ -1,0 +1,256 @@
+//! A compact log-bucketed latency histogram (HdrHistogram-style, two
+//! mantissa bits ⇒ ≤ 12.5 % relative bucket width), used for response-time
+//! percentiles without storing per-task outcomes.
+
+use frap_core::time::TimeDelta;
+
+const SUB_BITS: u32 = 2;
+const SUB: usize = 1 << SUB_BITS; // 4 sub-buckets per octave
+const OCTAVES: usize = 64;
+const BUCKETS: usize = OCTAVES * SUB;
+
+/// A histogram over [`TimeDelta`] values with bounded relative error.
+///
+/// # Examples
+///
+/// ```
+/// use frap_sim::hist::LatencyHistogram;
+/// use frap_core::time::TimeDelta;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ms in 1..=100u64 {
+///     h.record(TimeDelta::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.percentile(0.50);
+/// // Within one bucket (≤ ~15%) of the true median of 50 ms.
+/// assert!(p50 >= TimeDelta::from_millis(44) && p50 <= TimeDelta::from_millis(58));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: TimeDelta,
+    min: TimeDelta,
+}
+
+fn bucket_of(micros: u64) -> usize {
+    if micros < SUB as u64 {
+        // Values 0..3 land in the first buckets exactly.
+        return micros as usize;
+    }
+    let octave = 63 - micros.leading_zeros();
+    let sub = ((micros >> (octave - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    (octave as usize) * SUB + sub
+}
+
+fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let octave = (idx / SUB) as u32;
+    let sub = (idx % SUB) as u64;
+    // Upper edge of the sub-bucket.
+    (1u64 << octave) + (sub + 1) * (1u64 << (octave - SUB_BITS)) - 1
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: TimeDelta::ZERO,
+            min: TimeDelta::MAX,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: TimeDelta) {
+        self.counts[bucket_of(value.as_micros())] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The largest recorded value (exact).
+    pub fn max(&self) -> TimeDelta {
+        if self.is_empty() {
+            TimeDelta::ZERO
+        } else {
+            self.max
+        }
+    }
+
+    /// The smallest recorded value (exact).
+    pub fn min(&self) -> TimeDelta {
+        if self.is_empty() {
+            TimeDelta::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` (bucket upper bound, so the
+    /// estimate errs ≤ 12.5 % high). Returns zero for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn percentile(&self, q: f64) -> TimeDelta {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return TimeDelta::ZERO;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp to the observed extremes for exactness at the tails.
+                let ub = TimeDelta::from_micros(bucket_upper_bound(idx));
+                return ub.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        if other.total > 0 {
+            self.max = self.max.max(other.max);
+            self.min = self.min.min(other.min);
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> TimeDelta {
+        TimeDelta::from_micros(v)
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), TimeDelta::ZERO);
+        assert_eq!(h.max(), TimeDelta::ZERO);
+        assert_eq!(h.min(), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn exact_for_tiny_values() {
+        let mut h = LatencyHistogram::new();
+        h.record(us(0));
+        h.record(us(1));
+        h.record(us(2));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.percentile(0.0), us(0));
+        assert_eq!(h.percentile(1.0), us(2));
+    }
+
+    #[test]
+    fn percentiles_within_bucket_error() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(us(v));
+        }
+        for &(q, truth) in &[(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900)] {
+            let est = h.percentile(q).as_micros();
+            let err = (est as f64 - truth as f64).abs() / truth as f64;
+            assert!(err < 0.13, "q={q} est={est} truth={truth} err={err}");
+        }
+    }
+
+    #[test]
+    fn max_and_min_are_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(us(123_457));
+        h.record(us(7));
+        assert_eq!(h.max(), us(123_457));
+        assert_eq!(h.min(), us(7));
+        assert_eq!(h.percentile(1.0), us(123_457));
+    }
+
+    #[test]
+    fn monotone_in_quantile() {
+        let mut h = LatencyHistogram::new();
+        let mut x = 1u64;
+        for _ in 0..50 {
+            h.record(us(x));
+            x = x.wrapping_mul(48271) % 1_000_000 + 1;
+        }
+        let mut prev = TimeDelta::ZERO;
+        for i in 0..=20 {
+            let p = h.percentile(i as f64 / 20.0);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(us(10));
+        b.record(us(1_000));
+        b.record(us(2_000));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), us(2_000));
+        assert_eq!(a.min(), us(10));
+    }
+
+    #[test]
+    fn bucket_roundtrip_is_monotone_and_tight() {
+        let mut values: Vec<u64> = Vec::new();
+        for exp in 0..50u32 {
+            for sub in [0u64, 1, 2, 3] {
+                values.push((1u64 << exp) + sub * (1u64 << exp.saturating_sub(2)));
+            }
+        }
+        values.sort_unstable();
+        values.dedup();
+        let mut prev_idx = 0;
+        for v in values {
+            let idx = bucket_of(v);
+            assert!(idx >= prev_idx, "bucketing must be monotone at v={v}");
+            prev_idx = idx;
+            let ub = bucket_upper_bound(idx);
+            assert!(ub >= v, "upper bound {ub} must cover value {v}");
+            assert!(
+                (ub as f64) <= v as f64 * 1.26 + 4.0,
+                "bucket too wide: v={v} ub={ub}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        LatencyHistogram::new().percentile(1.5);
+    }
+}

@@ -1,0 +1,70 @@
+//! # frap-sim
+//!
+//! Discrete-event simulation substrate for the feasible-region pipeline
+//! analysis of Abdelzaher, Thaker & Lardieri (ICDCS 2004), matching the
+//! scheduling model the paper's evaluation assumes:
+//!
+//! * **per-stage preemptive fixed-priority scheduling** — a task's priority
+//!   is assigned once at admission and holds at every stage
+//!   ([`sched::DeadlineMonotonic`] is the paper's default; random and EDF
+//!   policies are provided for the α-ablation);
+//! * **priority ceiling protocol** for per-stage critical sections
+//!   ([`pcp::LockManager`]), bounding blocking to one lower-priority
+//!   critical section (the `β_j` terms);
+//! * **DAG routing** — subtasks release when their precedence
+//!   predecessors complete; pipelines are chains;
+//! * **synthetic-utilization bookkeeping** — arrivals charge all stages,
+//!   deadlines decrement, idle stages reset departed contributions, with
+//!   optional reservations, wait queues and importance-based shedding
+//!   (Sections 4–5);
+//! * **operational tooling** — latency histograms with percentiles
+//!   ([`hist`]), bounded scheduling traces ([`trace`]), state snapshots
+//!   and synthetic-utilization timelines ([`pipeline::Snapshot`],
+//!   [`pipeline::SimBuilder::sample_utilization`]);
+//! * **extensions** — multi-server stages behind one queue
+//!   ([`pipeline::SimBuilder::stage_servers`]) and admission-time routing
+//!   for partitioned replica tiers ([`pipeline::SimBuilder::router`]).
+//!
+//! Simulations are deterministic: identical arrival sequences and
+//! configurations produce identical metrics, which the experiment harness
+//! relies on for reproducibility.
+//!
+//! ## Example
+//!
+//! ```
+//! use frap_core::graph::TaskSpec;
+//! use frap_core::time::{Time, TimeDelta};
+//! use frap_sim::pipeline::SimBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ms = TimeDelta::from_millis;
+//! // Two-stage pipeline; three requests, one of which will not fit.
+//! let mut sim = SimBuilder::new(2).build();
+//! let arrivals = vec![
+//!     (Time::ZERO, TaskSpec::pipeline(ms(100), &[ms(20), ms(20)])?),
+//!     (Time::from_millis(1), TaskSpec::pipeline(ms(100), &[ms(20), ms(20)])?),
+//!     (Time::from_millis(2), TaskSpec::pipeline(ms(100), &[ms(20), ms(20)])?),
+//! ];
+//! let metrics = sim.run(arrivals.into_iter(), Time::from_secs(1));
+//! assert_eq!(metrics.missed, 0, "admitted tasks always meet deadlines");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod hist;
+pub mod metrics;
+pub mod pcp;
+pub mod pipeline;
+pub mod sched;
+pub mod stage;
+pub mod trace;
+
+pub use hist::LatencyHistogram;
+pub use metrics::{SimMetrics, StageMetrics, TaskOutcome};
+pub use pipeline::{OverloadPolicy, SimBuilder, Simulation, Snapshot, WaitPolicy};
+pub use sched::{DeadlineMonotonic, EarliestDeadlineFirst, PriorityPolicy, RandomPriority};
+pub use trace::{Trace, TraceEvent};

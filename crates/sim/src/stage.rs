@@ -1,0 +1,877 @@
+//! One pipeline stage: a preemptive fixed-priority processor with
+//! PCP-protected critical sections.
+//!
+//! A stage executes *jobs* (subtask instances). At every instant the
+//! highest effective-priority runnable job runs; effective priority is the
+//! task's fixed base priority possibly raised by PCP inheritance. Jobs
+//! execute their segments in order, acquiring each segment's lock (if any)
+//! under the priority ceiling protocol; a denied acquisition blocks the job
+//! until a release wakes it.
+//!
+//! The stage is a pure state machine: mutations return [`Effect`]s
+//! (schedule a completion event, a subtask finished, the stage went idle)
+//! that the [`crate::pipeline::Simulation`] turns into events, precedence
+//! releases, and synthetic-utilization resets.
+
+use crate::metrics::StageMetrics;
+use crate::pcp::{Acquire, LockManager};
+use frap_core::task::{LockId, Priority, Segment, StageId, TaskId};
+use frap_core::time::{Time, TimeDelta};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap};
+
+/// Identifies one job (a subtask instance) at a stage: `(task, node)`.
+pub type JobKey = (TaskId, u32);
+
+/// Ready-queue ordering: highest priority first, then lowest task id, then
+/// lowest node index — a deterministic total order.
+type ReadyKey = (Priority, Reverse<TaskId>, Reverse<u32>);
+
+fn ready_key(priority: Priority, key: JobKey) -> ReadyKey {
+    (priority, Reverse(key.0), Reverse(key.1))
+}
+
+fn job_of(k: &ReadyKey) -> JobKey {
+    ((k.1).0, (k.2).0)
+}
+
+/// What the simulation must do after a stage mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect {
+    /// A job (re)started executing: schedule a `SegmentDone` at `finish`
+    /// carrying `gen` (stale generations are ignored).
+    Start {
+        /// The running job.
+        key: JobKey,
+        /// Generation token for the completion event.
+        gen: u64,
+        /// Absolute finish time of the current segment remainder.
+        finish: Time,
+    },
+    /// A job finished its last segment: the subtask is complete.
+    Completed {
+        /// The finished job.
+        key: JobKey,
+        /// Total time this job spent blocked on locks here (`B_nj`).
+        blocked_for: TimeDelta,
+        /// Time from the job's arrival at the stage to completion (`L_j`).
+        stage_delay: TimeDelta,
+    },
+    /// The stage transitioned to idle (no jobs present).
+    Idle,
+}
+
+#[derive(Debug, Clone)]
+struct Job {
+    base: Priority,
+    segments: Vec<Segment>,
+    seg_idx: usize,
+    remaining: TimeDelta,
+    acquired_current: bool,
+    entered_at: Time,
+    block_started: Option<Time>,
+    blocked_total: TimeDelta,
+    block_episodes: u32,
+    ready_entry: Option<ReadyKey>,
+}
+
+impl Job {
+    fn current_lock(&self) -> Option<LockId> {
+        self.segments.get(self.seg_idx).and_then(|s| s.lock)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RunInfo {
+    gen: u64,
+    started: Time,
+}
+
+/// The execution state of one stage: one or more identical servers
+/// draining a shared fixed-priority ready queue.
+///
+/// Multi-server stages (`servers > 1`) model a tier of identical
+/// processors behind one queue — an empirical extension beyond the
+/// paper's single-resource stages (the *sound* multi-server construction
+/// is partitioning: one analyzed stage per replica, bound at admission;
+/// see `frap_core::graph::TaskSpec::remap_stages`). Critical sections
+/// require a single server (PCP is a uniprocessor protocol).
+#[derive(Debug)]
+pub struct Stage {
+    id: StageId,
+    servers: usize,
+    jobs: HashMap<JobKey, Job>,
+    ready: BTreeSet<ReadyKey>,
+    running: HashMap<JobKey, RunInfo>,
+    gen_index: HashMap<u64, JobKey>,
+    next_gen: u64,
+    locks: LockManager<JobKey>,
+    /// Local accounting; harvested by the simulation at the end.
+    pub metrics: StageMetrics,
+}
+
+impl Stage {
+    /// A single-server stage (the paper's model).
+    pub fn new(id: StageId) -> Stage {
+        Stage::with_servers(id, 1)
+    }
+
+    /// A stage backed by `servers` identical processors sharing one
+    /// fixed-priority queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn with_servers(id: StageId, servers: usize) -> Stage {
+        assert!(servers >= 1, "a stage needs at least one server");
+        let metrics = StageMetrics {
+            servers: servers as u32,
+            ..StageMetrics::default()
+        };
+        Stage {
+            id,
+            servers,
+            jobs: HashMap::new(),
+            ready: BTreeSet::new(),
+            running: HashMap::new(),
+            gen_index: HashMap::new(),
+            next_gen: 0,
+            locks: LockManager::new(),
+            metrics,
+        }
+    }
+
+    /// This stage's identifier.
+    pub fn id(&self) -> StageId {
+        self.id
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Whether no job is present (running, ready, or blocked).
+    pub fn is_idle(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Number of jobs present at the stage.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// One currently executing job (the one with the lowest task id), if
+    /// any — exact for single-server stages; see
+    /// [`Stage::running_jobs`] for the full set.
+    pub fn running(&self) -> Option<JobKey> {
+        self.running.keys().min().copied()
+    }
+
+    /// All currently executing jobs, in deterministic (key) order.
+    pub fn running_jobs(&self) -> Vec<JobKey> {
+        let mut v: Vec<JobKey> = self.running.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The running job with the least effective priority (the preemption
+    /// victim), with its ordering key.
+    fn min_running(&self) -> Option<(ReadyKey, JobKey)> {
+        self.running
+            .keys()
+            .map(|&k| (ready_key(self.effective(k, self.jobs[&k].base), k), k))
+            .min()
+    }
+
+    /// Starts `key` on a free server; the caller ensures capacity.
+    fn start(&mut self, now: Time, key: JobKey, effects: &mut Vec<Effect>) {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.gen_index.insert(gen, key);
+        self.running.insert(key, RunInfo { gen, started: now });
+        let finish = now + self.jobs[&key].remaining;
+        effects.push(Effect::Start { key, gen, finish });
+    }
+
+    /// Stops `key` if running, banking its busy span; returns the elapsed
+    /// span if it was running.
+    fn stop(&mut self, now: Time, key: JobKey) -> Option<TimeDelta> {
+        let info = self.running.remove(&key)?;
+        self.gen_index.remove(&info.gen);
+        let elapsed = now.saturating_since(info.started);
+        self.metrics.busy += elapsed;
+        Some(elapsed)
+    }
+
+    fn effective(&self, key: JobKey, base: Priority) -> Priority {
+        match self.locks.inherited(&key) {
+            Some(boost) => base.max(boost),
+            None => base,
+        }
+    }
+
+    fn make_ready(&mut self, key: JobKey) {
+        let base = self.jobs[&key].base;
+        let eff = self.effective(key, base);
+        let rk = ready_key(eff, key);
+        self.ready.insert(rk);
+        self.jobs.get_mut(&key).expect("job exists").ready_entry = Some(rk);
+    }
+
+    fn unready(&mut self, key: JobKey) {
+        if let Some(job) = self.jobs.get_mut(&key) {
+            if let Some(rk) = job.ready_entry.take() {
+                self.ready.remove(&rk);
+            }
+        }
+    }
+
+    /// Re-keys ready entries whose effective priority changed due to
+    /// inheritance updates.
+    fn refresh_ready_keys(&mut self) {
+        let stale: Vec<(JobKey, ReadyKey, Priority)> = self
+            .jobs
+            .iter()
+            .filter_map(|(&key, job)| {
+                let rk = job.ready_entry?;
+                let eff = match self.locks.inherited(&key) {
+                    Some(boost) => job.base.max(boost),
+                    None => job.base,
+                };
+                if rk.0 != eff {
+                    Some((key, rk, eff))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (key, old, eff) in stale {
+            self.ready.remove(&old);
+            let new = ready_key(eff, key);
+            self.ready.insert(new);
+            self.jobs.get_mut(&key).expect("job exists").ready_entry = Some(new);
+        }
+    }
+
+    /// Admits a subtask instance to this stage's ready queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is already present or `segments` is empty.
+    pub fn add_job(
+        &mut self,
+        now: Time,
+        key: JobKey,
+        base: Priority,
+        segments: Vec<Segment>,
+        effects: &mut Vec<Effect>,
+    ) {
+        assert!(!segments.is_empty(), "jobs need at least one segment");
+        assert!(
+            self.servers == 1 || segments.iter().all(|seg| seg.lock.is_none()),
+            "critical sections require a single-server stage (PCP is a \
+             uniprocessor protocol)"
+        );
+        let first_remaining = segments[0].duration;
+        // Register this job as a future user of every lock it touches, so
+        // PCP ceilings are in place before anyone can block on it.
+        let lock_set: Vec<LockId> = {
+            let mut v: Vec<LockId> = segments.iter().filter_map(|s| s.lock).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for l in &lock_set {
+            self.locks.register_user(*l, base, key);
+        }
+        let prev = self.jobs.insert(
+            key,
+            Job {
+                base,
+                segments,
+                seg_idx: 0,
+                remaining: first_remaining,
+                acquired_current: false,
+                entered_at: now,
+                block_started: None,
+                blocked_total: TimeDelta::ZERO,
+                block_episodes: 0,
+                ready_entry: None,
+            },
+        );
+        assert!(prev.is_none(), "job {key:?} added twice");
+        self.make_ready(key);
+        self.reschedule(now, effects);
+    }
+
+    /// Handles a `SegmentDone` event. Stale generations (from preempted
+    /// runs) are ignored.
+    pub fn segment_done(&mut self, now: Time, gen: u64, effects: &mut Vec<Effect>) {
+        let Some(&key) = self.gen_index.get(&gen) else {
+            return; // stale
+        };
+        self.stop(now, key);
+
+        // Release the segment's lock, waking any PCP-blocked jobs.
+        let job = self.jobs.get_mut(&key).expect("running job exists");
+        let finished_lock = job.acquired_current && job.current_lock().is_some();
+        job.remaining = TimeDelta::ZERO;
+        job.seg_idx += 1;
+        job.acquired_current = false;
+        let done = job.seg_idx >= job.segments.len();
+        if !done {
+            job.remaining = job.segments[job.seg_idx].duration;
+        }
+        if finished_lock {
+            let woken = self.locks.release(&key);
+            self.wake(now, &woken);
+        }
+
+        if done {
+            let job = self.jobs.remove(&key).expect("job exists");
+            for l in locks_used(&job.segments) {
+                self.locks.deregister_user(l, job.base, key);
+            }
+            let stage_delay = now.saturating_since(job.entered_at);
+            self.metrics.subtasks_completed += 1;
+            self.metrics.blocking_total += job.blocked_total;
+            self.metrics.blocking_max = self.metrics.blocking_max.max(job.blocked_total);
+            self.metrics.max_block_episodes =
+                self.metrics.max_block_episodes.max(job.block_episodes);
+            self.metrics.stage_delay_total += stage_delay;
+            self.metrics.stage_delay_max = self.metrics.stage_delay_max.max(stage_delay);
+            effects.push(Effect::Completed {
+                key,
+                blocked_for: job.blocked_total,
+                stage_delay,
+            });
+        } else {
+            // More segments: contend for the processor again (and possibly
+            // a new lock) under normal scheduling rules.
+            self.make_ready(key);
+        }
+        self.reschedule(now, effects);
+        if self.jobs.is_empty() {
+            effects.push(Effect::Idle);
+        }
+    }
+
+    /// Removes a job outright (task shed/killed). Releases its lock and
+    /// wakes blocked jobs as needed.
+    pub fn kill(&mut self, now: Time, key: JobKey, effects: &mut Vec<Effect>) {
+        if !self.jobs.contains_key(&key) {
+            return;
+        }
+        self.stop(now, key); // also invalidates the in-flight SegmentDone
+        self.unready(key);
+        let woken = self.locks.remove_job(&key);
+        self.wake(now, &woken);
+        let job = self.jobs.remove(&key).expect("job exists");
+        for l in locks_used(&job.segments) {
+            self.locks.deregister_user(l, job.base, key);
+        }
+        self.refresh_ready_keys();
+        self.reschedule(now, effects);
+        if self.jobs.is_empty() {
+            effects.push(Effect::Idle);
+        }
+    }
+
+    /// Closes the running busy spans at the end of the simulation.
+    pub fn finalize(&mut self, until: Time) {
+        for info in self.running.values_mut() {
+            self.metrics.busy += until.saturating_since(info.started);
+            info.started = until;
+        }
+    }
+
+    fn wake(&mut self, now: Time, woken: &[JobKey]) {
+        for &w in woken {
+            let job = self.jobs.get_mut(&w).expect("woken job exists");
+            if let Some(started) = job.block_started.take() {
+                let blocked = now.saturating_since(started);
+                job.blocked_total += blocked;
+                job.block_episodes += 1;
+                self.metrics.blocking_events += 1;
+            }
+            // The woken job already holds its lock (granted by PCP wake).
+            job.acquired_current = true;
+            self.make_ready(w);
+        }
+        self.refresh_ready_keys();
+    }
+
+    /// Ensures the `servers` highest effective-priority runnable jobs are
+    /// executing.
+    fn reschedule(&mut self, now: Time, effects: &mut Vec<Effect>) {
+        while let Some(best_rk) = self.ready.iter().next_back().copied() {
+            if self.running.len() >= self.servers {
+                // All servers busy: preempt the least urgent runner only
+                // for a strictly higher priority (ties never preempt).
+                let (min_rk, victim) = self.min_running().expect("servers are busy");
+                if best_rk.0 > min_rk.0 {
+                    let elapsed = self.stop(now, victim).expect("victim was running");
+                    let job = self.jobs.get_mut(&victim).expect("running job exists");
+                    job.remaining = job.remaining.saturating_sub(elapsed);
+                    self.make_ready(victim);
+                    continue;
+                }
+                break;
+            }
+
+            // A server is free: start the best ready job.
+            let key = job_of(&best_rk);
+            self.ready.remove(&best_rk);
+            self.jobs
+                .get_mut(&key)
+                .expect("ready job exists")
+                .ready_entry = None;
+
+            // Acquire the current segment's lock if needed.
+            let (needs_lock, base, acquired) = {
+                let j = &self.jobs[&key];
+                (j.current_lock(), j.base, j.acquired_current)
+            };
+            if let (Some(lock), false) = (needs_lock, acquired) {
+                match self.locks.try_acquire(key, base, lock) {
+                    Acquire::Acquired => {
+                        self.jobs
+                            .get_mut(&key)
+                            .expect("job exists")
+                            .acquired_current = true;
+                    }
+                    Acquire::Blocked => {
+                        self.jobs.get_mut(&key).expect("job exists").block_started = Some(now);
+                        // Inheritance may have boosted a ready holder.
+                        self.refresh_ready_keys();
+                        continue;
+                    }
+                }
+            }
+            self.start(now, key, effects);
+        }
+    }
+}
+
+fn locks_used(segments: &[Segment]) -> Vec<LockId> {
+    let mut v: Vec<LockId> = segments.iter().filter_map(|s| s.lock).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    fn at(v: u64) -> Time {
+        Time::from_millis(v)
+    }
+
+    fn key(task: u64) -> JobKey {
+        (TaskId::new(task), 0)
+    }
+
+    fn plain(c: TimeDelta) -> Vec<Segment> {
+        vec![Segment::compute(c)]
+    }
+
+    fn start_of(effects: &[Effect]) -> (JobKey, u64, Time) {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Start { key, gen, finish } => Some((*key, *gen, *finish)),
+                _ => None,
+            })
+            .next_back()
+            .expect("a Start effect")
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(1), Priority::new(100), plain(ms(10)), &mut fx);
+        let (k, gen, finish) = start_of(&fx);
+        assert_eq!(k, key(1));
+        assert_eq!(finish, at(10));
+        fx.clear();
+        st.segment_done(at(10), gen, &mut fx);
+        assert!(matches!(fx[0], Effect::Completed { key: k, .. } if k == key(1)));
+        assert!(fx.contains(&Effect::Idle));
+        assert!(st.is_idle());
+        assert_eq!(st.metrics.busy, ms(10));
+        assert_eq!(st.metrics.subtasks_completed, 1);
+        assert_eq!(st.metrics.stage_delay_max, ms(10));
+    }
+
+    #[test]
+    fn higher_priority_preempts() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(1), Priority::new(100), plain(ms(10)), &mut fx);
+        fx.clear();
+        // At t=4 a more urgent job arrives and preempts.
+        st.add_job(at(4), key(2), Priority::new(50), plain(ms(3)), &mut fx);
+        let (k, gen2, finish) = start_of(&fx);
+        assert_eq!(k, key(2));
+        assert_eq!(finish, at(7));
+        fx.clear();
+        st.segment_done(at(7), gen2, &mut fx);
+        // Job 1 resumes with 6 ms left.
+        let (k, gen1b, finish) = start_of(&fx);
+        assert_eq!(k, key(1));
+        assert_eq!(finish, at(13));
+        fx.clear();
+        st.segment_done(at(13), gen1b, &mut fx);
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Completed { key: k, .. } if *k == key(1))));
+        // Busy the whole time: 13 ms.
+        assert_eq!(st.metrics.busy, ms(13));
+    }
+
+    #[test]
+    fn stale_generation_is_ignored() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(1), Priority::new(100), plain(ms(10)), &mut fx);
+        let (_, gen1, _) = start_of(&fx);
+        fx.clear();
+        st.add_job(at(4), key(2), Priority::new(50), plain(ms(3)), &mut fx);
+        fx.clear();
+        // The original completion event for job 1 is now stale.
+        st.segment_done(at(10), gen1, &mut fx);
+        assert!(fx.is_empty());
+        assert_eq!(st.job_count(), 2);
+    }
+
+    #[test]
+    fn equal_priority_does_not_preempt() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(2), Priority::new(100), plain(ms(10)), &mut fx);
+        fx.clear();
+        st.add_job(at(1), key(1), Priority::new(100), plain(ms(10)), &mut fx);
+        assert!(fx.is_empty(), "no Start effect: the running job continues");
+        assert_eq!(st.running(), Some(key(2)));
+    }
+
+    #[test]
+    fn tie_break_by_task_id_in_ready_queue() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(9), Priority::new(10), plain(ms(5)), &mut fx);
+        let (_, gen, _) = start_of(&fx);
+        fx.clear();
+        st.add_job(at(0), key(3), Priority::new(100), plain(ms(5)), &mut fx);
+        st.add_job(at(0), key(2), Priority::new(100), plain(ms(5)), &mut fx);
+        fx.clear();
+        st.segment_done(at(5), gen, &mut fx);
+        let (k, _, _) = start_of(&fx);
+        assert_eq!(k, key(2), "lower task id wins among equal priorities");
+    }
+
+    #[test]
+    fn lock_blocking_and_inheritance() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        let lock = LockId::new(0);
+        // Low-priority job takes the lock for its whole 10 ms.
+        st.add_job(
+            at(0),
+            key(2),
+            Priority::new(200),
+            vec![Segment::critical(ms(10), lock)],
+            &mut fx,
+        );
+        fx.clear();
+        // High-priority job arrives at t=2 wanting the same lock.
+        st.add_job(
+            at(2),
+            key(1),
+            Priority::new(50),
+            vec![Segment::critical(ms(4), lock)],
+            &mut fx,
+        );
+        // Job 1 preempts, tries the lock, blocks; job 2 resumes (inherited)
+        // with its remaining 8 ms.
+        let (k, gen2, finish) = start_of(&fx);
+        assert_eq!(k, key(2));
+        assert_eq!(finish, at(10));
+        fx.clear();
+        st.segment_done(at(10), gen2, &mut fx);
+        // Job 2 completes; job 1 wakes holding the lock and runs 4 ms.
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Completed { key: k, .. } if *k == key(2))));
+        let (k, gen1, finish) = start_of(&fx);
+        assert_eq!(k, key(1));
+        assert_eq!(finish, at(14));
+        fx.clear();
+        st.segment_done(at(14), gen1, &mut fx);
+        match fx
+            .iter()
+            .find(|e| matches!(e, Effect::Completed { key: k, .. } if *k == key(1)))
+        {
+            Some(Effect::Completed { blocked_for, .. }) => {
+                assert_eq!(*blocked_for, ms(8), "blocked from t=2 to t=10");
+            }
+            _ => panic!("job 1 should complete"),
+        }
+        assert_eq!(st.metrics.blocking_events, 1);
+        assert_eq!(st.metrics.blocking_max, ms(8));
+    }
+
+    #[test]
+    fn multi_segment_job_releases_lock_between_segments() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        let lock = LockId::new(0);
+        st.add_job(
+            at(0),
+            key(1),
+            Priority::new(100),
+            vec![
+                Segment::compute(ms(2)),
+                Segment::critical(ms(3), lock),
+                Segment::compute(ms(1)),
+            ],
+            &mut fx,
+        );
+        let (_, g1, f1) = start_of(&fx);
+        assert_eq!(f1, at(2));
+        fx.clear();
+        st.segment_done(at(2), g1, &mut fx);
+        let (_, g2, f2) = start_of(&fx);
+        assert_eq!(f2, at(5));
+        fx.clear();
+        st.segment_done(at(5), g2, &mut fx);
+        let (_, g3, f3) = start_of(&fx);
+        assert_eq!(f3, at(6));
+        fx.clear();
+        st.segment_done(at(6), g3, &mut fx);
+        assert!(fx.iter().any(|e| matches!(e, Effect::Completed { .. })));
+        assert_eq!(st.metrics.busy, ms(6));
+    }
+
+    #[test]
+    fn kill_running_job_frees_stage() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(1), Priority::new(100), plain(ms(10)), &mut fx);
+        let (_, gen, _) = start_of(&fx);
+        fx.clear();
+        st.kill(at(4), key(1), &mut fx);
+        assert!(fx.contains(&Effect::Idle));
+        assert!(st.is_idle());
+        assert_eq!(st.metrics.busy, ms(4));
+        // The stale completion is ignored.
+        st.segment_done(at(10), gen, &mut fx);
+        assert!(st.is_idle());
+    }
+
+    #[test]
+    fn kill_lock_holder_unblocks_waiter() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        let lock = LockId::new(0);
+        st.add_job(
+            at(0),
+            key(2),
+            Priority::new(200),
+            vec![Segment::critical(ms(10), lock)],
+            &mut fx,
+        );
+        st.add_job(
+            at(1),
+            key(1),
+            Priority::new(50),
+            vec![Segment::critical(ms(4), lock)],
+            &mut fx,
+        );
+        fx.clear();
+        st.kill(at(3), key(2), &mut fx);
+        // Waiter acquires and starts.
+        let (k, _, finish) = start_of(&fx);
+        assert_eq!(k, key(1));
+        assert_eq!(finish, at(7));
+    }
+
+    #[test]
+    fn kill_ready_job() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(1), Priority::new(50), plain(ms(10)), &mut fx);
+        st.add_job(at(0), key(2), Priority::new(100), plain(ms(10)), &mut fx);
+        fx.clear();
+        st.kill(at(1), key(2), &mut fx);
+        assert_eq!(st.job_count(), 1);
+        assert_eq!(st.running(), Some(key(1)));
+        assert!(!fx.contains(&Effect::Idle));
+    }
+
+    #[test]
+    fn finalize_closes_busy_span() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(1), Priority::new(100), plain(ms(100)), &mut fx);
+        st.finalize(at(30));
+        assert_eq!(st.metrics.busy, ms(30));
+    }
+
+    #[test]
+    fn preempted_job_tracks_remaining_correctly() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(1), Priority::new(100), plain(ms(10)), &mut fx);
+        fx.clear();
+        // Preempt twice.
+        st.add_job(at(2), key(2), Priority::new(10), plain(ms(1)), &mut fx);
+        let (_, g2, _) = start_of(&fx);
+        fx.clear();
+        st.segment_done(at(3), g2, &mut fx);
+        let (_, g1b, f) = start_of(&fx);
+        assert_eq!(
+            f,
+            at(11),
+            "8 ms left after 2 ms executed and 1 ms preempted"
+        );
+        fx.clear();
+        st.add_job(at(5), key(3), Priority::new(10), plain(ms(2)), &mut fx);
+        let (_, g3, _) = start_of(&fx);
+        fx.clear();
+        st.segment_done(at(7), g3, &mut fx);
+        let (_, g1c, f) = start_of(&fx);
+        assert_eq!(f, at(13), "6 ms left");
+        fx.clear();
+        st.segment_done(at(11), g1b, &mut fx);
+        assert!(fx.is_empty(), "stale");
+        st.segment_done(at(13), g1c, &mut fx);
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Completed { key: k, .. } if *k == key(1))));
+        assert_eq!(st.metrics.busy, ms(13));
+    }
+
+    #[test]
+    fn two_servers_run_concurrently() {
+        let mut st = Stage::with_servers(StageId::new(0), 2);
+        assert_eq!(st.servers(), 2);
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(1), Priority::new(100), plain(ms(10)), &mut fx);
+        st.add_job(at(0), key(2), Priority::new(100), plain(ms(10)), &mut fx);
+        // Both start immediately.
+        let starts: Vec<_> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Start { key, gen, finish } => Some((*key, *gen, *finish)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts.len(), 2);
+        assert!(starts.iter().all(|&(_, _, f)| f == at(10)));
+        assert_eq!(st.running_jobs(), vec![key(1), key(2)]);
+        fx.clear();
+        for (_, gen, _) in starts {
+            st.segment_done(at(10), gen, &mut fx);
+        }
+        assert!(st.is_idle());
+        // Two servers, each busy 10 ms → 20 ms of server-time.
+        assert_eq!(st.metrics.busy, ms(20));
+        assert!((st.metrics.utilization(ms(10)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_server_preempts_least_urgent_runner() {
+        let mut st = Stage::with_servers(StageId::new(0), 2);
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(1), Priority::new(50), plain(ms(10)), &mut fx);
+        st.add_job(at(0), key(2), Priority::new(200), plain(ms(10)), &mut fx);
+        fx.clear();
+        // A mid-priority job arrives: it preempts job 2 (the least urgent),
+        // not job 1.
+        st.add_job(at(4), key(3), Priority::new(100), plain(ms(2)), &mut fx);
+        let started: Vec<_> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Start { key, .. } => Some(*key),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(started, vec![key(3)]);
+        let mut running = st.running_jobs();
+        running.sort_unstable();
+        assert_eq!(running, vec![key(1), key(3)]);
+    }
+
+    #[test]
+    fn multi_server_third_equal_priority_job_waits() {
+        let mut st = Stage::with_servers(StageId::new(0), 2);
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(1), Priority::new(100), plain(ms(5)), &mut fx);
+        st.add_job(at(0), key(2), Priority::new(100), plain(ms(5)), &mut fx);
+        fx.clear();
+        st.add_job(at(1), key(3), Priority::new(100), plain(ms(5)), &mut fx);
+        assert!(fx.is_empty(), "equal priority never preempts");
+        assert_eq!(st.running_jobs().len(), 2);
+        assert_eq!(st.job_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-server")]
+    fn critical_sections_need_single_server() {
+        let mut st = Stage::with_servers(StageId::new(0), 2);
+        let mut fx = Vec::new();
+        st.add_job(
+            at(0),
+            key(1),
+            Priority::new(1),
+            vec![Segment::critical(ms(1), LockId::new(0))],
+            &mut fx,
+        );
+    }
+
+    #[test]
+    fn multi_server_finalize_closes_all_spans() {
+        let mut st = Stage::with_servers(StageId::new(0), 3);
+        let mut fx = Vec::new();
+        for i in 0..3 {
+            st.add_job(at(0), key(i), Priority::new(100), plain(ms(100)), &mut fx);
+        }
+        st.finalize(at(40));
+        assert_eq!(st.metrics.busy, ms(120));
+    }
+
+    #[test]
+    #[should_panic(expected = "added twice")]
+    fn duplicate_job_panics() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(1), Priority::new(1), plain(ms(1)), &mut fx);
+        st.add_job(at(0), key(1), Priority::new(1), plain(ms(1)), &mut fx);
+    }
+
+    #[test]
+    fn zero_length_segment_completes_immediately_on_run() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        st.add_job(
+            at(0),
+            key(1),
+            Priority::new(1),
+            plain(TimeDelta::ZERO),
+            &mut fx,
+        );
+        let (_, gen, finish) = start_of(&fx);
+        assert_eq!(finish, at(0));
+        fx.clear();
+        st.segment_done(at(0), gen, &mut fx);
+        assert!(fx.iter().any(|e| matches!(e, Effect::Completed { .. })));
+    }
+}

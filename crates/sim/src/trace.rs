@@ -1,0 +1,328 @@
+//! Execution tracing: a bounded ring buffer of scheduling events for
+//! debugging and for inspecting small scenarios (who preempted whom, when
+//! a stage reset, why an arrival was rejected).
+//!
+//! Enable with [`crate::pipeline::SimBuilder::trace`]; read back with
+//! [`crate::pipeline::Simulation::trace`]. Recording is allocation-light
+//! (events are `Copy`) and bounded: when full, the oldest events are
+//! dropped and counted.
+
+use frap_core::task::TaskId;
+use frap_core::time::Time;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One recorded scheduling event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A task was admitted (with its admission-assigned id).
+    Admitted {
+        /// When.
+        time: Time,
+        /// The new task.
+        task: TaskId,
+    },
+    /// An arrival was rejected outright.
+    Rejected {
+        /// When.
+        time: Time,
+    },
+    /// An arrival entered the admission wait queue.
+    Queued {
+        /// When.
+        time: Time,
+    },
+    /// An admitted task was shed at overload.
+    Shed {
+        /// When.
+        time: Time,
+        /// The victim.
+        task: TaskId,
+    },
+    /// A subtask started (or resumed) executing on a stage.
+    Dispatched {
+        /// When.
+        time: Time,
+        /// Stage index.
+        stage: usize,
+        /// The job.
+        task: TaskId,
+        /// Subtask node index within the task graph.
+        node: u32,
+    },
+    /// A subtask finished at a stage.
+    SubtaskDone {
+        /// When.
+        time: Time,
+        /// Stage index.
+        stage: usize,
+        /// The job.
+        task: TaskId,
+        /// Subtask node index.
+        node: u32,
+    },
+    /// A stage went idle and its synthetic utilization was reset.
+    IdleReset {
+        /// When.
+        time: Time,
+        /// Stage index.
+        stage: usize,
+    },
+    /// A task completed end to end.
+    TaskDone {
+        /// When.
+        time: Time,
+        /// The task.
+        task: TaskId,
+        /// Whether it finished after its absolute deadline.
+        missed: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> Time {
+        match *self {
+            TraceEvent::Admitted { time, .. }
+            | TraceEvent::Rejected { time }
+            | TraceEvent::Queued { time }
+            | TraceEvent::Shed { time, .. }
+            | TraceEvent::Dispatched { time, .. }
+            | TraceEvent::SubtaskDone { time, .. }
+            | TraceEvent::IdleReset { time, .. }
+            | TraceEvent::TaskDone { time, .. } => time,
+        }
+    }
+
+    /// The task the event concerns, if any.
+    pub fn task(&self) -> Option<TaskId> {
+        match *self {
+            TraceEvent::Admitted { task, .. }
+            | TraceEvent::Shed { task, .. }
+            | TraceEvent::Dispatched { task, .. }
+            | TraceEvent::SubtaskDone { task, .. }
+            | TraceEvent::TaskDone { task, .. } => Some(task),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Admitted { time, task } => write!(f, "{time} admit    {task}"),
+            TraceEvent::Rejected { time } => write!(f, "{time} reject"),
+            TraceEvent::Queued { time } => write!(f, "{time} queue"),
+            TraceEvent::Shed { time, task } => write!(f, "{time} shed     {task}"),
+            TraceEvent::Dispatched {
+                time,
+                stage,
+                task,
+                node,
+            } => write!(f, "{time} run      {task}.{node} @stage{stage}"),
+            TraceEvent::SubtaskDone {
+                time,
+                stage,
+                task,
+                node,
+            } => write!(f, "{time} done     {task}.{node} @stage{stage}"),
+            TraceEvent::IdleReset { time, stage } => {
+                write!(f, "{time} idle     stage{stage} (reset)")
+            }
+            TraceEvent::TaskDone { time, task, missed } => {
+                write!(
+                    f,
+                    "{time} finish   {task}{}",
+                    if missed { " MISSED" } else { "" }
+                )
+            }
+        }
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace holding at most `capacity` events (oldest dropped first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Trace {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, dropping the oldest if full.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Retained events concerning one task, oldest first.
+    pub fn of_task(&self, task: TaskId) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.task() == Some(task))
+            .copied()
+            .collect()
+    }
+
+    /// Renders the whole trace, one event per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "... {} earlier events dropped ...\n",
+                self.dropped
+            ));
+        }
+        for e in &self.events {
+            out.push_str(&format!("{e}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Time {
+        Time::from_millis(ms)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = Trace::new(10);
+        tr.record(TraceEvent::Admitted {
+            time: t(1),
+            task: TaskId::new(0),
+        });
+        tr.record(TraceEvent::Rejected { time: t(2) });
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.iter().next().unwrap().time(), t(1));
+        assert_eq!(tr.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut tr = Trace::new(3);
+        for i in 0..5 {
+            tr.record(TraceEvent::Rejected { time: t(i) });
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 2);
+        assert_eq!(tr.iter().next().unwrap().time(), t(2));
+        assert!(tr.dump().contains("2 earlier events dropped"));
+    }
+
+    #[test]
+    fn filter_by_task() {
+        let mut tr = Trace::new(10);
+        tr.record(TraceEvent::Admitted {
+            time: t(1),
+            task: TaskId::new(7),
+        });
+        tr.record(TraceEvent::Dispatched {
+            time: t(2),
+            stage: 0,
+            task: TaskId::new(7),
+            node: 0,
+        });
+        tr.record(TraceEvent::Admitted {
+            time: t(3),
+            task: TaskId::new(8),
+        });
+        let events = tr.of_task(TaskId::new(7));
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        let samples = [
+            TraceEvent::Admitted {
+                time: t(1),
+                task: TaskId::new(1),
+            },
+            TraceEvent::Rejected { time: t(1) },
+            TraceEvent::Queued { time: t(1) },
+            TraceEvent::Shed {
+                time: t(1),
+                task: TaskId::new(2),
+            },
+            TraceEvent::Dispatched {
+                time: t(1),
+                stage: 0,
+                task: TaskId::new(3),
+                node: 1,
+            },
+            TraceEvent::SubtaskDone {
+                time: t(1),
+                stage: 0,
+                task: TaskId::new(3),
+                node: 1,
+            },
+            TraceEvent::IdleReset {
+                time: t(1),
+                stage: 2,
+            },
+            TraceEvent::TaskDone {
+                time: t(1),
+                task: TaskId::new(3),
+                missed: true,
+            },
+        ];
+        for e in samples {
+            assert!(!format!("{e}").is_empty());
+        }
+        assert!(format!(
+            "{}",
+            TraceEvent::TaskDone {
+                time: t(1),
+                task: TaskId::new(3),
+                missed: true
+            }
+        )
+        .contains("MISSED"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        Trace::new(0);
+    }
+}

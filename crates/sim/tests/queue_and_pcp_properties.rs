@@ -1,0 +1,116 @@
+//! Property tests for the two foundation pieces of the simulator: the
+//! deterministic event queue (against a reference model) and the priority
+//! ceiling protocol lock manager (structural invariants under random
+//! operation scripts).
+
+use frap_core::task::{LockId, Priority};
+use frap_core::time::Time;
+use frap_sim::events::EventQueue;
+use frap_sim::pcp::{Acquire, LockManager};
+use proptest::prelude::*;
+
+proptest! {
+    /// The queue pops in (time, insertion order) — exactly a stable sort
+    /// of the input by timestamp.
+    #[test]
+    fn event_queue_matches_stable_sort(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time::from_micros(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().copied().zip(0..).collect();
+        expected.sort_by_key(|&(t, _)| t); // stable: preserves insertion order
+        let mut got = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            got.push((t.as_micros(), i));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Interleaved pushes and pops never emit an event earlier than one
+    /// already emitted at a later... i.e. pops are monotone when every
+    /// push is at or after the last popped time (the simulator's usage
+    /// contract).
+    #[test]
+    fn event_queue_monotone_under_simulator_contract(
+        script in proptest::collection::vec((0u64..50, proptest::bool::ANY), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        let mut clock = 0u64;
+        let mut seq = 0usize;
+        for &(dt, push) in &script {
+            if push || q.is_empty() {
+                q.push(Time::from_micros(clock + dt), seq);
+                seq += 1;
+            } else if let Some((t, _)) = q.pop() {
+                prop_assert!(t.as_micros() >= clock, "time went backwards");
+                clock = t.as_micros();
+            }
+        }
+    }
+
+    /// Random PCP scripts: at most one holder per lock, a job holds at
+    /// most one lock (no nesting in our model), blocked jobs stay blocked
+    /// until a release wakes them, and every wake hands the lock over.
+    #[test]
+    fn pcp_structural_invariants(
+        script in proptest::collection::vec((0u64..6, 0u64..3, proptest::bool::ANY), 1..120)
+    ) {
+        let mut m: LockManager<u64> = LockManager::new();
+        // Register everyone up front with distinct priorities.
+        for job in 0..6u64 {
+            for lock in 0..3u64 {
+                m.register_user(LockId::new(lock as usize), Priority::new(10 + job), job);
+            }
+        }
+        // held_model[lock] = holder
+        let mut held: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut holder_of: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut blocked: std::collections::HashSet<u64> = std::collections::HashSet::new();
+
+        for &(job, lock, do_release) in &script {
+            if blocked.contains(&job) {
+                continue; // a blocked job cannot issue requests
+            }
+            if do_release {
+                if let Some(&l) = holder_of.get(&job) {
+                    let woken = m.release(&job);
+                    holder_of.remove(&job);
+                    held.remove(&l);
+                    for w in woken {
+                        prop_assert!(blocked.remove(&w), "woken job {w} was not blocked");
+                        // The woken job now holds its requested lock.
+                        let now_holds = (0..3u64)
+                            .filter(|&lk| m.holds(&w, LockId::new(lk as usize)))
+                            .collect::<Vec<_>>();
+                        prop_assert_eq!(now_holds.len(), 1, "woken job holds exactly one lock");
+                        held.insert(now_holds[0], w);
+                        holder_of.insert(w, now_holds[0]);
+                    }
+                }
+            } else if let std::collections::hash_map::Entry::Vacant(e) = holder_of.entry(job) {
+                match m.try_acquire(job, Priority::new(10 + job), LockId::new(lock as usize)) {
+                    Acquire::Acquired => {
+                        prop_assert!(!held.contains_key(&lock), "double grant on lock {lock}");
+                        held.insert(lock, job);
+                        e.insert(lock);
+                    }
+                    Acquire::Blocked => {
+                        blocked.insert(job);
+                    }
+                }
+            }
+
+            // Cross-check the model against the manager.
+            for (&l, &h) in &held {
+                prop_assert!(m.holds(&h, LockId::new(l as usize)));
+            }
+            prop_assert_eq!(m.held_count(), held.len());
+            prop_assert_eq!(m.blocked_count(), blocked.len());
+            for b in &blocked {
+                prop_assert!(m.is_blocked(b));
+            }
+        }
+    }
+}

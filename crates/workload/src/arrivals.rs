@@ -1,0 +1,242 @@
+//! Arrival processes.
+//!
+//! The paper's evaluation uses Poisson arrivals. Periodic-with-jitter
+//! streams model the paper's motivating observation that jittery periodic
+//! tasks are best analyzed aperiodically, and an on/off modulated process
+//! provides bursty stress workloads.
+
+use crate::rng::Rng;
+use frap_core::time::TimeDelta;
+
+/// Generates successive interarrival gaps.
+pub trait ArrivalProcess: std::fmt::Debug {
+    /// The gap until the next arrival.
+    fn next_gap(&mut self, rng: &mut Rng) -> TimeDelta;
+
+    /// The long-run average arrival rate in tasks/second.
+    fn rate(&self) -> f64;
+}
+
+/// A Poisson process: exponential interarrival gaps.
+///
+/// # Examples
+///
+/// ```
+/// use frap_workload::arrivals::{ArrivalProcess, PoissonProcess};
+/// use frap_workload::rng::Rng;
+/// let mut p = PoissonProcess::new(100.0); // 100 tasks/s
+/// let mut rng = Rng::new(1);
+/// let gap = p.next_gap(&mut rng);
+/// assert!(gap.as_secs_f64() >= 0.0);
+/// assert_eq!(p.rate(), 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonProcess {
+    rate: f64,
+}
+
+impl PoissonProcess {
+    /// A Poisson process with `rate` arrivals per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is finite and positive.
+    pub fn new(rate: f64) -> PoissonProcess {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        PoissonProcess { rate }
+    }
+}
+
+impl ArrivalProcess for PoissonProcess {
+    fn next_gap(&mut self, rng: &mut Rng) -> TimeDelta {
+        let u = 1.0 - rng.next_f64();
+        TimeDelta::from_secs_f64(-u.ln() / self.rate)
+    }
+
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// A periodic stream with bounded uniform release jitter: gaps are
+/// `period · (1 ± jitter·U)` where `U ~ Uniform(-1, 1)`.
+///
+/// With `jitter = 1` successive releases can nearly coincide — the
+/// zero-minimum-interarrival situation the paper cites as motivation for
+/// aperiodic analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodicWithJitter {
+    period: TimeDelta,
+    jitter: f64,
+}
+
+impl PeriodicWithJitter {
+    /// A stream of nominal `period` with jitter fraction `jitter ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `jitter` is outside `[0, 1]`.
+    pub fn new(period: TimeDelta, jitter: f64) -> PeriodicWithJitter {
+        assert!(!period.is_zero(), "period must be positive");
+        assert!((0.0..=1.0).contains(&jitter), "jitter must be in [0, 1]");
+        PeriodicWithJitter { period, jitter }
+    }
+}
+
+impl ArrivalProcess for PeriodicWithJitter {
+    fn next_gap(&mut self, rng: &mut Rng) -> TimeDelta {
+        if self.jitter == 0.0 {
+            return self.period;
+        }
+        let factor = 1.0 + self.jitter * rng.range_f64(-1.0, 1.0);
+        self.period.mul_f64(factor.max(0.0))
+    }
+
+    fn rate(&self) -> f64 {
+        1.0 / self.period.as_secs_f64()
+    }
+}
+
+/// A two-state on/off modulated Poisson process (bursty arrivals): in the
+/// *on* state arrivals come at `burst_rate`; *off* periods are silent.
+/// State dwell times are exponential.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnOffProcess {
+    burst_rate: f64,
+    mean_on: f64,
+    mean_off: f64,
+    in_on: bool,
+    state_left: f64,
+}
+
+impl OnOffProcess {
+    /// A bursty process: Poisson `burst_rate` during on-periods of mean
+    /// `mean_on` seconds, separated by silent off-periods of mean
+    /// `mean_off` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all parameters are finite and positive.
+    pub fn new(burst_rate: f64, mean_on: f64, mean_off: f64) -> OnOffProcess {
+        assert!(burst_rate.is_finite() && burst_rate > 0.0);
+        assert!(mean_on.is_finite() && mean_on > 0.0);
+        assert!(mean_off.is_finite() && mean_off > 0.0);
+        OnOffProcess {
+            burst_rate,
+            mean_on,
+            mean_off,
+            in_on: true,
+            state_left: 0.0,
+        }
+    }
+}
+
+impl ArrivalProcess for OnOffProcess {
+    fn next_gap(&mut self, rng: &mut Rng) -> TimeDelta {
+        let mut gap = 0.0;
+        loop {
+            if self.state_left <= 0.0 {
+                // (Re)enter a state.
+                let mean = if self.in_on {
+                    self.mean_on
+                } else {
+                    self.mean_off
+                };
+                self.state_left = -mean * (1.0 - rng.next_f64()).ln();
+            }
+            if self.in_on {
+                let next = -(1.0 - rng.next_f64()).ln() / self.burst_rate;
+                if next <= self.state_left {
+                    self.state_left -= next;
+                    return TimeDelta::from_secs_f64(gap + next);
+                }
+                gap += self.state_left;
+                self.state_left = 0.0;
+                self.in_on = false;
+            } else {
+                gap += self.state_left;
+                self.state_left = 0.0;
+                self.in_on = true;
+            }
+        }
+    }
+
+    fn rate(&self) -> f64 {
+        self.burst_rate * self.mean_on / (self.mean_on + self.mean_off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_rate<P: ArrivalProcess>(p: &mut P, n: usize) -> f64 {
+        let mut rng = Rng::new(77);
+        let total: f64 = (0..n).map(|_| p.next_gap(&mut rng).as_secs_f64()).sum();
+        n as f64 / total
+    }
+
+    #[test]
+    fn poisson_rate_converges() {
+        let mut p = PoissonProcess::new(100.0);
+        let r = empirical_rate(&mut p, 100_000);
+        assert!((r - 100.0).abs() < 2.0, "r={r}");
+    }
+
+    #[test]
+    fn periodic_no_jitter_is_exact() {
+        let mut p = PeriodicWithJitter::new(TimeDelta::from_millis(10), 0.0);
+        let mut rng = Rng::new(1);
+        for _ in 0..10 {
+            assert_eq!(p.next_gap(&mut rng), TimeDelta::from_millis(10));
+        }
+        assert!((p.rate() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_jitter_stays_in_band_and_keeps_rate() {
+        let mut p = PeriodicWithJitter::new(TimeDelta::from_millis(10), 0.5);
+        let mut rng = Rng::new(2);
+        for _ in 0..10_000 {
+            let g = p.next_gap(&mut rng).as_secs_f64();
+            assert!((0.005..=0.015).contains(&g), "g={g}");
+        }
+        let r = empirical_rate(&mut p, 100_000);
+        assert!((r - 100.0).abs() < 2.0, "r={r}");
+    }
+
+    #[test]
+    fn onoff_long_run_rate() {
+        let mut p = OnOffProcess::new(200.0, 0.1, 0.1);
+        assert!((p.rate() - 100.0).abs() < 1e-9);
+        let r = empirical_rate(&mut p, 200_000);
+        assert!((r - 100.0).abs() < 5.0, "r={r}");
+    }
+
+    #[test]
+    fn onoff_produces_bursts() {
+        // Gaps should be bimodal: many short (in-burst) and some long
+        // (spanning off periods).
+        let mut p = OnOffProcess::new(1000.0, 0.05, 0.5);
+        let mut rng = Rng::new(3);
+        let gaps: Vec<f64> = (0..20_000)
+            .map(|_| p.next_gap(&mut rng).as_secs_f64())
+            .collect();
+        let short = gaps.iter().filter(|&&g| g < 0.01).count();
+        let long = gaps.iter().filter(|&&g| g > 0.1).count();
+        assert!(short > 10_000, "short={short}");
+        assert!(long > 100, "long={long}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn poisson_rejects_zero_rate() {
+        PoissonProcess::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn periodic_rejects_bad_jitter() {
+        PeriodicWithJitter::new(TimeDelta::from_millis(1), 1.5);
+    }
+}

@@ -1,0 +1,254 @@
+//! Sampling distributions for computation times and deadlines.
+//!
+//! The paper's evaluation draws per-stage computation times from
+//! independent exponentials and end-to-end deadlines from a uniform range
+//! ([`Exponential`], [`Uniform`]). [`Deterministic`] supports the TSCE
+//! scenario's fixed Table 1 numbers and [`Pareto`] provides a heavy-tailed
+//! stress alternative.
+
+use crate::rng::Rng;
+use frap_core::time::TimeDelta;
+
+/// A sampling distribution over non-negative durations (seconds).
+pub trait Distribution: std::fmt::Debug {
+    /// Draws one value, in seconds (non-negative).
+    fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// The distribution mean, in seconds.
+    fn mean(&self) -> f64;
+
+    /// Draws one value as a [`TimeDelta`] (rounded to microseconds).
+    fn sample_delta(&self, rng: &mut Rng) -> TimeDelta {
+        TimeDelta::from_secs_f64(self.sample(rng))
+    }
+}
+
+/// Exponential with the given mean (seconds), via inverse-CDF sampling.
+///
+/// # Examples
+///
+/// ```
+/// use frap_workload::dist::{Distribution, Exponential};
+/// use frap_workload::rng::Rng;
+/// let d = Exponential::new(0.010); // mean 10 ms
+/// let mut rng = Rng::new(1);
+/// let x = d.sample(&mut rng);
+/// assert!(x >= 0.0);
+/// assert_eq!(d.mean(), 0.010);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// An exponential with mean `mean` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    pub fn new(mean: f64) -> Exponential {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        Exponential { mean }
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // -mean · ln(1 − U); 1 − U ∈ (0, 1] so ln is finite.
+        -self.mean * (1.0 - rng.next_f64()).ln()
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Uniform over `[lo, hi)` seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// A uniform distribution over `[lo, hi)` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite, negative, or out of order.
+    pub fn new(lo: f64, hi: f64) -> Uniform {
+        assert!(lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi);
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// A constant value (for Table 1's fixed computation times).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Always samples `value` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    pub fn new(value: f64) -> Deterministic {
+        assert!(value.is_finite() && value >= 0.0);
+        Deterministic { value }
+    }
+}
+
+impl Distribution for Deterministic {
+    fn sample(&self, _rng: &mut Rng) -> f64 {
+        self.value
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+}
+
+/// Pareto (Lomax-style, shifted to start at `scale`) with tail index
+/// `shape > 1` so the mean exists: heavy-tailed computation times for
+/// stressing the admission controller beyond the paper's workloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// A Pareto with minimum `scale` seconds and tail index `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale > 0` and `shape > 1` (finite mean).
+    pub fn new(scale: f64, shape: f64) -> Pareto {
+        assert!(scale.is_finite() && scale > 0.0);
+        assert!(shape.is_finite() && shape > 1.0, "shape must exceed 1");
+        Pareto { scale, shape }
+    }
+}
+
+impl Distribution for Pareto {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        let u = 1.0 - rng.next_f64(); // (0, 1]
+        self.scale * u.powf(-1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * self.shape / (self.shape - 1.0)
+    }
+}
+
+impl<T: Distribution + ?Sized> Distribution for Box<T> {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        (**self).sample(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        (**self).mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean<D: Distribution>(d: &D, n: usize) -> f64 {
+        let mut rng = Rng::new(1234);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::new(0.01);
+        let m = empirical_mean(&d, 200_000);
+        assert!((m - 0.01).abs() < 0.0005, "m={m}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative_and_finite() {
+        let d = Exponential::new(1.0);
+        let mut rng = Rng::new(5);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Uniform::new(1.0, 3.0);
+        assert_eq!(d.mean(), 2.0);
+        let mut rng = Rng::new(5);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..3.0).contains(&x));
+        }
+        let m = empirical_mean(&d, 100_000);
+        assert!((m - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = Deterministic::new(0.5);
+        let mut rng = Rng::new(9);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 0.5);
+        }
+        assert_eq!(d.mean(), 0.5);
+    }
+
+    #[test]
+    fn pareto_mean_and_minimum() {
+        let d = Pareto::new(0.001, 2.5);
+        let mut rng = Rng::new(11);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.001);
+        }
+        let expect = 0.001 * 2.5 / 1.5;
+        let m = empirical_mean(&d, 400_000);
+        assert!((m - expect).abs() < 0.0002, "m={m} expect={expect}");
+    }
+
+    #[test]
+    fn sample_delta_rounds_to_micros() {
+        let d = Deterministic::new(0.0015);
+        let mut rng = Rng::new(1);
+        assert_eq!(d.sample_delta(&mut rng), TimeDelta::from_micros(1500));
+    }
+
+    #[test]
+    fn boxed_distribution_delegates() {
+        let d: Box<dyn Distribution> = Box::new(Deterministic::new(0.25));
+        let mut rng = Rng::new(1);
+        assert_eq!(d.sample(&mut rng), 0.25);
+        assert_eq!(d.mean(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_nonpositive_mean() {
+        Exponential::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn pareto_rejects_infinite_mean_shape() {
+        Pareto::new(0.1, 1.0);
+    }
+}

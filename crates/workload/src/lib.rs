@@ -1,0 +1,49 @@
+//! # frap-workload
+//!
+//! Deterministic workload generation for the feasible-region pipeline
+//! experiments (Abdelzaher, Thaker & Lardieri, ICDCS 2004):
+//!
+//! * [`rng`] — a seeded xoshiro256\*\* generator (bit-reproducible
+//!   experiments, no external RNG dependency);
+//! * [`dist`] — exponential / uniform / deterministic / Pareto sampling;
+//! * [`arrivals`] — Poisson, periodic-with-jitter, and bursty on/off
+//!   arrival processes;
+//! * [`taskgen`] — the Section 4 parameterised pipeline workloads (load,
+//!   resolution, imbalance, critical sections) and fork-join DAG streams;
+//! * [`tsce`] — the Section 5 Total Ship Computing Environment scenario
+//!   (Table 1 task set, reservations, track-update capacity experiment);
+//! * [`replay`] — save and replay arrival traces in a line-oriented text
+//!   format (sharing workloads, replaying captured traces);
+//! * [`webfarm`] — the introduction's web-server scenario with three
+//!   request classes of different task-graph shapes.
+//!
+//! ## Example
+//!
+//! ```
+//! use frap_workload::taskgen::PipelineWorkloadBuilder;
+//! use frap_core::time::Time;
+//!
+//! // A two-stage workload at 120 % offered load, resolution 100.
+//! let arrivals: Vec<_> = PipelineWorkloadBuilder::new(2)
+//!     .load(1.2)
+//!     .resolution(100.0)
+//!     .seed(7)
+//!     .build()
+//!     .until(Time::from_secs(10))
+//!     .collect();
+//! assert!(!arrivals.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod dist;
+pub mod replay;
+pub mod rng;
+pub mod taskgen;
+pub mod tsce;
+pub mod webfarm;
+
+pub use rng::Rng;
+pub use taskgen::{DagWorkload, PipelineWorkload, PipelineWorkloadBuilder};

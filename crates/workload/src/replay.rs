@@ -1,0 +1,345 @@
+//! Saving and replaying arrival traces.
+//!
+//! Experiments are reproducible from seeds, but sharing a concrete
+//! workload (or replaying a trace captured from a real system) needs a
+//! serialized form. The format is a line-oriented text file:
+//!
+//! ```text
+//! # frap-arrivals v1
+//! <arrival_us>,<deadline_us>,<importance>,<nodes>,<edges>
+//! ```
+//!
+//! where `<nodes>` is `;`-separated subtasks — each `stage:seg|seg|…`
+//! with a segment being `dur_us` or `dur_us@lock` (critical section) —
+//! and `<edges>` is `;`-separated `from->to` pairs (empty for single
+//! subtasks, `-` when absent).
+//!
+//! # Examples
+//!
+//! ```
+//! use frap_workload::replay::{parse_arrivals, render_arrivals};
+//! use frap_workload::taskgen::PipelineWorkloadBuilder;
+//!
+//! let original: Vec<_> = PipelineWorkloadBuilder::new(2).seed(1).build().take(10).collect();
+//! let text = render_arrivals(&original);
+//! let loaded = parse_arrivals(&text)?;
+//! assert_eq!(original.len(), loaded.len());
+//! assert_eq!(original[3].0, loaded[3].0);
+//! assert_eq!(original[3].1, loaded[3].1);
+//! # Ok::<(), frap_workload::replay::ReplayError>(())
+//! ```
+
+use frap_core::graph::{TaskGraph, TaskSpec};
+use frap_core::task::{Importance, LockId, Segment, StageId, SubtaskSpec};
+use frap_core::time::{Time, TimeDelta};
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors from loading an arrival trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReplayError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// A line did not parse; carries the 1-based line number and a reason.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Io(e) => write!(f, "arrival trace io error: {e}"),
+            ReplayError::Parse { line, reason } => {
+                write!(f, "arrival trace parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Io(e) => Some(e),
+            ReplayError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReplayError {
+    fn from(e: std::io::Error) -> Self {
+        ReplayError::Io(e)
+    }
+}
+
+const HEADER: &str = "# frap-arrivals v1";
+
+/// Renders an arrival sequence to the trace format.
+pub fn render_arrivals(arrivals: &[(Time, TaskSpec)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    for (t, spec) in arrivals {
+        let mut nodes = String::new();
+        for (i, sub) in spec.graph.subtasks().enumerate() {
+            if i > 0 {
+                nodes.push(';');
+            }
+            let _ = write!(nodes, "{}:", sub.stage.index());
+            for (k, seg) in sub.segments.iter().enumerate() {
+                if k > 0 {
+                    nodes.push('|');
+                }
+                match seg.lock {
+                    Some(l) => {
+                        let _ = write!(nodes, "{}@{}", seg.duration.as_micros(), l.index());
+                    }
+                    None => {
+                        let _ = write!(nodes, "{}", seg.duration.as_micros());
+                    }
+                }
+            }
+        }
+        let mut edges = String::new();
+        for i in 0..spec.graph.len() {
+            for &s in spec.graph.succs(i) {
+                if !edges.is_empty() {
+                    edges.push(';');
+                }
+                let _ = write!(edges, "{i}->{s}");
+            }
+        }
+        if edges.is_empty() {
+            edges.push('-');
+        }
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            t.as_micros(),
+            spec.deadline.as_micros(),
+            spec.importance.level(),
+            nodes,
+            edges
+        );
+    }
+    out
+}
+
+/// Parses the trace format back into an arrival sequence.
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Parse`] with the offending line on any
+/// malformed input (bad field counts, non-numeric values, invalid graphs).
+pub fn parse_arrivals(text: &str) -> Result<Vec<(Time, TaskSpec)>, ReplayError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 5 {
+            return Err(ReplayError::Parse {
+                line,
+                reason: format!("expected 5 fields, got {}", fields.len()),
+            });
+        }
+        let parse_u64 = |s: &str, what: &str| -> Result<u64, ReplayError> {
+            s.parse().map_err(|_| ReplayError::Parse {
+                line,
+                reason: format!("invalid {what}: {s:?}"),
+            })
+        };
+        let arrival = Time::from_micros(parse_u64(fields[0], "arrival time")?);
+        let deadline = TimeDelta::from_micros(parse_u64(fields[1], "deadline")?);
+        let importance = Importance::new(parse_u64(fields[2], "importance")? as u32);
+
+        let mut builder = TaskGraph::builder();
+        for node in fields[3].split(';') {
+            let (stage_s, segs_s) = node.split_once(':').ok_or_else(|| ReplayError::Parse {
+                line,
+                reason: format!("node missing stage separator: {node:?}"),
+            })?;
+            let stage = StageId::new(parse_u64(stage_s, "stage")? as usize);
+            let mut segments = Vec::new();
+            for seg in segs_s.split('|') {
+                let segment = match seg.split_once('@') {
+                    Some((dur, lock)) => Segment::critical(
+                        TimeDelta::from_micros(parse_u64(dur, "segment duration")?),
+                        LockId::new(parse_u64(lock, "lock")? as usize),
+                    ),
+                    None => Segment::compute(TimeDelta::from_micros(parse_u64(
+                        seg,
+                        "segment duration",
+                    )?)),
+                };
+                segments.push(segment);
+            }
+            builder.add(SubtaskSpec::with_segments(stage, segments));
+        }
+        if fields[4] != "-" {
+            for edge in fields[4].split(';') {
+                let (a, b) = edge.split_once("->").ok_or_else(|| ReplayError::Parse {
+                    line,
+                    reason: format!("malformed edge: {edge:?}"),
+                })?;
+                builder.edge(
+                    parse_u64(a, "edge source")? as usize,
+                    parse_u64(b, "edge target")? as usize,
+                );
+            }
+        }
+        let graph = builder.build().map_err(|e| ReplayError::Parse {
+            line,
+            reason: format!("invalid task graph: {e}"),
+        })?;
+        out.push((
+            arrival,
+            TaskSpec::new(deadline, graph).with_importance(importance),
+        ));
+    }
+    Ok(out)
+}
+
+/// Writes an arrival sequence to `path` in the trace format.
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Io`] on filesystem errors.
+pub fn save_arrivals(
+    path: impl AsRef<Path>,
+    arrivals: &[(Time, TaskSpec)],
+) -> Result<(), ReplayError> {
+    std::fs::write(path, render_arrivals(arrivals))?;
+    Ok(())
+}
+
+/// Loads an arrival sequence from `path`.
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Io`] on filesystem errors and
+/// [`ReplayError::Parse`] on malformed content.
+pub fn load_arrivals(path: impl AsRef<Path>) -> Result<Vec<(Time, TaskSpec)>, ReplayError> {
+    parse_arrivals(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taskgen::{CriticalSectionConfig, DagWorkload, PipelineWorkloadBuilder};
+
+    #[test]
+    fn roundtrip_pipeline_workload() {
+        let original: Vec<_> = PipelineWorkloadBuilder::new(3)
+            .seed(5)
+            .build()
+            .take(50)
+            .collect();
+        let loaded = parse_arrivals(&render_arrivals(&original)).unwrap();
+        assert_eq!(original.len(), loaded.len());
+        for ((t1, s1), (t2, s2)) in original.iter().zip(&loaded) {
+            assert_eq!(t1, t2);
+            assert_eq!(s1.deadline, s2.deadline);
+            assert_eq!(s1.importance, s2.importance);
+            assert_eq!(s1.graph, s2.graph);
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_critical_sections() {
+        let original: Vec<_> = PipelineWorkloadBuilder::new(2)
+            .critical_sections(CriticalSectionConfig {
+                probability: 1.0,
+                fraction: 0.4,
+                locks_per_stage: 3,
+            })
+            .seed(6)
+            .build()
+            .take(20)
+            .collect();
+        let loaded = parse_arrivals(&render_arrivals(&original)).unwrap();
+        for ((_, s1), (_, s2)) in original.iter().zip(&loaded) {
+            assert_eq!(s1.graph, s2.graph);
+        }
+    }
+
+    #[test]
+    fn roundtrip_dag_workload() {
+        let original: Vec<_> = DagWorkload::new(5, 0.005, 50.0, 30.0, 7).take(20).collect();
+        let loaded = parse_arrivals(&render_arrivals(&original)).unwrap();
+        for ((_, s1), (_, s2)) in original.iter().zip(&loaded) {
+            assert_eq!(s1.graph, s2.graph);
+            assert_eq!(s1.graph.sources(), s2.graph.sources());
+            assert_eq!(s1.graph.sinks(), s2.graph.sinks());
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("frap_replay_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.txt");
+        let original: Vec<_> = PipelineWorkloadBuilder::new(1)
+            .seed(9)
+            .build()
+            .take(5)
+            .collect();
+        save_arrivals(&path, &original).unwrap();
+        let loaded = load_arrivals(&path).unwrap();
+        assert_eq!(original.len(), loaded.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# frap-arrivals v1\n\n# comment\n100,2000,0,0:500,-\n";
+        let loaded = parse_arrivals(text).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0, Time::from_micros(100));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad_fields = "# h\n1,2,3\n";
+        match parse_arrivals(bad_fields).unwrap_err() {
+            ReplayError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected: {other}"),
+        }
+        let bad_number = "1,2,x,0:5,-\n";
+        assert!(matches!(
+            parse_arrivals(bad_number).unwrap_err(),
+            ReplayError::Parse { line: 1, .. }
+        ));
+        let bad_edge = "1,2,0,0:5;1:5,zzz\n";
+        assert!(parse_arrivals(bad_edge).is_err());
+        let cyclic = "1,2,0,0:5;1:5,0->1;1->0\n";
+        match parse_arrivals(cyclic).unwrap_err() {
+            ReplayError::Parse { reason, .. } => assert!(reason.contains("cycle")),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        match load_arrivals("/nonexistent/frap/trace.txt").unwrap_err() {
+            ReplayError::Io(_) => {}
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = ReplayError::Parse {
+            line: 3,
+            reason: "boom".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the workload substrate: RNG ranges, distribution
+//! supports, arrival-process monotonicity, and generator well-formedness.
+
+use frap_core::time::Time;
+use frap_workload::arrivals::{ArrivalProcess, OnOffProcess, PeriodicWithJitter, PoissonProcess};
+use frap_workload::dist::{Distribution, Exponential, Pareto, Uniform};
+use frap_workload::rng::Rng;
+use frap_workload::taskgen::PipelineWorkloadBuilder;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn rng_range_u64_stays_in_bounds(seed in proptest::num::u64::ANY, n in 1u64..1_000_000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.range_u64(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_range_f64_stays_in_bounds(seed in proptest::num::u64::ANY, lo in -100.0..100.0f64, span in 0.0..100.0f64) {
+        let mut rng = Rng::new(seed);
+        let hi = lo + span;
+        for _ in 0..100 {
+            let v = rng.range_f64(lo, hi);
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    #[test]
+    fn distributions_respect_their_support(seed in proptest::num::u64::ANY) {
+        let mut rng = Rng::new(seed);
+        let exp = Exponential::new(0.01);
+        let uni = Uniform::new(0.5, 2.0);
+        let par = Pareto::new(0.001, 2.0);
+        for _ in 0..200 {
+            prop_assert!(exp.sample(&mut rng) >= 0.0);
+            let u = uni.sample(&mut rng);
+            prop_assert!((0.5..2.0).contains(&u));
+            prop_assert!(par.sample(&mut rng) >= 0.001);
+        }
+    }
+
+    #[test]
+    fn arrival_processes_emit_nonnegative_gaps(seed in proptest::num::u64::ANY) {
+        let mut rng = Rng::new(seed);
+        let mut poisson = PoissonProcess::new(50.0);
+        let mut periodic = PeriodicWithJitter::new(
+            frap_core::time::TimeDelta::from_millis(10),
+            0.7,
+        );
+        let mut bursty = OnOffProcess::new(100.0, 0.05, 0.05);
+        for _ in 0..200 {
+            // Gaps are spans: non-negative by type; sanity: finite values.
+            let _ = poisson.next_gap(&mut rng);
+            let g = periodic.next_gap(&mut rng).as_secs_f64();
+            prop_assert!((0.0..=0.017001).contains(&g), "g={g}");
+            let _ = bursty.next_gap(&mut rng);
+        }
+    }
+
+    #[test]
+    fn pipeline_generator_is_well_formed(
+        seed in proptest::num::u64::ANY,
+        stages in 1usize..6,
+        load in 0.1..3.0f64,
+        resolution in 2.0..300.0f64,
+    ) {
+        let tasks: Vec<_> = PipelineWorkloadBuilder::new(stages)
+            .load(load)
+            .resolution(resolution)
+            .seed(seed)
+            .build()
+            .take(50)
+            .collect();
+        prop_assert_eq!(tasks.len(), 50);
+        let mut prev = Time::ZERO;
+        for (t, spec) in &tasks {
+            prop_assert!(*t >= prev, "arrivals sorted");
+            prev = *t;
+            prop_assert_eq!(spec.graph.len(), stages);
+            prop_assert!(spec.graph.is_chain());
+            prop_assert!(!spec.deadline.is_zero());
+            // Deadlines honour the configured spread around the mean.
+            let mean = resolution * stages as f64 * 0.010;
+            let d = spec.deadline.as_secs_f64();
+            prop_assert!(d >= 0.5 * mean - 1e-6 && d <= 1.5 * mean + 1e-6);
+        }
+    }
+
+    #[test]
+    fn generator_streams_with_same_seed_are_identical(seed in proptest::num::u64::ANY) {
+        let take = |s| -> Vec<_> {
+            PipelineWorkloadBuilder::new(2).seed(s).build().take(20).collect()
+        };
+        let a = take(seed);
+        let b = take(seed);
+        for ((t1, s1), (t2, s2)) in a.iter().zip(&b) {
+            prop_assert_eq!(t1, t2);
+            prop_assert_eq!(&s1.graph, &s2.graph);
+            prop_assert_eq!(s1.deadline, s2.deadline);
+        }
+    }
+}

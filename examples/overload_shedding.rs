@@ -1,0 +1,92 @@
+//! Importance-aware overload management (paper Section 5).
+//!
+//! Scheduling priority inside the pipeline stays deadline-monotonic (the
+//! optimal policy), while *semantic importance* only decides what gets
+//! shed at overload: when an important arrival falls outside the feasible
+//! region, the admission controller evicts the least important admitted
+//! work until the arrival fits.
+//!
+//! Run with: `cargo run --example overload_shedding`
+
+use frap::core::graph::TaskSpec;
+use frap::core::task::Importance;
+use frap::core::time::{Time, TimeDelta};
+use frap::sim::pipeline::{OverloadPolicy, SimBuilder};
+use frap::workload::rng::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ms = TimeDelta::from_millis;
+    let horizon = Time::from_secs(20);
+
+    // Background load: a steady stream of low-importance batch jobs that
+    // alone would saturate the two-stage pipeline...
+    let mut arrivals: Vec<(Time, TaskSpec)> = Vec::new();
+    let mut rng = Rng::new(42);
+    let mut t = Time::ZERO;
+    while t <= horizon {
+        t += TimeDelta::from_micros(6_000 + rng.range_u64(6_000));
+        let batch =
+            TaskSpec::pipeline(ms(400), &[ms(12), ms(12)])?.with_importance(Importance::new(1));
+        arrivals.push((t, batch));
+    }
+    // ...plus occasional mission-critical alerts that must always get in.
+    let mut t = Time::from_millis(137);
+    while t <= horizon {
+        let alert =
+            TaskSpec::pipeline(ms(100), &[ms(8), ms(8)])?.with_importance(Importance::CRITICAL);
+        arrivals.push((t, alert));
+        t += TimeDelta::from_millis(500);
+    }
+    arrivals.sort_by_key(|&(t, _)| t);
+    let total_alerts = arrivals
+        .iter()
+        .filter(|(_, s)| s.importance == Importance::CRITICAL)
+        .count();
+
+    for (label, policy) in [
+        (
+            "reject-arrival (no shedding)",
+            OverloadPolicy::RejectArrival,
+        ),
+        (
+            "shed-less-important (paper §5)",
+            OverloadPolicy::ShedLessImportant,
+        ),
+    ] {
+        let mut sim = SimBuilder::new(2)
+            .overload(policy)
+            .record_outcomes(true)
+            .build();
+        let m = sim.run(arrivals.clone().into_iter(), horizon);
+        // Alerts have deadline 100 ms; count how many of the *offered*
+        // alerts completed on time.
+        let alerts_served = m
+            .outcomes
+            .iter()
+            .filter(|o| o.deadline.saturating_since(o.arrival) == ms(100) && !o.missed())
+            .count();
+        println!("--- {label} ---");
+        println!(
+            "  admitted {}/{} offered, shed {}, misses {}",
+            m.admitted, m.offered, m.shed, m.missed
+        );
+        println!("  critical alerts served on time: {alerts_served}/{total_alerts}");
+        println!(
+            "  stage utilization: {:.1}% / {:.1}%\n",
+            m.stage_utilization(0) * 100.0,
+            m.stage_utilization(1) * 100.0
+        );
+        assert_eq!(m.missed, 0, "admitted work always meets its deadline");
+        if policy == OverloadPolicy::ShedLessImportant {
+            assert_eq!(
+                alerts_served, total_alerts,
+                "with shedding, every critical alert gets through"
+            );
+        }
+    }
+    println!(
+        "=> shedding decouples semantic importance from scheduling priority: \
+         the scheduler stays deadline-monotonic, yet critical alerts always fit."
+    );
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Periodic task sets: classical offline analysis vs online admission.
+//!
+//! Certifies a periodic pipeline set with holistic response-time analysis
+//! (the paper's related-work baseline), shows how release jitter wrecks
+//! that analysis, and then serves the same jittery streams through the
+//! feasible-region admission controller — the paper's Section 1
+//! motivation, end to end.
+//!
+//! Run with: `cargo run --example periodic_analysis`
+
+use frap::core::graph::TaskSpec;
+use frap::core::rta::{HolisticAnalysis, PeriodicTask};
+use frap::core::time::{Time, TimeDelta};
+use frap::sim::pipeline::SimBuilder;
+use frap::workload::taskgen::PeriodicSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ms = TimeDelta::from_millis;
+
+    // A control system's periodic set on a two-stage pipeline
+    // (sense → actuate).
+    let streams: [(u64, [u64; 2]); 5] = [
+        (20, [2, 2]),   // fast control loop
+        (50, [6, 4]),   // telemetry
+        (100, [10, 8]), // camera A
+        (100, [10, 8]), // camera B
+        (100, [10, 8]), // logging/planning
+    ];
+
+    // ----------------------------------------------------------------
+    // 1. Offline certification with holistic RTA (no jitter).
+    // ----------------------------------------------------------------
+    let mut rta = HolisticAnalysis::new(2);
+    for (period, comps) in &streams {
+        rta.add(PeriodicTask::deadline_monotonic(
+            ms(*period),
+            ms(*period),
+            comps.iter().map(|&c| ms(c)).collect(),
+        ));
+    }
+    let clean = rta.analyze();
+    println!("holistic RTA, zero jitter:");
+    for (i, t) in clean.tasks.iter().enumerate() {
+        println!(
+            "  stream {i}: worst-case end-to-end response {} (deadline {} ms) -> {}",
+            t.total,
+            streams[i].0,
+            if t.schedulable { "ok" } else { "MISS" }
+        );
+    }
+    assert!(clean.schedulable);
+
+    // ----------------------------------------------------------------
+    // 2. The same set with heavy release jitter: RTA capitulates.
+    // ----------------------------------------------------------------
+    let mut jittery = HolisticAnalysis::new(2);
+    for (period, comps) in &streams {
+        jittery.add(
+            PeriodicTask::deadline_monotonic(
+                ms(*period),
+                ms(*period),
+                comps.iter().map(|&c| ms(c)).collect(),
+            )
+            .with_jitter(ms(period * 9 / 10)),
+        );
+    }
+    let analysis = jittery.analyze();
+    println!(
+        "\nholistic RTA, 90% release jitter: schedulable = {}",
+        analysis.schedulable
+    );
+    assert!(
+        !analysis.schedulable,
+        "near-period jitter inflates the interference terms past the deadlines"
+    );
+
+    // ----------------------------------------------------------------
+    // 3. Serve the jittery streams online instead.
+    // ----------------------------------------------------------------
+    let horizon = Time::from_secs(30);
+    let mut set = PeriodicSet::new();
+    for (period, comps) in &streams {
+        let comps: Vec<TimeDelta> = comps.iter().map(|&c| ms(c)).collect();
+        let spec = TaskSpec::pipeline(ms(*period), &comps)?;
+        set.add_with(spec, ms(*period), TimeDelta::ZERO, 0.9);
+    }
+    set.stagger_phases();
+    let mut sim = SimBuilder::new(2).build();
+    let m = sim
+        .run(set.arrivals(horizon, 42).into_iter(), horizon)
+        .clone();
+    println!(
+        "\nonline feasible-region admission of the same jittery streams:\n\
+         {} instances offered, {:.1}% admitted, {} deadline misses\n\
+         response p50/p99: {} / {}",
+        m.offered,
+        m.acceptance_ratio() * 100.0,
+        m.missed,
+        m.response_percentile(0.50),
+        m.response_percentile(0.99),
+    );
+    assert_eq!(m.missed, 0);
+    println!(
+        "\n=> the aperiodic feasible region needs no periods, no jitter bounds,\n\
+         and still guarantees every admitted instance its end-to-end deadline."
+    );
+    Ok(())
+}

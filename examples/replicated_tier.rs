@@ -1,0 +1,124 @@
+//! Partitioned multi-server stages: a logical application tier backed by
+//! three replicas.
+//!
+//! The paper analyzes *independent resources*; a tier of `m` identical
+//! servers fits the theory by treating each replica as its own stage and
+//! binding every task to one replica at admission time (partitioned
+//! scheduling). The interesting knob is the *routing policy*: binding to
+//! the **least-utilized** replica balances the synthetic-utilization
+//! vector, which keeps the region sum low and admits measurably more than
+//! oblivious round-robin-by-hash routing — with the per-replica deadline
+//! guarantee intact either way.
+//!
+//! Run with: `cargo run --example replicated_tier`
+
+use frap::core::graph::TaskSpec;
+use frap::core::synthetic::SyntheticState;
+use frap::core::task::StageId;
+use frap::core::time::{Time, TimeDelta};
+use frap::sim::pipeline::SimBuilder;
+use frap::sim::SimMetrics;
+use frap::workload::rng::Rng;
+
+/// Stage 0: front end. Stages 1–3: app-server replicas. Stage 4: database.
+const STAGES: usize = 5;
+const REPLICAS: [StageId; 3] = [StageId::new(1), StageId::new(2), StageId::new(3)];
+/// Logical placeholder stage rewritten by the router.
+const APP_TIER: StageId = StageId::new(1);
+
+fn workload(horizon: Time, seed: u64) -> Vec<(Time, TaskSpec)> {
+    let ms = TimeDelta::from_millis;
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::new();
+    let mut t = Time::ZERO;
+    loop {
+        // ~250 requests/s: the app tier needs all three replicas.
+        t += TimeDelta::from_micros(3_000 + rng.range_u64(2_000));
+        if t > horizon {
+            break;
+        }
+        let app_work = TimeDelta::from_micros(6_000 + rng.range_u64(8_000));
+        let deadline = ms(150 + rng.range_u64(300));
+        // FE -> APP_TIER (rebound to a replica by the router) -> DB.
+        let spec = {
+            use frap::core::task::SubtaskSpec;
+            let graph = frap::core::graph::TaskGraph::chain(vec![
+                SubtaskSpec::new(StageId::new(0), ms(1)),
+                SubtaskSpec::new(APP_TIER, app_work),
+                SubtaskSpec::new(StageId::new(4), ms(3)),
+            ])
+            .expect("valid chain");
+            TaskSpec::new(deadline, graph)
+        };
+        out.push((t, spec));
+    }
+    out
+}
+
+fn least_utilized(state: &SyntheticState, spec: TaskSpec) -> TaskSpec {
+    let best = REPLICAS
+        .iter()
+        .copied()
+        .min_by(|a, b| {
+            state
+                .stage(*a)
+                .value()
+                .partial_cmp(&state.stage(*b).value())
+                .expect("utilizations are finite")
+        })
+        .expect("replicas exist");
+    spec.remap_stages(|s| if s == APP_TIER { best } else { s })
+}
+
+fn hash_routed(state: &SyntheticState, spec: TaskSpec) -> TaskSpec {
+    // Oblivious routing: pick a replica from the deadline bits (a stand-in
+    // for hashing the session id).
+    let _ = state;
+    let pick = REPLICAS[(spec.deadline.as_micros() % 3) as usize];
+    spec.remap_stages(|s| if s == APP_TIER { pick } else { s })
+}
+
+fn run(router: fn(&SyntheticState, TaskSpec) -> TaskSpec) -> SimMetrics {
+    let horizon = Time::from_secs(20);
+    let mut sim = SimBuilder::new(STAGES).router(router).build();
+    sim.run(workload(horizon, 77).into_iter(), horizon).clone()
+}
+
+fn main() {
+    let smart = run(least_utilized);
+    let oblivious = run(hash_routed);
+
+    for (label, m) in [
+        ("least-utilized routing", &smart),
+        ("hash routing", &oblivious),
+    ] {
+        println!("--- {label} ---");
+        println!(
+            "  admitted {}/{} ({:.1}%), missed {}",
+            m.admitted,
+            m.offered,
+            m.acceptance_ratio() * 100.0,
+            m.missed
+        );
+        for (j, name) in [(1, "replica A"), (2, "replica B"), (3, "replica C")] {
+            println!("  {name}: {:.1}% busy", m.stage_utilization(j) * 100.0);
+        }
+        println!();
+    }
+    assert_eq!(
+        smart.missed + oblivious.missed,
+        0,
+        "both routings stay safe"
+    );
+    assert!(
+        smart.admitted >= oblivious.admitted,
+        "utilization-aware routing should not admit less"
+    );
+    println!(
+        "=> binding each task to the least-utilized replica keeps the \
+         utilization vector balanced and admits {} more requests \
+         ({:+.1}%), with the deadline guarantee intact under both policies.",
+        smart.admitted - oblivious.admitted,
+        (smart.admitted as f64 / oblivious.admitted as f64 - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,68 @@
+//! The Total Ship Computing Environment case study (paper Section 5).
+//!
+//! Certifies the Table 1 critical task set offline (Equation 13), reserves
+//! its synthetic utilization, then admits Target Tracking updates online
+//! with a 200 ms admission wait queue — reproducing the paper's finding
+//! that the system runs its bottleneck stage near capacity while every
+//! hard deadline holds.
+//!
+//! Run with: `cargo run --example shipboard_tsce`
+
+use frap::core::time::{Time, TimeDelta};
+use frap::sim::pipeline::{SimBuilder, WaitPolicy};
+use frap::workload::tsce;
+
+fn main() {
+    // ------------------------------------------------------------
+    // 1. Offline certification of the critical tasks (Equation 13).
+    // ------------------------------------------------------------
+    let reservations = tsce::reservations();
+    println!("reserved synthetic utilization per stage: {reservations:?}");
+    let cert = tsce::certification_value();
+    println!(
+        "Equation (13) value: {cert:.4}  ->  {}",
+        if cert <= 1.0 {
+            "certifiable: Weapon Detection + Weapon Targeting + UAV video are schedulable"
+        } else {
+            "NOT certifiable"
+        }
+    );
+
+    // ------------------------------------------------------------
+    // 2. Online admission of Target Tracking load on top.
+    // ------------------------------------------------------------
+    let horizon = Time::from_secs(20);
+    for tracks in [200usize, 400, 550] {
+        let mut sim = SimBuilder::new(tsce::STAGES)
+            .reservations(reservations.to_vec())
+            .reserved_importance(tsce::CRITICAL)
+            .wait(WaitPolicy::WaitUpTo(TimeDelta::from_millis(200)))
+            .build();
+        let scenario = tsce::TsceScenario::new(tracks);
+        let m = sim.run(scenario.arrivals(horizon).into_iter(), horizon);
+
+        println!(
+            "\n{tracks} tracks: accept {:.1}%, wait-timeouts {}, misses {}",
+            m.acceptance_ratio() * 100.0,
+            m.wait_timeouts,
+            m.missed
+        );
+        for j in 0..tsce::STAGES {
+            println!(
+                "  stage {} utilization: {:.1}%{}",
+                j + 1,
+                m.stage_utilization(j) * 100.0,
+                if j == 0 {
+                    "  (tracking: bottleneck)"
+                } else {
+                    ""
+                }
+            );
+        }
+        assert_eq!(m.missed, 0, "hard deadlines must hold");
+    }
+    println!(
+        "\npaper's observation reproduced: hundreds of tracks run concurrently \
+         with the tracking stage near capacity and zero deadline misses."
+    );
+}

@@ -1,0 +1,49 @@
+//! # frap
+//!
+//! **F**easible-**R**egion **A**dmission control for resource **P**ipelines
+//! — a complete Rust implementation of
+//!
+//! > T. Abdelzaher, G. Thaker, P. Lardieri, *"A Feasible Region for Meeting
+//! > Aperiodic End-to-End Deadlines in Resource Pipelines"*, ICDCS 2004.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] ([`frap_core`]) — the analysis: synthetic utilization, the
+//!   stage delay theorem, feasible regions for pipelines and DAGs,
+//!   urgency inversion, blocking terms, and the `O(N)` admission
+//!   controllers (exact, approximate, reservations, shedding, baselines);
+//! * [`sim`] ([`frap_sim`]) — a deterministic discrete-event simulator:
+//!   preemptive fixed-priority stages, the priority ceiling protocol,
+//!   DAG routing, wait queues, metrics;
+//! * [`workload`] ([`frap_workload`]) — seeded workload generation and the
+//!   Navy Total Ship Computing Environment scenario of the paper's
+//!   Section 5.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `frap-experiments` for the harness that regenerates every figure and
+//! table of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use frap::core::admission::{Admission, ExactContributions};
+//! use frap::core::graph::TaskSpec;
+//! use frap::core::region::FeasibleRegion;
+//! use frap::core::time::{Time, TimeDelta};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ms = TimeDelta::from_millis;
+//! let region = FeasibleRegion::deadline_monotonic(3);
+//! let mut ac = Admission::new(region, ExactContributions);
+//! let request = TaskSpec::pipeline(ms(500), &[ms(5), ms(10), ms(5)])?;
+//! assert!(ac.try_admit(Time::ZERO, &request).is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use frap_core as core;
+pub use frap_sim as sim;
+pub use frap_workload as workload;

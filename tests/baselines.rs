@@ -1,0 +1,113 @@
+//! Baseline comparisons backing the paper's claims:
+//!
+//! * the end-to-end feasible region admits more work than the classical
+//!   intermediate-deadline per-stage analysis;
+//! * without admission control, overload causes deadline misses;
+//! * mean-based approximate admission approaches exact admission in the
+//!   high-resolution (liquid) regime.
+
+use frap::core::admission::{
+    AlwaysAdmit, MeanContributions, PerStageBound, SplitDeadlineContributions,
+};
+use frap::core::delay::UNIPROCESSOR_BOUND;
+use frap::core::time::{Time, TimeDelta};
+use frap::sim::pipeline::SimBuilder;
+use frap::sim::SimMetrics;
+use frap::workload::taskgen::PipelineWorkloadBuilder;
+
+const STAGES: usize = 2;
+
+fn run(sim: &mut frap::sim::Simulation, load: f64, resolution: f64, seed: u64) -> SimMetrics {
+    let horizon = Time::from_secs(10);
+    let wl = PipelineWorkloadBuilder::new(STAGES)
+        .load(load)
+        .resolution(resolution)
+        .seed(seed)
+        .build()
+        .until(horizon);
+    sim.run(wl, horizon).clone()
+}
+
+#[test]
+fn end_to_end_beats_intermediate_deadlines() {
+    for seed in [1u64, 2, 3] {
+        let mut e2e = SimBuilder::new(STAGES).build();
+        let m_e2e = run(&mut e2e, 1.2, 100.0, seed);
+
+        let mut split = SimBuilder::new(STAGES)
+            .region(PerStageBound::new(STAGES, UNIPROCESSOR_BOUND))
+            .model(SplitDeadlineContributions)
+            .build();
+        let m_split = run(&mut split, 1.2, 100.0, seed);
+
+        assert_eq!(m_e2e.missed, 0);
+        assert_eq!(m_split.missed, 0, "the baseline is sound, just pessimistic");
+        assert!(
+            m_e2e.mean_stage_utilization() > m_split.mean_stage_utilization(),
+            "seed {seed}: end-to-end {:.3} should beat split-deadline {:.3}",
+            m_e2e.mean_stage_utilization(),
+            m_split.mean_stage_utilization()
+        );
+    }
+}
+
+#[test]
+fn no_admission_control_misses_at_overload() {
+    let mut none = SimBuilder::new(STAGES)
+        .region(AlwaysAdmit::new(STAGES))
+        .build();
+    let m = run(&mut none, 1.5, 100.0, 9);
+    assert_eq!(m.rejected, 0);
+    assert!(
+        m.missed > 0,
+        "150% load with no admission control must blow deadlines"
+    );
+}
+
+#[test]
+fn approximate_admission_tracks_exact_at_high_resolution() {
+    let mut exact = SimBuilder::new(STAGES).build();
+    let m_exact = run(&mut exact, 1.0, 200.0, 5);
+
+    let mut approx = SimBuilder::new(STAGES)
+        .model(MeanContributions::new(vec![
+            TimeDelta::from_millis(10);
+            STAGES
+        ]))
+        .build();
+    let m_approx = run(&mut approx, 1.0, 200.0, 5);
+
+    assert_eq!(m_exact.missed, 0);
+    // The paper's Section 4.4 finding: at high resolution the mean-based
+    // controller behaves like the exact one — almost no misses, similar
+    // utilization.
+    assert!(
+        m_approx.miss_ratio() < 0.01,
+        "miss ratio {:.4} should be negligible",
+        m_approx.miss_ratio()
+    );
+    let diff = (m_approx.mean_stage_utilization() - m_exact.mean_stage_utilization()).abs();
+    assert!(
+        diff < 0.1,
+        "utilizations should be close: exact {:.3} vs approx {:.3}",
+        m_exact.mean_stage_utilization(),
+        m_approx.mean_stage_utilization()
+    );
+}
+
+#[test]
+fn reservations_trade_dynamic_capacity_for_guarantees() {
+    let mut plain = SimBuilder::new(STAGES).build();
+    let m_plain = run(&mut plain, 1.2, 100.0, 7);
+
+    let mut reserved = SimBuilder::new(STAGES).reservations(vec![0.3, 0.3]).build();
+    let m_reserved = run(&mut reserved, 1.2, 100.0, 7);
+
+    assert!(
+        m_reserved.admitted < m_plain.admitted,
+        "reservations must reduce dynamically admitted work: {} vs {}",
+        m_reserved.admitted,
+        m_plain.admitted
+    );
+    assert_eq!(m_reserved.missed, 0);
+}

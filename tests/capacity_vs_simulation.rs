@@ -1,0 +1,115 @@
+//! Capacity planning vs reality: the demand-weighted allocation computed
+//! analytically by `frap_core::capacity` predicts the synthetic-utilization
+//! operating point an overloaded admission controller actually settles at.
+
+use frap::core::capacity::{stage_headroom, weighted_allocation};
+use frap::core::region::FeasibleRegion;
+use frap::core::task::StageId;
+use frap::core::time::Time;
+use frap::sim::pipeline::SimBuilder;
+use frap::workload::taskgen::PipelineWorkloadBuilder;
+
+#[test]
+fn overloaded_controller_settles_at_the_weighted_allocation() {
+    // Stage demand ratio 2:1 (mean computations 20 ms vs 10 ms). Under
+    // heavy overload with idle resets disabled and *mean-based* charging
+    // (each task charges exactly the 2:1 mean mix — the model capacity
+    // planning assumes), the controller fills the region and settles at
+    // the analytic allocation. (With exact charging a selection effect
+    // appears: near the surface, small-C0 tasks are admitted more often,
+    // flattening the mix — which is itself the reason provisioning math
+    // pairs with mean-based charging.)
+    let region = FeasibleRegion::deadline_monotonic(2);
+    let predicted = weighted_allocation(&region, &[2.0, 1.0]).unwrap();
+
+    use frap::core::admission::MeanContributions;
+    use frap::core::time::TimeDelta;
+    let horizon = Time::from_secs(20);
+    let mut sim = SimBuilder::new(2)
+        .idle_resets(false)
+        .model(MeanContributions::new(vec![
+            TimeDelta::from_millis(20),
+            TimeDelta::from_millis(10),
+        ]))
+        .build();
+    let wl = PipelineWorkloadBuilder::new(2)
+        .stage_means_ms(&[20.0, 10.0])
+        .resolution(100.0)
+        .load(3.0) // gross overload: the region is the binding constraint
+        .seed(31)
+        .build()
+        .until(horizon);
+    let m = sim.run(wl, horizon).clone();
+    assert!(m.rejected > 0, "the region must be binding");
+
+    let u0 = sim.admission().state().stage(StageId::new(0)).value();
+    let u1 = sim.admission().state().stage(StageId::new(1)).value();
+
+    // On (or just inside) the surface…
+    let value = region.value(&[u0, u1]).unwrap();
+    assert!(
+        value <= region.budget() + 1e-9,
+        "never outside the region: {value}"
+    );
+    assert!(value > 0.9 * region.budget(), "region nearly full: {value}");
+    // …at approximately the predicted mix.
+    assert!(
+        (u0 / u1 - 2.0).abs() < 0.3,
+        "utilization ratio ≈ demand ratio: {u0:.3}/{u1:.3}"
+    );
+    assert!(
+        (u0 - predicted[0]).abs() < 0.06 && (u1 - predicted[1]).abs() < 0.06,
+        "operating point ({u0:.3}, {u1:.3}) ≈ allocation ({:.3}, {:.3})",
+        predicted[0],
+        predicted[1]
+    );
+}
+
+#[test]
+fn headroom_query_agrees_with_admission_decisions() {
+    // If the headroom at a stage says ΔU fits, a task charging slightly
+    // less than ΔU there (and nothing elsewhere) is admitted; slightly
+    // more is rejected.
+    use frap::core::graph::TaskSpec;
+    use frap::core::time::TimeDelta;
+
+    let region = FeasibleRegion::deadline_monotonic(2);
+    let mut sim = SimBuilder::new(2).idle_resets(false).build();
+    // Pre-load some utilization.
+    let ms = TimeDelta::from_millis;
+    let preload = vec![
+        (
+            Time::ZERO,
+            TaskSpec::pipeline(ms(1000), &[ms(150), ms(100)]).unwrap(),
+        ),
+        (
+            Time::from_millis(1),
+            TaskSpec::pipeline(ms(1000), &[ms(100), ms(50)]).unwrap(),
+        ),
+    ];
+
+    // Probe stage 1 headroom at t = 2 ms via two single-stage tasks.
+    let utils_after_preload = [0.25, 0.15];
+    let h = stage_headroom(&region, &utils_after_preload, StageId::new(1)).unwrap();
+    let fits = (h - 0.02).max(0.001);
+    let overflows = h + 0.02;
+    let d = ms(1000);
+    let mk = |frac: f64| {
+        let mut graph = frap::core::graph::TaskGraph::builder();
+        graph.add(frap::core::task::SubtaskSpec::new(
+            StageId::new(1),
+            d.mul_f64(frac),
+        ));
+        TaskSpec::new(d, graph.build().unwrap())
+    };
+    let mut arrivals = preload;
+    arrivals.push((Time::from_millis(2), mk(fits)));
+    arrivals.push((Time::from_millis(3), mk(overflows)));
+
+    let m = sim.run(arrivals.into_iter(), Time::from_secs(2)).clone();
+    assert_eq!(
+        m.admitted, 3,
+        "preload (2) + the fitting probe; the overflowing probe is rejected"
+    );
+    assert_eq!(m.rejected, 1);
+}

@@ -1,0 +1,79 @@
+//! Empirical validation of Theorem 1 (the stage delay theorem): the time
+//! any task spends at stage `j` never exceeds `f(U_j) · D_max`, where
+//! `U_j` is the observed peak synthetic utilization at the stage and
+//! `D_max` the largest admitted relative deadline.
+
+use frap::core::delay::stage_delay_factor;
+use frap::core::task::StageId;
+use frap::core::time::{Time, TimeDelta};
+use frap::sim::pipeline::SimBuilder;
+use frap::workload::taskgen::PipelineWorkloadBuilder;
+
+fn check(stages: usize, load: f64, resolution: f64, seed: u64) {
+    let horizon = Time::from_secs(12);
+    let builder = PipelineWorkloadBuilder::new(stages)
+        .load(load)
+        .resolution(resolution)
+        .seed(seed);
+    // Deadlines are uniform in [0.5, 1.5] × mean deadline.
+    let d_max = TimeDelta::from_secs_f64(1.5 * builder.mean_deadline());
+    let mut sim = SimBuilder::new(stages).build();
+    let m = sim.run(builder.build().until(horizon), horizon).clone();
+    assert!(m.admitted > 0);
+
+    for j in 0..stages {
+        let peak = sim.admission().state().stage(StageId::new(j)).peak();
+        let bound = d_max.mul_f64(stage_delay_factor(peak));
+        let observed = m.stages[j].stage_delay_max;
+        assert!(
+            observed <= bound,
+            "Theorem 1 violated at stage {j}: observed L_j = {observed}, \
+             bound f({peak:.4})·D_max = {bound} (stages={stages}, load={load}, \
+             resolution={resolution}, seed={seed})"
+        );
+    }
+}
+
+#[test]
+fn stage_delays_respect_theorem_bound_balanced() {
+    for seed in [1u64, 2, 3] {
+        check(2, 1.0, 50.0, seed);
+    }
+}
+
+#[test]
+fn stage_delays_respect_theorem_bound_deep_pipeline() {
+    check(5, 1.2, 80.0, 4);
+}
+
+#[test]
+fn stage_delays_respect_theorem_bound_coarse_tasks() {
+    check(2, 1.5, 5.0, 5);
+}
+
+#[test]
+fn stage_delays_respect_theorem_bound_single_stage() {
+    check(1, 1.8, 30.0, 6);
+}
+
+/// The bound is not vacuous: at meaningful loads the observed maximum
+/// stage delay is a substantial fraction of the theorem bound.
+#[test]
+fn bound_is_reasonably_tight_under_load() {
+    let horizon = Time::from_secs(12);
+    let builder = PipelineWorkloadBuilder::new(1)
+        .load(2.0)
+        .resolution(20.0)
+        .seed(7);
+    let d_max = TimeDelta::from_secs_f64(1.5 * builder.mean_deadline());
+    let mut sim = SimBuilder::new(1).build();
+    let m = sim.run(builder.build().until(horizon), horizon).clone();
+    let peak = sim.admission().state().stage(StageId::new(0)).peak();
+    let bound = d_max.mul_f64(stage_delay_factor(peak));
+    let observed = m.stages[0].stage_delay_max;
+    let tightness = observed.ratio(bound);
+    assert!(
+        tightness > 0.05,
+        "observed {observed} should be a visible fraction of bound {bound}"
+    );
+}

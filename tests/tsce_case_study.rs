@@ -1,0 +1,88 @@
+//! The Section 5 TSCE case study as an executable test: certification,
+//! reservations, wait-queue admission, bottleneck structure, and the hard
+//! guarantee for critical tasks.
+
+use frap::core::time::{Time, TimeDelta};
+use frap::sim::pipeline::{SimBuilder, WaitPolicy};
+use frap::workload::tsce;
+
+#[test]
+fn critical_set_certifies_at_093() {
+    let v = tsce::certification_value();
+    assert!(
+        (v - 0.93).abs() < 0.005,
+        "Eq.(13) value {v} should be ~0.93"
+    );
+    assert!(v < 1.0);
+    let r = tsce::reservations();
+    assert!((r[0] - 0.40).abs() < 1e-12);
+    assert!((r[1] - 0.25).abs() < 1e-12);
+    assert!((r[2] - 0.10).abs() < 1e-12);
+}
+
+fn run_tracks(tracks: usize, horizon_secs: u64) -> frap::sim::SimMetrics {
+    let horizon = Time::from_secs(horizon_secs);
+    let mut sim = SimBuilder::new(tsce::STAGES)
+        .reservations(tsce::reservations().to_vec())
+        .reserved_importance(tsce::CRITICAL)
+        .wait(WaitPolicy::WaitUpTo(TimeDelta::from_millis(200)))
+        .build();
+    let arrivals = tsce::TsceScenario::new(tracks).arrivals(horizon);
+    sim.run(arrivals.into_iter(), horizon).clone()
+}
+
+#[test]
+fn moderate_tracking_load_fully_admitted_no_misses() {
+    let m = run_tracks(200, 10);
+    assert_eq!(m.missed, 0, "no deadline misses in the TSCE scenario");
+    assert_eq!(m.wait_timeouts, 0, "200 tracks fit comfortably");
+    assert!(m.acceptance_ratio() > 0.999);
+}
+
+#[test]
+fn heavy_tracking_load_keeps_hard_guarantees() {
+    let m = run_tracks(600, 10);
+    // Overloaded tracking: some updates may time out waiting, but nothing
+    // admitted ever misses, and stage 1 is the bottleneck.
+    assert_eq!(m.missed, 0);
+    let s1 = m.stage_utilization(0);
+    let s2 = m.stage_utilization(1);
+    let s3 = m.stage_utilization(2);
+    assert!(
+        s1 > s2 && s1 > s3,
+        "stage 1 is the bottleneck: {s1} {s2} {s3}"
+    );
+    assert!(s1 > 0.6, "tracking stage should be heavily used: {s1}");
+}
+
+#[test]
+fn capacity_scales_between_the_two_regimes() {
+    let low = run_tracks(100, 6);
+    let high = run_tracks(500, 6);
+    assert!(high.stage_utilization(0) > low.stage_utilization(0));
+    assert_eq!(low.missed + high.missed, 0);
+}
+
+#[test]
+fn wait_queue_raises_admission_over_immediate_rejection() {
+    let horizon = Time::from_secs(8);
+    let tracks = 600;
+    let run = |wait: WaitPolicy| {
+        let mut sim = SimBuilder::new(tsce::STAGES)
+            .reservations(tsce::reservations().to_vec())
+            .reserved_importance(tsce::CRITICAL)
+            .wait(wait)
+            .build();
+        let arrivals = tsce::TsceScenario::new(tracks).arrivals(horizon);
+        sim.run(arrivals.into_iter(), horizon).clone()
+    };
+    let waiting = run(WaitPolicy::WaitUpTo(TimeDelta::from_millis(200)));
+    let immediate = run(WaitPolicy::Reject);
+    assert!(
+        waiting.admitted >= immediate.admitted,
+        "the paper's 200 ms wait must not hurt admission: {} vs {}",
+        waiting.admitted,
+        immediate.admitted
+    );
+    assert_eq!(waiting.missed, 0);
+}

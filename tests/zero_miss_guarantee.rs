@@ -1,0 +1,182 @@
+//! The paper's central guarantee, end to end: **every task admitted by the
+//! feasible-region controller meets its end-to-end deadline**, across
+//! pipeline lengths, loads, resolutions, DAG shapes, scheduling policies
+//! (with their matching α), and critical-section workloads (with their
+//! matching β).
+
+use frap::core::alpha::Alpha;
+use frap::core::region::{FeasibleRegion, GraphRegion};
+use frap::core::time::Time;
+use frap::sim::pipeline::SimBuilder;
+use frap::sim::RandomPriority;
+use frap::workload::taskgen::{CriticalSectionConfig, DagWorkload, PipelineWorkloadBuilder};
+
+const HORIZON_SECS: u64 = 12;
+
+#[test]
+fn pipelines_across_lengths_and_loads() {
+    let horizon = Time::from_secs(HORIZON_SECS);
+    for stages in [1usize, 2, 3, 5] {
+        for load in [0.7, 1.0, 1.6] {
+            for seed in [11u64, 22, 33] {
+                let mut sim = SimBuilder::new(stages).build();
+                let wl = PipelineWorkloadBuilder::new(stages)
+                    .load(load)
+                    .resolution(50.0)
+                    .seed(seed)
+                    .build()
+                    .until(horizon);
+                let m = sim.run(wl, horizon);
+                assert!(m.admitted > 0, "stages={stages} load={load}");
+                assert_eq!(
+                    m.missed, 0,
+                    "miss under exact AC: stages={stages} load={load} seed={seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn coarse_resolution_is_still_safe() {
+    // Even with large tasks (resolution 3) exact admission never misses.
+    let horizon = Time::from_secs(HORIZON_SECS);
+    for seed in 0..5u64 {
+        let mut sim = SimBuilder::new(2).build();
+        let wl = PipelineWorkloadBuilder::new(2)
+            .load(1.3)
+            .resolution(3.0)
+            .seed(seed)
+            .build()
+            .until(horizon);
+        let m = sim.run(wl, horizon);
+        assert_eq!(m.missed, 0, "seed={seed}");
+    }
+}
+
+#[test]
+fn random_priorities_with_matching_alpha_are_safe() {
+    // Deadlines span [0.5, 1.5]× the mean → α = 1/3 covers any
+    // deadline-oblivious fixed-priority assignment (Equation 12).
+    let horizon = Time::from_secs(HORIZON_SECS);
+    let alpha = Alpha::new(1.0 / 3.0).expect("valid alpha");
+    for seed in [5u64, 6, 7] {
+        let mut sim = SimBuilder::new(2)
+            .region(FeasibleRegion::with_alpha(2, alpha))
+            .policy(RandomPriority::new(seed))
+            .build();
+        let wl = PipelineWorkloadBuilder::new(2)
+            .load(1.2)
+            .resolution(50.0)
+            .seed(seed)
+            .build()
+            .until(horizon);
+        let m = sim.run(wl, horizon);
+        assert!(m.admitted > 0);
+        assert_eq!(m.missed, 0, "seed={seed}");
+    }
+}
+
+#[test]
+fn critical_sections_with_matching_beta_are_safe() {
+    // Exponential computations are unbounded, so a β that covers the
+    // *generated* maximum cannot be fixed a priori; instead use a generous
+    // β and verify no admitted task misses. (The β-exact experiment with
+    // deterministic computations lives in the ablations.)
+    let horizon = Time::from_secs(HORIZON_SECS);
+    for seed in [1u64, 2] {
+        let region = FeasibleRegion::deadline_monotonic(2)
+            .with_blocking(vec![0.05, 0.05])
+            .expect("valid blocking");
+        let mut sim = SimBuilder::new(2).region(region).build();
+        let wl = PipelineWorkloadBuilder::new(2)
+            .load(1.0)
+            .resolution(100.0)
+            .critical_sections(CriticalSectionConfig {
+                probability: 0.7,
+                fraction: 0.25,
+                locks_per_stage: 2,
+            })
+            .seed(seed)
+            .build()
+            .until(horizon);
+        let m = sim.run(wl, horizon);
+        assert!(m.admitted > 0);
+        assert_eq!(m.missed, 0, "seed={seed}");
+    }
+}
+
+#[test]
+fn dag_workloads_are_safe_under_both_region_forms() {
+    let horizon = Time::from_secs(HORIZON_SECS);
+    for seed in [3u64, 4] {
+        // Conservative chain-form region.
+        let mut sim = SimBuilder::new(5).build();
+        let m = sim.run(
+            DagWorkload::new(5, 0.008, 60.0, 150.0, seed).until(horizon),
+            horizon,
+        );
+        assert_eq!(m.missed, 0, "chain-form, seed={seed}");
+
+        // Theorem 2 graph-form region (canonical full-branch shape
+        // dominates every generated subset shape).
+        use frap::core::task::{StageId, SubtaskSpec};
+        use frap::core::time::TimeDelta;
+        let ms1 = TimeDelta::from_millis(1);
+        let canonical = frap::core::graph::TaskGraph::fork_join(
+            SubtaskSpec::new(StageId::new(0), ms1),
+            (1..=3)
+                .map(|i| SubtaskSpec::new(StageId::new(i), ms1))
+                .collect(),
+            SubtaskSpec::new(StageId::new(4), ms1),
+        )
+        .expect("valid");
+        let mut sim = SimBuilder::new(5)
+            .region(GraphRegion::new(
+                FeasibleRegion::deadline_monotonic(5),
+                canonical,
+            ))
+            .build();
+        let m = sim.run(
+            DagWorkload::new(5, 0.008, 60.0, 150.0, seed).until(horizon),
+            horizon,
+        );
+        assert_eq!(m.missed, 0, "graph-form, seed={seed}");
+    }
+}
+
+#[test]
+fn jittery_periodic_streams_are_safe() {
+    // The paper's motivation: periodic tasks with 100 % release jitter
+    // (minimum interarrival → 0) analyzed aperiodically.
+    use frap::core::graph::TaskSpec;
+    use frap::core::time::TimeDelta;
+    use frap::workload::arrivals::{ArrivalProcess, PeriodicWithJitter};
+    use frap::workload::rng::Rng;
+    use frap::workload::taskgen::merge_arrivals;
+
+    let horizon = Time::from_secs(HORIZON_SECS);
+    let ms = TimeDelta::from_millis;
+    let mut rng = Rng::new(99);
+    let mut streams = Vec::new();
+    for s in 0..20u64 {
+        let mut proc = PeriodicWithJitter::new(ms(100), 1.0);
+        let mut stream_rng = Rng::new(s * 31 + 1);
+        let mut t = Time::ZERO + proc.next_gap(&mut stream_rng);
+        let mut stream = Vec::new();
+        while t <= horizon {
+            let deadline = ms(60 + rng.range_u64(120));
+            stream.push((
+                t,
+                TaskSpec::pipeline(deadline, &[ms(2), ms(2)]).expect("valid"),
+            ));
+            t += proc.next_gap(&mut stream_rng);
+        }
+        streams.push(stream);
+    }
+    let arrivals = merge_arrivals(streams);
+    let mut sim = SimBuilder::new(2).build();
+    let m = sim.run(arrivals.into_iter(), horizon);
+    assert!(m.admitted > 100);
+    assert_eq!(m.missed, 0, "jittery periodics must be safe as aperiodics");
+}
