@@ -1,0 +1,121 @@
+//! Contended-throughput benchmarks for the concurrent admission service:
+//! aggregate decisions/second when 1, 2, 4, and 8 threads hammer one
+//! shared [`frap_service::AdmissionService`].
+//!
+//! Uses `iter_custom` so a whole multi-thread episode is timed as one
+//! wall-clock measurement: each sample spawns the thread pool, runs a
+//! fixed number of decisions per thread, and reports the elapsed time —
+//! the per-iteration figure is thus *per decision per thread*; divide the
+//! thread count by it for aggregate decisions/second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frap_core::admission::ExactContributions;
+use frap_core::graph::TaskSpec;
+use frap_core::region::FeasibleRegion;
+use frap_core::time::TimeDelta;
+use frap_service::AdmissionService;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const STAGES: usize = 3;
+
+fn spec_mix() -> Vec<TaskSpec> {
+    let ms = TimeDelta::from_millis;
+    vec![
+        TaskSpec::pipeline(ms(200), &[ms(2), ms(2), ms(2)]).expect("valid"),
+        TaskSpec::pipeline(ms(400), &[ms(5), ms(1), ms(3)]).expect("valid"),
+        TaskSpec::pipeline(ms(300), &[ms(1), ms(4), ms(1)]).expect("valid"),
+    ]
+}
+
+/// Runs `per_thread` decisions on each of `threads` threads against one
+/// shared service; returns total wall-clock time for the episode.
+fn contended_episode(threads: usize, per_thread: u64) -> Duration {
+    let service = AdmissionService::builder(
+        FeasibleRegion::deadline_monotonic(STAGES),
+        ExactContributions,
+    )
+    .shards(threads)
+    .build();
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let service = service.clone();
+            let specs = spec_mix();
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let spec = &specs[(i % specs.len() as u64) as usize];
+                    if let Some(ticket) = service.try_admit(black_box(spec)) {
+                        ticket.detach();
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    start.elapsed()
+}
+
+/// Aggregate decision throughput under contention, 1–8 threads sharing
+/// one service (expected: near-linear scaling on the reject-heavy path,
+/// gate-bound on the admit-heavy path).
+fn contended_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_contended_throughput");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    // Spread the requested iteration count across threads;
+                    // report time per (decision × thread) so Criterion's
+                    // per-iteration math stays meaningful.
+                    let per_thread = iters.max(1);
+                    contended_episode(threads, per_thread)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Uncontended single-thread decision latency for shard counts 1–8:
+/// what sharding itself costs when only one thread is active.
+fn shard_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_shard_overhead");
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                let service = AdmissionService::builder(
+                    FeasibleRegion::deadline_monotonic(STAGES),
+                    ExactContributions,
+                )
+                .shards(shards)
+                .build();
+                let specs = spec_mix();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    let spec = &specs[(i % specs.len() as u64) as usize];
+                    if let Some(ticket) = service.try_admit(black_box(spec)) {
+                        ticket.detach();
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = contended_throughput, shard_overhead
+}
+criterion_main!(benches);

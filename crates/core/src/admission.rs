@@ -26,11 +26,31 @@
 
 use crate::graph::TaskSpec;
 use crate::region::RegionTest;
-use crate::synthetic::SyntheticState;
+use crate::synthetic::{overlay_contributions, SyntheticState};
 use crate::task::{Importance, StageId, TaskId};
 use crate::time::{Time, TimeDelta};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
+
+/// The Section 4 decision kernel: would charging `contributions` on top of
+/// the `current` utilization vector keep the system inside `region`?
+///
+/// `scratch` receives the tentative vector (current plus overlay) and is
+/// reused across calls to avoid allocation. This is the one shared
+/// implementation of the admission test, used by both the single-threaded
+/// [`Admission`] controller and the concurrent `frap-service` admission
+/// service — the two cannot drift.
+pub fn tentative_feasible<R: RegionTest + ?Sized>(
+    region: &R,
+    current: &[f64],
+    contributions: &[(StageId, f64)],
+    scratch: &mut Vec<f64>,
+) -> bool {
+    scratch.clear();
+    scratch.extend_from_slice(current);
+    overlay_contributions(scratch, contributions);
+    region.feasible(scratch)
+}
 
 /// Maps an arriving task to the per-stage contributions the admission
 /// controller will charge for it.
@@ -276,6 +296,7 @@ pub struct Admission<R, M> {
     next_id: u64,
     stats: AdmissionStats,
     scratch: Vec<(StageId, f64)>,
+    vec_scratch: Vec<f64>,
 }
 
 impl<R: RegionTest, M: ContributionModel> Admission<R, M> {
@@ -292,6 +313,7 @@ impl<R: RegionTest, M: ContributionModel> Admission<R, M> {
             next_id: 0,
             stats: AdmissionStats::default(),
             scratch: Vec::new(),
+            vec_scratch: Vec::new(),
         }
     }
 
@@ -365,10 +387,7 @@ impl<R: RegionTest, M: ContributionModel> Admission<R, M> {
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
         self.model.contributions_into(spec, &mut scratch);
-        let feasible = {
-            let vector = self.state.utilizations_with(&scratch);
-            self.region.feasible(vector)
-        };
+        let feasible = self.admit_feasible(&scratch);
         let result = if feasible {
             Some(self.commit(now, spec, &scratch))
         } else {
@@ -389,11 +408,7 @@ impl<R: RegionTest, M: ContributionModel> Admission<R, M> {
         scratch.clear();
         self.model.contributions_into(spec, &mut scratch);
 
-        let feasible = {
-            let vector = self.state.utilizations_with(&scratch);
-            self.region.feasible(vector)
-        };
-        if feasible {
+        if self.admit_feasible(&scratch) {
             let id = self.commit(now, spec, &scratch);
             self.scratch = scratch;
             return AdmitOutcome::Admitted(id);
@@ -411,8 +426,7 @@ impl<R: RegionTest, M: ContributionModel> Admission<R, M> {
             self.state.shed_task(victim);
             self.stats.shed += 1;
             shed.push(victim);
-            let vector = self.state.utilizations_with(&scratch);
-            if self.region.feasible(vector) {
+            if self.admit_feasible(&scratch) {
                 fits = true;
                 break;
             }
@@ -464,6 +478,19 @@ impl<R: RegionTest, M: ContributionModel> Admission<R, M> {
             self.state.shed_task(task);
             self.stats.shed += 1;
         }
+    }
+
+    /// Runs the shared decision kernel against the current counters.
+    fn admit_feasible(&mut self, contributions: &[(StageId, f64)]) -> bool {
+        let mut vec_scratch = std::mem::take(&mut self.vec_scratch);
+        let ok = tentative_feasible(
+            &self.region,
+            self.state.utilizations(),
+            contributions,
+            &mut vec_scratch,
+        );
+        self.vec_scratch = vec_scratch;
+        ok
     }
 
     fn commit(&mut self, now: Time, spec: &TaskSpec, contributions: &[(StageId, f64)]) -> TaskId {

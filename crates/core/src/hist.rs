@@ -2,7 +2,7 @@
 //! mantissa bits ⇒ ≤ 12.5 % relative bucket width), used for response-time
 //! percentiles without storing per-task outcomes.
 
-use frap_core::time::TimeDelta;
+use crate::time::TimeDelta;
 
 const SUB_BITS: u32 = 2;
 const SUB: usize = 1 << SUB_BITS; // 4 sub-buckets per octave
@@ -14,7 +14,7 @@ const BUCKETS: usize = OCTAVES * SUB;
 /// # Examples
 ///
 /// ```
-/// use frap_sim::hist::LatencyHistogram;
+/// use frap_core::hist::LatencyHistogram;
 /// use frap_core::time::TimeDelta;
 ///
 /// let mut h = LatencyHistogram::new();

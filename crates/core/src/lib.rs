@@ -68,6 +68,7 @@
 //! | [`synthetic`] | §2, §4 | synthetic-utilization counters with expiry, idle reset, reservations |
 //! | [`admission`] | §4, §5 | exact/approximate/reservation/shedding controllers and baselines |
 //! | [`capacity`] | §3 | headroom queries, budget allocation, cost-of-depth tables |
+//! | [`hist`] | — | log-bucketed latency histogram shared by the simulator and service layers |
 //! | [`certify`] | §5 | offline certification / reservation planning for critical task sets |
 //! | [`rta`] | §1 (related work) | holistic response-time analysis — the classical periodic baseline |
 //!
@@ -87,6 +88,7 @@ pub mod certify;
 pub mod delay;
 pub mod error;
 pub mod graph;
+pub mod hist;
 pub mod region;
 pub mod rta;
 pub mod synthetic;
@@ -97,6 +99,7 @@ pub use admission::{Admission, AdmitOutcome, ExactContributions, MeanContributio
 pub use alpha::Alpha;
 pub use delay::{stage_delay_factor, UNIPROCESSOR_BOUND};
 pub use graph::{TaskGraph, TaskSpec};
+pub use hist::LatencyHistogram;
 pub use region::{FeasibleRegion, RegionTest};
 pub use synthetic::{StageTracker, SyntheticState};
 pub use task::{Importance, Priority, StageId, SubtaskSpec, TaskId};

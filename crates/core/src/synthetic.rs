@@ -23,6 +23,20 @@ use std::cmp::Reverse;
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::{BinaryHeap, HashMap};
 
+/// Overlays a tentative arrival's contributions on a utilization vector in
+/// place — the single implementation of the "charge tentatively" step of
+/// the admission test, shared by [`SyntheticState::utilizations_with`] and
+/// the concurrent sharded counters in `frap-service`.
+///
+/// # Panics
+///
+/// Panics if a stage index is out of range for `vector`.
+pub fn overlay_contributions(vector: &mut [f64], contributions: &[(StageId, f64)]) {
+    for &(stage, amount) in contributions {
+        vector[stage.index()] += amount;
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Contribution {
     amount: f64,
@@ -340,9 +354,7 @@ impl SyntheticState {
         for (i, s) in self.stages.iter().enumerate() {
             self.scratch[i] = s.value();
         }
-        for &(stage, amount) in contributions {
-            self.scratch[stage.index()] += amount;
-        }
+        overlay_contributions(&mut self.scratch, contributions);
         &self.scratch
     }
 }

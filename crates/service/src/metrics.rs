@@ -1,0 +1,219 @@
+//! Service observability: decision counters, decision-latency percentiles,
+//! and periodic utilization snapshots.
+//!
+//! The latency histogram reuses [`frap_core::hist::LatencyHistogram`]
+//! (moved out of the simulator for exactly this purpose) but records
+//! **nanoseconds** rather than microseconds: admission decisions take on
+//! the order of 100 ns, far below the workspace's microsecond tick, so
+//! the histogram's integer tick is reinterpreted as 1 ns here. The
+//! `*_ns` accessors do the unit bookkeeping so callers never touch a
+//! mislabeled `TimeDelta`.
+
+use frap_core::hist::LatencyHistogram;
+use frap_core::time::{Time, TimeDelta};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone decision counters, updated lock-free by every worker thread.
+#[derive(Debug, Default)]
+pub struct ServiceCounters {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    released: AtomicU64,
+    expired: AtomicU64,
+}
+
+impl ServiceCounters {
+    pub(crate) fn add_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_shed(&self, n: u64) {
+        self.shed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_released(&self) {
+        self.released.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_expired(&self, n: u64) {
+        self.expired.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            released: self.released.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServiceCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Arrivals admitted (including after shedding).
+    pub admitted: u64,
+    /// Arrivals rejected.
+    pub rejected: u64,
+    /// Admitted tasks evicted to make room for more important arrivals.
+    pub shed: u64,
+    /// Tickets released (dropped or explicitly released) before deadline.
+    pub released: u64,
+    /// Contributions decremented at their deadline by the timer wheel.
+    pub expired: u64,
+}
+
+impl CounterSnapshot {
+    /// Total admission decisions taken (admit + reject).
+    pub fn decisions(&self) -> u64 {
+        self.admitted + self.rejected
+    }
+
+    /// Fraction of decisions that admitted (1 if no decisions yet).
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.decisions() == 0 {
+            1.0
+        } else {
+            self.admitted as f64 / self.decisions() as f64
+        }
+    }
+}
+
+/// Everything the service reports at once: counters, the merged
+/// decision-latency histogram, the current utilization vector, and the
+/// live-task count.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Decision counters at snapshot time.
+    pub counters: CounterSnapshot,
+    /// Merged decision-latency histogram; values are **nanoseconds**
+    /// (see the module docs). Prefer the `decision_*_ns` accessors.
+    pub decision_latency: LatencyHistogram,
+    /// Aggregate synthetic utilization per stage at snapshot time.
+    pub utilizations: Vec<f64>,
+    /// Admitted tasks whose deadlines have not yet passed.
+    pub live_tasks: usize,
+}
+
+impl MetricsSnapshot {
+    /// Decision latency at quantile `q ∈ [0, 1]`, in nanoseconds.
+    pub fn decision_latency_ns(&self, q: f64) -> u64 {
+        ns_of(self.decision_latency.percentile(q))
+    }
+
+    /// Worst observed decision latency, in nanoseconds.
+    pub fn decision_max_ns(&self) -> u64 {
+        ns_of(self.decision_latency.max())
+    }
+}
+
+/// Records a decision duration into a nanosecond-valued histogram.
+pub(crate) fn record_ns(hist: &mut LatencyHistogram, elapsed: std::time::Duration) {
+    // The histogram's tick is reinterpreted as 1 ns (module docs).
+    hist.record(TimeDelta::from_micros(elapsed.as_nanos() as u64));
+}
+
+fn ns_of(value: TimeDelta) -> u64 {
+    value.as_micros()
+}
+
+/// A periodic log of utilization vectors, for watching the charge /
+/// decrement / idle-reset lifecycle breathe under live traffic. Sampling
+/// is driven by the caller (e.g. a load generator's reporter thread).
+#[derive(Debug, Clone, Default)]
+pub struct UtilizationSeries {
+    samples: Vec<(Time, Vec<f64>)>,
+}
+
+impl UtilizationSeries {
+    /// An empty series.
+    pub fn new() -> UtilizationSeries {
+        UtilizationSeries::default()
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, at: Time, utilizations: Vec<f64>) {
+        self.samples.push((at, utilizations));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were taken.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The samples, oldest first.
+    pub fn samples(&self) -> &[(Time, Vec<f64>)] {
+        &self.samples
+    }
+
+    /// The highest utilization the series observed on `stage`.
+    pub fn peak(&self, stage: usize) -> f64 {
+        self.samples
+            .iter()
+            .filter_map(|(_, v)| v.get(stage).copied())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot() {
+        let c = ServiceCounters::default();
+        c.add_admitted();
+        c.add_admitted();
+        c.add_rejected();
+        c.add_shed(3);
+        c.add_released();
+        c.add_expired(2);
+        let s = c.snapshot();
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.shed, 3);
+        assert_eq!(s.released, 1);
+        assert_eq!(s.expired, 2);
+        assert_eq!(s.decisions(), 3);
+        assert!((s.acceptance_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_is_recorded_in_nanoseconds() {
+        let mut h = LatencyHistogram::new();
+        record_ns(&mut h, std::time::Duration::from_nanos(800));
+        let snap = MetricsSnapshot {
+            counters: CounterSnapshot::default(),
+            decision_latency: h,
+            utilizations: vec![],
+            live_tasks: 0,
+        };
+        let p99 = snap.decision_latency_ns(0.99);
+        assert!((700..=900).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn utilization_series_peak() {
+        let mut s = UtilizationSeries::new();
+        assert!(s.is_empty());
+        s.push(Time::ZERO, vec![0.1, 0.5]);
+        s.push(Time::from_secs(1), vec![0.3, 0.2]);
+        assert_eq!(s.len(), 2);
+        assert!((s.peak(0) - 0.3).abs() < 1e-12);
+        assert!((s.peak(1) - 0.5).abs() < 1e-12);
+        assert_eq!(s.peak(9), 0.0);
+    }
+}

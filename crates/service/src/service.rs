@@ -1,0 +1,895 @@
+//! The concurrent admission service: a `Send + Sync` handle over the
+//! feasible-region test.
+//!
+//! # Locking discipline
+//!
+//! Two kinds of locks exist, acquired in a fixed global order — **shard
+//! mutexes in ascending index order first, the admission gate last**:
+//!
+//! * each [`Shard`](crate::shard::Shard) mutex protects that shard's
+//!   bookkeeping (live entries, timer wheel, shedding index, latency
+//!   histogram); a fast-path admission touches exactly one;
+//! * the **admission gate** serializes the nonlinear check-and-charge:
+//!   read the aggregate utilization vector, evaluate the region, and
+//!   charge the contributions. The gate is held for a few hundred
+//!   nanoseconds; everything slow (bookkeeping inserts, wheel drains,
+//!   latency recording) happens outside it.
+//!
+//! Reductions (deadline expiry, release, shed, idle reset) run **without**
+//! the gate: the region test is monotone in every stage utilization, so a
+//! decision made against a vector that concurrent reductions have since
+//! decreased is merely conservative — it can only reject an arrival that
+//! would now fit, never admit one that does not (the property the
+//! concurrency tests hammer on).
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::metrics::{record_ns, CounterSnapshot, MetricsSnapshot, ServiceCounters};
+use crate::shard::{LiveEntry, Shard, ShardedUtilization};
+use frap_core::admission::{tentative_feasible, ContributionModel};
+use frap_core::graph::TaskSpec;
+use frap_core::hist::LatencyHistogram;
+use frap_core::region::RegionTest;
+use frap_core::task::StageId;
+use frap_core::time::Time;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Spreads threads across shards: each thread gets a stable index on
+/// first use, reduced modulo the service's shard count.
+static THREAD_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Reusable per-thread buffers: (contributions, current vector,
+/// tentative vector).
+type Scratch = (Vec<(StageId, f64)>, Vec<f64>, Vec<f64>);
+
+thread_local! {
+    static THREAD_INDEX: usize = THREAD_SEQ.fetch_add(1, Ordering::Relaxed);
+    static SCRATCH: RefCell<Scratch> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
+
+/// What happened to an arrival offered via
+/// [`AdmissionService::try_admit_or_shed`].
+#[derive(Debug)]
+pub enum ServiceOutcome {
+    /// Admitted without disturbing existing work.
+    Admitted(AdmissionTicket),
+    /// Admitted after evicting the listed (less important) tickets.
+    AdmittedAfterShedding {
+        /// The new task's ticket.
+        ticket: AdmissionTicket,
+        /// Ticket ids evicted, least important first.
+        shed: Vec<u64>,
+    },
+    /// Rejected: infeasible even after shedding everything less important.
+    Rejected,
+}
+
+impl ServiceOutcome {
+    /// The admission ticket, if the arrival was admitted.
+    pub fn ticket(self) -> Option<AdmissionTicket> {
+        match self {
+            ServiceOutcome::Admitted(t) => Some(t),
+            ServiceOutcome::AdmittedAfterShedding { ticket, .. } => Some(ticket),
+            ServiceOutcome::Rejected => None,
+        }
+    }
+
+    /// Whether the arrival was admitted.
+    pub fn is_admitted(&self) -> bool {
+        !matches!(self, ServiceOutcome::Rejected)
+    }
+}
+
+/// The object-safe backend an [`AdmissionTicket`] releases through,
+/// erasing the service's generics so tickets stay plain structs.
+trait TicketSink: Send + Sync {
+    fn release_ticket(&self, shard: usize, id: u64);
+    fn depart_ticket(&self, shard: usize, id: u64, stage: StageId);
+}
+
+/// An RAII admission: proof that the feasible-region test passed and the
+/// task's contributions are charged.
+///
+/// Dropping the ticket **releases** it — the task is treated as finished
+/// and its remaining contributions are removed immediately (the service
+/// generalizes the paper's idle-reset: a completed task can no longer
+/// affect any stage's schedule). Call [`AdmissionTicket::detach`] for the
+/// paper's strict bookkeeping instead, where contributions persist until
+/// the deadline decrement.
+#[derive(Debug)]
+#[must_use = "dropping a ticket releases the admission immediately; call detach() for decrement-at-deadline semantics"]
+pub struct AdmissionTicket {
+    sink: Option<Arc<dyn TicketSink>>,
+    id: u64,
+    shard: usize,
+    deadline: Time,
+}
+
+impl std::fmt::Debug for dyn TicketSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TicketSink")
+    }
+}
+
+impl AdmissionTicket {
+    /// The service-assigned task id (unique per service instance).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The absolute deadline at which the contributions decrement.
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// Reports that this task's last subtask on `stage` finished, making
+    /// its contribution there eligible for the next idle reset
+    /// ([`AdmissionService::on_stage_idle`]).
+    pub fn mark_departed(&self, stage: StageId) {
+        if let Some(sink) = &self.sink {
+            sink.depart_ticket(self.shard, self.id, stage);
+        }
+    }
+
+    /// Releases the admission now (same as dropping, but explicit).
+    pub fn release(mut self) {
+        if let Some(sink) = self.sink.take() {
+            sink.release_ticket(self.shard, self.id);
+        }
+    }
+
+    /// Consumes the ticket *without* releasing: the contributions stay
+    /// charged until the deadline decrement (the paper's Section 4 rule).
+    pub fn detach(mut self) -> u64 {
+        self.sink = None;
+        self.id
+    }
+}
+
+impl Drop for AdmissionTicket {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink.take() {
+            sink.release_ticket(self.shard, self.id);
+        }
+    }
+}
+
+struct Inner<R, M, C> {
+    region: R,
+    model: M,
+    clock: C,
+    state: ShardedUtilization,
+    gate: Mutex<()>,
+    counters: ServiceCounters,
+    next_id: AtomicU64,
+}
+
+impl<R, M, C> std::fmt::Debug for Inner<R, M, C>
+where
+    R: std::fmt::Debug,
+    M: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionService")
+            .field("region", &self.region)
+            .field("model", &self.model)
+            .field("shards", &self.state.shard_count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Configures and constructs an [`AdmissionService`].
+#[derive(Debug)]
+pub struct AdmissionServiceBuilder<R, M, C = MonotonicClock> {
+    region: R,
+    model: M,
+    clock: C,
+    shards: usize,
+    reservations: Option<Vec<f64>>,
+}
+
+impl<R: RegionTest, M: ContributionModel> AdmissionServiceBuilder<R, M, MonotonicClock> {
+    /// Starts a builder with the wall clock and one shard per available
+    /// CPU (capped at 16).
+    pub fn new(region: R, model: M) -> AdmissionServiceBuilder<R, M, MonotonicClock> {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get().min(16))
+            .unwrap_or(4);
+        AdmissionServiceBuilder {
+            region,
+            model,
+            clock: MonotonicClock::new(),
+            shards,
+            reservations: None,
+        }
+    }
+}
+
+impl<R: RegionTest, M: ContributionModel, C: Clock> AdmissionServiceBuilder<R, M, C> {
+    /// Substitutes the time source (e.g. a shared
+    /// [`crate::clock::ManualClock`] in tests).
+    pub fn clock<C2: Clock>(self, clock: C2) -> AdmissionServiceBuilder<R, M, C2> {
+        AdmissionServiceBuilder {
+            region: self.region,
+            model: self.model,
+            clock,
+            shards: self.shards,
+            reservations: self.reservations,
+        }
+    }
+
+    /// Sets the shard count (use 1 for bit-exact agreement with the
+    /// single-threaded library controller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Pre-loads per-stage reservation floors for critical tasks
+    /// (Section 5); idle resets never drop a counter below its floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at [`AdmissionServiceBuilder::build`]) if the floor count
+    /// differs from the region's stage count.
+    pub fn reservations(mut self, floors: &[f64]) -> Self {
+        self.reservations = Some(floors.to_vec());
+        self
+    }
+
+    /// Builds the service.
+    pub fn build(self) -> AdmissionService<R, M, C>
+    where
+        R: Send + Sync + 'static,
+        M: Send + Sync + 'static,
+        C: 'static,
+    {
+        let floors = match self.reservations {
+            Some(f) => {
+                assert_eq!(f.len(), self.region.stages(), "one reservation per stage");
+                f
+            }
+            None => vec![0.0; self.region.stages()],
+        };
+        let start = self.clock.now();
+        AdmissionService {
+            inner: Arc::new(Inner {
+                region: self.region,
+                model: self.model,
+                clock: self.clock,
+                state: ShardedUtilization::new(&floors, self.shards, start),
+                gate: Mutex::new(()),
+                counters: ServiceCounters::default(),
+                next_id: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// A thread-safe, cloneable handle to a running admission-control
+/// service.
+///
+/// # Examples
+///
+/// ```
+/// use frap_core::admission::ExactContributions;
+/// use frap_core::graph::TaskSpec;
+/// use frap_core::region::FeasibleRegion;
+/// use frap_core::time::TimeDelta;
+/// use frap_service::AdmissionService;
+///
+/// let ms = TimeDelta::from_millis;
+/// let svc = AdmissionService::builder(
+///     FeasibleRegion::deadline_monotonic(2),
+///     ExactContributions,
+/// )
+/// .build();
+///
+/// let spec = TaskSpec::pipeline(ms(100), &[ms(10), ms(10)])?;
+/// if let Some(ticket) = svc.try_admit(&spec) {
+///     // ... run the task through the pipeline ...
+///     ticket.release(); // or ticket.detach() for decrement-at-deadline
+/// }
+/// # Ok::<(), frap_core::error::GraphError>(())
+/// ```
+#[derive(Debug)]
+pub struct AdmissionService<R, M, C = MonotonicClock> {
+    inner: Arc<Inner<R, M, C>>,
+}
+
+impl<R, M, C> Clone for AdmissionService<R, M, C> {
+    fn clone(&self) -> Self {
+        AdmissionService {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<R: RegionTest, M: ContributionModel> AdmissionService<R, M, MonotonicClock> {
+    /// Starts configuring a service; see [`AdmissionServiceBuilder`].
+    pub fn builder(region: R, model: M) -> AdmissionServiceBuilder<R, M, MonotonicClock> {
+        AdmissionServiceBuilder::new(region, model)
+    }
+}
+
+impl<R, M, C> AdmissionService<R, M, C>
+where
+    R: RegionTest + Send + Sync + 'static,
+    M: ContributionModel + Send + Sync + 'static,
+    C: Clock + 'static,
+{
+    /// The region this service enforces.
+    pub fn region(&self) -> &R {
+        &self.inner.region
+    }
+
+    /// The service's time source.
+    pub fn clock(&self) -> &C {
+        &self.inner.clock
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.inner.state.shard_count()
+    }
+
+    /// Attempts to admit `spec`, arriving now. Returns a ticket on
+    /// admission or `None` (counting a rejection) if charging the task
+    /// would leave the feasible region.
+    pub fn try_admit(&self, spec: &TaskSpec) -> Option<AdmissionTicket> {
+        let started = Instant::now();
+        let inner = &*self.inner;
+        let shard_idx = self.home_shard();
+        let mut shard = self.lock_shard(shard_idx);
+        // Read the clock AFTER taking the lock: any earlier wheel advance
+        // happened-before this read, so `now` can never rewind the wheel.
+        let now = inner.clock.now();
+        let expired = inner.state.expire_due(&mut shard, now);
+        if expired > 0 {
+            inner.counters.add_expired(expired);
+        }
+
+        let result = SCRATCH.with(|scratch| {
+            let (contrib, current, tentative) = &mut *scratch.borrow_mut();
+            contrib.clear();
+            inner.model.contributions_into(spec, contrib);
+
+            let admitted = {
+                let _gate = inner.gate.lock().expect("gate poisoned");
+                inner.state.pin_idle_floors();
+                inner.state.read_into(current);
+                let ok = tentative_feasible(&inner.region, current, contrib, tentative);
+                if ok {
+                    inner.state.charge(contrib);
+                }
+                ok
+            };
+
+            if admitted {
+                Some(self.commit(&mut shard, shard_idx, now, spec, contrib))
+            } else {
+                inner.counters.add_rejected();
+                None
+            }
+        });
+        record_ns(&mut shard.latency, started.elapsed());
+        result
+    }
+
+    /// Attempts to admit `spec`; when infeasible, sheds live tasks that
+    /// are strictly less important than `spec` (least important first,
+    /// across every shard) until the arrival fits or no candidates remain
+    /// (Section 5's overload architecture). Shed tasks stay shed even if
+    /// the arrival is ultimately rejected.
+    pub fn try_admit_or_shed(&self, spec: &TaskSpec) -> ServiceOutcome {
+        let started = Instant::now();
+        let inner = &*self.inner;
+        let home = self.home_shard();
+
+        // Slow path: take every shard (ascending) so the shedding index
+        // can be scanned globally, then the gate. The clock is read after
+        // every lock is held so no wheel can observe time running backwards.
+        let mut guards: Vec<MutexGuard<'_, Shard>> = (0..inner.state.shard_count())
+            .map(|i| self.lock_shard(i))
+            .collect();
+        let now = inner.clock.now();
+        let mut expired = 0;
+        for shard in guards.iter_mut() {
+            expired += inner.state.expire_due(shard, now);
+        }
+        if expired > 0 {
+            inner.counters.add_expired(expired);
+        }
+
+        let outcome = SCRATCH.with(|scratch| {
+            let (contrib, current, tentative) = &mut *scratch.borrow_mut();
+            contrib.clear();
+            inner.model.contributions_into(spec, contrib);
+
+            let _gate = inner.gate.lock().expect("gate poisoned");
+            inner.state.pin_idle_floors();
+            inner.state.read_into(current);
+            if tentative_feasible(&inner.region, current, contrib, tentative) {
+                inner.state.charge(contrib);
+                drop(_gate);
+                let ticket = self.commit(&mut guards[home], home, now, spec, contrib);
+                return ServiceOutcome::Admitted(ticket);
+            }
+
+            // Shed in reverse order of semantic importance, never touching
+            // work at or above the arrival's own importance.
+            let mut shed = Vec::new();
+            let mut fits = false;
+            while let Some((victim_shard, imp, victim)) = guards
+                .iter()
+                .enumerate()
+                .filter_map(|(i, g)| g.by_importance.iter().next().map(|&(imp, id)| (i, imp, id)))
+                .min_by_key(|&(_, imp, id)| (imp, id))
+            {
+                if imp >= spec.importance {
+                    break;
+                }
+                let shard = &mut guards[victim_shard];
+                shard.by_importance.remove(&(imp, victim));
+                let entry = shard
+                    .entries
+                    .remove(&victim)
+                    .expect("shedding index points at a live entry");
+                inner.state.subtract_entry(&entry.contributions);
+                shed.push(victim);
+                inner.state.pin_idle_floors();
+                inner.state.read_into(current);
+                if tentative_feasible(&inner.region, current, contrib, tentative) {
+                    fits = true;
+                    break;
+                }
+            }
+            inner.counters.add_shed(shed.len() as u64);
+
+            if fits {
+                inner.state.charge(contrib);
+                drop(_gate);
+                let ticket = self.commit(&mut guards[home], home, now, spec, contrib);
+                ServiceOutcome::AdmittedAfterShedding { ticket, shed }
+            } else {
+                inner.counters.add_rejected();
+                ServiceOutcome::Rejected
+            }
+        });
+        record_ns(&mut guards[home].latency, started.elapsed());
+        outcome
+    }
+
+    /// Applies every due deadline decrement on every shard. The fast path
+    /// already drains the calling thread's shard on each decision; call
+    /// this periodically (or from a maintenance thread) so shards no
+    /// thread is posting to also decrement on time.
+    pub fn maintain(&self) -> u64 {
+        let inner = &*self.inner;
+        let mut expired = 0;
+        for i in 0..inner.state.shard_count() {
+            let mut shard = self.lock_shard(i);
+            // Clock read under the lock, so this wheel never rewinds.
+            let now = inner.clock.now();
+            expired += inner.state.expire_due(&mut shard, now);
+        }
+        if expired > 0 {
+            inner.counters.add_expired(expired);
+        }
+        expired
+    }
+
+    /// Reports that `stage` has gone idle: contributions of tasks marked
+    /// departed there ([`AdmissionTicket::mark_departed`]) are removed, down
+    /// to the reservation floor (Section 4's reset rule).
+    pub fn on_stage_idle(&self, stage: StageId) {
+        let inner = &*self.inner;
+        for i in 0..inner.state.shard_count() {
+            let mut shard = self.lock_shard(i);
+            // Clock read under the lock, so this wheel never rewinds.
+            let now = inner.clock.now();
+            let expired = inner.state.expire_due(&mut shard, now);
+            if expired > 0 {
+                inner.counters.add_expired(expired);
+            }
+            let shard = &mut *shard;
+            let mut emptied: Vec<u64> = Vec::new();
+            for (&id, entry) in shard.entries.iter_mut() {
+                let mut k = 0;
+                while k < entry.contributions.len() {
+                    if entry.contributions[k].0 == stage && entry.departed[k] {
+                        let (s, amount) = entry.contributions.swap_remove(k);
+                        entry.departed.swap_remove(k);
+                        inner.state.subtract_stage(s, amount);
+                    } else {
+                        k += 1;
+                    }
+                }
+                if entry.contributions.is_empty() {
+                    emptied.push(id);
+                }
+            }
+            for id in emptied {
+                // Fully reset entries carry no utilization; drop them from
+                // the maps now and let the wheel's pop find nothing.
+                if let Some(entry) = shard.entries.remove(&id) {
+                    shard.by_importance.remove(&(entry.importance, id));
+                }
+            }
+        }
+    }
+
+    /// The current aggregate utilization vector. Reads are lock-free and
+    /// may interleave with concurrent decisions; each component is exact
+    /// at some instant during the call, which is all metrics need.
+    pub fn utilizations(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.inner.state.stages());
+        self.inner.state.read_into(&mut out);
+        out
+    }
+
+    /// Number of admitted tasks whose deadlines have not yet expired.
+    pub fn live_tasks(&self) -> usize {
+        (0..self.inner.state.shard_count())
+            .map(|i| self.lock_shard(i).entries.len())
+            .sum()
+    }
+
+    /// Decision counters (lock-free).
+    pub fn counters(&self) -> CounterSnapshot {
+        self.inner.counters.snapshot()
+    }
+
+    /// A full metrics snapshot: counters, merged decision-latency
+    /// histogram, utilization vector, and live-task count.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut latency = LatencyHistogram::new();
+        let mut live = 0;
+        for i in 0..self.inner.state.shard_count() {
+            let shard = self.lock_shard(i);
+            latency.merge(&shard.latency);
+            live += shard.entries.len();
+        }
+        MetricsSnapshot {
+            counters: self.inner.counters.snapshot(),
+            decision_latency: latency,
+            utilizations: self.utilizations(),
+            live_tasks: live,
+        }
+    }
+
+    /// Locks the world (shards ascending, then the gate) and checks every
+    /// cross-shard invariant: atomic totals match the entry maps, live
+    /// counts are exact, and the aggregate vector is inside the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any divergence. Used by the concurrency tests.
+    pub fn debug_validate(&self) {
+        let inner = &*self.inner;
+        let guards: Vec<MutexGuard<'_, Shard>> = (0..inner.state.shard_count())
+            .map(|i| self.lock_shard(i))
+            .collect();
+        let _gate = inner.gate.lock().expect("gate poisoned");
+        let refs: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
+        inner.state.validate_locked(&refs);
+        let mut current = Vec::new();
+        inner.state.read_into(&mut current);
+        assert!(
+            inner.region.feasible(&current),
+            "aggregate utilization {current:?} left the feasible region"
+        );
+    }
+
+    fn home_shard(&self) -> usize {
+        THREAD_INDEX.with(|&i| i % self.inner.state.shard_count())
+    }
+
+    fn lock_shard(&self, index: usize) -> MutexGuard<'_, Shard> {
+        self.inner
+            .state
+            .shard(index)
+            .lock()
+            .expect("shard poisoned")
+    }
+
+    /// Inserts bookkeeping for an already-charged admission and mints the
+    /// ticket. The shard lock is held; the gate must NOT be.
+    fn commit(
+        &self,
+        shard: &mut Shard,
+        shard_idx: usize,
+        now: Time,
+        spec: &TaskSpec,
+        contributions: &[(StageId, f64)],
+    ) -> AdmissionTicket {
+        let inner = &*self.inner;
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let expiry = now.saturating_add(spec.deadline);
+        shard.entries.insert(
+            id,
+            LiveEntry {
+                contributions: contributions.to_vec(),
+                departed: vec![false; contributions.len()],
+                expiry,
+                importance: spec.importance,
+            },
+        );
+        shard.wheel.insert(expiry, id);
+        shard.by_importance.insert((spec.importance, id));
+        inner.counters.add_admitted();
+        AdmissionTicket {
+            sink: Some(Arc::clone(&self.inner) as Arc<dyn TicketSink>),
+            id,
+            shard: shard_idx,
+            deadline: expiry,
+        }
+    }
+}
+
+impl<R, M, C> TicketSink for Inner<R, M, C>
+where
+    R: RegionTest + Send + Sync + 'static,
+    M: ContributionModel + Send + Sync + 'static,
+    C: Clock + 'static,
+{
+    fn release_ticket(&self, shard: usize, id: u64) {
+        let mut guard = self.state.shard(shard).lock().expect("shard poisoned");
+        // Exactly-once versus deadline expiry and shedding: whoever
+        // removes the map entry owns the subtraction.
+        if let Some(entry) = guard.entries.remove(&id) {
+            self.state.subtract_entry(&entry.contributions);
+            guard.by_importance.remove(&(entry.importance, id));
+            self.counters.add_released();
+        }
+    }
+
+    fn depart_ticket(&self, shard: usize, id: u64, stage: StageId) {
+        let mut guard = self.state.shard(shard).lock().expect("shard poisoned");
+        if let Some(entry) = guard.entries.get_mut(&id) {
+            for (k, &(s, _)) in entry.contributions.iter().enumerate() {
+                if s == stage {
+                    entry.departed[k] = true;
+                }
+            }
+        }
+    }
+}
+
+// The handle is Send + Sync whenever its parts are; tickets erase the
+// generics through `Arc<dyn TicketSink>`.
+#[allow(dead_code)]
+fn assert_send_sync<T: Send + Sync>() {}
+#[allow(dead_code)]
+fn service_is_send_sync() {
+    use frap_core::admission::ExactContributions;
+    use frap_core::region::FeasibleRegion;
+    assert_send_sync::<AdmissionService<FeasibleRegion, ExactContributions, MonotonicClock>>();
+    assert_send_sync::<AdmissionTicket>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use frap_core::admission::ExactContributions;
+    use frap_core::region::FeasibleRegion;
+    use frap_core::task::Importance;
+    use frap_core::time::TimeDelta;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    fn pipeline_task(deadline_ms: u64, per_stage_ms: &[u64]) -> TaskSpec {
+        let comps: Vec<TimeDelta> = per_stage_ms.iter().map(|&c| ms(c)).collect();
+        TaskSpec::pipeline(ms(deadline_ms), &comps).unwrap()
+    }
+
+    fn manual_service(
+        stages: usize,
+        shards: usize,
+    ) -> (
+        AdmissionService<FeasibleRegion, ExactContributions, Arc<ManualClock>>,
+        Arc<ManualClock>,
+    ) {
+        let clock = Arc::new(ManualClock::new());
+        let svc = AdmissionService::builder(
+            FeasibleRegion::deadline_monotonic(stages),
+            ExactContributions,
+        )
+        .clock(Arc::clone(&clock))
+        .shards(shards)
+        .build();
+        (svc, clock)
+    }
+
+    #[test]
+    fn admits_until_region_is_full() {
+        let (svc, _clock) = manual_service(2, 1);
+        let spec = pipeline_task(200, &[10, 10]);
+        let mut tickets = Vec::new();
+        for _ in 0..20 {
+            if let Some(t) = svc.try_admit(&spec) {
+                tickets.push(t);
+            }
+        }
+        // 0.05/stage against the symmetric two-stage bound ≈ 0.382.
+        assert!(
+            (6..=8).contains(&tickets.len()),
+            "admitted={}",
+            tickets.len()
+        );
+        let c = svc.counters();
+        assert_eq!(c.admitted as usize, tickets.len());
+        assert_eq!(c.decisions(), 20);
+        svc.debug_validate();
+        for t in tickets {
+            t.detach();
+        }
+    }
+
+    #[test]
+    fn deadline_decrement_frees_capacity() {
+        let (svc, clock) = manual_service(2, 1);
+        let spec = pipeline_task(100, &[30, 30]);
+        svc.try_admit(&spec).expect("fits").detach();
+        assert!(svc.try_admit(&spec).is_none(), "0.6/stage is infeasible");
+        clock.advance(ms(100));
+        let t = svc.try_admit(&spec).expect("capacity returned at deadline");
+        assert_eq!(svc.counters().expired, 1);
+        assert_eq!(svc.live_tasks(), 1);
+        svc.debug_validate();
+        t.detach();
+    }
+
+    #[test]
+    fn release_frees_capacity_before_deadline() {
+        let (svc, clock) = manual_service(2, 1);
+        let spec = pipeline_task(100, &[30, 30]);
+        let ticket = svc.try_admit(&spec).expect("fits");
+        assert!(svc.try_admit(&spec).is_none());
+        clock.advance(ms(1));
+        ticket.release();
+        assert_eq!(svc.counters().released, 1);
+        svc.try_admit(&spec).expect("release made room").detach();
+        svc.debug_validate();
+    }
+
+    #[test]
+    fn dropping_a_ticket_releases_it() {
+        let (svc, _clock) = manual_service(2, 1);
+        let spec = pipeline_task(100, &[30, 30]);
+        {
+            let _ticket = svc.try_admit(&spec).expect("fits");
+        }
+        assert_eq!(svc.counters().released, 1);
+        assert_eq!(svc.live_tasks(), 0);
+        svc.debug_validate();
+    }
+
+    #[test]
+    fn double_release_is_harmless() {
+        let (svc, clock) = manual_service(2, 1);
+        let spec = pipeline_task(100, &[30, 30]);
+        let ticket = svc.try_admit(&spec).expect("fits");
+        // Deadline expiry wins the race; the later release finds nothing.
+        clock.advance(ms(100));
+        assert_eq!(svc.maintain(), 1);
+        ticket.release();
+        let c = svc.counters();
+        assert_eq!(c.expired, 1);
+        assert_eq!(c.released, 0);
+        svc.debug_validate();
+    }
+
+    #[test]
+    fn idle_reset_frees_departed_contributions() {
+        let (svc, clock) = manual_service(2, 1);
+        let spec = pipeline_task(100, &[30, 30]);
+        let ticket = svc.try_admit(&spec).expect("fits");
+        assert!(svc.try_admit(&spec).is_none());
+        clock.advance(ms(2));
+        ticket.mark_departed(StageId::new(0));
+        ticket.mark_departed(StageId::new(1));
+        svc.on_stage_idle(StageId::new(0));
+        svc.on_stage_idle(StageId::new(1));
+        svc.try_admit(&spec).expect("idle reset made room").detach();
+        svc.debug_validate();
+        ticket.detach();
+    }
+
+    #[test]
+    fn shedding_evicts_least_important_first() {
+        let (svc, clock) = manual_service(2, 2);
+        let low = pipeline_task(100, &[15, 15]).with_importance(Importance::new(1));
+        let mid = pipeline_task(100, &[15, 15]).with_importance(Importance::new(2));
+        let t_low = svc.try_admit(&low).expect("fits");
+        let low_id = t_low.id();
+        let _id_mid = svc.try_admit(&mid).expect("fits").detach();
+        clock.advance(ms(1));
+        let critical = pipeline_task(100, &[20, 20]).with_importance(Importance::CRITICAL);
+        match svc.try_admit_or_shed(&critical) {
+            ServiceOutcome::AdmittedAfterShedding { ticket, shed } => {
+                assert_eq!(shed, vec![low_id], "least important shed first");
+                ticket.detach();
+            }
+            other => panic!("expected shedding admission, got {other:?}"),
+        }
+        assert_eq!(svc.counters().shed, 1);
+        svc.debug_validate();
+        t_low.detach(); // already shed; detach is a no-op on bookkeeping
+    }
+
+    #[test]
+    fn shedding_never_evicts_equal_importance() {
+        let (svc, clock) = manual_service(2, 1);
+        let a = pipeline_task(100, &[30, 30]).with_importance(Importance::new(5));
+        svc.try_admit(&a).expect("fits").detach();
+        clock.advance(ms(1));
+        let b = pipeline_task(100, &[30, 30]).with_importance(Importance::new(5));
+        assert!(matches!(
+            svc.try_admit_or_shed(&b),
+            ServiceOutcome::Rejected
+        ));
+        assert_eq!(svc.counters().shed, 0);
+        assert_eq!(svc.live_tasks(), 1);
+        svc.debug_validate();
+    }
+
+    #[test]
+    fn reservations_preload_counters() {
+        let clock = Arc::new(ManualClock::new());
+        let svc =
+            AdmissionService::builder(FeasibleRegion::deadline_monotonic(3), ExactContributions)
+                .clock(Arc::clone(&clock))
+                .shards(1)
+                .reservations(&[0.4, 0.25, 0.1])
+                .build();
+        let small = pipeline_task(1000, &[10, 2, 2]);
+        svc.try_admit(&small).expect("fits above floors").detach();
+        let big = pipeline_task(1000, &[200, 2, 2]);
+        assert!(svc.try_admit(&big).is_none());
+        let u = svc.utilizations();
+        assert!(u[0] >= 0.4 && u[1] >= 0.25 && u[2] >= 0.1);
+        svc.debug_validate();
+    }
+
+    #[test]
+    fn snapshot_reports_latency_and_live_tasks() {
+        let (svc, _clock) = manual_service(2, 1);
+        let spec = pipeline_task(200, &[10, 10]);
+        for _ in 0..10 {
+            if let Some(t) = svc.try_admit(&spec) {
+                t.detach();
+            }
+        }
+        let snap = svc.snapshot();
+        assert_eq!(snap.counters.decisions(), 10);
+        assert_eq!(snap.live_tasks, svc.live_tasks());
+        assert!(snap.decision_latency.count() == 10);
+        assert!(snap.decision_latency_ns(0.99) > 0);
+        assert_eq!(snap.utilizations.len(), 2);
+    }
+
+    #[test]
+    fn wall_clock_service_works_end_to_end() {
+        let svc =
+            AdmissionService::builder(FeasibleRegion::deadline_monotonic(2), ExactContributions)
+                .shards(2)
+                .build();
+        let spec = pipeline_task(50, &[5, 5]);
+        let t = svc.try_admit(&spec).expect("empty system admits");
+        t.release();
+        assert_eq!(svc.counters().admitted, 1);
+        svc.debug_validate();
+    }
+}

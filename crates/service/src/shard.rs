@@ -1,0 +1,379 @@
+//! Sharded synthetic-utilization counters (the concurrent Section 4 state).
+//!
+//! Layout:
+//!
+//! * **Global per-stage totals** — one cache-padded [`AtomicF64`] per
+//!   stage holding the live contribution sum *above* the reservation
+//!   floor, plus an atomic count of live contributions. Reading the full
+//!   utilization vector is `N` relaxed loads: the cheap aggregate path.
+//! * **Per-shard bookkeeping** — a mutex-protected [`Shard`] holding the
+//!   live-entry map (which task charged what, where), the shard's
+//!   [`TimerWheel`] of deadline decrements, an importance-ordered shedding
+//!   index, and the shard's slice of the decision-latency histogram.
+//!   Threads are spread across shards round-robin, so shard mutexes are
+//!   effectively uncontended.
+//!
+//! Consistency rules (proved out by the concurrency tests):
+//!
+//! * Charges (additions) happen only while the service's admission gate is
+//!   held, so the gate holder composes a vector that concurrent mutations
+//!   can only *decrease* — and the region test is monotone in every
+//!   `U_j`, so a decision made on a stale-high vector is conservative.
+//! * Reductions (deadline expiry, release, shed, idle reset) subtract the
+//!   per-stage amount **before** decrementing the stage's live count.
+//!   When the gate holder observes a live count of zero it may therefore
+//!   pin the stage total to exactly `0.0` (the floor), mirroring
+//!   `StageTracker`'s empty-tracker normalization, without racing any
+//!   in-flight subtraction.
+//! * Exactly-once removal is enforced by `HashMap::remove` on the entry
+//!   map: whichever of {deadline expiry, release, shed} wins removes the
+//!   entry; the others observe its absence and do nothing.
+
+use crate::wheel::TimerWheel;
+use frap_core::hist::LatencyHistogram;
+use frap_core::task::{Importance, StageId};
+use frap_core::time::Time;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// An `f64` stored in an `AtomicU64` by bit pattern, with CAS-loop add.
+#[derive(Debug, Default)]
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    /// A new atomic holding `value`.
+    pub fn new(value: f64) -> AtomicF64 {
+        AtomicF64 {
+            bits: AtomicU64::new(value.to_bits()),
+        }
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::SeqCst))
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn store(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::SeqCst);
+    }
+
+    /// Atomically adds `delta` (compare-exchange loop) and returns the new
+    /// value.
+    #[inline]
+    pub fn fetch_add(&self, delta: f64) -> f64 {
+        let mut current = self.bits.load(Ordering::SeqCst);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(current, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return f64::from_bits(next),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+/// Pads (and aligns) a value to a cache line so per-stage atomics on
+/// adjacent stages do not false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+/// One live admitted task's bookkeeping, owned by exactly one shard.
+#[derive(Debug)]
+pub struct LiveEntry {
+    /// `(stage, amount)` still charged; amounts are zeroed by idle resets.
+    pub contributions: Vec<(StageId, f64)>,
+    /// Parallel to `contributions`: stage-departure flags for idle reset.
+    pub departed: Vec<bool>,
+    /// Absolute deadline (decrement instant).
+    pub expiry: Time,
+    /// Shedding priority.
+    pub importance: Importance,
+}
+
+/// The mutex-protected slice of state owned by one worker-thread shard.
+#[derive(Debug)]
+pub struct Shard {
+    /// Live entries admitted through this shard.
+    pub entries: HashMap<u64, LiveEntry>,
+    /// Deadline decrements for this shard's entries.
+    pub wheel: TimerWheel,
+    /// Shedding index, ascending `(importance, ticket)`.
+    pub by_importance: BTreeSet<(Importance, u64)>,
+    /// This shard's slice of the decision-latency histogram
+    /// (nanosecond-valued; see `metrics`).
+    pub latency: LatencyHistogram,
+    /// Scratch buffer for wheel drains.
+    drained: Vec<(Time, u64)>,
+}
+
+/// Per-stage synthetic-utilization counters sharded across worker threads.
+#[derive(Debug)]
+pub struct ShardedUtilization {
+    floors: Vec<f64>,
+    /// Live contribution sum above the floor, one per stage.
+    totals: Vec<CachePadded<AtomicF64>>,
+    /// Number of live contributions per stage.
+    live: Vec<CachePadded<AtomicUsize>>,
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl ShardedUtilization {
+    /// State for `floors.len()` stages split over `shards` shards, with
+    /// per-stage reservation floors (Section 5); all wheels start at
+    /// `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no stages, no shards, or a floor is negative or
+    /// not finite.
+    pub fn new(floors: &[f64], shards: usize, start: Time) -> ShardedUtilization {
+        assert!(!floors.is_empty(), "at least one stage");
+        assert!(shards > 0, "at least one shard");
+        for &f in floors {
+            assert!(
+                f.is_finite() && f >= 0.0,
+                "reservation must be a finite non-negative utilization"
+            );
+        }
+        ShardedUtilization {
+            floors: floors.to_vec(),
+            totals: floors
+                .iter()
+                .map(|_| CachePadded(AtomicF64::new(0.0)))
+                .collect(),
+            live: floors.iter().map(|_| CachePadded::default()).collect(),
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        wheel: TimerWheel::new(start),
+                        by_importance: BTreeSet::new(),
+                        latency: LatencyHistogram::new(),
+                        drained: Vec::new(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.floors.len()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The reservation floors.
+    pub fn floors(&self) -> &[f64] {
+        &self.floors
+    }
+
+    /// The shard mutexes (lock in ascending index order; the admission
+    /// gate, if needed, is always acquired after every shard lock).
+    pub fn shard(&self, index: usize) -> &Mutex<Shard> {
+        &self.shards[index]
+    }
+
+    /// Reads the aggregate utilization vector into `out`: floor plus live
+    /// total per stage, clamped to the floor so float drift from unordered
+    /// subtraction can never produce a (panic-inducing) negative
+    /// utilization.
+    pub fn read_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        for (total, &floor) in self.totals.iter().zip(&self.floors) {
+            out.push(floor + total.0.load().max(0.0));
+        }
+    }
+
+    /// Number of live contributions currently charged on `stage`.
+    pub fn stage_live(&self, stage: usize) -> usize {
+        self.live[stage].0.load(Ordering::SeqCst)
+    }
+
+    /// Charges an arrival's contributions. **Caller must hold the
+    /// admission gate** — additions are only legal under the gate.
+    pub fn charge(&self, contributions: &[(StageId, f64)]) {
+        for &(stage, amount) in contributions {
+            self.totals[stage.index()].0.fetch_add(amount);
+            self.live[stage.index()].0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Pins every stage with no live contributions to exactly the floor,
+    /// mirroring `StageTracker`'s empty-tracker normalization. **Caller
+    /// must hold the admission gate** (see module docs for why this cannot
+    /// race an in-flight subtraction).
+    pub fn pin_idle_floors(&self) {
+        for (total, live) in self.totals.iter().zip(&self.live) {
+            if live.0.load(Ordering::SeqCst) == 0 {
+                total.0.store(0.0);
+            }
+        }
+    }
+
+    /// Subtracts one entry's remaining contributions (total first, then
+    /// live count — the ordering [`ShardedUtilization::pin_idle_floors`]
+    /// relies on). Lock-free; safe without the gate because reductions
+    /// only shrink the vector. Returns the summed amount removed.
+    pub fn subtract_entry(&self, contributions: &[(StageId, f64)]) -> f64 {
+        let mut removed = 0.0;
+        for &(stage, amount) in contributions {
+            self.totals[stage.index()].0.fetch_add(-amount);
+            self.live[stage.index()].0.fetch_sub(1, Ordering::SeqCst);
+            removed += amount;
+        }
+        removed
+    }
+
+    /// Subtracts a single stage's slice of an entry (idle reset path).
+    pub fn subtract_stage(&self, stage: StageId, amount: f64) {
+        self.totals[stage.index()].0.fetch_add(-amount);
+        self.live[stage.index()].0.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Applies every deadline decrement due at or before `now` on a locked
+    /// shard: expired entries leave the map, the shedding index, and the
+    /// global totals, in deterministic `(expiry, ticket)` order. Returns
+    /// the number of entries expired.
+    pub fn expire_due(&self, shard: &mut Shard, now: Time) -> u64 {
+        if shard.wheel.cursor() >= now && shard.wheel.is_empty() {
+            return 0;
+        }
+        let mut drained = std::mem::take(&mut shard.drained);
+        drained.clear();
+        shard.wheel.advance(now, &mut drained);
+        let mut expired = 0;
+        for &(_, id) in &drained {
+            // Exactly-once: release or shed may have removed the entry.
+            if let Some(entry) = shard.entries.remove(&id) {
+                self.subtract_entry(&entry.contributions);
+                shard.by_importance.remove(&(entry.importance, id));
+                expired += 1;
+            }
+        }
+        shard.drained = drained;
+        expired
+    }
+
+    /// Recomputes per-stage live sums from the (already locked) shards'
+    /// entry maps and checks them against the atomic totals (within float
+    /// tolerance) and the live counts (exactly). The caller must hold
+    /// every shard lock *and* the admission gate — in that order, matching
+    /// the service's lock discipline (shards ascending, gate last).
+    /// Panics on divergence; used by the concurrency tests.
+    pub fn validate_locked(&self, shards: &[&Shard]) {
+        assert_eq!(shards.len(), self.shard_count(), "all shards required");
+        let mut sums = vec![0.0f64; self.stages()];
+        let mut counts = vec![0usize; self.stages()];
+        for shard in shards {
+            for entry in shard.entries.values() {
+                for &(stage, amount) in &entry.contributions {
+                    sums[stage.index()] += amount;
+                    counts[stage.index()] += 1;
+                }
+            }
+        }
+        for j in 0..self.stages() {
+            let total = self.totals[j].0.load();
+            let live = self.live[j].0.load(Ordering::SeqCst);
+            assert_eq!(live, counts[j], "stage {j}: live count diverged");
+            assert!(
+                (total - sums[j]).abs() < 1e-6,
+                "stage {j}: atomic total {total} diverged from entry sum {}",
+                sums[j]
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(j: usize) -> StageId {
+        StageId::new(j)
+    }
+
+    #[test]
+    fn atomic_f64_add_and_load() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.fetch_add(0.25), 1.75);
+        assert_eq!(a.load(), 1.75);
+        a.store(0.0);
+        assert_eq!(a.load(), 0.0);
+    }
+
+    #[test]
+    fn charge_and_subtract_roundtrip() {
+        let su = ShardedUtilization::new(&[0.1, 0.0], 2, Time::ZERO);
+        let contrib = vec![(stage(0), 0.2), (stage(1), 0.3)];
+        su.charge(&contrib);
+        let mut v = Vec::new();
+        su.read_into(&mut v);
+        assert!((v[0] - 0.3).abs() < 1e-12);
+        assert!((v[1] - 0.3).abs() < 1e-12);
+        assert_eq!(su.stage_live(0), 1);
+        su.subtract_entry(&contrib);
+        su.pin_idle_floors();
+        su.read_into(&mut v);
+        assert_eq!(v, vec![0.1, 0.0]);
+        validate(&su);
+    }
+
+    fn validate(su: &ShardedUtilization) {
+        let guards: Vec<_> = (0..su.shard_count())
+            .map(|i| su.shard(i).lock().unwrap())
+            .collect();
+        let refs: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
+        su.validate_locked(&refs);
+    }
+
+    #[test]
+    fn expiry_removes_entries_deterministically() {
+        let su = ShardedUtilization::new(&[0.0], 1, Time::ZERO);
+        let c = vec![(stage(0), 0.25)];
+        {
+            let mut sh = su.shard(0).lock().unwrap();
+            for id in 0..4u64 {
+                su.charge(&c);
+                sh.entries.insert(
+                    id,
+                    LiveEntry {
+                        contributions: c.clone(),
+                        departed: vec![false],
+                        expiry: Time::from_micros(10 + id),
+                        importance: Importance::LOWEST,
+                    },
+                );
+                sh.wheel.insert(Time::from_micros(10 + id), id);
+                sh.by_importance.insert((Importance::LOWEST, id));
+            }
+            assert_eq!(su.expire_due(&mut sh, Time::from_micros(11)), 2);
+            assert_eq!(sh.entries.len(), 2);
+        }
+        su.pin_idle_floors();
+        let mut v = Vec::new();
+        su.read_into(&mut v);
+        assert!((v[0] - 0.5).abs() < 1e-12);
+        validate(&su);
+    }
+
+    #[test]
+    #[should_panic(expected = "reservation")]
+    fn negative_floor_panics() {
+        let _ = ShardedUtilization::new(&[-0.1], 1, Time::ZERO);
+    }
+}

@@ -1,0 +1,263 @@
+//! A hierarchical timer wheel scheduling decrement-at-deadline events.
+//!
+//! The library controller (`frap_core::admission::Admission`) uses a
+//! `BinaryHeap` of expiry instants, popped under a single owner. The
+//! concurrent service instead keeps one wheel per shard: insertion and
+//! expiry are `O(1)` amortized, and a thread advancing its shard's wheel
+//! touches at most `LEVELS × SLOTS` slots regardless of how far the clock
+//! jumped while the shard was cold.
+//!
+//! Exactness contract (matches `StageTracker::advance_to`): after
+//! `advance(now, out)`, `out` holds **every** inserted entry with
+//! `expiry ≤ now` (deadline inclusive) and no entry with `expiry > now`,
+//! sorted by `(expiry, id)` — the same deterministic order in which the
+//! library's expiry heap pops, so single-shard runs subtract
+//! contributions in bit-identical order.
+
+use frap_core::time::Time;
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS; // 64 slots per level
+const LEVELS: usize = 8; // 64^8 µs ≈ 8.9 years of horizon
+
+/// One scheduled decrement: the instant it is due and the ticket it
+/// belongs to.
+pub type WheelEntry = (Time, u64);
+
+/// A hierarchical timer wheel over integer-microsecond time.
+#[derive(Debug)]
+pub struct TimerWheel {
+    /// `slots[level * SLOTS + slot]`; level `l` slots are `64^l` µs wide.
+    slots: Vec<Vec<WheelEntry>>,
+    /// Entries inserted with `expiry ≤ cursor`: due immediately.
+    due: Vec<WheelEntry>,
+    /// Entries beyond the top level's horizon (practically unreachable).
+    overflow: Vec<WheelEntry>,
+    cursor: Time,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// An empty wheel with its cursor at `start`.
+    pub fn new(start: Time) -> TimerWheel {
+        TimerWheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            due: Vec::new(),
+            overflow: Vec::new(),
+            cursor: start,
+            len: 0,
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The wheel's current time.
+    pub fn cursor(&self) -> Time {
+        self.cursor
+    }
+
+    /// Schedules `id` to come due at `expiry`. Entries at or before the
+    /// cursor surface on the next [`TimerWheel::advance`] call.
+    pub fn insert(&mut self, expiry: Time, id: u64) {
+        self.len += 1;
+        self.place((expiry, id));
+    }
+
+    fn place(&mut self, entry: WheelEntry) {
+        let (expiry, _) = entry;
+        if expiry <= self.cursor {
+            self.due.push(entry);
+            return;
+        }
+        let delta = expiry.as_micros() - self.cursor.as_micros();
+        for level in 0..LEVELS {
+            // Level `l` holds entries with delta in [64^l, 64^(l+1)).
+            if delta < 1u64 << (SLOT_BITS * (level as u32 + 1)) {
+                let width_bits = SLOT_BITS * level as u32;
+                let slot = ((expiry.as_micros() >> width_bits) & (SLOTS as u64 - 1)) as usize;
+                self.slots[level * SLOTS + slot].push(entry);
+                return;
+            }
+        }
+        self.overflow.push(entry);
+    }
+
+    /// Moves the cursor to `now` and appends every entry with
+    /// `expiry ≤ now` to `out`, sorted by `(expiry, id)`. Entries whose
+    /// slot is visited but which are not yet due cascade to finer levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is before the cursor (time went backwards).
+    pub fn advance(&mut self, now: Time, out: &mut Vec<WheelEntry>) {
+        assert!(now >= self.cursor, "timer wheel cannot rewind");
+        if self.len == 0 {
+            // Nothing pending: snap the cursor forward without touching
+            // any slots (keeps cold shards cheap to catch up).
+            self.cursor = now;
+            return;
+        }
+        let start = out.len();
+        out.append(&mut self.due);
+
+        let mut cascade: Vec<WheelEntry> = Vec::new();
+        let old = self.cursor.as_micros();
+        let new = now.as_micros();
+        for level in 0..LEVELS {
+            let width_bits = SLOT_BITS * level as u32;
+            let old_idx = old >> width_bits;
+            let new_idx = new >> width_bits;
+            if old_idx == new_idx {
+                // This level crossed no slot boundary, so no coarser level
+                // did either.
+                break;
+            }
+            // Visit every slot boundary crossed, at most one full lap.
+            let steps = (new_idx - old_idx).min(SLOTS as u64);
+            for s in 1..=steps {
+                let slot = ((old_idx + s) & (SLOTS as u64 - 1)) as usize;
+                cascade.append(&mut self.slots[level * SLOTS + slot]);
+            }
+            if new_idx >> SLOT_BITS != old_idx >> SLOT_BITS && level == LEVELS - 1 {
+                // The top level wrapped: re-examine the overflow list.
+                cascade.append(&mut self.overflow);
+            }
+        }
+
+        self.cursor = now;
+        for entry in cascade {
+            if entry.0 <= now {
+                out.push(entry);
+            } else {
+                self.place(entry);
+            }
+        }
+        out.append(&mut self.due);
+        self.len -= out.len() - start;
+        out[start..].sort_unstable_by_key(|&(expiry, id)| (expiry, id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> Time {
+        Time::from_micros(v)
+    }
+
+    fn drain(w: &mut TimerWheel, now: Time) -> Vec<u64> {
+        let mut out = Vec::new();
+        w.advance(now, &mut out);
+        out.into_iter().map(|(_, id)| id).collect()
+    }
+
+    #[test]
+    fn due_at_or_before_now_inclusive() {
+        let mut w = TimerWheel::new(Time::ZERO);
+        w.insert(us(10), 1);
+        w.insert(us(11), 2);
+        assert_eq!(drain(&mut w, us(9)), Vec::<u64>::new());
+        assert_eq!(drain(&mut w, us(10)), vec![1]);
+        assert_eq!(drain(&mut w, us(11)), vec![2]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn insert_in_the_past_is_due_immediately() {
+        let mut w = TimerWheel::new(us(100));
+        w.insert(us(50), 7);
+        w.insert(us(100), 8);
+        assert_eq!(drain(&mut w, us(100)), vec![7, 8]);
+    }
+
+    #[test]
+    fn output_sorted_by_expiry_then_id() {
+        let mut w = TimerWheel::new(Time::ZERO);
+        w.insert(us(500), 3);
+        w.insert(us(200), 9);
+        w.insert(us(200), 4);
+        w.insert(us(70_000), 1);
+        let mut out = Vec::new();
+        w.advance(us(100_000), &mut out);
+        assert_eq!(
+            out,
+            vec![(us(200), 4), (us(200), 9), (us(500), 3), (us(70_000), 1)]
+        );
+    }
+
+    #[test]
+    fn far_future_entries_cascade_down() {
+        let mut w = TimerWheel::new(Time::ZERO);
+        // Deep level: ~17 minutes out.
+        w.insert(us(1_000_000_000), 1);
+        assert_eq!(drain(&mut w, us(999_999_999)), Vec::<u64>::new());
+        assert_eq!(w.len(), 1);
+        assert_eq!(drain(&mut w, us(1_000_000_000)), vec![1]);
+    }
+
+    #[test]
+    fn big_jumps_do_not_lose_entries() {
+        let mut w = TimerWheel::new(Time::ZERO);
+        let expiries: Vec<u64> = (0..200).map(|i| 1 + i * 97_003).collect();
+        for (i, &e) in expiries.iter().enumerate() {
+            w.insert(us(e), i as u64);
+        }
+        // One giant jump past everything.
+        let out = drain(&mut w, us(1 << 40));
+        assert_eq!(out.len(), 200);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn incremental_advance_matches_oracle() {
+        // Pseudo-random inserts and advances, checked against a sorted list.
+        let mut w = TimerWheel::new(Time::ZERO);
+        let mut oracle: Vec<WheelEntry> = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rand = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut now = 0u64;
+        for id in 0..2_000u64 {
+            let expiry = now + 1 + rand() % 5_000_000;
+            w.insert(us(expiry), id);
+            oracle.push((us(expiry), id));
+            if id % 3 == 0 {
+                now += rand() % 100_000;
+                let mut got = Vec::new();
+                w.advance(us(now), &mut got);
+                let mut want: Vec<WheelEntry> = oracle
+                    .iter()
+                    .copied()
+                    .filter(|&(e, _)| e <= us(now))
+                    .collect();
+                want.sort_unstable_by_key(|&(e, id)| (e, id));
+                oracle.retain(|&(e, _)| e > us(now));
+                assert_eq!(got, want, "mismatch at now={now}");
+            }
+        }
+        let mut got = Vec::new();
+        w.advance(us(now + (1 << 33)), &mut got);
+        assert_eq!(got.len(), oracle.len());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rewind")]
+    fn rewinding_panics() {
+        let mut w = TimerWheel::new(us(10));
+        w.advance(us(5), &mut Vec::new());
+    }
+}

@@ -1,0 +1,219 @@
+//! Concurrency tests: many threads hammering one service.
+//!
+//! The load-bearing invariants (checked by
+//! `AdmissionService::debug_validate`, which locks the world):
+//!
+//! 1. the aggregate synthetic utilization never leaves the feasible
+//!    region — admissions are serialized by the gate and concurrent
+//!    reductions only lower the vector, so this holds at *every*
+//!    instant, including mid-run;
+//! 2. the lock-free per-stage totals equal the sum over live entries
+//!    (no lost or doubled charge);
+//! 3. every admitted task leaves the books exactly once — release,
+//!    deadline expiry, or shed — never twice (the double-release /
+//!    expiry race), which the final counter balance
+//!    `admitted == released + expired + shed + live` certifies.
+//!
+//! Run under the race detectors when touching the lock-free paths (see
+//! DESIGN.md, "Service layer"): `RUSTFLAGS="-Z sanitizer=thread" cargo
+//! +nightly test -p frap-service --target x86_64-unknown-linux-gnu`, or
+//! `cargo +nightly miri test -p frap-service concurrency` (shrink the
+//! iteration counts first; Miri is ~1000× slower).
+
+use frap_core::admission::ExactContributions;
+use frap_core::graph::TaskSpec;
+use frap_core::region::FeasibleRegion;
+use frap_core::task::Importance;
+use frap_core::time::TimeDelta;
+use frap_service::{AdmissionService, ServiceOutcome};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const STAGES: usize = 3;
+
+fn ms(v: u64) -> TimeDelta {
+    TimeDelta::from_millis(v)
+}
+
+fn specs() -> Vec<TaskSpec> {
+    // A few shapes around the region boundary, with very short deadlines
+    // so the timer wheel churns during the test.
+    vec![
+        TaskSpec::pipeline(ms(5), &[ms(1), ms(1), ms(1)]).unwrap(),
+        TaskSpec::pipeline(ms(10), &[ms(3), ms(1), ms(2)]).unwrap(),
+        TaskSpec::pipeline(ms(20), &[ms(1), ms(6), ms(1)]).unwrap(),
+        TaskSpec::pipeline(ms(8), &[ms(2), ms(2), ms(2)])
+            .unwrap()
+            .with_importance(Importance::new(3)),
+    ]
+}
+
+/// Splitmix64: cheap deterministic per-thread randomness.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn hammered_service_never_leaves_the_region() {
+    let threads = 8usize;
+    let iters = 30_000usize;
+    let service = AdmissionService::builder(
+        FeasibleRegion::deadline_monotonic(STAGES),
+        ExactContributions,
+    )
+    .shards(4)
+    .build();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let service = service.clone();
+            let specs = specs();
+            std::thread::spawn(move || {
+                let mut rng = 0xdeadbeef ^ (t as u64);
+                let mut held = Vec::new();
+                for i in 0..iters {
+                    let spec = &specs[(next(&mut rng) % specs.len() as u64) as usize];
+                    match next(&mut rng) % 10 {
+                        // Mostly the fast path.
+                        0..=6 => {
+                            if let Some(ticket) = service.try_admit(spec) {
+                                held.push(ticket);
+                            }
+                        }
+                        // Occasionally the global shedding path.
+                        7 => {
+                            let urgent = spec
+                                .clone()
+                                .with_importance(Importance::new(5 + (i % 3) as u32));
+                            if let ServiceOutcome::AdmittedAfterShedding { ticket, .. }
+                            | ServiceOutcome::Admitted(ticket) =
+                                service.try_admit_or_shed(&urgent)
+                            {
+                                held.push(ticket);
+                            }
+                        }
+                        // Release early (explicitly or by drop), racing the
+                        // deadline decrement for short-lived tickets...
+                        8 => {
+                            if !held.is_empty() {
+                                let k = (next(&mut rng) as usize) % held.len();
+                                let ticket = held.swap_remove(k);
+                                if next(&mut rng) % 2 == 0 {
+                                    ticket.release();
+                                } // ...else drop releases it
+                            }
+                        }
+                        // ...or hand the ticket to the deadline rule.
+                        _ => {
+                            if !held.is_empty() {
+                                let k = (next(&mut rng) as usize) % held.len();
+                                held.swap_remove(k).detach();
+                            }
+                        }
+                    }
+                }
+                // Hand every still-held ticket to the deadline rule.
+                let drained = held.len();
+                for ticket in held {
+                    ticket.detach();
+                }
+                drained
+            })
+        })
+        .collect();
+
+    // Validate the cross-shard invariants *while* the workers run: the
+    // aggregate must be inside the region at every instant.
+    let mut validations = 0u32;
+    while !stop.load(Ordering::Relaxed) {
+        service.debug_validate();
+        validations += 1;
+        if workers.iter().all(|w| w.is_finished()) {
+            stop.store(true, Ordering::Relaxed);
+        }
+        std::thread::yield_now();
+    }
+    let drained: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert!(validations > 0);
+
+    // Let every remaining deadline fire, then balance the books: each
+    // admitted task must have left exactly one way (or still be live).
+    service.debug_validate();
+    let snap = service.snapshot();
+    let c = snap.counters;
+    assert_eq!(
+        c.admitted,
+        c.released + c.expired + c.shed + snap.live_tasks as u64,
+        "exactly-once removal bookkeeping broke: {c:?} live={}",
+        snap.live_tasks
+    );
+    assert!(
+        c.admitted > 0 && c.rejected > 0,
+        "both decision kinds exercised"
+    );
+    assert_eq!(c.admitted + c.rejected, snap.decision_latency.count());
+
+    std::thread::sleep(std::time::Duration::from_millis(25));
+    let expired = service.maintain();
+    assert!(expired as usize <= c.admitted as usize && drained <= c.admitted as usize);
+    service.debug_validate();
+    assert_eq!(service.live_tasks(), 0, "all deadlines have passed");
+    let u = service.utilizations();
+    // Only a sub-ulp residue of the drained charges may remain (the next
+    // admission's gate pass would pin it to exactly zero).
+    assert!(
+        u.iter().all(|&x| x < 1e-9),
+        "drained service reads ~zero: {u:?}"
+    );
+}
+
+#[test]
+fn concurrent_idle_resets_stay_consistent() {
+    use frap_core::task::StageId;
+
+    let service = AdmissionService::builder(
+        FeasibleRegion::deadline_monotonic(STAGES),
+        ExactContributions,
+    )
+    .shards(2)
+    .build();
+
+    let workers: Vec<_> = (0..4usize)
+        .map(|t| {
+            let service = service.clone();
+            let specs = specs();
+            std::thread::spawn(move || {
+                let mut rng = 0xfeed ^ (t as u64);
+                for _ in 0..5_000 {
+                    let spec = &specs[(next(&mut rng) % specs.len() as u64) as usize];
+                    if let Some(ticket) = service.try_admit(spec) {
+                        // Depart a random prefix of stages, then detach.
+                        let upto = (next(&mut rng) as usize) % (STAGES + 1);
+                        for j in 0..upto {
+                            ticket.mark_departed(StageId::new(j));
+                        }
+                        ticket.detach();
+                    }
+                    if next(&mut rng) % 16 == 0 {
+                        let j = (next(&mut rng) as usize) % STAGES;
+                        service.on_stage_idle(StageId::new(j));
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for _ in 0..200 {
+        service.debug_validate();
+        std::thread::yield_now();
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    service.debug_validate();
+}

@@ -1,0 +1,57 @@
+//! Property tests for the service's data structures: the timer wheel
+//! must agree with a sorted-list oracle on arbitrary insert/advance
+//! interleavings, inclusive of deadline-equal batches and huge jumps.
+
+use frap_core::time::Time;
+use frap_service::wheel::TimerWheel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wheel_matches_sorted_oracle(
+        expiries in proptest::collection::vec(1u64..5_000_000_000, 1..200),
+        advances in proptest::collection::vec(1u64..100_000_000, 1..50),
+    ) {
+        let mut wheel = TimerWheel::new(Time::ZERO);
+        let mut oracle: Vec<(Time, u64)> = Vec::new();
+        for (id, &e) in expiries.iter().enumerate() {
+            wheel.insert(Time::from_micros(e), id as u64);
+            oracle.push((Time::from_micros(e), id as u64));
+        }
+        let mut now = 0u64;
+        for &step in &advances {
+            now += step;
+            let at = Time::from_micros(now);
+            let mut got = Vec::new();
+            wheel.advance(at, &mut got);
+            let mut want: Vec<(Time, u64)> =
+                oracle.iter().copied().filter(|&(e, _)| e <= at).collect();
+            want.sort_unstable_by_key(|&(e, id)| (e, id));
+            oracle.retain(|&(e, _)| e > at);
+            prop_assert_eq!(got, want, "divergence at now={}", now);
+            prop_assert_eq!(wheel.len(), oracle.len());
+        }
+        // Everything left must surface on one final huge jump.
+        let mut rest = Vec::new();
+        wheel.advance(Time::from_micros(now + (1 << 45)), &mut rest);
+        prop_assert_eq!(rest.len(), oracle.len());
+        prop_assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn wheel_len_tracks_inserts_and_drains(
+        expiries in proptest::collection::vec(1u64..1_000_000, 1..100),
+    ) {
+        let mut wheel = TimerWheel::new(Time::ZERO);
+        for (id, &e) in expiries.iter().enumerate() {
+            wheel.insert(Time::from_micros(e), id as u64);
+            prop_assert_eq!(wheel.len(), id + 1);
+        }
+        let mut out = Vec::new();
+        wheel.advance(Time::from_micros(1_000_000), &mut out);
+        prop_assert_eq!(out.len(), expiries.len());
+        prop_assert!(wheel.is_empty());
+    }
+}

@@ -55,7 +55,6 @@
 #![warn(missing_docs)]
 
 pub mod events;
-pub mod hist;
 pub mod metrics;
 pub mod pcp;
 pub mod pipeline;
@@ -63,7 +62,10 @@ pub mod sched;
 pub mod stage;
 pub mod trace;
 
-pub use hist::LatencyHistogram;
+// The histogram moved to `frap-core` so the service layer can reuse it;
+// re-exported here to keep `frap_sim::hist` paths working.
+pub use frap_core::hist;
+pub use frap_core::hist::LatencyHistogram;
 pub use metrics::{SimMetrics, StageMetrics, TaskOutcome};
 pub use pipeline::{OverloadPolicy, SimBuilder, Simulation, Snapshot, WaitPolicy};
 pub use sched::{DeadlineMonotonic, EarliestDeadlineFirst, PriorityPolicy, RandomPriority};

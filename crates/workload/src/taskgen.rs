@@ -204,6 +204,16 @@ impl PipelineWorkload {
     pub fn until(self, horizon: Time) -> impl Iterator<Item = (Time, TaskSpec)> {
         self.take_while(move |&(t, _)| t <= horizon)
     }
+
+    /// Drops the generated arrival instants, yielding task specifications
+    /// only — the form wall-clock callers (such as the `frap-service`
+    /// admission service and its load generator) consume, where arrival
+    /// times come from a real clock instead of the generator's virtual
+    /// Poisson clock. The stream is `Send`, so it can be moved into a
+    /// worker thread.
+    pub fn specs(self) -> impl Iterator<Item = TaskSpec> + Send {
+        self.map(|(_, spec)| spec)
+    }
 }
 
 impl Iterator for PipelineWorkload {
@@ -287,6 +297,12 @@ impl DagWorkload {
     /// Restricts the stream to arrivals at or before `horizon`.
     pub fn until(self, horizon: Time) -> impl Iterator<Item = (Time, TaskSpec)> {
         self.take_while(move |&(t, _)| t <= horizon)
+    }
+
+    /// Drops the generated arrival instants, yielding task specifications
+    /// only; see [`PipelineWorkload::specs`].
+    pub fn specs(self) -> impl Iterator<Item = TaskSpec> + Send {
+        self.map(|(_, spec)| spec)
     }
 }
 

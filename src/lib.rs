@@ -17,7 +17,10 @@
 //!   DAG routing, wait queues, metrics;
 //! * [`workload`] ([`frap_workload`]) — seeded workload generation and the
 //!   Navy Total Ship Computing Environment scenario of the paper's
-//!   Section 5.
+//!   Section 5;
+//! * [`service`] ([`frap_service`]) — a concurrent, sharded wall-clock
+//!   admission-control service over the region test: RAII tickets,
+//!   timer-wheel deadline decrements, shedding, and service metrics.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `frap-experiments` for the harness that regenerates every figure and
@@ -45,5 +48,6 @@
 #![warn(missing_docs)]
 
 pub use frap_core as core;
+pub use frap_service as service;
 pub use frap_sim as sim;
 pub use frap_workload as workload;

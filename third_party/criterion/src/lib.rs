@@ -1,0 +1,321 @@
+//! A dependency-free stand-in for the subset of the `criterion` API this
+//! workspace's benches use, substituted via `[patch.crates-io]` because the
+//! build environment has no network access (DESIGN.md §6).
+//!
+//! It is a real (if minimal) benchmark harness, not a no-op: each
+//! benchmark is warmed up, then timed over `sample_size` samples whose
+//! iteration counts are auto-scaled to a per-sample time target, and the
+//! min / mean / max per-iteration times are printed. There are no plots,
+//! no saved baselines, and no statistical outlier analysis.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; the stand-in treats every
+/// variant as "one setup per iteration batch of 1".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing configuration shared by every benchmark in a group.
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            sample_size: 20,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(600),
+        }
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` target functions.
+#[derive(Debug)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            config: Config::default(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement time target per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, self.config, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Declares throughput for reporting; the stand-in ignores it.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark identified by `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.config, &mut f);
+        self
+    }
+
+    /// Runs a benchmark over one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.config, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Throughput declaration accepted (and ignored) by the stand-in.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// The per-sample timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the routine time itself: it receives the iteration count and
+    /// returns the measured duration (used to exclude per-call setup).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.elapsed = routine(self.iters);
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Like `iter_batched` but the routine borrows its input mutably.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Runs one benchmark: calibrate iteration count during warm-up, take
+/// `sample_size` samples, and print min/mean/max time per iteration.
+fn run_benchmark(label: &str, config: Config, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration: grow the iteration count until one sample takes long
+    // enough to time reliably.
+    let per_sample = config.measurement.max(Duration::from_millis(100)) / config.sample_size as u32;
+    let mut iters: u64 = 1;
+    let warm_up_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= per_sample || warm_up_start.elapsed() >= config.warm_up {
+            if b.elapsed < per_sample && b.elapsed > Duration::ZERO {
+                let scale = per_sample.as_nanos() as f64 / b.elapsed.as_nanos().max(1) as f64;
+                iters = ((iters as f64 * scale).ceil() as u64).clamp(iters, iters.saturating_mul(1000));
+            }
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters.max(1) as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter_ns.first().copied().unwrap_or(0.0);
+    let max = per_iter_ns.last().copied().unwrap_or(0.0);
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len().max(1) as f64;
+    println!(
+        "{label:<48} time: [{} {} {}]  ({} samples x {} iters)",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max),
+        config.sample_size,
+        iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,204 @@
+//! A dependency-free stand-in for the subset of the `proptest` API this
+//! workspace uses, substituted via `[patch.crates-io]` because the build
+//! environment has no network access (DESIGN.md §6).
+//!
+//! Semantics: each `proptest!` test runs `ProptestConfig::cases` random
+//! cases drawn from its strategies with a deterministic per-test seed
+//! (derived from the test's module path and name), so failures are
+//! reproducible run-to-run. Unlike the real crate there is **no input
+//! shrinking** and no persisted failure regressions — a failing case is
+//! reported with its case number and generated inputs left to the panic
+//! message. The strategy combinators implemented are exactly the ones the
+//! workspace's tests use: numeric ranges, tuples, `collection::vec`,
+//! `prop_map`, and the `ANY` generators for `u64`/`f64`/`bool`.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Vector-valued strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from
+    /// `size` (an exact `usize`, a `Range`, or a `RangeInclusive`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// Numeric `ANY` strategies (`proptest::num::u64::ANY`, …).
+pub mod num {
+    macro_rules! any_uint_mod {
+        ($($m:ident : $t:ty),+ $(,)?) => {$(
+            /// `ANY` strategy over the full value range of the type.
+            pub mod $m {
+                /// Generates uniformly random values over the whole type.
+                pub const ANY: Any = Any;
+                /// The strategy type behind [`ANY`].
+                #[derive(Clone, Copy, Debug)]
+                pub struct Any;
+                impl crate::strategy::Strategy for Any {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut crate::test_runner::TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )+};
+    }
+    any_uint_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize, i32: i32, i64: i64);
+
+    /// `ANY` strategy over every `f64` bit pattern (including ±∞ and NaN).
+    pub mod f64 {
+        /// Generates arbitrary `f64` bit patterns, NaNs and infinities
+        /// included — the distribution the workspace's validation-totality
+        /// tests rely on.
+        pub const ANY: Any = Any;
+        /// The strategy type behind [`ANY`].
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+        impl crate::strategy::Strategy for Any {
+            type Value = f64;
+            fn generate(&self, rng: &mut crate::test_runner::TestRng) -> f64 {
+                f64::from_bits(rng.next_u64())
+            }
+        }
+    }
+}
+
+/// The boolean `ANY` strategy (`proptest::bool::ANY`).
+pub mod bool {
+    /// Generates `true`/`false` with equal probability.
+    pub const ANY: Any = Any;
+    /// The strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+    impl crate::strategy::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body for `cases` generated inputs.
+///
+/// The body is evaluated in a context whose return type is
+/// `Result<(), TestCaseError>`, so `return Ok(())` skips the rest of a
+/// case and `prop_assert!`-style macros early-return failures.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)+);
+    }};
+}
+
+/// Discards the current case (counts as neither pass nor fail) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
