@@ -1,0 +1,153 @@
+//! Benchmarks the parallel replication runner against the serial one and
+//! times every figure/table module, emitting `BENCH_experiments.json`.
+//!
+//! The speedup section runs one replication-heavy parameter point twice —
+//! `--jobs 1` and `--jobs N` (N from `FRAP_JOBS`, default 4) — verifies
+//! the two aggregates are bit-identical via [`PointResult::fingerprint`],
+//! and records wall time, events/second, and the speedup ratio. The
+//! figures section runs each experiment module once at quick scale and
+//! records its wall time and event count.
+//!
+//! Environment knobs: `FRAP_JOBS` (parallel worker count),
+//! `BENCH_HORIZON_SECS` (speedup-point horizon, default 60 — long
+//! enough that worker startup is noise next to simulation work),
+//! `BENCH_REPLICATIONS` (speedup-point replications, default 8),
+//! `BENCH_OUT` (output path, default `BENCH_experiments.json`).
+
+use frap_core::time::Time;
+use frap_experiments::common::{Scale, Table};
+use frap_experiments::runner::{perf, run_point_cfg, PointResult, RunConfig, DEFAULT_BASE_SEED};
+use frap_sim::pipeline::SimBuilder;
+use frap_workload::taskgen::PipelineWorkloadBuilder;
+use std::time::Instant;
+
+/// Stages in the speedup-point pipeline.
+const STAGES: usize = 2;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs the replication-heavy speedup point at the given job count.
+fn speedup_point(scale: Scale) -> PointResult {
+    let horizon = Time::from_secs(scale.horizon_secs);
+    run_point_cfg(
+        RunConfig::new(scale).base_seed(DEFAULT_BASE_SEED),
+        || SimBuilder::new(STAGES).build(),
+        |seed| {
+            PipelineWorkloadBuilder::new(STAGES)
+                .load(0.9)
+                .resolution(100.0)
+                .seed(seed)
+                .build()
+                .until(horizon)
+        },
+    )
+}
+
+struct FigTiming {
+    name: &'static str,
+    wall_secs: f64,
+    events: u64,
+}
+
+fn main() {
+    let jobs = env_u64("FRAP_JOBS", 4) as usize;
+    let horizon_secs = env_u64("BENCH_HORIZON_SECS", 60);
+    let replications = env_u64("BENCH_REPLICATIONS", 8);
+    let out_path =
+        std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_experiments.json".to_string());
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let scale = Scale {
+        horizon_secs,
+        replications,
+        jobs: 1,
+    };
+    println!(
+        "[bench] speedup point: {STAGES}-stage pipeline, horizon {horizon_secs}s, \
+         {replications} replications, serial vs {jobs} jobs \
+         ({hardware_threads} hardware threads)"
+    );
+
+    // Warm-up run so page faults and lazy init don't bias the serial leg.
+    let _ = speedup_point(Scale {
+        horizon_secs: 1,
+        ..scale
+    });
+
+    let serial = speedup_point(scale);
+    let parallel = speedup_point(scale.with_jobs(jobs));
+    let identical = serial.fingerprint() == parallel.fingerprint();
+    assert!(
+        identical,
+        "parallel aggregates must be bit-identical to serial"
+    );
+    let speedup = serial.wall_secs / parallel.wall_secs;
+    println!(
+        "[bench] serial {:.3}s ({:.2} M events/s) vs {jobs} jobs {:.3}s ({:.2} M events/s): \
+         speedup {speedup:.2}x, aggregates bit-identical",
+        serial.wall_secs,
+        serial.events_per_sec() / 1e6,
+        parallel.wall_secs,
+        parallel.events_per_sec() / 1e6,
+    );
+
+    // Per-figure wall times at quick scale with the parallel runner.
+    type Runner = fn(Scale) -> Table;
+    let figs: Vec<(&'static str, Runner)> = vec![
+        ("fig1_2", frap_experiments::fig1_2::run),
+        ("fig3_dag", frap_experiments::fig3_dag::run),
+        ("fig4", frap_experiments::fig4::run),
+        ("fig5", frap_experiments::fig5::run),
+        ("fig6", frap_experiments::fig6::run),
+        ("fig7", frap_experiments::fig7::run),
+        ("table1", frap_experiments::table1::run),
+        ("ablations", frap_experiments::ablations::run),
+        ("jitter", frap_experiments::jitter::run),
+        ("stress", frap_experiments::stress::run),
+        ("multiserver", frap_experiments::multiserver::run),
+    ];
+    let fig_scale = Scale::quick().with_jobs(jobs);
+    let mut timings = Vec::new();
+    for (name, run) in figs {
+        let span = perf::Span::new();
+        let started = Instant::now();
+        let _ = run(fig_scale);
+        timings.push(FigTiming {
+            name,
+            wall_secs: started.elapsed().as_secs_f64(),
+            events: span.events(),
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"hardware_threads\": {hardware_threads},\n"));
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str(&format!(
+        "  \"speedup_point\": {{\n    \"stages\": {STAGES},\n    \"horizon_secs\": {horizon_secs},\n    \"replications\": {replications},\n    \"serial_wall_secs\": {:.6},\n    \"parallel_wall_secs\": {:.6},\n    \"serial_events_per_sec\": {:.1},\n    \"parallel_events_per_sec\": {:.1},\n    \"speedup\": {:.4},\n    \"aggregates_bit_identical\": {identical}\n  }},\n",
+        serial.wall_secs,
+        parallel.wall_secs,
+        serial.events_per_sec(),
+        parallel.events_per_sec(),
+        speedup,
+    ));
+    json.push_str("  \"figures\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_secs\": {:.6}, \"events\": {}}}{comma}\n",
+            t.name, t.wall_secs, t.events
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("[bench] wrote {out_path}");
+}

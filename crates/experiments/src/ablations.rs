@@ -11,7 +11,7 @@
 //!    intermediate-deadline baseline vs no admission control.
 
 use crate::common::{f, Scale, Table};
-use crate::runner::run_point;
+use crate::runner::{perf, run_point_cfg, RunConfig};
 use frap_core::admission::{
     AlwaysAdmit, MeanContributions, PerStageBound, SplitDeadlineContributions,
 };
@@ -33,10 +33,12 @@ pub fn run(scale: Scale) -> Table {
         "Ablations: reset-on-idle, alpha, blocking, admission policy",
         &["ablation", "variant", "mean_util", "acceptance", "missed"],
     );
+    let span = perf::Span::new();
     reset_on_idle(scale, &mut table);
     alpha_policies(scale, &mut table);
     blocking(scale, &mut table);
     admission_policies(scale, &mut table);
+    span.report("ablations");
     table
 }
 
@@ -70,8 +72,16 @@ fn push(table: &mut Table, ablation: &str, variant: &str, r: &crate::runner::Poi
 /// Ablation 1: synthetic-utilization reset on idle, on vs off.
 fn reset_on_idle(scale: Scale, table: &mut Table) {
     let wl = standard_workload(scale, 1.2);
-    let on = run_point(scale, || SimBuilder::new(2).build(), &wl);
-    let off = run_point(scale, || SimBuilder::new(2).idle_resets(false).build(), &wl);
+    let on = run_point_cfg(
+        RunConfig::new(scale).point(0),
+        || SimBuilder::new(2).build(),
+        &wl,
+    );
+    let off = run_point_cfg(
+        RunConfig::new(scale).point(1),
+        || SimBuilder::new(2).idle_resets(false).build(),
+        &wl,
+    );
     push(table, "reset-on-idle", "on (paper)", &on);
     push(table, "reset-on-idle", "off", &off);
     println!(
@@ -87,9 +97,13 @@ fn alpha_policies(scale: Scale, table: &mut Table) {
     // a deadline-oblivious (random) priority assignment.
     let alpha_random = Alpha::new(1.0 / 3.0).expect("valid alpha");
 
-    let dm = run_point(scale, || SimBuilder::new(2).build(), &wl);
-    let random_sound = run_point(
-        scale,
+    let dm = run_point_cfg(
+        RunConfig::new(scale).point(2),
+        || SimBuilder::new(2).build(),
+        &wl,
+    );
+    let random_sound = run_point_cfg(
+        RunConfig::new(scale).point(3),
         || {
             SimBuilder::new(2)
                 .region(FeasibleRegion::with_alpha(2, alpha_random))
@@ -98,8 +112,8 @@ fn alpha_policies(scale: Scale, table: &mut Table) {
         },
         &wl,
     );
-    let random_unsound = run_point(
-        scale,
+    let random_unsound = run_point_cfg(
+        RunConfig::new(scale).point(4),
         || {
             SimBuilder::new(2).policy(RandomPriority::new(99)).build() // α = 1 region: not valid for this policy
         },
@@ -156,8 +170,8 @@ fn blocking_workload(horizon: Time, seed: u64) -> Box<dyn Iterator<Item = (Time,
 fn blocking(scale: Scale, table: &mut Table) {
     let horizon = Time::from_secs(scale.horizon_secs);
     let beta = 5.0 / 80.0; // max critical section / min deadline
-    let aware = run_point(
-        scale,
+    let aware = run_point_cfg(
+        RunConfig::new(scale).point(5),
         || {
             SimBuilder::new(2)
                 .region(
@@ -169,8 +183,8 @@ fn blocking(scale: Scale, table: &mut Table) {
         },
         |seed| blocking_workload(horizon, seed),
     );
-    let blind = run_point(
-        scale,
+    let blind = run_point_cfg(
+        RunConfig::new(scale).point(6),
         || SimBuilder::new(2).build(),
         |seed| blocking_workload(horizon, seed),
     );
@@ -189,9 +203,13 @@ fn admission_policies(scale: Scale, table: &mut Table) {
     let wl = standard_workload(scale, 1.2);
     let means = vec![TimeDelta::from_millis(10); 2];
 
-    let exact = run_point(scale, || SimBuilder::new(2).build(), &wl);
-    let approx = run_point(
-        scale,
+    let exact = run_point_cfg(
+        RunConfig::new(scale).point(7),
+        || SimBuilder::new(2).build(),
+        &wl,
+    );
+    let approx = run_point_cfg(
+        RunConfig::new(scale).point(8),
         || {
             SimBuilder::new(2)
                 .model(MeanContributions::new(means.clone()))
@@ -199,8 +217,8 @@ fn admission_policies(scale: Scale, table: &mut Table) {
         },
         &wl,
     );
-    let split = run_point(
-        scale,
+    let split = run_point_cfg(
+        RunConfig::new(scale).point(9),
         || {
             SimBuilder::new(2)
                 .region(PerStageBound::new(2, UNIPROCESSOR_BOUND))
@@ -209,8 +227,8 @@ fn admission_policies(scale: Scale, table: &mut Table) {
         },
         &wl,
     );
-    let none = run_point(
-        scale,
+    let none = run_point_cfg(
+        RunConfig::new(scale).point(10),
         || SimBuilder::new(2).region(AlwaysAdmit::new(2)).build(),
         &wl,
     );
@@ -235,6 +253,7 @@ mod tests {
         let scale = Scale {
             horizon_secs: 5,
             replications: 1,
+            jobs: 1,
         };
         let t = run(scale);
         let find = |ablation: &str, variant_prefix: &str| -> Vec<f64> {

@@ -1,11 +1,14 @@
 //! Regenerates every figure and table in one run (use `--quick` for the
-//! scaled-down variant).
+//! scaled-down variant, `--jobs N` / `FRAP_JOBS` to set replication
+//! parallelism).
 
 fn main() {
     let scale = frap_experiments::common::Scale::from_args();
     println!(
-        "# FRAP experiment suite (horizon {}s x {} replications)\n",
-        scale.horizon_secs, scale.replications
+        "# FRAP experiment suite (horizon {}s x {} replications, {} jobs)\n",
+        scale.horizon_secs,
+        scale.replications,
+        scale.effective_jobs()
     );
     type Runner = fn(frap_experiments::common::Scale) -> frap_experiments::common::Table;
     let runs: Vec<(&str, Runner)> = vec![
@@ -21,10 +24,13 @@ fn main() {
         ("stress", frap_experiments::stress::run),
         ("multiserver", frap_experiments::multiserver::run),
     ];
+    let suite = frap_experiments::runner::perf::Span::new();
     for (name, run) in runs {
         println!("\n################ {name} ################");
         let table = run(scale);
         table.print();
         table.write_csv(name);
     }
+    println!();
+    suite.report("suite total");
 }

@@ -4,17 +4,25 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-/// How big to run an experiment.
+/// How big to run an experiment, and how wide to run it.
 ///
 /// `full()` matches the publication-scale binaries; `quick()` is the
 /// scaled-down variant used by the `cargo bench` regeneration targets
 /// (same sweeps, shorter horizons, fewer seeds — shapes still hold).
+///
+/// `jobs` selects the replication parallelism of the runner: `0` (the
+/// default) resolves to the machine's hardware parallelism, `1` forces
+/// the serial path. Results are bit-identical for every value of `jobs`
+/// (see [`crate::runner`] for the determinism contract), so this knob
+/// only trades wall-clock time for cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
     /// Simulated seconds per configuration point.
     pub horizon_secs: u64,
     /// Number of independent replications (seeds) averaged per point.
     pub replications: u64,
+    /// Worker threads for replications (`0` = hardware parallelism).
+    pub jobs: usize,
 }
 
 impl Scale {
@@ -22,25 +30,62 @@ impl Scale {
     pub fn full() -> Scale {
         Scale {
             horizon_secs: 60,
-            replications: 3,
+            replications: 4,
+            jobs: 0,
         }
     }
 
-    /// Fast runs for `cargo bench` smoke regeneration.
+    /// Fast runs for `cargo bench` smoke regeneration. Keeps two
+    /// replications so the runner's merge path (not just the trivial
+    /// single-replication case) is exercised everywhere.
     pub fn quick() -> Scale {
         Scale {
             horizon_secs: 8,
-            replications: 1,
+            replications: 2,
+            jobs: 0,
         }
     }
 
-    /// Picks the scale from a program argument (`--quick` anywhere).
+    /// Picks the scale from program arguments: `--quick` anywhere selects
+    /// [`Scale::quick`]; `--jobs N` (or the `FRAP_JOBS` environment
+    /// variable, with the argument taking precedence) sets the
+    /// replication parallelism.
     pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--quick") {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = if args.iter().any(|a| a == "--quick") {
             Scale::quick()
         } else {
             Scale::full()
+        };
+        if let Ok(env_jobs) = std::env::var("FRAP_JOBS") {
+            if let Ok(n) = env_jobs.trim().parse::<usize>() {
+                scale.jobs = n;
+            }
         }
+        if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+            if let Some(n) = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
+                scale.jobs = n;
+            }
+        }
+        scale
+    }
+
+    /// This scale with an explicit worker-thread count.
+    pub fn with_jobs(mut self, jobs: usize) -> Scale {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The worker-thread count the runner will actually use: `jobs`
+    /// resolved against hardware parallelism and clamped to the
+    /// replication count (extra threads would idle).
+    pub fn effective_jobs(&self) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.jobs
+        };
+        requested.clamp(1, self.replications.max(1) as usize)
     }
 }
 
@@ -245,6 +290,29 @@ mod tests {
     fn scale_presets() {
         assert!(Scale::full().horizon_secs > Scale::quick().horizon_secs);
         assert!(Scale::full().replications >= Scale::quick().replications);
+        assert!(
+            Scale::quick().replications >= 2,
+            "quick scale must exercise the merge path"
+        );
+    }
+
+    #[test]
+    fn effective_jobs_clamps_to_replications() {
+        let s = Scale {
+            horizon_secs: 1,
+            replications: 2,
+            jobs: 16,
+        };
+        assert_eq!(s.effective_jobs(), 2);
+        assert_eq!(s.with_jobs(1).effective_jobs(), 1);
+        // Auto (0) resolves to at least one worker.
+        assert!(s.with_jobs(0).effective_jobs() >= 1);
+        let zero_reps = Scale {
+            horizon_secs: 1,
+            replications: 0,
+            jobs: 8,
+        };
+        assert_eq!(zero_reps.effective_jobs(), 1);
     }
 
     #[test]

@@ -21,9 +21,12 @@ use frap_core::time::{Time, TimeDelta};
 /// Emits both curves; returns the Figure 2 table
 /// (`t, worst_case_U, bounding_line`).
 pub fn run(scale: Scale) -> Table {
+    let span = crate::runner::perf::Span::new();
     figure1();
     figure1_simulated(scale);
-    figure2()
+    let table = figure2();
+    span.report("fig1_2");
+    table
 }
 
 /// A simulated synthetic-utilization timeline: a single-stage system under
@@ -45,6 +48,7 @@ fn figure1_simulated(scale: Scale) {
         .build()
         .until(horizon);
     let m = sim.run(wl, horizon).clone();
+    crate::runner::perf::note_events(m.events_processed);
     let xs: Vec<f64> = m
         .utilization_timeline
         .iter()

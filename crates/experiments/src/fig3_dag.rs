@@ -16,7 +16,7 @@
 //! misses.
 
 use crate::common::{f, Scale, Table};
-use crate::runner::run_point;
+use crate::runner::{perf, run_point_cfg, RunConfig};
 use frap_core::delay::{stage_delay_factor, stage_delay_factor_inverse};
 use frap_core::graph::TaskGraph;
 use frap_core::region::{FeasibleRegion, GraphRegion};
@@ -77,16 +77,17 @@ pub fn run(scale: Scale) -> Table {
     // here: with them, long-run acceptance converges to the stages' real
     // service capacity under *any* sound region, masking the analytic
     // difference this experiment isolates.
+    let span = perf::Span::new();
     let horizon = Time::from_secs(scale.horizon_secs);
     let make_wl = |seed: u64| branch_heavy_arrivals(horizon, seed).into_iter();
 
-    let conservative = run_point(
-        scale,
+    let conservative = run_point_cfg(
+        RunConfig::new(scale).point(0),
         || SimBuilder::new(STAGES).idle_resets(false).build(),
         make_wl,
     );
-    let exact = run_point(
-        scale,
+    let exact = run_point_cfg(
+        RunConfig::new(scale).point(1),
         || {
             SimBuilder::new(STAGES)
                 .idle_resets(false)
@@ -124,6 +125,7 @@ pub fn run(scale: Scale) -> Table {
         exact.missed,
         conservative.missed
     );
+    span.report("fig3_dag");
     table
 }
 
@@ -167,12 +169,14 @@ pub fn branch_heavy_arrivals(horizon: Time, seed: u64) -> Vec<(Time, frap_core::
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_point;
 
     #[test]
     fn dag_boundary_dominates_chain() {
         let t = run(Scale {
             horizon_secs: 4,
             replications: 1,
+            jobs: 1,
         });
         for row in &t.rows {
             let dag: f64 = row[1].parse().unwrap();
@@ -192,6 +196,7 @@ mod tests {
         let scale = Scale {
             horizon_secs: 5,
             replications: 1,
+            jobs: 1,
         };
         let horizon = Time::from_secs(scale.horizon_secs);
         let make_wl = |seed: u64| branch_heavy_arrivals(horizon, seed).into_iter();

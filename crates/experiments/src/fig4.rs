@@ -11,7 +11,7 @@
 //!    argument of Section 3.1).
 
 use crate::common::{ascii_chart, f, Scale, Table};
-use crate::runner::run_point;
+use crate::runner::{perf, run_point_cfg, RunConfig};
 use frap_core::time::Time;
 use frap_sim::pipeline::SimBuilder;
 use frap_workload::taskgen::PipelineWorkloadBuilder;
@@ -37,14 +37,15 @@ pub fn run(scale: Scale) -> Table {
         .iter()
         .map(|n| (format!("{n} stages"), Vec::new()))
         .collect();
+    let span = perf::Span::new();
 
-    for &load in &LOADS {
+    for (li, &load) in LOADS.iter().enumerate() {
         let mut cells = vec![f(load)];
         let mut misses = 0;
         for (si, &stages) in STAGE_COUNTS.iter().enumerate() {
             let horizon = Time::from_secs(scale.horizon_secs);
-            let r = run_point(
-                scale,
+            let r = run_point_cfg(
+                RunConfig::new(scale).point((li * STAGE_COUNTS.len() + si) as u64),
                 || SimBuilder::new(stages).build(),
                 |seed| {
                     PipelineWorkloadBuilder::new(stages)
@@ -76,6 +77,7 @@ pub fn run(scale: Scale) -> Table {
             "avg stage utilization",
         )
     );
+    span.report("fig4");
     table
 }
 
@@ -88,6 +90,7 @@ mod tests {
         let scale = Scale {
             horizon_secs: 6,
             replications: 1,
+            jobs: 1,
         };
         let t = run(scale);
         assert_eq!(t.rows.len(), LOADS.len());

@@ -7,7 +7,7 @@
 //! higher the achieved utilization; coarse tasks are harder to pack.
 
 use crate::common::{ascii_chart, f, Scale, Table};
-use crate::runner::run_point;
+use crate::runner::{perf, run_point_cfg, RunConfig};
 use frap_core::time::Time;
 use frap_sim::pipeline::SimBuilder;
 use frap_workload::taskgen::PipelineWorkloadBuilder;
@@ -39,13 +39,14 @@ pub fn run(scale: Scale) -> Table {
         .map(|l| (format!("load {l}"), Vec::new()))
         .collect();
 
-    for &resolution in &RESOLUTIONS {
+    let span = perf::Span::new();
+    for (ri, &resolution) in RESOLUTIONS.iter().enumerate() {
         let mut cells = vec![f(resolution)];
         let mut misses = 0;
         for (si, &load) in LOADS.iter().enumerate() {
             let horizon = Time::from_secs(scale.horizon_secs);
-            let r = run_point(
-                scale,
+            let r = run_point_cfg(
+                RunConfig::new(scale).point((ri * LOADS.len() + si) as u64),
                 || SimBuilder::new(STAGES).build(),
                 |seed| {
                     PipelineWorkloadBuilder::new(STAGES)
@@ -77,6 +78,7 @@ pub fn run(scale: Scale) -> Table {
             "avg stage utilization",
         )
     );
+    span.report("fig5");
     table
 }
 
@@ -89,6 +91,7 @@ mod tests {
         let scale = Scale {
             horizon_secs: 6,
             replications: 1,
+            jobs: 1,
         };
         let t = run(scale);
         assert_eq!(t.rows.len(), RESOLUTIONS.len());

@@ -8,7 +8,7 @@
 //! — the expected curve is U-shaped with its minimum at balance.
 
 use crate::common::{ascii_chart, f, Scale, Table};
-use crate::runner::run_point;
+use crate::runner::{perf, run_point_cfg, RunConfig};
 use frap_core::time::Time;
 use frap_sim::pipeline::SimBuilder;
 use frap_workload::taskgen::PipelineWorkloadBuilder;
@@ -30,8 +30,9 @@ pub fn run(scale: Scale) -> Table {
         &["ratio", "bottleneck_util", "other_util", "misses"],
     );
     let mut bottleneck_series = Vec::new();
+    let span = perf::Span::new();
 
-    for &ratio in &RATIOS {
+    for (pi, &ratio) in RATIOS.iter().enumerate() {
         // Stage means with fixed total: m0/m1 = ratio.
         let m1 = TOTAL_MEAN_MS / (1.0 + ratio);
         let m0 = TOTAL_MEAN_MS - m1;
@@ -39,8 +40,8 @@ pub fn run(scale: Scale) -> Table {
         // fixed arrival rate into it.
         let load = RATE_HZ * m0.max(m1) / 1e3;
         let horizon = Time::from_secs(scale.horizon_secs);
-        let r = run_point(
-            scale,
+        let r = run_point_cfg(
+            RunConfig::new(scale).point(pi as u64),
             || SimBuilder::new(2).build(),
             |seed| {
                 PipelineWorkloadBuilder::new(2)
@@ -75,6 +76,7 @@ pub fn run(scale: Scale) -> Table {
             "bottleneck utilization",
         )
     );
+    span.report("fig6");
     table
 }
 
@@ -87,6 +89,7 @@ mod tests {
         let scale = Scale {
             horizon_secs: 6,
             replications: 1,
+            jobs: 1,
         };
         let t = run(scale);
         let util = |i: usize| -> f64 { t.rows[i][1].parse().unwrap() };

@@ -8,7 +8,7 @@
 //! small fraction of admitted tasks miss.
 
 use crate::common::{ascii_chart, f, Scale, Table};
-use crate::runner::run_point;
+use crate::runner::{perf, run_point_cfg, RunConfig};
 use frap_core::admission::MeanContributions;
 use frap_core::time::{Time, TimeDelta};
 use frap_sim::pipeline::SimBuilder;
@@ -45,14 +45,15 @@ pub fn run(scale: Scale) -> Table {
         .map(|l| (format!("load {l}"), Vec::new()))
         .collect();
 
-    for &resolution in &RESOLUTIONS {
+    let span = perf::Span::new();
+    for (ri, &resolution) in RESOLUTIONS.iter().enumerate() {
         let mut cells = vec![f(resolution)];
         let mut utils = Vec::new();
         for (si, &load) in LOADS.iter().enumerate() {
             let horizon = Time::from_secs(scale.horizon_secs);
             let means = vec![TimeDelta::from_secs_f64(MEAN_MS / 1e3); STAGES];
-            let r = run_point(
-                scale,
+            let r = run_point_cfg(
+                RunConfig::new(scale).point((ri * LOADS.len() + si) as u64),
                 || {
                     SimBuilder::new(STAGES)
                         .model(MeanContributions::new(means.clone()))
@@ -89,6 +90,7 @@ pub fn run(scale: Scale) -> Table {
             "miss ratio (admitted tasks)",
         )
     );
+    span.report("fig7");
     table
 }
 
@@ -101,6 +103,7 @@ mod tests {
         let scale = Scale {
             horizon_secs: 6,
             replications: 1,
+            jobs: 1,
         };
         let t = run(scale);
         assert_eq!(t.rows.len(), RESOLUTIONS.len());

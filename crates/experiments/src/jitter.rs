@@ -48,6 +48,7 @@ pub fn run(scale: Scale) -> Table {
             "sim_missed",
         ],
     );
+    let span = crate::runner::perf::Span::new();
     let ms = TimeDelta::from_millis;
     let horizon = Time::from_secs(scale.horizon_secs.max(6));
 
@@ -91,6 +92,7 @@ pub fn run(scale: Scale) -> Table {
         let m = sim
             .run(set.arrivals(horizon, 13).into_iter(), horizon)
             .clone();
+        crate::runner::perf::note_events(m.events_processed);
 
         table.push_row(vec![
             f(frac),
@@ -100,6 +102,7 @@ pub fn run(scale: Scale) -> Table {
             m.missed.to_string(),
         ]);
     }
+    span.report("jitter");
     table
 }
 
@@ -112,6 +115,7 @@ mod tests {
         let t = run(Scale {
             horizon_secs: 6,
             replications: 1,
+            jobs: 1,
         });
         assert_eq!(t.rows.len(), JITTER.len());
         // No jitter: both approaches handle the set.

@@ -92,6 +92,7 @@ fn global_scaled(horizon: Time, seed: u64) -> SimMetrics {
 /// Runs the comparison; rows are
 /// `strategy, acceptance, tier_util, p95_ms, missed`.
 pub fn run(scale: Scale) -> Table {
+    let span = crate::runner::perf::Span::new();
     let horizon = Time::from_secs(scale.horizon_secs.max(8));
     let mut table = Table::new(
         "Multi-server tier: partitioned vs global-queue strategies (3 servers, load 3.5)",
@@ -121,6 +122,8 @@ pub fn run(scale: Scale) -> Table {
         &s,
         s.stage_utilization(0),
     );
+    crate::runner::perf::note_events(p.events_processed + g.events_processed + s.events_processed);
+    span.report("multiserver");
     table
 }
 
@@ -133,6 +136,7 @@ mod tests {
         let scale = Scale {
             horizon_secs: 8,
             replications: 1,
+            jobs: 1,
         };
         let t = run(scale);
         let missed = |i: usize| -> u64 { t.rows[i][4].parse().unwrap() };

@@ -15,7 +15,7 @@
 //!   which this ablation documents.
 
 use crate::common::{f, Scale, Table};
-use crate::runner::run_point;
+use crate::runner::{perf, run_point_cfg, RunConfig};
 use frap_core::admission::MeanContributions;
 use frap_core::graph::TaskSpec;
 use frap_core::time::{Time, TimeDelta};
@@ -91,16 +91,17 @@ pub fn run(scale: Scale) -> Table {
         ],
     );
     let horizon = Time::from_secs(scale.horizon_secs);
+    let span = perf::Span::new();
 
     // Heavy tails: exact vs mean-based admission.
-    let exact = run_point(
-        scale,
+    let exact = run_point_cfg(
+        RunConfig::new(scale).point(0),
         || SimBuilder::new(2).build(),
         |seed| pareto_arrivals(horizon, 1.2, seed).into_iter(),
     );
     let means = vec![TimeDelta::from_secs_f64(MEAN_COMP); 2];
-    let approx = run_point(
-        scale,
+    let approx = run_point_cfg(
+        RunConfig::new(scale).point(1),
         || {
             SimBuilder::new(2)
                 .model(MeanContributions::new(means.clone()))
@@ -129,8 +130,8 @@ pub fn run(scale: Scale) -> Table {
     );
 
     // Bursty arrivals: exact admission only.
-    let bursty = run_point(
-        scale,
+    let bursty = run_point_cfg(
+        RunConfig::new(scale).point(2),
         || SimBuilder::new(2).build(),
         |seed| bursty_arrivals(horizon, 1.0, seed).into_iter(),
     );
@@ -143,8 +144,8 @@ pub fn run(scale: Scale) -> Table {
     ]);
 
     // EDF ablation (not covered by the fixed-priority analysis).
-    let edf = run_point(
-        scale,
+    let edf = run_point_cfg(
+        RunConfig::new(scale).point(3),
         || SimBuilder::new(2).policy(EarliestDeadlineFirst).build(),
         |seed| bursty_arrivals(horizon, 1.0, seed).into_iter(),
     );
@@ -155,6 +156,7 @@ pub fn run(scale: Scale) -> Table {
         f(edf.acceptance),
         f(edf.miss_ratio),
     ]);
+    span.report("stress");
     table
 }
 
@@ -167,6 +169,7 @@ mod tests {
         let scale = Scale {
             horizon_secs: 6,
             replications: 1,
+            jobs: 1,
         };
         let t = run(scale);
         // Rows: pareto/exact, pareto/approx, bursts/exact, bursts/edf.

@@ -103,7 +103,7 @@ fn hammered_service_never_leaves_the_region() {
                             if !held.is_empty() {
                                 let k = (next(&mut rng) as usize) % held.len();
                                 let ticket = held.swap_remove(k);
-                                if next(&mut rng) % 2 == 0 {
+                                if next(&mut rng).is_multiple_of(2) {
                                     ticket.release();
                                 } // ...else drop releases it
                             }
@@ -199,7 +199,7 @@ fn concurrent_idle_resets_stay_consistent() {
                         }
                         ticket.detach();
                     }
-                    if next(&mut rng) % 16 == 0 {
+                    if next(&mut rng).is_multiple_of(16) {
                         let j = (next(&mut rng) as usize) % STAGES;
                         service.on_stage_idle(StageId::new(j));
                     }

@@ -77,9 +77,8 @@ fn drive_try_admit<R, M, I>(
     M: frap_core::admission::ContributionModel + Send + Sync + 'static,
     I: Iterator<Item = (Time, TaskSpec)>,
 {
-    let mut steps = 0usize;
     let mut admitted = Vec::new();
-    for (at, spec) in arrivals {
+    for (steps, (at, spec)) in arrivals.enumerate() {
         clock.set(at);
         let lib = library.try_admit(at, &spec);
         let svc = service.try_admit(&spec);
@@ -94,7 +93,6 @@ fn drive_try_admit<R, M, I>(
         }
         assert_eq!(library.live_tasks(), service.live_tasks(), "step {steps}");
         assert_utilizations_agree(library, &service.utilizations(), steps);
-        steps += 1;
     }
     let stats = library.stats();
     let counters = service.counters();

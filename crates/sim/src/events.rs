@@ -4,6 +4,20 @@
 //! which keeps simulations bit-for-bit reproducible across runs and
 //! platforms. The queue is generic so unit tests can exercise it with
 //! plain payloads.
+//!
+//! This is the hot core of every simulation the experiment harness runs,
+//! so the implementation is tuned accordingly:
+//!
+//! * the `(time, insertion sequence)` ordering pair is packed into a
+//!   single `u128` key, so heap sift comparisons are one integer compare
+//!   instead of a lexicographic tuple compare;
+//! * [`EventQueue::with_capacity`] pre-sizes the heap so steady-state
+//!   simulations never reallocate;
+//! * [`EventQueue::push_all`] bulk-loads a batch (an `O(n)` heapify when
+//!   the queue is empty, reserve-then-push otherwise) with the same FIFO
+//!   tie-breaking as repeated [`EventQueue::push`];
+//! * [`EventQueue::pop_at_or_before`] fuses the peek-then-pop pattern of
+//!   the simulator's main loop into one heap access.
 
 use frap_core::time::Time;
 use std::cmp::Reverse;
@@ -32,16 +46,29 @@ pub struct EventQueue<E> {
     seq: u64,
 }
 
+/// Time and insertion order packed into one key: the high 64 bits are the
+/// microsecond timestamp, the low 64 bits the per-queue sequence number.
+/// Comparing keys therefore orders by `(time, seq)` in a single `u128`
+/// compare.
 #[derive(Debug, Clone)]
 struct Entry<E> {
-    time: Time,
-    seq: u64,
+    key: u128,
     event: E,
+}
+
+#[inline]
+fn pack(time: Time, seq: u64) -> u128 {
+    ((time.as_micros() as u128) << 64) | seq as u128
+}
+
+#[inline]
+fn unpack_time(key: u128) -> Time {
+    Time::from_micros((key >> 64) as u64)
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 
@@ -55,7 +82,7 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        self.key.cmp(&other.key)
     }
 }
 
@@ -68,21 +95,92 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// An empty queue pre-sized for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedules `event` at `time`.
     pub fn push(&mut self, time: Time, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, event }));
+        self.heap.push(Reverse(Entry {
+            key: pack(time, seq),
+            event,
+        }));
+    }
+
+    /// Schedules a batch of events. Equivalent to pushing each `(time,
+    /// event)` pair in iteration order (the FIFO tie-break follows the
+    /// batch order), but bulk-loads via an `O(n)` heapify when the queue
+    /// is empty.
+    pub fn push_all<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (Time, E)>,
+    {
+        let iter = events.into_iter();
+        if self.heap.is_empty() {
+            let mut entries: Vec<Reverse<Entry<E>>> = Vec::with_capacity(iter.size_hint().0);
+            for (time, event) in iter {
+                let seq = self.seq;
+                self.seq += 1;
+                entries.push(Reverse(Entry {
+                    key: pack(time, seq),
+                    event,
+                }));
+            }
+            // Preserve any pre-reserved capacity beyond the batch size.
+            let mut heap = std::mem::take(&mut self.heap).into_vec();
+            heap.append(&mut entries);
+            self.heap = BinaryHeap::from(heap);
+        } else {
+            self.heap.reserve(iter.size_hint().0);
+            for (time, event) in iter {
+                self.push(time, event);
+            }
+        }
     }
 
     /// Removes and returns the earliest event, FIFO among ties.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+        self.heap
+            .pop()
+            .map(|Reverse(e)| (unpack_time(e.key), e.event))
+    }
+
+    /// Removes and returns the earliest event only if its timestamp is at
+    /// or before `bound` — the simulator main loop's peek-then-pop pattern
+    /// fused into a single heap access.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use frap_sim::events::EventQueue;
+    /// use frap_core::time::Time;
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.push(Time::from_secs(5), "e");
+    /// assert_eq!(q.pop_at_or_before(Time::from_secs(4)), None);
+    /// assert_eq!(q.pop_at_or_before(Time::from_secs(5)), Some((Time::from_secs(5), "e")));
+    /// ```
+    pub fn pop_at_or_before(&mut self, bound: Time) -> Option<(Time, E)> {
+        match self.heap.peek() {
+            Some(Reverse(e)) if unpack_time(e.key) <= bound => self.pop(),
+            _ => None,
+        }
     }
 
     /// The timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        self.heap.peek().map(|Reverse(e)| unpack_time(e.key))
     }
 
     /// Number of pending events.
@@ -93,6 +191,11 @@ impl<E> EventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Pending-event capacity before the heap reallocates.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 }
 
@@ -149,5 +252,61 @@ mod tests {
         q.push(Time::from_micros(1), "c");
         assert_eq!(q.pop().unwrap().1, "c");
         assert_eq!(q.pop().unwrap().1, "a");
+    }
+
+    #[test]
+    fn with_capacity_presizes() {
+        let q: EventQueue<u32> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_all_equals_repeated_push() {
+        let batch: Vec<(Time, usize)> = (0..50)
+            .map(|i| (Time::from_micros((i * 31) % 97), i as usize))
+            .collect();
+        let mut bulk = EventQueue::new();
+        bulk.push_all(batch.clone());
+        let mut single = EventQueue::new();
+        for (t, e) in batch {
+            single.push(t, e);
+        }
+        while let (Some(a), b) = (bulk.pop(), single.pop()) {
+            assert_eq!(Some(a), b);
+        }
+        assert!(single.is_empty());
+    }
+
+    #[test]
+    fn push_all_onto_nonempty_queue_keeps_fifo() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_micros(5), 0);
+        q.push_all(vec![(Time::from_micros(5), 1), (Time::from_micros(5), 2)]);
+        q.push(Time::from_micros(5), 3);
+        for i in 0..4 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_bound() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_micros(10), "a");
+        q.push(Time::from_micros(20), "b");
+        assert_eq!(q.pop_at_or_before(Time::from_micros(9)), None);
+        assert_eq!(q.pop_at_or_before(Time::from_micros(10)).unwrap().1, "a");
+        assert_eq!(q.pop_at_or_before(Time::from_micros(15)), None);
+        assert_eq!(q.pop_at_or_before(Time::MAX).unwrap().1, "b");
+        assert_eq!(q.pop_at_or_before(Time::MAX), None);
+    }
+
+    #[test]
+    fn key_packing_roundtrips_extremes() {
+        let mut q = EventQueue::new();
+        q.push(Time::MAX, "max");
+        q.push(Time::ZERO, "zero");
+        assert_eq!(q.pop(), Some((Time::ZERO, "zero")));
+        assert_eq!(q.pop(), Some((Time::MAX, "max")));
     }
 }

@@ -111,6 +111,10 @@ pub struct SimMetrics {
     pub missed: u64,
     /// Admitted tasks still in flight when the simulation ended.
     pub in_flight_at_end: u64,
+    /// Simulator loop iterations (timer events plus arrivals) processed —
+    /// the denominator-free "work done" measure behind events/sec
+    /// throughput reporting. Deterministic for a given input.
+    pub events_processed: u64,
     /// Sum of end-to-end response times of completed tasks.
     pub response_sum: TimeDelta,
     /// Largest end-to-end response time.

@@ -298,7 +298,10 @@ impl SimBuilder {
                 .collect(),
             admission,
             policy: self.policy,
-            queue: EventQueue::new(),
+            // Steady state carries one deadline-expiry event per live task
+            // plus one segment-completion per busy server; pre-size so the
+            // heap never reallocates under paper-scale loads.
+            queue: EventQueue::with_capacity(1024.max(64 * self.stages)),
             tasks: HashMap::new(),
             pending: VecDeque::new(),
             pending_seq: 0,
@@ -381,47 +384,29 @@ impl Simulation {
         let mut arrivals = arrivals.peekable();
         let mut last_arrival = Time::ZERO;
         loop {
-            let next_event = self.queue.peek_time();
-            let next_arrival = arrivals.peek().map(|&(t, _)| t);
             // Events at time t fire before arrivals at t: deadline expiries
-            // and completions free capacity the arrival may then use.
-            let take_event = match (next_event, next_arrival) {
-                (None, None) => break,
-                (Some(te), None) => {
-                    if te > until {
-                        break;
-                    }
-                    true
-                }
-                (None, Some(ta)) => {
-                    if ta > until {
-                        break;
-                    }
-                    false
-                }
-                (Some(te), Some(ta)) => {
-                    if te > until && ta > until {
-                        break;
-                    }
-                    te <= ta
-                }
-            };
-            if take_event {
-                let (time, event) = self.queue.pop().expect("peeked event exists");
-                if time > until {
-                    break;
-                }
+            // and completions free capacity the arrival may then use. The
+            // next arrival's timestamp (clamped to the horizon) therefore
+            // bounds how far the event queue may be drained, which lets the
+            // peek-then-pop pair fuse into one heap access.
+            let next_arrival = arrivals.peek().map(|&(t, _)| t);
+            let bound = next_arrival.map_or(until, |ta| ta.min(until));
+            if let Some((time, event)) = self.queue.pop_at_or_before(bound) {
                 self.clock = time;
+                self.metrics.events_processed += 1;
                 self.handle_event(event);
-            } else {
-                let (time, spec) = arrivals.next().expect("peeked arrival exists");
-                assert!(time >= last_arrival, "arrivals must be sorted by time");
-                last_arrival = time;
-                if time > until {
-                    break;
+                continue;
+            }
+            match next_arrival {
+                Some(ta) if ta <= until => {
+                    let (time, spec) = arrivals.next().expect("peeked arrival exists");
+                    assert!(time >= last_arrival, "arrivals must be sorted by time");
+                    last_arrival = time;
+                    self.clock = time;
+                    self.metrics.events_processed += 1;
+                    self.handle_arrival(spec);
                 }
-                self.clock = time;
-                self.handle_arrival(spec);
+                _ => break,
             }
         }
 

@@ -50,6 +50,127 @@ proptest! {
         }
     }
 
+    /// Bulk insertion is behaviourally identical to repeated `push`: the
+    /// same events drain in the same order regardless of how they were
+    /// inserted or how the insertions were batched.
+    #[test]
+    fn push_all_equals_repeated_push(
+        times in proptest::collection::vec(0u64..1_000, 0..200),
+        split in 0.0f64..1.0,
+    ) {
+        let events: Vec<(Time, usize)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (Time::from_micros(t), i))
+            .collect();
+
+        let mut pushed = EventQueue::new();
+        for &(t, i) in &events {
+            pushed.push(t, i);
+        }
+
+        // One bulk insert (hits the O(n) heapify-from-empty path).
+        let mut bulk = EventQueue::new();
+        bulk.push_all(events.clone());
+
+        // Push a prefix, then bulk-insert the rest (hits the non-empty
+        // `push_all` path).
+        let cut = (events.len() as f64 * split) as usize;
+        let mut mixed = EventQueue::new();
+        for &(t, i) in &events[..cut] {
+            mixed.push(t, i);
+        }
+        mixed.push_all(events[cut..].iter().copied());
+
+        prop_assert_eq!(pushed.len(), bulk.len());
+        prop_assert_eq!(pushed.len(), mixed.len());
+        loop {
+            let a = pushed.pop();
+            prop_assert_eq!(&a, &bulk.pop());
+            prop_assert_eq!(&a, &mixed.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Pop order is nondecreasing in time with FIFO tie-breaking, and
+    /// `len`/`is_empty` stay consistent through arbitrary interleavings
+    /// of `push`, `push_all`, `pop`, and `pop_at_or_before`.
+    #[test]
+    fn queue_invariants_under_interleaving(
+        script in proptest::collection::vec(
+            (0u64..1_000, 0u8..4, proptest::collection::vec(0u64..1_000, 0..5)),
+            1..100,
+        )
+    ) {
+        let mut q = EventQueue::new();
+        let mut seq = 0usize;
+        let mut live = 0usize;
+        for &(t, op, ref batch) in &script {
+            match op {
+                0 => {
+                    q.push(Time::from_micros(t), seq);
+                    seq += 1;
+                    live += 1;
+                }
+                1 => {
+                    let events: Vec<(Time, usize)> = batch
+                        .iter()
+                        .map(|&bt| {
+                            let e = (Time::from_micros(bt), seq);
+                            seq += 1;
+                            e
+                        })
+                        .collect();
+                    live += events.len();
+                    q.push_all(events);
+                }
+                2 => {
+                    let popped = q.pop();
+                    prop_assert_eq!(popped.is_some(), live > 0);
+                    if popped.is_some() {
+                        live -= 1;
+                    }
+                    // A fresh queue accepts any times, so the global
+                    // monotonicity check only applies per drain below.
+                }
+                _ => {
+                    let before = q.len();
+                    let popped = q.pop_at_or_before(Time::from_micros(t));
+                    if let Some((pt, _)) = popped {
+                        prop_assert!(pt.as_micros() <= t, "bound violated");
+                        live -= 1;
+                        prop_assert_eq!(q.len(), before - 1);
+                    } else {
+                        // Nothing at or before the bound: the head (if
+                        // any) must be strictly later.
+                        if let Some(head) = q.peek_time() {
+                            prop_assert!(head.as_micros() > t);
+                        }
+                        prop_assert_eq!(q.len(), before);
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), live);
+            prop_assert_eq!(q.is_empty(), live == 0);
+        }
+        // Drain what is left: nondecreasing times, FIFO ties.
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t.as_micros() >= lt, "time went backwards");
+                if t.as_micros() == lt {
+                    prop_assert!(i > li, "FIFO tie-break violated");
+                }
+            }
+            last = Some((t.as_micros(), i));
+            live -= 1;
+        }
+        prop_assert_eq!(live, 0);
+        prop_assert!(q.is_empty());
+    }
+
     /// Random PCP scripts: at most one holder per lock, a job holds at
     /// most one lock (no nesting in our model), blocked jobs stay blocked
     /// until a release wakes them, and every wake hands the lock over.
