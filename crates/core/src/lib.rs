@@ -69,6 +69,7 @@
 //! | [`admission`] | §4, §5 | exact/approximate/reservation/shedding controllers and baselines |
 //! | [`capacity`] | §3 | headroom queries, budget allocation, cost-of-depth tables |
 //! | [`hist`] | — | log-bucketed latency histogram shared by the simulator and service layers |
+//! | [`wire`] | — | compact pipeline wire form ([`wire::WireTaskSpec`]) for transports and traces |
 //! | [`certify`] | §5 | offline certification / reservation planning for critical task sets |
 //! | [`rta`] | §1 (related work) | holistic response-time analysis — the classical periodic baseline |
 //!
@@ -94,6 +95,7 @@ pub mod rta;
 pub mod synthetic;
 pub mod task;
 pub mod time;
+pub mod wire;
 
 pub use admission::{Admission, AdmitOutcome, ExactContributions, MeanContributions};
 pub use alpha::Alpha;
@@ -104,3 +106,4 @@ pub use region::{FeasibleRegion, RegionTest};
 pub use synthetic::{StageTracker, SyntheticState};
 pub use task::{Importance, Priority, StageId, SubtaskSpec, TaskId};
 pub use time::{Time, TimeDelta};
+pub use wire::WireTaskSpec;

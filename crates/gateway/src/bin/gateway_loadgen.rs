@@ -1,0 +1,291 @@
+//! Socket-level load generator for the admission gateway.
+//!
+//! Replays `frap-workload` Poisson pipeline streams over N real TCP
+//! connections (one pipelining client per thread) against a gateway —
+//! either one it spawns in-process on loopback, or an already-running
+//! one whose address is given — and reports sustained decisions per
+//! second, round-trip tail latency, and the expired-on-arrival rate.
+//!
+//! ```text
+//! gateway-loadgen [threads] [seconds] [stages] [load] [addr]
+//! ```
+//!
+//! Defaults: 4 threads, 2 seconds, 3 stages, offered load 2.0, and an
+//! in-process server on `127.0.0.1:0`. Every admitted ticket is released
+//! over the wire; anything still in flight when the run stops is cleaned
+//! up by the server's disconnect handling, so the run must end with zero
+//! live tasks.
+//!
+//! A machine-readable summary is written to `BENCH_gateway.json` (path
+//! overridable via the `BENCH_GATEWAY_OUT` environment variable). The
+//! process exits non-zero if nothing was admitted or any protocol error
+//! occurred, so CI can use a plain invocation as a smoke test.
+
+use frap_core::admission::ExactContributions;
+use frap_core::hist::LatencyHistogram;
+use frap_core::region::FeasibleRegion;
+use frap_core::time::TimeDelta;
+use frap_core::wire::WireTaskSpec;
+use frap_gateway::client::GatewayClient;
+use frap_gateway::proto::Verdict;
+use frap_gateway::server::{GatewayConfig, GatewayServer};
+use frap_service::AdmissionService;
+use frap_workload::PipelineWorkloadBuilder;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn parse_arg<T: std::str::FromStr>(idx: usize, default: T) -> T {
+    std::env::args()
+        .nth(idx)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Records a round-trip duration, reinterpreting the histogram's tick as
+/// 1 ns (the same convention as `frap-service` decision latency).
+fn record_rtt(hist: &mut LatencyHistogram, elapsed: Duration) {
+    hist.record(TimeDelta::from_micros(elapsed.as_nanos() as u64));
+}
+
+#[derive(Default)]
+struct ThreadTally {
+    decisions: u64,
+    admitted: u64,
+    rejected: u64,
+    expired: u64,
+    shed_events: u64,
+    rtt: LatencyHistogram,
+}
+
+fn main() {
+    let threads: usize = parse_arg(1, 4);
+    let seconds: f64 = parse_arg(2, 2.0);
+    let stages: usize = parse_arg(3, 3);
+    let load: f64 = parse_arg(4, 2.0);
+    let addr_arg: Option<String> = std::env::args().nth(5);
+
+    println!(
+        "gateway-loadgen: {threads} connection(s), {seconds:.1}s, \
+         {stages}-stage pipeline, offered load {load:.2}"
+    );
+
+    // Spawn an in-process gateway unless pointed at a remote one.
+    let (server, service) = if addr_arg.is_none() {
+        let service = AdmissionService::builder(
+            FeasibleRegion::deadline_monotonic(stages),
+            ExactContributions,
+        )
+        .shards(threads.max(1))
+        .build();
+        let server = GatewayServer::bind(
+            "127.0.0.1:0",
+            service.clone(),
+            GatewayConfig {
+                workers: threads.clamp(1, 4),
+                ..GatewayConfig::default()
+            },
+        )
+        .expect("bind loopback gateway");
+        (Some(server), Some(service))
+    } else {
+        (None, None)
+    };
+    let addr = match (&addr_arg, &server) {
+        (Some(a), _) => a.clone(),
+        (None, Some(s)) => s.local_addr().to_string(),
+        _ => unreachable!(),
+    };
+    println!("target         {addr}");
+
+    // Pre-generate each connection's task stream so the hot loop measures
+    // the gateway, not the generator.
+    let specs_per_thread = 2_000usize;
+    let streams: Vec<Vec<WireTaskSpec>> = (0..threads)
+        .map(|t| {
+            PipelineWorkloadBuilder::new(stages)
+                .mean_computation_ms(10.0)
+                .resolution(10.0)
+                .load(load)
+                .seed(0xFEED ^ (t as u64) << 8)
+                .build()
+                .specs()
+                .take(specs_per_thread)
+                .map(|spec| WireTaskSpec::from_spec(&spec).expect("pipeline-shaped"))
+                .collect()
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let workers: Vec<_> = streams
+        .into_iter()
+        .map(|specs| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || run_client(&addr, &specs, &stop))
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_secs_f64(seconds));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut total = ThreadTally::default();
+    for worker in workers {
+        let tally = worker.join().expect("client thread").expect("client I/O");
+        total.decisions += tally.decisions;
+        total.admitted += tally.admitted;
+        total.rejected += tally.rejected;
+        total.expired += tally.expired;
+        total.shed_events += tally.shed_events;
+        total.rtt.merge(&tally.rtt);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Let the in-process server observe the disconnects, then stop it.
+    let gateway = server.map(|server| {
+        server.drain();
+        if !server.wait_idle(Duration::from_secs(5)) {
+            eprintln!("warning: connections still open after drain");
+        }
+        server.shutdown()
+    });
+
+    let (p50, p99, p999, max) = (
+        total.rtt.percentile(0.50).as_micros(),
+        total.rtt.percentile(0.99).as_micros(),
+        total.rtt.percentile(0.999).as_micros(),
+        total.rtt.max().as_micros(),
+    );
+    let per_sec = total.decisions as f64 / elapsed;
+    let expired_on_arrival = gateway
+        .map(|g| g.expired_on_arrival)
+        .unwrap_or(total.expired);
+    let protocol_errors = gateway.map(|g| g.protocol_errors).unwrap_or(0);
+    let releases = gateway.map(|g| g.releases).unwrap_or(0);
+    let expired_rate = if total.decisions == 0 {
+        0.0
+    } else {
+        total.expired as f64 / total.decisions as f64
+    };
+
+    println!();
+    println!(
+        "decisions      {} in {elapsed:.3}s  =>  {:.0} decisions/sec over the wire",
+        total.decisions, per_sec
+    );
+    println!(
+        "outcomes       admitted={} rejected={} expired_on_arrival={} ({:.2}% of decisions)",
+        total.admitted,
+        total.rejected,
+        total.expired,
+        expired_rate * 100.0
+    );
+    println!("round-trip     p50={p50}ns p99={p99}ns p999={p999}ns max={max}ns");
+    if let Some(g) = gateway {
+        println!(
+            "gateway        accepted={} closed={} frames_in={} frames_out={} \
+             releases={} backpressure_stalls={} protocol_errors={}",
+            g.accepted,
+            g.closed,
+            g.frames_in,
+            g.frames_out,
+            g.releases,
+            g.backpressure_stalls,
+            g.protocol_errors
+        );
+    }
+
+    if let Some(service) = &service {
+        service.maintain();
+        service.debug_validate();
+        let live = service.live_tasks();
+        assert_eq!(live, 0, "tickets leaked: {live} live tasks after drain");
+        println!("invariants     debug_validate passed, live_tasks=0 after drain");
+    }
+
+    let out = std::env::var("BENCH_GATEWAY_OUT").unwrap_or_else(|_| "BENCH_gateway.json".into());
+    let json = format!(
+        "{{\n  \"bench\": \"gateway_loadgen\",\n  \"threads\": {threads},\n  \
+         \"seconds\": {seconds},\n  \"stages\": {stages},\n  \"load\": {load},\n  \
+         \"decisions\": {},\n  \"decisions_per_sec\": {:.1},\n  \
+         \"admitted\": {},\n  \"rejected\": {},\n  \"shed_events\": {},\n  \
+         \"expired_on_arrival\": {expired_on_arrival},\n  \
+         \"expired_on_arrival_rate\": {:.6},\n  \"releases\": {releases},\n  \
+         \"protocol_errors\": {protocol_errors},\n  \
+         \"rtt_p50_ns\": {p50},\n  \"rtt_p99_ns\": {p99},\n  \
+         \"rtt_p999_ns\": {p999},\n  \"rtt_max_ns\": {max}\n}}\n",
+        total.decisions, per_sec, total.admitted, total.rejected, total.shed_events, expired_rate,
+    );
+    std::fs::write(&out, json).expect("write bench summary");
+    println!("wrote          {out}");
+
+    assert!(total.admitted > 0, "smoke failure: nothing was admitted");
+    assert_eq!(
+        protocol_errors, 0,
+        "smoke failure: protocol errors observed"
+    );
+}
+
+/// Drives one pipelining connection until `stop`, then drains in-flight
+/// responses and releases what they admitted.
+fn run_client(
+    addr: &str,
+    specs: &[WireTaskSpec],
+    stop: &AtomicBool,
+) -> std::io::Result<ThreadTally> {
+    let mut client = GatewayClient::connect(addr)?;
+    let window = (client.window() as usize).clamp(1, 128);
+    let mut inflight: VecDeque<(u64, Instant)> = VecDeque::with_capacity(window);
+    let mut tally = ThreadTally::default();
+    let mut next = 0usize;
+
+    let absorb = |tally: &mut ThreadTally, client: &mut GatewayClient, sent: (u64, Instant)| {
+        let (req_id, verdict) = client.recv_admit()?;
+        debug_assert_eq!(req_id, sent.0, "responses must be FIFO");
+        record_rtt(&mut tally.rtt, sent.1.elapsed());
+        tally.decisions += 1;
+        match verdict {
+            Verdict::Admitted { ticket_id } => {
+                tally.admitted += 1;
+                client.queue_release(ticket_id);
+            }
+            Verdict::AdmittedAfterShedding { ticket_id, shed } => {
+                tally.admitted += 1;
+                tally.shed_events += u64::from(shed);
+                client.queue_release(ticket_id);
+            }
+            Verdict::Rejected => tally.rejected += 1,
+            Verdict::Expired => tally.expired += 1,
+        }
+        Ok::<(), std::io::Error>(())
+    };
+
+    while !stop.load(Ordering::Relaxed) {
+        // Fill the window, one coalesced write for the whole batch.
+        while inflight.len() < window {
+            let task = &specs[next % specs.len()];
+            next += 1;
+            // Transport slack: half the deadline may be spent in flight.
+            let budget = TimeDelta::from_micros(task.deadline_us / 2);
+            let req_id = client.queue_admit(task, budget, false);
+            inflight.push_back((req_id, Instant::now()));
+        }
+        client.flush()?;
+        // Drain to half-full so requests and responses stay overlapped.
+        while inflight.len() > window / 2 {
+            let sent = inflight.pop_front().expect("non-empty");
+            absorb(&mut tally, &mut client, sent)?;
+        }
+    }
+
+    // Collect every outstanding response, then push out the releases they
+    // generated before disconnecting.
+    client.flush()?;
+    while let Some(sent) = inflight.pop_front() {
+        absorb(&mut tally, &mut client, sent)?;
+    }
+    client.flush()?;
+    Ok(tally)
+}

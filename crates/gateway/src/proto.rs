@@ -1,0 +1,781 @@
+//! The gateway's versioned, length-prefixed binary wire protocol.
+//!
+//! # Connection preamble
+//!
+//! A connection starts with a fixed-size handshake, before any framing:
+//!
+//! ```text
+//! client → server   Hello      magic:u32  version:u16  reserved:u16      (8 bytes)
+//! server → client   HelloAck   magic:u32  version:u16  window:u16
+//!                              max_frame:u32  server_now_us:u64          (20 bytes)
+//! ```
+//!
+//! The ack carries the server's **in-flight window** (how many admission
+//! requests a client may leave unanswered before it must read responses),
+//! its frame-size limit, and its monotonic clock reading. The client uses
+//! `server_now_us` to translate local instants into the server's clock so
+//! it can stamp each request with the absolute instant at which the
+//! task's transport slack is gone ([`AdmitRequest::expires_at_us`]). A
+//! magic or version mismatch closes the connection.
+//!
+//! # Framing
+//!
+//! After the handshake, both directions speak length-prefixed frames:
+//!
+//! ```text
+//! frame := len:u32  type:u8  payload
+//! ```
+//!
+//! All integers are **little-endian**. `len` counts the type byte plus
+//! the payload and must be in `1..=`[`MAX_FRAME`]; a longer declared
+//! length is rejected as soon as the prefix is read — before any payload
+//! is buffered or allocated — so a hostile peer cannot make the gateway
+//! allocate from a forged header. Within a frame, element counts are
+//! validated against both [`MAX_STAGES`] and the remaining payload bytes
+//! before any allocation. Decoding arbitrary bytes returns an error;
+//! it never panics (the crate's proptests fuzz exactly this).
+//!
+//! # Frame types
+//!
+//! | type | frame | direction |
+//! |------|-------|-----------|
+//! | 1 | [`Frame::AdmitRequest`] | client → server |
+//! | 2 | [`Frame::AdmitResponse`] | server → client |
+//! | 3 | [`Frame::Release`] | client → server |
+//! | 4 | [`Frame::Heartbeat`] | client → server |
+//! | 5 | [`Frame::HeartbeatAck`] | server → client |
+//! | 6 | [`Frame::StatsRequest`] | client → server |
+//! | 7 | [`Frame::StatsResponse`] | server → client |
+
+use frap_core::wire::WireTaskSpec;
+use std::fmt;
+
+/// `"FRAP"` when the four magic bytes are read little-endian.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"FRAP");
+/// Protocol version spoken by this crate.
+pub const VERSION: u16 = 1;
+/// Hard upper bound on one frame's body (`type` byte plus payload).
+pub const MAX_FRAME: usize = 64 * 1024;
+/// Hard upper bound on per-frame element counts (stage demands,
+/// utilization vectors).
+pub const MAX_STAGES: usize = 1024;
+/// Encoded size of the client hello.
+pub const HELLO_LEN: usize = 8;
+/// Encoded size of the server hello acknowledgement.
+pub const HELLO_ACK_LEN: usize = 20;
+
+const TYPE_ADMIT_REQUEST: u8 = 1;
+const TYPE_ADMIT_RESPONSE: u8 = 2;
+const TYPE_RELEASE: u8 = 3;
+const TYPE_HEARTBEAT: u8 = 4;
+const TYPE_HEARTBEAT_ACK: u8 = 5;
+const TYPE_STATS_REQUEST: u8 = 6;
+const TYPE_STATS_RESPONSE: u8 = 7;
+
+const VERDICT_ADMITTED: u8 = 0;
+const VERDICT_ADMITTED_AFTER_SHEDDING: u8 = 1;
+const VERDICT_REJECTED: u8 = 2;
+const VERDICT_EXPIRED: u8 = 3;
+
+const FLAG_ALLOW_SHED: u8 = 0b0000_0001;
+
+/// Why a byte sequence is not a valid protocol exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The handshake magic was not [`MAGIC`].
+    BadMagic(u32),
+    /// The peer speaks a different protocol version.
+    BadVersion(u16),
+    /// A frame's declared length was zero.
+    EmptyFrame,
+    /// A frame's declared length exceeded [`MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// Unknown frame type byte.
+    UnknownType(u8),
+    /// Unknown admission verdict code.
+    UnknownVerdict(u8),
+    /// An element count exceeded [`MAX_STAGES`].
+    TooManyStages(usize),
+    /// The payload did not parse as the named frame (short fields,
+    /// trailing bytes, reserved flag bits set, zero-stage tasks, …).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::BadMagic(m) => write!(f, "bad handshake magic {m:#010x}"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::EmptyFrame => write!(f, "zero-length frame"),
+            ProtoError::FrameTooLarge(n) => {
+                write!(f, "declared frame length {n} exceeds {MAX_FRAME}")
+            }
+            ProtoError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+            ProtoError::UnknownVerdict(v) => write!(f, "unknown verdict code {v}"),
+            ProtoError::TooManyStages(n) => {
+                write!(f, "element count {n} exceeds {MAX_STAGES}")
+            }
+            ProtoError::Malformed(what) => write!(f, "malformed {what} frame"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// The client-side half of the connection preamble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Protocol version the client speaks.
+    pub version: u16,
+}
+
+impl Hello {
+    /// Encodes the hello into its fixed wire form.
+    pub fn encode(&self) -> [u8; HELLO_LEN] {
+        let mut out = [0u8; HELLO_LEN];
+        out[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        out[4..6].copy_from_slice(&self.version.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a client hello.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::BadMagic`] / [`ProtoError::BadVersion`] when the peer
+    /// is not a compatible FRAP client.
+    pub fn decode(buf: &[u8; HELLO_LEN]) -> Result<Hello, ProtoError> {
+        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(ProtoError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+        if version != VERSION {
+            return Err(ProtoError::BadVersion(version));
+        }
+        Ok(Hello { version })
+    }
+}
+
+/// The server-side half of the connection preamble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloAck {
+    /// Protocol version the server speaks.
+    pub version: u16,
+    /// Maximum admission requests a client may leave in flight.
+    pub window: u16,
+    /// The server's frame-size limit (≤ [`MAX_FRAME`]).
+    pub max_frame: u32,
+    /// The server's monotonic clock at handshake time, in microseconds.
+    pub server_now_us: u64,
+}
+
+impl HelloAck {
+    /// Encodes the acknowledgement into its fixed wire form.
+    pub fn encode(&self) -> [u8; HELLO_ACK_LEN] {
+        let mut out = [0u8; HELLO_ACK_LEN];
+        out[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        out[4..6].copy_from_slice(&self.version.to_le_bytes());
+        out[6..8].copy_from_slice(&self.window.to_le_bytes());
+        out[8..12].copy_from_slice(&self.max_frame.to_le_bytes());
+        out[12..20].copy_from_slice(&self.server_now_us.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a server hello acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::BadMagic`] / [`ProtoError::BadVersion`] when the peer
+    /// is not a compatible FRAP server.
+    pub fn decode(buf: &[u8; HELLO_ACK_LEN]) -> Result<HelloAck, ProtoError> {
+        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(ProtoError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+        if version != VERSION {
+            return Err(ProtoError::BadVersion(version));
+        }
+        Ok(HelloAck {
+            version,
+            window: u16::from_le_bytes(buf[6..8].try_into().unwrap()),
+            max_frame: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+            server_now_us: u64::from_le_bytes(buf[12..20].try_into().unwrap()),
+        })
+    }
+}
+
+/// One admission request as it crosses the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmitRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub req_id: u64,
+    /// Absolute server-clock instant (µs) after which the task's
+    /// transport slack is gone: a request processed later than this is
+    /// answered [`Verdict::Expired`] without touching the shards.
+    pub expires_at_us: u64,
+    /// Whether the server may shed less-important admitted work to fit
+    /// this task (the Section 5 overload path).
+    pub allow_shed: bool,
+    /// The task itself in compact pipeline wire form.
+    pub task: WireTaskSpec,
+}
+
+/// The server's answer to one [`AdmitRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Admitted; release the ticket when the task finishes (or let the
+    /// connection's teardown release it).
+    Admitted {
+        /// Service-assigned ticket id, usable in [`Frame::Release`].
+        ticket_id: u64,
+    },
+    /// Admitted after evicting `shed` less-important live tasks.
+    AdmittedAfterShedding {
+        /// Service-assigned ticket id, usable in [`Frame::Release`].
+        ticket_id: u64,
+        /// How many victims were evicted.
+        shed: u32,
+    },
+    /// Infeasible: admitting would leave the feasible region.
+    Rejected,
+    /// Dead on arrival: transport consumed the deadline budget before the
+    /// admission test ran.
+    Expired,
+}
+
+impl Verdict {
+    /// The ticket id, when the task was admitted.
+    pub fn ticket_id(&self) -> Option<u64> {
+        match *self {
+            Verdict::Admitted { ticket_id } | Verdict::AdmittedAfterShedding { ticket_id, .. } => {
+                Some(ticket_id)
+            }
+            Verdict::Rejected | Verdict::Expired => None,
+        }
+    }
+
+    /// Whether the task was admitted (with or without shedding).
+    pub fn is_admitted(&self) -> bool {
+        self.ticket_id().is_some()
+    }
+}
+
+/// A point-in-time copy of the service's counters and utilization vector,
+/// as reported over the wire in [`Frame::StatsResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Arrivals admitted.
+    pub admitted: u64,
+    /// Arrivals rejected.
+    pub rejected: u64,
+    /// Live tasks evicted by importance shedding.
+    pub shed: u64,
+    /// Tickets released before their deadline.
+    pub released: u64,
+    /// Contributions decremented at their deadline.
+    pub expired: u64,
+    /// Requests whose transport slack was gone on arrival.
+    pub expired_on_arrival: u64,
+    /// Admitted tasks whose deadlines have not yet passed.
+    pub live_tasks: u64,
+    /// Aggregate synthetic utilization per stage.
+    pub utilizations: Vec<f64>,
+}
+
+/// Every message that crosses a gateway connection after the handshake.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client asks for admission of one task.
+    AdmitRequest(AdmitRequest),
+    /// Server answers one admission request.
+    AdmitResponse {
+        /// Correlation id copied from the request.
+        req_id: u64,
+        /// What the admission test decided.
+        verdict: Verdict,
+    },
+    /// Client reports the task finished; its admission is released now
+    /// rather than at the deadline decrement. Fire-and-forget.
+    Release {
+        /// Ticket id from an earlier [`Verdict::Admitted`].
+        ticket_id: u64,
+    },
+    /// Liveness/RTT probe.
+    Heartbeat {
+        /// Client-chosen nonce, echoed back.
+        nonce: u64,
+    },
+    /// Server echo of a [`Frame::Heartbeat`].
+    HeartbeatAck {
+        /// Nonce copied from the probe.
+        nonce: u64,
+    },
+    /// Client asks for a counter snapshot.
+    StatsRequest,
+    /// Server's counter snapshot.
+    StatsResponse(StatsReport),
+}
+
+impl Frame {
+    /// Appends the frame's length-prefixed encoding to `out`.
+    ///
+    /// The result always decodes back to an equal frame, provided element
+    /// counts respect [`MAX_STAGES`] (debug-asserted).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let len_at = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        match self {
+            Frame::AdmitRequest(req) => {
+                debug_assert!(req.task.stage_demands_us.len() <= MAX_STAGES);
+                out.push(TYPE_ADMIT_REQUEST);
+                out.extend_from_slice(&req.req_id.to_le_bytes());
+                out.extend_from_slice(&req.expires_at_us.to_le_bytes());
+                out.extend_from_slice(&req.task.deadline_us.to_le_bytes());
+                out.extend_from_slice(&req.task.importance.to_le_bytes());
+                out.push(if req.allow_shed { FLAG_ALLOW_SHED } else { 0 });
+                out.extend_from_slice(&(req.task.stage_demands_us.len() as u16).to_le_bytes());
+                for d in &req.task.stage_demands_us {
+                    out.extend_from_slice(&d.to_le_bytes());
+                }
+            }
+            Frame::AdmitResponse { req_id, verdict } => {
+                out.push(TYPE_ADMIT_RESPONSE);
+                out.extend_from_slice(&req_id.to_le_bytes());
+                match *verdict {
+                    Verdict::Admitted { ticket_id } => {
+                        out.push(VERDICT_ADMITTED);
+                        out.extend_from_slice(&ticket_id.to_le_bytes());
+                    }
+                    Verdict::AdmittedAfterShedding { ticket_id, shed } => {
+                        out.push(VERDICT_ADMITTED_AFTER_SHEDDING);
+                        out.extend_from_slice(&ticket_id.to_le_bytes());
+                        out.extend_from_slice(&shed.to_le_bytes());
+                    }
+                    Verdict::Rejected => out.push(VERDICT_REJECTED),
+                    Verdict::Expired => out.push(VERDICT_EXPIRED),
+                }
+            }
+            Frame::Release { ticket_id } => {
+                out.push(TYPE_RELEASE);
+                out.extend_from_slice(&ticket_id.to_le_bytes());
+            }
+            Frame::Heartbeat { nonce } => {
+                out.push(TYPE_HEARTBEAT);
+                out.extend_from_slice(&nonce.to_le_bytes());
+            }
+            Frame::HeartbeatAck { nonce } => {
+                out.push(TYPE_HEARTBEAT_ACK);
+                out.extend_from_slice(&nonce.to_le_bytes());
+            }
+            Frame::StatsRequest => out.push(TYPE_STATS_REQUEST),
+            Frame::StatsResponse(s) => {
+                debug_assert!(s.utilizations.len() <= MAX_STAGES);
+                out.push(TYPE_STATS_RESPONSE);
+                for counter in [
+                    s.admitted,
+                    s.rejected,
+                    s.shed,
+                    s.released,
+                    s.expired,
+                    s.expired_on_arrival,
+                    s.live_tasks,
+                ] {
+                    out.extend_from_slice(&counter.to_le_bytes());
+                }
+                out.extend_from_slice(&(s.utilizations.len() as u16).to_le_bytes());
+                for u in &s.utilizations {
+                    out.extend_from_slice(&u.to_bits().to_le_bytes());
+                }
+            }
+        }
+        let len = (out.len() - len_at - 4) as u32;
+        out[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Attempts to decode one frame from the front of `buf`.
+    ///
+    /// Returns `Ok(Some((frame, consumed)))` on success, `Ok(None)` when
+    /// `buf` holds only an incomplete prefix of a valid frame (read more
+    /// bytes and retry), and an error for byte sequences no amount of
+    /// further input can repair. Never panics on arbitrary input; an
+    /// oversized declared length is rejected from the 4-byte prefix
+    /// alone, before anything is allocated.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProtoError`].
+    pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        if len == 0 {
+            return Err(ProtoError::EmptyFrame);
+        }
+        if len > MAX_FRAME {
+            return Err(ProtoError::FrameTooLarge(len));
+        }
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = Frame::decode_body(&buf[4..4 + len])?;
+        Ok(Some((frame, 4 + len)))
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
+        let mut r = Reader {
+            buf: body,
+            pos: 1,
+            frame: "frame",
+        };
+        match body[0] {
+            TYPE_ADMIT_REQUEST => {
+                r.frame = "AdmitRequest";
+                let req_id = r.u64()?;
+                let expires_at_us = r.u64()?;
+                let deadline_us = r.u64()?;
+                let importance = r.u32()?;
+                let flags = r.u8()?;
+                if flags & !FLAG_ALLOW_SHED != 0 {
+                    return Err(ProtoError::Malformed("AdmitRequest"));
+                }
+                let n = r.count()?;
+                if n == 0 {
+                    // A task that visits no stage has no admission test.
+                    return Err(ProtoError::Malformed("AdmitRequest"));
+                }
+                let mut stage_demands_us = Vec::with_capacity(n);
+                for _ in 0..n {
+                    stage_demands_us.push(r.u64()?);
+                }
+                r.finish()?;
+                Ok(Frame::AdmitRequest(AdmitRequest {
+                    req_id,
+                    expires_at_us,
+                    allow_shed: flags & FLAG_ALLOW_SHED != 0,
+                    task: WireTaskSpec {
+                        deadline_us,
+                        stage_demands_us,
+                        importance,
+                    },
+                }))
+            }
+            TYPE_ADMIT_RESPONSE => {
+                r.frame = "AdmitResponse";
+                let req_id = r.u64()?;
+                let verdict = match r.u8()? {
+                    VERDICT_ADMITTED => Verdict::Admitted {
+                        ticket_id: r.u64()?,
+                    },
+                    VERDICT_ADMITTED_AFTER_SHEDDING => Verdict::AdmittedAfterShedding {
+                        ticket_id: r.u64()?,
+                        shed: r.u32()?,
+                    },
+                    VERDICT_REJECTED => Verdict::Rejected,
+                    VERDICT_EXPIRED => Verdict::Expired,
+                    other => return Err(ProtoError::UnknownVerdict(other)),
+                };
+                r.finish()?;
+                Ok(Frame::AdmitResponse { req_id, verdict })
+            }
+            TYPE_RELEASE => {
+                r.frame = "Release";
+                let ticket_id = r.u64()?;
+                r.finish()?;
+                Ok(Frame::Release { ticket_id })
+            }
+            TYPE_HEARTBEAT => {
+                r.frame = "Heartbeat";
+                let nonce = r.u64()?;
+                r.finish()?;
+                Ok(Frame::Heartbeat { nonce })
+            }
+            TYPE_HEARTBEAT_ACK => {
+                r.frame = "HeartbeatAck";
+                let nonce = r.u64()?;
+                r.finish()?;
+                Ok(Frame::HeartbeatAck { nonce })
+            }
+            TYPE_STATS_REQUEST => {
+                r.frame = "StatsRequest";
+                r.finish()?;
+                Ok(Frame::StatsRequest)
+            }
+            TYPE_STATS_RESPONSE => {
+                r.frame = "StatsResponse";
+                let admitted = r.u64()?;
+                let rejected = r.u64()?;
+                let shed = r.u64()?;
+                let released = r.u64()?;
+                let expired = r.u64()?;
+                let expired_on_arrival = r.u64()?;
+                let live_tasks = r.u64()?;
+                let n = r.count()?;
+                let mut utilizations = Vec::with_capacity(n);
+                for _ in 0..n {
+                    utilizations.push(f64::from_bits(r.u64()?));
+                }
+                r.finish()?;
+                Ok(Frame::StatsResponse(StatsReport {
+                    admitted,
+                    rejected,
+                    shed,
+                    released,
+                    expired,
+                    expired_on_arrival,
+                    live_tasks,
+                    utilizations,
+                }))
+            }
+            other => Err(ProtoError::UnknownType(other)),
+        }
+    }
+}
+
+/// A little-endian payload cursor; every read is bounds-checked.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    frame: &'static str,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ProtoError::Malformed(self.frame))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an element count and validates it against [`MAX_STAGES`]
+    /// *and* the bytes actually present, so `Vec::with_capacity(count)`
+    /// can never over-allocate from a forged header.
+    fn count(&mut self) -> Result<usize, ProtoError> {
+        let n = self.u16()? as usize;
+        if n > MAX_STAGES {
+            return Err(ProtoError::TooManyStages(n));
+        }
+        if n * 8 > self.buf.len() - self.pos {
+            return Err(ProtoError::Malformed(self.frame));
+        }
+        Ok(n)
+    }
+
+    /// The payload must be fully consumed: trailing bytes are an error.
+    fn finish(&self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed(self.frame))
+        }
+    }
+}
+
+/// An incremental frame reassembly buffer: feed it raw socket bytes,
+/// pull out complete frames. Consumed bytes are compacted away lazily so
+/// steady-state reads append into already-allocated space.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends raw bytes read from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.start == self.data.len() {
+            self.data.clear();
+            self.start = 0;
+        } else if self.start >= MAX_FRAME {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Decodes the next complete frame, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProtoError`] for unrepairable input; the buffer is
+    /// poisoned from the caller's perspective and the connection should
+    /// be closed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
+        match Frame::decode(&self.data[self.start..])? {
+            Some((frame, consumed)) => {
+                self.start += consumed;
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by [`FrameBuffer::next_frame`].
+    pub fn pending(&self) -> usize {
+        self.data.len() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let mut buf = Vec::new();
+        frame.encode_into(&mut buf);
+        let (decoded, consumed) = Frame::decode(&buf).unwrap().expect("complete");
+        assert_eq!(consumed, buf.len());
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn every_frame_type_round_trips() {
+        roundtrip(Frame::AdmitRequest(AdmitRequest {
+            req_id: 7,
+            expires_at_us: 123_456,
+            allow_shed: true,
+            task: WireTaskSpec {
+                deadline_us: 100_000,
+                stage_demands_us: vec![5_000, 0, 777],
+                importance: 3,
+            },
+        }));
+        roundtrip(Frame::AdmitResponse {
+            req_id: 9,
+            verdict: Verdict::Admitted { ticket_id: 17 },
+        });
+        roundtrip(Frame::AdmitResponse {
+            req_id: 10,
+            verdict: Verdict::AdmittedAfterShedding {
+                ticket_id: 18,
+                shed: 2,
+            },
+        });
+        roundtrip(Frame::AdmitResponse {
+            req_id: 11,
+            verdict: Verdict::Rejected,
+        });
+        roundtrip(Frame::AdmitResponse {
+            req_id: 12,
+            verdict: Verdict::Expired,
+        });
+        roundtrip(Frame::Release { ticket_id: 4 });
+        roundtrip(Frame::Heartbeat { nonce: 0xDEAD });
+        roundtrip(Frame::HeartbeatAck { nonce: 0xBEEF });
+        roundtrip(Frame::StatsRequest);
+        roundtrip(Frame::StatsResponse(StatsReport {
+            admitted: 1,
+            rejected: 2,
+            shed: 3,
+            released: 4,
+            expired: 5,
+            expired_on_arrival: 6,
+            live_tasks: 7,
+            utilizations: vec![0.25, 0.5],
+        }));
+    }
+
+    #[test]
+    fn handshake_round_trips_and_validates() {
+        let hello = Hello { version: VERSION };
+        assert_eq!(Hello::decode(&hello.encode()), Ok(hello));
+        let ack = HelloAck {
+            version: VERSION,
+            window: 256,
+            max_frame: MAX_FRAME as u32,
+            server_now_us: 55,
+        };
+        assert_eq!(HelloAck::decode(&ack.encode()), Ok(ack));
+
+        let mut bad = hello.encode();
+        bad[0] ^= 0xFF;
+        assert!(matches!(Hello::decode(&bad), Err(ProtoError::BadMagic(_))));
+        let mut wrong_version = hello.encode();
+        wrong_version[4] = 99;
+        assert_eq!(
+            Hello::decode(&wrong_version),
+            Err(ProtoError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_the_body_arrives() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        // Only the prefix is present — a streaming decoder must not wait
+        // for 4 GiB of body before erroring.
+        assert_eq!(
+            Frame::decode(&buf),
+            Err(ProtoError::FrameTooLarge(u32::MAX as usize))
+        );
+        assert_eq!(
+            Frame::decode(&0u32.to_le_bytes()),
+            Err(ProtoError::EmptyFrame)
+        );
+    }
+
+    #[test]
+    fn truncated_prefixes_ask_for_more_bytes() {
+        let mut buf = Vec::new();
+        Frame::Release { ticket_id: 1 }.encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(Frame::decode(&buf[..cut]), Ok(None), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn forged_stage_count_is_rejected_without_allocation() {
+        // AdmitRequest claiming u16::MAX stages but carrying none.
+        let mut body = vec![TYPE_ADMIT_REQUEST];
+        body.extend_from_slice(&[0u8; 8 + 8 + 8 + 4 + 1]); // fixed fields
+        body.extend_from_slice(&u16::MAX.to_le_bytes());
+        let mut buf = (body.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        assert_eq!(
+            Frame::decode(&buf),
+            Err(ProtoError::TooManyStages(u16::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let mut wire = Vec::new();
+        Frame::Heartbeat { nonce: 1 }.encode_into(&mut wire);
+        Frame::Heartbeat { nonce: 2 }.encode_into(&mut wire);
+        let mut fb = FrameBuffer::new();
+        for chunk in wire.chunks(3) {
+            fb.extend(chunk);
+        }
+        assert_eq!(fb.next_frame(), Ok(Some(Frame::Heartbeat { nonce: 1 })));
+        assert_eq!(fb.next_frame(), Ok(Some(Frame::Heartbeat { nonce: 2 })));
+        assert_eq!(fb.next_frame(), Ok(None));
+        assert_eq!(fb.pending(), 0);
+    }
+}

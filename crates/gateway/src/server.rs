@@ -1,0 +1,686 @@
+//! The gateway server: an acceptor thread plus a fixed worker pool
+//! multiplexing non-blocking connections.
+//!
+//! # Threading model
+//!
+//! One **acceptor** thread owns the listener; accepted sockets are handed
+//! round-robin to `workers` **worker** threads over channels. Each worker
+//! owns its connections outright — per-connection state (reassembly
+//! buffer, pending write buffer, live ticket table) is plain mutable data
+//! with no locks; the only shared state is the admission service itself
+//! (which has its own sharding) and the gateway's atomic counters.
+//!
+//! # Batching
+//!
+//! A worker drains **every** complete frame out of each `read()` and
+//! appends all the replies to one coalesced buffer, written back with as
+//! few `write()` calls as the socket accepts. A pipelining client
+//! therefore pays roughly two syscalls per *window*, not per decision.
+//!
+//! # Deadline-aware timeouts
+//!
+//! Each [`AdmitRequest`](crate::proto::AdmitRequest) carries the absolute
+//! server-clock instant at which its transport slack runs out. A request
+//! that reaches the front of the pipeline later than that is answered
+//! [`Verdict::Expired`] without taking any shard lock — the work is
+//! already dead, so the cheapest correct answer is to say so. These are
+//! charged to the service's `expired_on_arrival` counter, keeping the
+//! networked and in-process demand pictures comparable.
+//!
+//! # Backpressure
+//!
+//! The handshake advertises an in-flight **window**. The server bounds
+//! each connection's unacknowledged reply bytes to `window` maximum-size
+//! admit responses; while a client is not draining its responses the
+//! worker stops *reading* that connection, so TCP flow control pushes
+//! back to the sender instead of the gateway buffering without bound.
+//!
+//! # Graceful drain
+//!
+//! [`GatewayServer::drain`] stops the acceptor (closing the listener) and
+//! puts the service into drain: in-flight requests still get definitive
+//! answers (rejections once draining), releases keep working, and every
+//! ticket still held for a connection is released by RAII when the
+//! connection goes away — including abrupt client disconnects.
+
+use crate::proto::{
+    AdmitRequest, Frame, FrameBuffer, Hello, HelloAck, StatsReport, Verdict, HELLO_LEN, MAX_FRAME,
+    VERSION,
+};
+use frap_core::admission::ContributionModel;
+use frap_core::region::RegionTest;
+use frap_service::{AdmissionService, AdmissionTicket, Clock};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`GatewayServer::bind`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Worker threads processing connections (the acceptor is extra).
+    pub workers: usize,
+    /// Per-connection in-flight admission window advertised at handshake.
+    pub window: u16,
+    /// How long an idle worker sleeps before polling its connections
+    /// again. Lower is lower latency at idle; higher is kinder to shared
+    /// machines.
+    pub idle_sleep: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            workers: 2,
+            window: 256,
+            idle_sleep: Duration::from_micros(100),
+        }
+    }
+}
+
+/// Monotone gateway-level counters (distinct from the service's own
+/// admission counters: these count *transport* events).
+#[derive(Debug, Default)]
+struct GatewayCounters {
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    expired_on_arrival: AtomicU64,
+    releases: AtomicU64,
+    bad_requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    backpressure_stalls: AtomicU64,
+}
+
+/// A point-in-time copy of the gateway's transport counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewaySnapshot {
+    /// Connections accepted since start.
+    pub accepted: u64,
+    /// Connections closed (disconnect, protocol error, or shutdown).
+    pub closed: u64,
+    /// Frames decoded off sockets.
+    pub frames_in: u64,
+    /// Frames written to sockets.
+    pub frames_out: u64,
+    /// Admit responses carrying a ticket.
+    pub admitted: u64,
+    /// Admit responses carrying a rejection.
+    pub rejected: u64,
+    /// Admit responses answered `Expired` (transport slack gone).
+    pub expired_on_arrival: u64,
+    /// Release frames applied to a live ticket.
+    pub releases: u64,
+    /// Admit requests whose stage count exceeds the region (answered
+    /// `Rejected` without an admission test).
+    pub bad_requests: u64,
+    /// Connections killed for unparseable or client-inappropriate frames.
+    pub protocol_errors: u64,
+    /// Times a worker skipped reading a connection because its reply
+    /// window was full (TCP backpressure engaged).
+    pub backpressure_stalls: u64,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    draining: AtomicBool,
+    open_conns: AtomicUsize,
+    stats: GatewayCounters,
+}
+
+impl Shared {
+    fn snapshot(&self) -> GatewaySnapshot {
+        let s = &self.stats;
+        GatewaySnapshot {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            closed: s.closed.load(Ordering::Relaxed),
+            frames_in: s.frames_in.load(Ordering::Relaxed),
+            frames_out: s.frames_out.load(Ordering::Relaxed),
+            admitted: s.admitted.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            expired_on_arrival: s.expired_on_arrival.load(Ordering::Relaxed),
+            releases: s.releases.load(Ordering::Relaxed),
+            bad_requests: s.bad_requests.load(Ordering::Relaxed),
+            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+            backpressure_stalls: s.backpressure_stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running admission gateway bound to a TCP address.
+///
+/// Construct with [`GatewayServer::bind`]; stop with
+/// [`GatewayServer::shutdown`] (dropping the server also shuts it down).
+/// The server owns no admission state of its own beyond the per-connection
+/// ticket tables — all capacity accounting lives in the
+/// [`AdmissionService`] it fronts.
+pub struct GatewayServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    drain_service: Arc<dyn Fn() + Send + Sync>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for GatewayServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayServer")
+            .field("addr", &self.addr)
+            .field(
+                "open_conns",
+                &self.shared.open_conns.load(Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl GatewayServer {
+    /// Binds a listener and starts the acceptor and worker threads
+    /// serving `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the address cannot be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers` is zero.
+    pub fn bind<A, R, M, C>(
+        addr: A,
+        service: AdmissionService<R, M, C>,
+        cfg: GatewayConfig,
+    ) -> std::io::Result<GatewayServer>
+    where
+        A: ToSocketAddrs,
+        R: RegionTest + Send + Sync + 'static,
+        M: ContributionModel + Send + Sync + 'static,
+        C: Clock + 'static,
+    {
+        assert!(cfg.workers > 0, "at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            open_conns: AtomicUsize::new(0),
+            stats: GatewayCounters::default(),
+        });
+
+        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(cfg.workers);
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for w in 0..cfg.workers {
+            let (tx, rx) = std::sync::mpsc::channel();
+            senders.push(tx);
+            let shared = Arc::clone(&shared);
+            let service = service.clone();
+            let cfg = cfg.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("frap-gateway-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, &service, &rx, &cfg))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("frap-gateway-acceptor".into())
+                .spawn(move || acceptor_loop(&shared, listener, &senders))
+                .expect("spawn acceptor")
+        };
+
+        let drain_service: Arc<dyn Fn() + Send + Sync> = {
+            let service = service.clone();
+            Arc::new(move || service.drain())
+        };
+
+        Ok(GatewayServer {
+            shared,
+            addr,
+            drain_service,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The address the gateway is listening on (useful after binding
+    /// port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current transport counters.
+    pub fn stats(&self) -> GatewaySnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Connections currently open.
+    pub fn open_connections(&self) -> usize {
+        self.shared.open_conns.load(Ordering::Relaxed)
+    }
+
+    /// Begins a graceful drain: the listener closes (new connects are
+    /// refused), the service stops admitting (in-flight requests get
+    /// definitive rejections; releases keep working), and existing
+    /// connections are served until they disconnect. Idempotent.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        (self.drain_service)();
+    }
+
+    /// Waits up to `timeout` for every connection to close after a
+    /// [`GatewayServer::drain`]. Returns whether the gateway went idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.open_connections() > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// Drains, stops every thread, and returns the final transport
+    /// counters. Connections still open are dropped, which releases
+    /// every ticket they held via the RAII ticket machinery.
+    pub fn shutdown(mut self) -> GatewaySnapshot {
+        self.stop_and_join();
+        self.shared.snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.drain();
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for GatewayServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn acceptor_loop(shared: &Shared, listener: TcpListener, senders: &[Sender<TcpStream>]) {
+    let mut next = 0usize;
+    while !shared.stop.load(Ordering::Acquire) && !shared.draining.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.open_conns.fetch_add(1, Ordering::Relaxed);
+                // Workers outlive the acceptor; a send only fails during
+                // total shutdown, where dropping the socket is correct.
+                if senders[next % senders.len()].send(stream).is_err() {
+                    shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+                    break;
+                }
+                next += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    // Dropping the listener here closes the accept queue: graceful drain
+    // means refusing new work at the edge, not queueing it.
+}
+
+/// Per-connection state owned by exactly one worker.
+struct Conn {
+    stream: TcpStream,
+    inbox: FrameBuffer,
+    outbox: Vec<u8>,
+    /// Tickets admitted on this connection and not yet released. Dropping
+    /// the map (disconnect, protocol error, shutdown) releases them all.
+    tickets: HashMap<u64, AdmissionTicket>,
+    greeted: bool,
+    hello_bytes: Vec<u8>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbox: FrameBuffer::new(),
+            outbox: Vec::new(),
+            tickets: HashMap::new(),
+            greeted: false,
+            hello_bytes: Vec::with_capacity(HELLO_LEN),
+        }
+    }
+}
+
+fn worker_loop<R, M, C>(
+    shared: &Shared,
+    service: &AdmissionService<R, M, C>,
+    rx: &Receiver<TcpStream>,
+    cfg: &GatewayConfig,
+) where
+    R: RegionTest + Send + Sync + 'static,
+    M: ContributionModel + Send + Sync + 'static,
+    C: Clock + 'static,
+{
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    // Unacknowledged reply bytes allowed per connection before the worker
+    // stops reading it: the window in maximum-size admit responses.
+    let reply_cap = cfg.window as usize * 32;
+
+    loop {
+        let stopping = shared.stop.load(Ordering::Acquire);
+        while let Ok(stream) = rx.try_recv() {
+            conns.push(Conn::new(stream));
+        }
+        if stopping {
+            break;
+        }
+
+        let mut progressed = false;
+        conns.retain_mut(|conn| {
+            match serve_conn(conn, service, shared, cfg, reply_cap, &mut scratch) {
+                ConnState::Progressed => {
+                    progressed = true;
+                    true
+                }
+                ConnState::Idle => true,
+                ConnState::Closed => {
+                    shared.stats.closed.fetch_add(1, Ordering::Relaxed);
+                    shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+                    false
+                }
+            }
+        });
+
+        if !progressed {
+            std::thread::sleep(cfg.idle_sleep);
+        }
+    }
+    // Worker exit drops `conns`, releasing every still-held ticket.
+    let dropped = conns.len();
+    shared
+        .stats
+        .closed
+        .fetch_add(dropped as u64, Ordering::Relaxed);
+    shared.open_conns.fetch_sub(dropped, Ordering::Relaxed);
+}
+
+enum ConnState {
+    /// Read, wrote, or processed something — poll again immediately.
+    Progressed,
+    /// Nothing to do right now.
+    Idle,
+    /// Connection is finished; drop it (releasing its tickets).
+    Closed,
+}
+
+fn serve_conn<R, M, C>(
+    conn: &mut Conn,
+    service: &AdmissionService<R, M, C>,
+    shared: &Shared,
+    cfg: &GatewayConfig,
+    reply_cap: usize,
+    scratch: &mut [u8],
+) -> ConnState
+where
+    R: RegionTest + Send + Sync + 'static,
+    M: ContributionModel + Send + Sync + 'static,
+    C: Clock + 'static,
+{
+    let mut progressed = false;
+
+    // Always try to push pending replies out first: a full outbox is what
+    // backpressure looks like from this side.
+    match flush(&mut conn.stream, &mut conn.outbox) {
+        Ok(wrote) => progressed |= wrote,
+        Err(_) => return ConnState::Closed,
+    }
+
+    // Reply window full and the client is not reading: stop consuming its
+    // requests so TCP pushes back on the sender.
+    if conn.outbox.len() >= reply_cap {
+        shared
+            .stats
+            .backpressure_stalls
+            .fetch_add(1, Ordering::Relaxed);
+        return if progressed {
+            ConnState::Progressed
+        } else {
+            ConnState::Idle
+        };
+    }
+
+    let n = match conn.stream.read(scratch) {
+        Ok(0) => return ConnState::Closed,
+        Ok(n) => n,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => 0,
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => 0,
+        Err(_) => return ConnState::Closed,
+    };
+    if n == 0 {
+        return if progressed {
+            ConnState::Progressed
+        } else {
+            ConnState::Idle
+        };
+    }
+    let mut bytes = &scratch[..n];
+
+    // The fixed-size hello precedes all framing.
+    if !conn.greeted {
+        let need = HELLO_LEN - conn.hello_bytes.len();
+        let take = need.min(bytes.len());
+        conn.hello_bytes.extend_from_slice(&bytes[..take]);
+        bytes = &bytes[take..];
+        if conn.hello_bytes.len() < HELLO_LEN {
+            return ConnState::Progressed;
+        }
+        let hello: [u8; HELLO_LEN] = conn.hello_bytes[..].try_into().unwrap();
+        match Hello::decode(&hello) {
+            Ok(_) => {
+                conn.greeted = true;
+                let ack = HelloAck {
+                    version: VERSION,
+                    window: cfg.window,
+                    max_frame: MAX_FRAME as u32,
+                    server_now_us: service.clock().now().as_micros(),
+                };
+                conn.outbox.extend_from_slice(&ack.encode());
+            }
+            Err(_) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return ConnState::Closed;
+            }
+        }
+    }
+
+    conn.inbox.extend(bytes);
+    loop {
+        match conn.inbox.next_frame() {
+            Ok(Some(frame)) => {
+                shared.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                if !handle_frame(conn, frame, service, shared) {
+                    shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    return ConnState::Closed;
+                }
+            }
+            Ok(None) => break,
+            Err(_) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return ConnState::Closed;
+            }
+        }
+    }
+
+    // One coalesced write for everything this batch produced.
+    if flush(&mut conn.stream, &mut conn.outbox).is_err() {
+        return ConnState::Closed;
+    }
+    ConnState::Progressed
+}
+
+/// Writes as much of `outbox` as the socket accepts without blocking.
+/// Returns whether any bytes moved; errors mean the peer is gone.
+fn flush(stream: &mut TcpStream, outbox: &mut Vec<u8>) -> std::io::Result<bool> {
+    let mut written = 0usize;
+    while written < outbox.len() {
+        match stream.write(&outbox[written..]) {
+            Ok(0) => break,
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if written > 0 {
+        outbox.drain(..written);
+    }
+    Ok(written > 0)
+}
+
+/// Applies one client frame; returns `false` when the frame is a protocol
+/// violation that must end the connection.
+fn handle_frame<R, M, C>(
+    conn: &mut Conn,
+    frame: Frame,
+    service: &AdmissionService<R, M, C>,
+    shared: &Shared,
+) -> bool
+where
+    R: RegionTest + Send + Sync + 'static,
+    M: ContributionModel + Send + Sync + 'static,
+    C: Clock + 'static,
+{
+    match frame {
+        Frame::AdmitRequest(req) => {
+            let verdict = decide(conn, &req, service, shared);
+            Frame::AdmitResponse {
+                req_id: req.req_id,
+                verdict,
+            }
+            .encode_into(&mut conn.outbox);
+            shared.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Frame::Release { ticket_id } => {
+            if let Some(ticket) = conn.tickets.remove(&ticket_id) {
+                ticket.release();
+                shared.stats.releases.fetch_add(1, Ordering::Relaxed);
+            }
+            true
+        }
+        Frame::Heartbeat { nonce } => {
+            Frame::HeartbeatAck { nonce }.encode_into(&mut conn.outbox);
+            shared.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Frame::StatsRequest => {
+            let snap = service.snapshot();
+            Frame::StatsResponse(StatsReport {
+                admitted: snap.counters.admitted,
+                rejected: snap.counters.rejected,
+                shed: snap.counters.shed,
+                released: snap.counters.released,
+                expired: snap.counters.expired,
+                expired_on_arrival: snap.counters.expired_on_arrival,
+                live_tasks: snap.live_tasks as u64,
+                utilizations: snap.utilizations,
+            })
+            .encode_into(&mut conn.outbox);
+            shared.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        // Server-to-client frames arriving at the server are violations.
+        Frame::AdmitResponse { .. } | Frame::HeartbeatAck { .. } | Frame::StatsResponse(_) => false,
+    }
+}
+
+fn decide<R, M, C>(
+    conn: &mut Conn,
+    req: &AdmitRequest,
+    service: &AdmissionService<R, M, C>,
+    shared: &Shared,
+) -> Verdict
+where
+    R: RegionTest + Send + Sync + 'static,
+    M: ContributionModel + Send + Sync + 'static,
+    C: Clock + 'static,
+{
+    // Deadline-aware timeout: transport slack already gone means the task
+    // cannot possibly meet its deadline, so it never reaches a shard.
+    if service.clock().now().as_micros() > req.expires_at_us {
+        service.note_expired_on_arrival();
+        shared
+            .stats
+            .expired_on_arrival
+            .fetch_add(1, Ordering::Relaxed);
+        return Verdict::Expired;
+    }
+    // A task visiting more stages than the region models cannot be
+    // charged; answer without an admission test.
+    if req.task.stages() > service.region().stages() {
+        shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return Verdict::Rejected;
+    }
+    let spec = match req.task.to_spec() {
+        Ok(spec) => spec,
+        Err(_) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Verdict::Rejected;
+        }
+    };
+    if req.allow_shed {
+        match service.try_admit_or_shed(&spec) {
+            frap_service::ServiceOutcome::Admitted(ticket) => {
+                let ticket_id = ticket.id();
+                conn.tickets.insert(ticket_id, ticket);
+                shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                Verdict::Admitted { ticket_id }
+            }
+            frap_service::ServiceOutcome::AdmittedAfterShedding { ticket, shed } => {
+                let ticket_id = ticket.id();
+                conn.tickets.insert(ticket_id, ticket);
+                shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                Verdict::AdmittedAfterShedding {
+                    ticket_id,
+                    shed: shed.len() as u32,
+                }
+            }
+            frap_service::ServiceOutcome::Rejected => {
+                shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Verdict::Rejected
+            }
+        }
+    } else {
+        match service.try_admit(&spec) {
+            Some(ticket) => {
+                let ticket_id = ticket.id();
+                conn.tickets.insert(ticket_id, ticket);
+                shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                Verdict::Admitted { ticket_id }
+            }
+            None => {
+                shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Verdict::Rejected
+            }
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! End-to-end tests: a real gateway on loopback, real sockets, and the
+//! invariants the networked path must preserve — no leaked tickets
+//! (including across abrupt disconnects), definitive answers during
+//! drain, expired-on-arrival short-circuiting, and enough throughput
+//! that batching demonstrably works.
+
+use frap_core::admission::ExactContributions;
+use frap_core::region::FeasibleRegion;
+use frap_core::time::TimeDelta;
+use frap_core::wire::WireTaskSpec;
+use frap_core::Importance;
+use frap_gateway::client::GatewayClient;
+use frap_gateway::proto::{AdmitRequest, Frame, FrameBuffer, Hello, Verdict, VERSION};
+use frap_gateway::server::{GatewayConfig, GatewayServer};
+use frap_service::{AdmissionService, MonotonicClock};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+type Service = AdmissionService<FeasibleRegion, ExactContributions, MonotonicClock>;
+
+fn start(stages: usize, shards: usize) -> (GatewayServer, Service) {
+    let service = AdmissionService::builder(
+        FeasibleRegion::deadline_monotonic(stages),
+        ExactContributions,
+    )
+    .shards(shards)
+    .build();
+    let server = GatewayServer::bind("127.0.0.1:0", service.clone(), GatewayConfig::default())
+        .expect("bind loopback");
+    (server, service)
+}
+
+fn small_task(stages: usize) -> WireTaskSpec {
+    WireTaskSpec::new(
+        TimeDelta::from_millis(200),
+        &vec![TimeDelta::from_millis(2); stages],
+        Importance::new(1),
+    )
+}
+
+/// Waits until `live_tasks` drops to zero (releases ride on worker
+/// threads, so observation is asynchronous).
+fn wait_no_live_tasks(service: &Service, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while service.live_tasks() > 0 {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    true
+}
+
+#[test]
+fn admit_then_release_round_trip() {
+    let (server, service) = start(3, 2);
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+
+    let verdict = client
+        .admit(&small_task(3), TimeDelta::from_millis(100), false)
+        .expect("admit");
+    let ticket_id = verdict.ticket_id().expect("a small task is admitted");
+    assert_eq!(service.live_tasks(), 1);
+
+    client.release(ticket_id).expect("release");
+    assert!(wait_no_live_tasks(&service, Duration::from_secs(2)));
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.admitted, 1);
+    assert_eq!(stats.released, 1);
+    assert_eq!(stats.live_tasks, 0);
+    assert_eq!(stats.utilizations.len(), 3);
+
+    client.heartbeat().expect("heartbeat");
+    drop(client);
+    server.shutdown();
+    service.debug_validate();
+}
+
+#[test]
+fn abrupt_disconnect_releases_every_held_ticket() {
+    let (server, service) = start(2, 2);
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+
+    let mut admitted = 0;
+    for _ in 0..20 {
+        let verdict = client
+            .admit(&small_task(2), TimeDelta::from_millis(100), false)
+            .expect("admit");
+        if verdict.is_admitted() {
+            admitted += 1;
+        }
+        // Deliberately never released.
+    }
+    assert!(admitted > 0, "nothing admitted");
+    assert_eq!(service.live_tasks(), admitted);
+
+    drop(client); // abrupt: tickets still held server-side
+
+    assert!(
+        wait_no_live_tasks(&service, Duration::from_secs(5)),
+        "disconnect leaked tickets: {} live",
+        service.live_tasks()
+    );
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.protocol_errors, 0);
+    assert_eq!(service.counters().released, admitted as u64);
+    service.debug_validate();
+}
+
+#[test]
+fn drain_refuses_new_connections_and_new_admissions() {
+    let (server, service) = start(2, 1);
+    let addr = server.local_addr();
+    let mut client = GatewayClient::connect(addr).expect("connect before drain");
+
+    let verdict = client
+        .admit(&small_task(2), TimeDelta::from_millis(100), false)
+        .expect("admit before drain");
+    let ticket_id = verdict.ticket_id().expect("admitted before drain");
+
+    server.drain();
+
+    // In-flight connections still get definitive answers — rejections for
+    // new work, working releases for old work.
+    let verdict = client
+        .admit(&small_task(2), TimeDelta::from_millis(100), false)
+        .expect("admit during drain still answered");
+    assert_eq!(verdict, Verdict::Rejected);
+    client.release(ticket_id).expect("release during drain");
+    assert!(wait_no_live_tasks(&service, Duration::from_secs(2)));
+
+    // New connections are refused once the listener is gone. Give the
+    // acceptor a moment to observe the drain flag and drop the listener.
+    std::thread::sleep(Duration::from_millis(50));
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        // A backlog-accepted socket is still possible; it must then be
+        // dead (EOF on the handshake reply).
+        Ok(mut stream) => {
+            let _ = stream.write_all(&Hello { version: VERSION }.encode());
+            let mut byte = [0u8; 1];
+            matches!(stream.read(&mut byte), Ok(0) | Err(_))
+        }
+    };
+    assert!(refused, "drained gateway accepted a new connection");
+
+    drop(client);
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.protocol_errors, 0);
+    service.debug_validate();
+}
+
+#[test]
+fn transport_slack_gone_is_expired_without_an_admission_test() {
+    let (server, service) = start(2, 1);
+    // Raw socket: hand-craft a request whose expiry is already past.
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .write_all(&Hello { version: VERSION }.encode())
+        .expect("hello");
+    let mut ack = [0u8; frap_gateway::proto::HELLO_ACK_LEN];
+    stream.read_exact(&mut ack).expect("hello ack");
+
+    std::thread::sleep(Duration::from_millis(2)); // ensure server clock > 1 µs
+    let mut out = Vec::new();
+    Frame::AdmitRequest(AdmitRequest {
+        req_id: 7,
+        expires_at_us: 1,
+        allow_shed: false,
+        task: small_task(2),
+    })
+    .encode_into(&mut out);
+    stream.write_all(&out).expect("send expired request");
+
+    let mut inbox = FrameBuffer::new();
+    let mut buf = [0u8; 1024];
+    let frame = loop {
+        if let Some(frame) = inbox.next_frame().expect("well-formed reply") {
+            break frame;
+        }
+        let n = stream.read(&mut buf).expect("read reply");
+        assert_ne!(n, 0, "server closed early");
+        inbox.extend(&buf[..n]);
+    };
+    assert_eq!(
+        frame,
+        Frame::AdmitResponse {
+            req_id: 7,
+            verdict: Verdict::Expired
+        }
+    );
+
+    // Charged as its own counter; the shards never saw it.
+    let counters = service.counters();
+    assert_eq!(counters.expired_on_arrival, 1);
+    assert_eq!(counters.admitted + counters.rejected, 0);
+    assert_eq!(service.live_tasks(), 0);
+
+    drop(stream);
+    server.shutdown();
+}
+
+#[test]
+fn bad_handshake_closes_the_connection_and_counts_a_protocol_error() {
+    let (server, _service) = start(2, 1);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.write_all(b"NOTFRAP!").expect("garbage hello");
+    let mut byte = [0u8; 1];
+    assert!(
+        matches!(stream.read(&mut byte), Ok(0) | Err(_)),
+        "server kept a connection with a bad handshake alive"
+    );
+    drop(stream);
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.protocol_errors, 1);
+    assert_eq!(snapshot.admitted, 0);
+}
+
+#[test]
+fn shedding_over_the_wire_reports_victims() {
+    let (server, service) = start(1, 1);
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+
+    // Saturate with low-importance work.
+    let cheap = WireTaskSpec::new(
+        TimeDelta::from_millis(100),
+        &[TimeDelta::from_millis(20)],
+        Importance::new(1),
+    );
+    let mut held = Vec::new();
+    loop {
+        let verdict = client
+            .admit(&cheap, TimeDelta::from_millis(100), false)
+            .expect("admit");
+        match verdict.ticket_id() {
+            Some(id) => held.push(id),
+            None => break,
+        }
+    }
+    assert!(!held.is_empty());
+
+    // An important arrival with shedding allowed displaces someone.
+    let vip = WireTaskSpec::new(
+        TimeDelta::from_millis(100),
+        &[TimeDelta::from_millis(20)],
+        Importance::new(100),
+    );
+    let verdict = client
+        .admit(&vip, TimeDelta::from_millis(100), true)
+        .expect("admit vip");
+    match verdict {
+        Verdict::AdmittedAfterShedding { shed, .. } => assert!(shed > 0),
+        other => panic!("expected shedding, got {other:?}"),
+    }
+    assert!(service.counters().shed > 0);
+
+    // Releasing an already-shed ticket is a harmless no-op over the wire.
+    for id in held {
+        client.release(id).expect("release");
+    }
+    drop(client);
+    server.shutdown();
+    assert!(wait_no_live_tasks(&service, Duration::from_secs(5)));
+    service.debug_validate();
+}
+
+/// Batched pipelining over loopback must clear 100k decisions/s in a
+/// release build (CI runs the `gateway-loadgen` smoke in release; this
+/// in-test floor is relaxed under `debug_assertions` where the
+/// per-decision cost is dominated by unoptimized code, not the wire).
+#[test]
+fn loopback_throughput_clears_the_floor() {
+    let floor = if cfg!(debug_assertions) {
+        15_000.0
+    } else {
+        100_000.0
+    };
+    let decisions_target: u64 = if cfg!(debug_assertions) {
+        40_000
+    } else {
+        200_000
+    };
+
+    let (server, service) = start(3, 2);
+    let addr = server.local_addr();
+    let task = small_task(3);
+
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let task = task.clone();
+            std::thread::spawn(move || {
+                let mut client = GatewayClient::connect(addr).expect("connect");
+                let window = (client.window() as usize).clamp(1, 128);
+                let mut inflight = std::collections::VecDeque::with_capacity(window);
+                let mut done = 0u64;
+                let per_client = decisions_target / 2;
+                while done < per_client {
+                    while inflight.len() < window {
+                        let id = client.queue_admit(&task, TimeDelta::from_millis(500), false);
+                        inflight.push_back(id);
+                    }
+                    client.flush().expect("flush");
+                    while inflight.len() > window / 2 {
+                        let expect = inflight.pop_front().expect("non-empty");
+                        let (req_id, verdict) = client.recv_admit().expect("recv");
+                        assert_eq!(req_id, expect);
+                        if let Some(ticket_id) = verdict.ticket_id() {
+                            client.queue_release(ticket_id);
+                        }
+                        done += 1;
+                    }
+                }
+                client.flush().expect("flush");
+                while let Some(expect) = inflight.pop_front() {
+                    let (req_id, verdict) = client.recv_admit().expect("recv");
+                    assert_eq!(req_id, expect);
+                    if let Some(ticket_id) = verdict.ticket_id() {
+                        client.queue_release(ticket_id);
+                    }
+                    done += 1;
+                }
+                client.flush().expect("flush");
+                done
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    let total: u64 = clients.into_iter().map(|c| c.join().expect("client")).sum();
+    let rate = total as f64 / started.elapsed().as_secs_f64();
+    assert!(
+        rate >= floor,
+        "sustained only {rate:.0} decisions/s (< {floor:.0})"
+    );
+
+    server.drain();
+    assert!(server.wait_idle(Duration::from_secs(5)));
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.protocol_errors, 0);
+    assert!(wait_no_live_tasks(&service, Duration::from_secs(5)));
+    service.debug_validate();
+}

@@ -1,0 +1,238 @@
+//! Property tests for the gateway wire protocol.
+//!
+//! Two families: (1) every well-formed frame survives an encode/decode
+//! round trip bit-for-bit, under arbitrary field values; (2) the decoder
+//! is total — arbitrary bytes, truncations, forged length prefixes, and
+//! forged element counts produce `Err(..)` or "need more bytes", never a
+//! panic and never an allocation sized by attacker-controlled counts.
+
+use frap_core::wire::WireTaskSpec;
+use frap_gateway::proto::{
+    AdmitRequest, Frame, FrameBuffer, ProtoError, StatsReport, Verdict, MAX_FRAME, MAX_STAGES,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- builders
+
+fn admit_request(
+    (req_id, expires_at_us, allow_shed, deadline_us, importance): (u64, u64, bool, u64, u32),
+    demands: Vec<u64>,
+) -> Frame {
+    Frame::AdmitRequest(AdmitRequest {
+        req_id,
+        expires_at_us,
+        allow_shed,
+        task: WireTaskSpec {
+            deadline_us,
+            stage_demands_us: demands,
+            importance,
+        },
+    })
+}
+
+fn verdict_from((code, ticket_id, shed): (u8, u64, u32)) -> Verdict {
+    match code % 4 {
+        0 => Verdict::Admitted { ticket_id },
+        1 => Verdict::AdmittedAfterShedding { ticket_id, shed },
+        2 => Verdict::Rejected,
+        _ => Verdict::Expired,
+    }
+}
+
+fn stats_report(counters: (u64, u64, u64, u64, u64, u64), live: u64, utils: Vec<f64>) -> Frame {
+    let (admitted, rejected, shed, released, expired, expired_on_arrival) = counters;
+    Frame::StatsResponse(StatsReport {
+        admitted,
+        rejected,
+        shed,
+        released,
+        expired,
+        expired_on_arrival,
+        live_tasks: live,
+        utilizations: utils,
+    })
+}
+
+fn round_trips(frame: &Frame) -> Result<(), TestCaseError> {
+    let mut bytes = Vec::new();
+    frame.encode_into(&mut bytes);
+    let (decoded, consumed) = Frame::decode(&bytes)
+        .map_err(|e| TestCaseError::Fail(format!("decode failed: {e}")))?
+        .ok_or_else(|| TestCaseError::Fail("complete frame not decoded".into()))?;
+    prop_assert_eq!(consumed, bytes.len());
+    prop_assert!(frames_equal(&decoded, frame));
+    // Every strict prefix is "need more bytes", never an error: length
+    // framing means truncation is indistinguishable from slow delivery.
+    for cut in 0..bytes.len() {
+        match Frame::decode(&bytes[..cut]) {
+            Ok(None) => {}
+            Ok(Some(_)) => return Err(TestCaseError::Fail(format!("prefix {cut} decoded"))),
+            Err(e) => return Err(TestCaseError::Fail(format!("prefix {cut} errored: {e}"))),
+        }
+    }
+    Ok(())
+}
+
+/// Frame equality that treats `f64` stats by bit pattern, so NaN
+/// utilization samples still count as faithfully transported.
+fn frames_equal(a: &Frame, b: &Frame) -> bool {
+    match (a, b) {
+        (Frame::StatsResponse(x), Frame::StatsResponse(y)) => {
+            (x.admitted, x.rejected, x.shed, x.released, x.expired)
+                == (y.admitted, y.rejected, y.shed, y.released, y.expired)
+                && x.expired_on_arrival == y.expired_on_arrival
+                && x.live_tasks == y.live_tasks
+                && x.utilizations.len() == y.utilizations.len()
+                && x.utilizations
+                    .iter()
+                    .zip(&y.utilizations)
+                    .all(|(u, v)| u.to_bits() == v.to_bits())
+        }
+        _ => a == b,
+    }
+}
+
+// ------------------------------------------------------------ round trips
+
+proptest! {
+    #[test]
+    fn admit_requests_round_trip(
+        header in (
+            proptest::num::u64::ANY,
+            proptest::num::u64::ANY,
+            proptest::bool::ANY,
+            proptest::num::u64::ANY,
+            proptest::num::u32::ANY,
+        ),
+        demands in proptest::collection::vec(proptest::num::u64::ANY, 1..32),
+    ) {
+        round_trips(&admit_request(header, demands))?;
+    }
+
+    #[test]
+    fn admit_responses_round_trip(
+        req_id in proptest::num::u64::ANY,
+        raw in (proptest::num::u8::ANY, proptest::num::u64::ANY, proptest::num::u32::ANY),
+    ) {
+        round_trips(&Frame::AdmitResponse { req_id, verdict: verdict_from(raw) })?;
+    }
+
+    #[test]
+    fn control_frames_round_trip(id in proptest::num::u64::ANY) {
+        round_trips(&Frame::Release { ticket_id: id })?;
+        round_trips(&Frame::Heartbeat { nonce: id })?;
+        round_trips(&Frame::HeartbeatAck { nonce: id })?;
+        round_trips(&Frame::StatsRequest)?;
+    }
+
+    #[test]
+    fn stats_responses_round_trip_even_with_nan_utilizations(
+        counters in (
+            proptest::num::u64::ANY,
+            proptest::num::u64::ANY,
+            proptest::num::u64::ANY,
+            proptest::num::u64::ANY,
+            proptest::num::u64::ANY,
+            proptest::num::u64::ANY,
+        ),
+        live in proptest::num::u64::ANY,
+        // Every f64 bit pattern, NaN and infinities included.
+        utils in proptest::collection::vec(proptest::num::f64::ANY, 0..16),
+    ) {
+        round_trips(&stats_report(counters, live, utils))?;
+    }
+}
+
+// ------------------------------------------------------------ decoder fuzz
+
+proptest! {
+    /// The decoder is total over arbitrary bytes: it may reject or ask
+    /// for more, but it never panics, and on success it consumes no more
+    /// than it was given.
+    #[test]
+    fn decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..300),
+    ) {
+        match Frame::decode(&bytes) {
+            Ok(Some((_frame, consumed))) => prop_assert!(consumed <= bytes.len()),
+            Ok(None) => {}
+            Err(_) => {}
+        }
+    }
+
+    /// A length prefix beyond `MAX_FRAME` is rejected from the prefix
+    /// alone — the body never needs to arrive, and nothing that size is
+    /// ever allocated.
+    #[test]
+    fn oversized_length_prefixes_are_rejected_from_four_bytes(
+        extra in 1u32..u32::MAX - MAX_FRAME as u32,
+        tail in proptest::collection::vec(proptest::num::u8::ANY, 0..8),
+    ) {
+        let len = MAX_FRAME as u32 + extra;
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&tail);
+        prop_assert_eq!(
+            Frame::decode(&bytes),
+            Err(ProtoError::FrameTooLarge(len as usize))
+        );
+    }
+
+    /// A forged stage count cannot drive an allocation: counts that the
+    /// remaining payload bytes cannot back are rejected first.
+    #[test]
+    fn forged_element_counts_never_allocate(
+        forged in MAX_STAGES as u16 + 1..u16::MAX,
+        req_id in proptest::num::u64::ANY,
+    ) {
+        // type(1) + req_id(8) + expires(8) + deadline(8) + importance(4)
+        // + flags(1) + nstages(2): a frame claiming `forged` stages but
+        // carrying none of their bytes.
+        let mut payload = vec![1u8]; // ADMIT_REQUEST
+        payload.extend_from_slice(&req_id.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.push(0);
+        payload.extend_from_slice(&forged.to_le_bytes());
+        let mut bytes = (payload.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&payload);
+        prop_assert!(Frame::decode(&bytes).is_err());
+    }
+
+    /// Streams of valid frames survive arbitrary re-chunking through the
+    /// reassembly buffer, in order and without residue.
+    #[test]
+    fn frame_buffer_reassembles_arbitrary_chunkings(
+        ids in proptest::collection::vec(proptest::num::u64::ANY, 1..12),
+        chunk_seed in proptest::num::u64::ANY,
+    ) {
+        let frames: Vec<Frame> = ids
+            .iter()
+            .map(|&id| admit_request((id, id, id & 1 == 1, id, id as u32), vec![id, 1, 2]))
+            .collect();
+        let mut wire = Vec::new();
+        for frame in &frames {
+            frame.encode_into(&mut wire);
+        }
+        // Deterministic pseudo-random chunk widths from the seed.
+        let mut buffer = FrameBuffer::new();
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        let mut state = chunk_seed | 1;
+        while pos < wire.len() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let width = 1 + (state >> 33) as usize % 13;
+            let end = (pos + width).min(wire.len());
+            buffer.extend(&wire[pos..end]);
+            pos = end;
+            while let Some(frame) = buffer
+                .next_frame()
+                .map_err(|e| TestCaseError::Fail(format!("stream decode failed: {e}")))?
+            {
+                out.push(frame);
+            }
+        }
+        prop_assert_eq!(buffer.pending(), 0);
+        prop_assert_eq!(out, frames);
+    }
+}

@@ -139,4 +139,35 @@ fn main() {
 
     service.debug_validate();
     println!("invariants     debug_validate passed");
+
+    // Machine-readable summary for CI artifacts and cross-run comparison
+    // (same hand-built JSON convention as `bench_experiments`).
+    let out = std::env::var("BENCH_SERVICE_OUT").unwrap_or_else(|_| "BENCH_service.json".into());
+    let peak_json: Vec<String> = (0..stages)
+        .map(|j| format!("{:.6}", series.peak(j)))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"service_loadgen\",\n  \"threads\": {threads},\n  \
+         \"seconds\": {seconds},\n  \"stages\": {stages},\n  \"load\": {load},\n  \
+         \"decisions\": {total},\n  \"decisions_per_sec\": {:.1},\n  \
+         \"admitted\": {},\n  \"rejected\": {},\n  \"expired\": {},\n  \
+         \"acceptance_ratio\": {:.6},\n  \"live_tasks\": {},\n  \
+         \"decision_p50_ns\": {},\n  \"decision_p99_ns\": {},\n  \
+         \"decision_p999_ns\": {},\n  \"decision_max_ns\": {},\n  \
+         \"utilization_samples\": {},\n  \"peak_utilization_by_stage\": [{}]\n}}\n",
+        total as f64 / elapsed,
+        snap.counters.admitted,
+        snap.counters.rejected,
+        snap.counters.expired,
+        snap.counters.acceptance_ratio(),
+        snap.live_tasks,
+        snap.decision_latency_ns(0.50),
+        snap.decision_latency_ns(0.99),
+        snap.decision_latency_ns(0.999),
+        snap.decision_max_ns(),
+        series.len(),
+        peak_json.join(", "),
+    );
+    std::fs::write(&out, json).expect("write bench summary");
+    println!("wrote          {out}");
 }

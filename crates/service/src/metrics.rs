@@ -21,6 +21,7 @@ pub struct ServiceCounters {
     shed: AtomicU64,
     released: AtomicU64,
     expired: AtomicU64,
+    expired_on_arrival: AtomicU64,
 }
 
 impl ServiceCounters {
@@ -44,6 +45,10 @@ impl ServiceCounters {
         self.expired.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_expired_on_arrival(&self) {
+        self.expired_on_arrival.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -52,6 +57,7 @@ impl ServiceCounters {
             shed: self.shed.load(Ordering::Relaxed),
             released: self.released.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            expired_on_arrival: self.expired_on_arrival.load(Ordering::Relaxed),
         }
     }
 }
@@ -69,6 +75,12 @@ pub struct CounterSnapshot {
     pub released: u64,
     /// Contributions decremented at their deadline by the timer wheel.
     pub expired: u64,
+    /// Arrivals turned away before the admission test because their
+    /// deadline budget was already consumed in transit (a front end such
+    /// as `frap-gateway` charges these via
+    /// [`note_expired_on_arrival`](crate::AdmissionService::note_expired_on_arrival);
+    /// they never touch the shards and are not counted as decisions).
+    pub expired_on_arrival: u64,
 }
 
 impl CounterSnapshot {
@@ -181,12 +193,14 @@ mod tests {
         c.add_shed(3);
         c.add_released();
         c.add_expired(2);
+        c.add_expired_on_arrival();
         let s = c.snapshot();
         assert_eq!(s.admitted, 2);
         assert_eq!(s.rejected, 1);
         assert_eq!(s.shed, 3);
         assert_eq!(s.released, 1);
         assert_eq!(s.expired, 2);
+        assert_eq!(s.expired_on_arrival, 1);
         assert_eq!(s.decisions(), 3);
         assert!((s.acceptance_ratio() - 2.0 / 3.0).abs() < 1e-12);
     }

@@ -32,7 +32,7 @@ use frap_core::region::RegionTest;
 use frap_core::task::StageId;
 use frap_core::time::Time;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -165,6 +165,7 @@ struct Inner<R, M, C> {
     gate: Mutex<()>,
     counters: ServiceCounters,
     next_id: AtomicU64,
+    draining: AtomicBool,
 }
 
 impl<R, M, C> std::fmt::Debug for Inner<R, M, C>
@@ -269,6 +270,7 @@ impl<R: RegionTest, M: ContributionModel, C: Clock> AdmissionServiceBuilder<R, M
                 gate: Mutex::new(()),
                 counters: ServiceCounters::default(),
                 next_id: AtomicU64::new(0),
+                draining: AtomicBool::new(false),
             }),
         }
     }
@@ -347,6 +349,10 @@ where
     pub fn try_admit(&self, spec: &TaskSpec) -> Option<AdmissionTicket> {
         let started = Instant::now();
         let inner = &*self.inner;
+        if inner.draining.load(Ordering::Acquire) {
+            inner.counters.add_rejected();
+            return None;
+        }
         let shard_idx = self.home_shard();
         let mut shard = self.lock_shard(shard_idx);
         // Read the clock AFTER taking the lock: any earlier wheel advance
@@ -392,6 +398,10 @@ where
     pub fn try_admit_or_shed(&self, spec: &TaskSpec) -> ServiceOutcome {
         let started = Instant::now();
         let inner = &*self.inner;
+        if inner.draining.load(Ordering::Acquire) {
+            inner.counters.add_rejected();
+            return ServiceOutcome::Rejected;
+        }
         let home = self.home_shard();
 
         // Slow path: take every shard (ascending) so the shedding index
@@ -466,6 +476,51 @@ where
         });
         record_ns(&mut guards[home].latency, started.elapsed());
         outcome
+    }
+
+    /// Puts the service into **drain**: every subsequent admission attempt
+    /// is rejected (counted as such), while the release side — ticket
+    /// drops, explicit releases, deadline decrements, idle resets and
+    /// shedding bookkeeping — keeps working so live work winds down to
+    /// zero. Draining is idempotent and irreversible for the lifetime of
+    /// the service; a front end (e.g. the `frap-gateway` server) calls it
+    /// on shutdown so in-flight requests get definitive answers without
+    /// new capacity being handed out.
+    pub fn drain(&self) {
+        self.inner.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether [`AdmissionService::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Acquire)
+    }
+
+    /// Releases an admission by ticket id alone — the orphan-release path
+    /// for callers that [`detach`](AdmissionTicket::detach)ed a ticket
+    /// (keeping only its id) and later learn the task is gone, e.g. a
+    /// gateway cleaning up after a vanished client. Scans shards for the
+    /// entry; returns whether anything was still live to release (false
+    /// when the id already expired, was shed, or was released).
+    pub fn release_by_id(&self, id: u64) -> bool {
+        let inner = &*self.inner;
+        for i in 0..inner.state.shard_count() {
+            let mut guard = self.lock_shard(i);
+            if let Some(entry) = guard.entries.remove(&id) {
+                inner.state.subtract_entry(&entry.contributions);
+                guard.by_importance.remove(&(entry.importance, id));
+                inner.counters.add_released();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Charges one arrival that died in transit: its deadline budget was
+    /// spent before it reached the admission test, so it was turned away
+    /// without touching any shard. Kept on the service's counters so the
+    /// in-process and networked views of demand agree.
+    pub fn note_expired_on_arrival(&self) {
+        self.inner.counters.add_expired_on_arrival();
     }
 
     /// Applies every due deadline decrement on every shard. The fast path
@@ -878,6 +933,60 @@ mod tests {
         assert!(snap.decision_latency.count() == 10);
         assert!(snap.decision_latency_ns(0.99) > 0);
         assert_eq!(snap.utilizations.len(), 2);
+    }
+
+    #[test]
+    fn drain_stops_admitting_but_keeps_releasing() {
+        let (svc, clock) = manual_service(2, 2);
+        let spec = pipeline_task(100, &[30, 30]);
+        let ticket = svc.try_admit(&spec).expect("fits before drain");
+        assert!(!svc.is_draining());
+        svc.drain();
+        assert!(svc.is_draining());
+        // No new admissions by either path, each counted as a rejection.
+        assert!(svc.try_admit(&spec).is_none());
+        assert!(matches!(
+            svc.try_admit_or_shed(
+                &pipeline_task(100, &[1, 1]).with_importance(Importance::CRITICAL)
+            ),
+            ServiceOutcome::Rejected
+        ));
+        assert_eq!(svc.counters().rejected, 2);
+        // The release side still works: explicit release, then expiry of a
+        // detached admission would follow the same path via maintain().
+        ticket.release();
+        assert_eq!(svc.counters().released, 1);
+        assert_eq!(svc.live_tasks(), 0);
+        clock.advance(ms(200));
+        assert_eq!(svc.maintain(), 0);
+        svc.debug_validate();
+    }
+
+    #[test]
+    fn release_by_id_releases_detached_tickets_once() {
+        let (svc, _clock) = manual_service(2, 2);
+        let spec = pipeline_task(100, &[30, 30]);
+        let id = svc.try_admit(&spec).expect("fits").detach();
+        assert!(svc.try_admit(&spec).is_none(), "region is full");
+        assert!(svc.release_by_id(id), "live detached entry is released");
+        assert!(!svc.release_by_id(id), "second release finds nothing");
+        assert_eq!(svc.counters().released, 1);
+        assert_eq!(svc.live_tasks(), 0);
+        svc.try_admit(&spec)
+            .expect("orphan release made room")
+            .detach();
+        svc.debug_validate();
+    }
+
+    #[test]
+    fn expired_on_arrival_is_counted_without_touching_shards() {
+        let (svc, _clock) = manual_service(2, 1);
+        svc.note_expired_on_arrival();
+        let c = svc.counters();
+        assert_eq!(c.expired_on_arrival, 1);
+        assert_eq!(c.decisions(), 0, "not an admission decision");
+        assert_eq!(svc.live_tasks(), 0);
+        svc.debug_validate();
     }
 
     #[test]

@@ -260,4 +260,84 @@ mod tests {
         let mut w = TimerWheel::new(us(10));
         w.advance(us(5), &mut Vec::new());
     }
+
+    #[test]
+    fn scheduled_exactly_at_the_current_tick_pops_without_moving_time() {
+        // `expiry == cursor` goes straight to the due list and an advance
+        // to the *same* instant (a legal zero-width advance) surfaces it.
+        let mut w = TimerWheel::new(us(1_000));
+        w.insert(us(1_000), 42);
+        assert_eq!(w.len(), 1);
+        assert_eq!(drain(&mut w, us(1_000)), vec![42]);
+        assert!(w.is_empty());
+        assert_eq!(w.cursor(), us(1_000));
+    }
+
+    #[test]
+    fn exact_level_boundary_deltas_pop_exactly_at_expiry() {
+        // A delta of exactly 64^l sits on the first slot of level l (the
+        // placement loop's half-open interval [64^l, 64^(l+1))). Each such
+        // entry must be absent one tick early and present at its expiry.
+        for level in 1..LEVELS as u32 {
+            let delta = 1u64 << (SLOT_BITS * level);
+            let mut w = TimerWheel::new(Time::ZERO);
+            w.insert(us(delta), 7);
+            assert_eq!(
+                drain(&mut w, us(delta - 1)),
+                Vec::<u64>::new(),
+                "level {level}: popped a tick early"
+            );
+            assert_eq!(w.len(), 1, "level {level}: entry lost by cascade");
+            assert_eq!(drain(&mut w, us(delta)), vec![7], "level {level}");
+            assert!(w.is_empty());
+        }
+    }
+
+    #[test]
+    fn beyond_the_top_level_horizon_goes_to_overflow_and_comes_back() {
+        // The top level covers deltas below 64^8 = 2^48 µs; anything
+        // farther lands in the overflow list, which is only re-examined
+        // when the top level wraps. The entry must survive an advance to
+        // just before its expiry and pop exactly at it.
+        let horizon = 1u64 << (SLOT_BITS * LEVELS as u32); // 2^48
+        let expiry = horizon + 12_345;
+        let mut w = TimerWheel::new(Time::ZERO);
+        w.insert(us(expiry), 9);
+        // Not due far before the horizon (overflow untouched: no wrap yet).
+        assert_eq!(drain(&mut w, us(horizon - 1)), Vec::<u64>::new());
+        assert_eq!(w.len(), 1);
+        // Crossing the top-level wrap re-files the overflow entry.
+        assert_eq!(drain(&mut w, us(expiry - 1)), Vec::<u64>::new());
+        assert_eq!(w.len(), 1);
+        assert_eq!(drain(&mut w, us(expiry)), vec![9]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_future_entry_survives_stepwise_cascades_across_every_level() {
+        // Walk the cursor up through each level's width in turn so the
+        // entry is cascaded down one level at a time rather than being
+        // flushed by a single giant jump.
+        let expiry = (1u64 << (SLOT_BITS * 7)) + 99; // top in-wheel level
+        let mut w = TimerWheel::new(Time::ZERO);
+        w.insert(us(expiry), 3);
+        let mut now = 0u64;
+        for level in (0..7).rev() {
+            now = expiry - (1u64 << (SLOT_BITS * level));
+            assert_eq!(drain(&mut w, us(now)), Vec::<u64>::new(), "level {level}");
+            assert_eq!(w.len(), 1, "entry lost cascading at level {level}");
+        }
+        assert!(now < expiry);
+        assert_eq!(drain(&mut w, us(expiry)), vec![3]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn zero_width_advance_with_pending_entries_is_a_no_op() {
+        let mut w = TimerWheel::new(us(50));
+        w.insert(us(60), 1);
+        assert_eq!(drain(&mut w, us(50)), Vec::<u64>::new());
+        assert_eq!(w.len(), 1);
+        assert_eq!(drain(&mut w, us(60)), vec![1]);
+    }
 }
