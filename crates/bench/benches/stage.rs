@@ -1,0 +1,148 @@
+//! Stage-kernel micro-benchmarks: the slab/packed-heap hot path in
+//! isolation (no event queue, no admission).
+//!
+//! Two churn cycles, each at 1, 8, and 64 resident background jobs so the
+//! cost of `add_job` → preempt → `segment_done` and of a full PCP
+//! block/release round can be read off as a function of stage occupancy:
+//!
+//! * `stage_add_preempt_complete/N` — admit one urgent job on top of `N`
+//!   resident low-priority jobs (it preempts the incumbent), run it to
+//!   completion, and let the incumbent resume;
+//! * `stage_pcp_block_release/N` — admit a lock-holder, then an urgent
+//!   contender on the same lock (blocks, inheritance boosts the holder),
+//!   complete the holder (releases the lock, wakes the contender), then
+//!   complete the contender.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frap_core::task::{LockId, Priority, Segment, StageId, TaskId};
+use frap_core::time::{Time, TimeDelta};
+use frap_sim::stage::{Effect, SegmentSlice, Stage};
+use std::hint::black_box;
+use std::rc::Rc;
+
+/// Generation of the most recent `Start` effect for `key`.
+fn gen_of(fx: &[Effect], key: (TaskId, u32)) -> u64 {
+    fx.iter()
+        .rev()
+        .find_map(|e| match e {
+            Effect::Start { key: k, gen, .. } if *k == key => Some(*gen),
+            _ => None,
+        })
+        .expect("job started")
+}
+
+/// A stage pre-loaded with `resident` low-priority compute jobs that never
+/// finish within the benchmark (their segments are hours long).
+fn with_residents(resident: u64) -> (Stage, Vec<Effect>) {
+    let mut stage = Stage::new(StageId::new(0));
+    let mut fx = Vec::new();
+    let long: SegmentSlice = vec![Segment::compute(TimeDelta::from_secs(3_600))].into();
+    for i in 0..resident {
+        stage.add_job(
+            Time::ZERO,
+            (TaskId::new(i), 0),
+            Priority::new(1_000_000 + i),
+            long.clone(),
+            &mut fx,
+        );
+    }
+    fx.clear();
+    (stage, fx)
+}
+
+fn add_preempt_complete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage_add_preempt_complete");
+    for resident in [1u64, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(resident),
+            &resident,
+            |b, &resident| {
+                let (mut stage, mut fx) = with_residents(resident);
+                let arena: Rc<[Segment]> = vec![Segment::compute(TimeDelta::from_micros(5))].into();
+                let mut next_task = resident;
+                let mut now_us = 1u64;
+                b.iter(|| {
+                    let key = (TaskId::new(next_task), 0);
+                    next_task += 1;
+                    now_us += 10;
+                    fx.clear();
+                    stage.add_job(
+                        Time::from_micros(now_us),
+                        key,
+                        Priority::new(10),
+                        SegmentSlice::new(Rc::clone(&arena), 0, 1),
+                        &mut fx,
+                    );
+                    let gen = gen_of(&fx, key);
+                    now_us += 5;
+                    fx.clear();
+                    stage.segment_done(Time::from_micros(now_us), gen, &mut fx);
+                    black_box(fx.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn pcp_block_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage_pcp_block_release");
+    for resident in [1u64, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(resident),
+            &resident,
+            |b, &resident| {
+                let (mut stage, mut fx) = with_residents(resident);
+                let lock = LockId::new(0);
+                let arena: Rc<[Segment]> =
+                    vec![Segment::critical(TimeDelta::from_micros(5), lock)].into();
+                let mut next_task = resident;
+                let mut now_us = 1u64;
+                b.iter(|| {
+                    let holder = (TaskId::new(next_task), 0);
+                    let contender = (TaskId::new(next_task + 1), 0);
+                    next_task += 2;
+                    now_us += 20;
+                    fx.clear();
+                    // Holder preempts a resident and takes the lock.
+                    stage.add_job(
+                        Time::from_micros(now_us),
+                        holder,
+                        Priority::new(500),
+                        SegmentSlice::new(Rc::clone(&arena), 0, 1),
+                        &mut fx,
+                    );
+                    fx.clear();
+                    // Contender preempts, blocks on the lock; the holder
+                    // resumes with inherited priority.
+                    now_us += 2;
+                    stage.add_job(
+                        Time::from_micros(now_us),
+                        contender,
+                        Priority::new(10),
+                        SegmentSlice::new(Rc::clone(&arena), 0, 1),
+                        &mut fx,
+                    );
+                    let holder_gen = gen_of(&fx, holder);
+                    now_us += 5;
+                    fx.clear();
+                    // Holder completes: lock released, contender woken.
+                    stage.segment_done(Time::from_micros(now_us), holder_gen, &mut fx);
+                    let contender_gen = gen_of(&fx, contender);
+                    now_us += 5;
+                    fx.clear();
+                    stage.segment_done(Time::from_micros(now_us), contender_gen, &mut fx);
+                    black_box(fx.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = add_preempt_complete, pcp_block_release
+}
+criterion_main!(benches);

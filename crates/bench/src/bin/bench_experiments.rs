@@ -2,11 +2,14 @@
 //! times every figure/table module, emitting `BENCH_experiments.json`.
 //!
 //! The speedup section runs one replication-heavy parameter point twice —
-//! `--jobs 1` and `--jobs N` (N from `FRAP_JOBS`, default 4) — verifies
-//! the two aggregates are bit-identical via [`PointResult::fingerprint`],
-//! and records wall time, events/second, and the speedup ratio. The
-//! figures section runs each experiment module once at quick scale and
-//! records its wall time and event count.
+//! `--jobs 1` and `--jobs N` (N from `FRAP_JOBS`, defaulting to
+//! `std::thread::available_parallelism()` so 1-core containers don't
+//! report oversubscribed parallel runs as slowdowns) — verifies the two
+//! aggregates are bit-identical via [`PointResult::fingerprint`], and
+//! records wall time, events/second, and the speedup ratio alongside the
+//! chosen job count and the hardware thread count. The figures section
+//! runs each experiment module once at quick scale and records its wall
+//! time and event count.
 //!
 //! Environment knobs: `FRAP_JOBS` (parallel worker count),
 //! `BENCH_HORIZON_SECS` (speedup-point horizon, default 60 — long
@@ -55,14 +58,14 @@ struct FigTiming {
 }
 
 fn main() {
-    let jobs = env_u64("FRAP_JOBS", 4) as usize;
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let jobs = env_u64("FRAP_JOBS", hardware_threads as u64) as usize;
     let horizon_secs = env_u64("BENCH_HORIZON_SECS", 60);
     let replications = env_u64("BENCH_REPLICATIONS", 8);
     let out_path =
         std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_experiments.json".to_string());
-    let hardware_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
 
     let scale = Scale {
         horizon_secs,

@@ -1,0 +1,141 @@
+//! CI perf regression gate over `BENCH_experiments.json`.
+//!
+//! ```text
+//! perf_gate <baseline.json> <candidate.json> [--max-regression <pct>]
+//! ```
+//!
+//! Compares the candidate report's single-thread throughput
+//! (`speedup_point.serial_events_per_sec`) against the committed baseline
+//! and exits non-zero if it regressed by more than the threshold
+//! (default 30%). Per-figure events/s deltas are printed for context but
+//! never gate — quick-scale figure runs are too short to be stable on
+//! shared runners. When `GITHUB_STEP_SUMMARY` is set, a markdown table of
+//! the comparison is appended to it.
+//!
+//! The reports are the hand-rolled JSON written by `bench_experiments`;
+//! extraction is textual on purpose so the gate needs no JSON dependency.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Extracts the number following `"key":` (first occurrence).
+fn extract_f64(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let pos = json.find(&pat)?;
+    let rest = json[pos + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Per-figure `(name, events/s)` pairs from the `figures` array.
+fn figure_rates(json: &str) -> Vec<(String, f64)> {
+    let mut rates = Vec::new();
+    for line in json.lines() {
+        let Some(name_pos) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_pos + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let name = rest[..name_end].to_string();
+        let (Some(wall), Some(events)) =
+            (extract_f64(line, "wall_secs"), extract_f64(line, "events"))
+        else {
+            continue;
+        };
+        if wall > 0.0 {
+            rates.push((name, events / wall));
+        }
+    }
+    rates
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_regression_pct = 30.0;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-regression" {
+            max_regression_pct = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--max-regression takes a percentage");
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        eprintln!("usage: perf_gate <baseline.json> <candidate.json> [--max-regression <pct>]");
+        return ExitCode::from(2);
+    };
+
+    let baseline = std::fs::read_to_string(baseline_path).expect("read baseline report");
+    let candidate = std::fs::read_to_string(candidate_path).expect("read candidate report");
+    let base_rate =
+        extract_f64(&baseline, "serial_events_per_sec").expect("baseline serial_events_per_sec");
+    let cand_rate =
+        extract_f64(&candidate, "serial_events_per_sec").expect("candidate serial_events_per_sec");
+
+    let ratio = cand_rate / base_rate;
+    let delta_pct = (ratio - 1.0) * 100.0;
+    println!(
+        "[perf-gate] serial events/s: baseline {:.0}, candidate {:.0} ({delta_pct:+.1}%)",
+        base_rate, cand_rate
+    );
+
+    let base_figs = figure_rates(&baseline);
+    let cand_figs = figure_rates(&candidate);
+    let mut summary = String::new();
+    let _ = writeln!(summary, "### Perf gate: simulator throughput\n");
+    let _ = writeln!(summary, "| metric | baseline | candidate | delta |");
+    let _ = writeln!(summary, "|---|---:|---:|---:|");
+    let _ = writeln!(
+        summary,
+        "| serial events/s | {:.0} | {:.0} | {delta_pct:+.1}% |",
+        base_rate, cand_rate
+    );
+    for (name, cand) in &cand_figs {
+        if let Some((_, base)) = base_figs.iter().find(|(n, _)| n == name) {
+            let d = (cand / base - 1.0) * 100.0;
+            println!(
+                "[perf-gate] {name}: {base:.0} -> {cand:.0} events/s ({d:+.1}%, informational)"
+            );
+            let _ = writeln!(
+                summary,
+                "| {name} events/s (info) | {base:.0} | {cand:.0} | {d:+.1}% |"
+            );
+        }
+    }
+
+    let failed = delta_pct < -max_regression_pct;
+    let _ = writeln!(
+        summary,
+        "\n**{}** (gate: serial regression > {max_regression_pct:.0}% fails)",
+        if failed { "FAILED" } else { "passed" }
+    );
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = f.write_all(summary.as_bytes());
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "[perf-gate] FAIL: single-thread throughput regressed {:.1}% \
+             (threshold {max_regression_pct:.0}%)",
+            -delta_pct
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("[perf-gate] pass");
+    ExitCode::SUCCESS
+}

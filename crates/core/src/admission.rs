@@ -76,7 +76,7 @@ pub struct ExactContributions;
 
 impl ContributionModel for ExactContributions {
     fn contributions_into(&self, spec: &TaskSpec, out: &mut Vec<(StageId, f64)>) {
-        out.extend(spec.contributions());
+        spec.contributions_into(out);
     }
 }
 
@@ -383,19 +383,40 @@ impl<R: RegionTest, M: ContributionModel> Admission<R, M> {
     /// on admission, or `None` (and counts a rejection) if admitting it
     /// would leave the feasible region.
     pub fn try_admit(&mut self, now: Time, spec: &TaskSpec) -> Option<TaskId> {
-        self.advance_to(now);
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
         self.model.contributions_into(spec, &mut scratch);
-        let feasible = self.admit_feasible(&scratch);
-        let result = if feasible {
-            Some(self.commit(now, spec, &scratch))
+        let result = self.try_admit_with(now, spec, &scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    /// [`Admission::try_admit`] with the contribution vector already in
+    /// hand. `contributions` must be what [`Admission::contributions_for`]
+    /// returns for `spec`; callers that retry the same spec repeatedly (the
+    /// simulator's admission wait queue) compute it once at enqueue instead
+    /// of once per attempt.
+    pub fn try_admit_with(
+        &mut self,
+        now: Time,
+        spec: &TaskSpec,
+        contributions: &[(StageId, f64)],
+    ) -> Option<TaskId> {
+        self.advance_to(now);
+        if self.admit_feasible(contributions) {
+            Some(self.commit(now, spec, contributions))
         } else {
             self.stats.rejected += 1;
             None
-        };
-        self.scratch = scratch;
-        result
+        }
+    }
+
+    /// The per-stage contributions the model charges for `spec`, written
+    /// into `out` (cleared first). This is exactly the vector
+    /// [`Admission::try_admit`] would compute internally.
+    pub fn contributions_for(&self, spec: &TaskSpec, out: &mut Vec<(StageId, f64)>) {
+        out.clear();
+        self.model.contributions_into(spec, out);
     }
 
     /// Attempts to admit `spec`; when infeasible, sheds live tasks that are

@@ -23,6 +23,12 @@ use std::collections::BTreeMap;
 /// shapes. Construction validates that the graph is non-empty, edges are in
 /// range, and the precedence relation is acyclic.
 ///
+/// The structure is immutable once built, so clones share one refcounted
+/// allocation: cloning a [`TaskSpec`] (which workload generators do once
+/// per arrival) costs an `Arc` bump instead of a deep copy of four
+/// vectors. `Arc` rather than `Rc` keeps specs `Send` for the concurrent
+/// admission service.
+///
 /// # Examples
 ///
 /// ```
@@ -44,12 +50,34 @@ use std::collections::BTreeMap;
 /// assert_eq!(g.longest_path(&[1.0, 2.0, 3.0, 4.0]), 1.0 + 3.0 + 4.0);
 /// # Ok::<(), frap_core::error::GraphError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct TaskGraph {
+    inner: std::sync::Arc<GraphInner>,
+}
+
+#[derive(Debug, PartialEq)]
+struct GraphInner {
     subtasks: Vec<SubtaskSpec>,
     preds: Vec<Vec<usize>>,
     succs: Vec<Vec<usize>>,
     topo: Vec<usize>,
+}
+
+impl PartialEq for TaskGraph {
+    fn eq(&self, other: &TaskGraph) -> bool {
+        std::sync::Arc::ptr_eq(&self.inner, &other.inner) || *self.inner == *other.inner
+    }
+}
+
+impl std::fmt::Debug for TaskGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskGraph")
+            .field("subtasks", &self.inner.subtasks)
+            .field("preds", &self.inner.preds)
+            .field("succs", &self.inner.succs)
+            .field("topo", &self.inner.topo)
+            .finish()
+    }
 }
 
 impl TaskGraph {
@@ -63,17 +91,35 @@ impl TaskGraph {
 
     /// A pipeline: subtasks executed strictly in order.
     ///
+    /// A chain's precedence structure is known up front, so this skips the
+    /// general builder (edge list, deduplication, Kahn's algorithm) —
+    /// workload generators construct one graph per arrival, making this
+    /// the hottest graph constructor by far.
+    ///
     /// # Errors
     ///
     /// Returns [`GraphError::Empty`] when `subtasks` is empty and
     /// [`GraphError::EmptySubtask`] when a subtask has no segments.
     pub fn chain(subtasks: Vec<SubtaskSpec>) -> Result<TaskGraph, GraphError> {
-        let mut b = TaskGraph::builder();
-        let ids: Vec<usize> = subtasks.into_iter().map(|s| b.add(s)).collect();
-        for w in ids.windows(2) {
-            b.edge(w[0], w[1]);
+        let n = subtasks.len();
+        if n == 0 {
+            return Err(GraphError::Empty);
         }
-        b.build()
+        for (i, s) in subtasks.iter().enumerate() {
+            if s.segments.is_empty() {
+                return Err(GraphError::EmptySubtask { index: i });
+            }
+        }
+        let preds = (0..n).map(|i| if i == 0 { Vec::new() } else { vec![i - 1] });
+        let succs = (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { Vec::new() });
+        Ok(TaskGraph {
+            inner: std::sync::Arc::new(GraphInner {
+                subtasks,
+                preds: preds.collect(),
+                succs: succs.collect(),
+                topo: (0..n).collect(),
+            }),
+        })
     }
 
     /// A fork-join graph: `head` then all of `branches` in parallel, then
@@ -103,13 +149,13 @@ impl TaskGraph {
 
     /// Number of subtasks.
     pub fn len(&self) -> usize {
-        self.subtasks.len()
+        self.inner.subtasks.len()
     }
 
     /// Whether the graph has no subtasks (never true for a built graph;
     /// provided for API completeness).
     pub fn is_empty(&self) -> bool {
-        self.subtasks.is_empty()
+        self.inner.subtasks.is_empty()
     }
 
     /// The subtask at `index`.
@@ -118,52 +164,53 @@ impl TaskGraph {
     ///
     /// Panics if `index >= self.len()`.
     pub fn subtask(&self, index: usize) -> &SubtaskSpec {
-        &self.subtasks[index]
+        &self.inner.subtasks[index]
     }
 
     /// Iterates over all subtasks in insertion order.
     pub fn subtasks(&self) -> impl Iterator<Item = &SubtaskSpec> {
-        self.subtasks.iter()
+        self.inner.subtasks.iter()
     }
 
     /// Predecessors of subtask `index`.
     pub fn preds(&self, index: usize) -> &[usize] {
-        &self.preds[index]
+        &self.inner.preds[index]
     }
 
     /// Successors of subtask `index`.
     pub fn succs(&self, index: usize) -> &[usize] {
-        &self.succs[index]
+        &self.inner.succs[index]
     }
 
     /// Subtask indices with no predecessors (released at task arrival).
     pub fn sources(&self) -> Vec<usize> {
         (0..self.len())
-            .filter(|&i| self.preds[i].is_empty())
+            .filter(|&i| self.inner.preds[i].is_empty())
             .collect()
     }
 
     /// Subtask indices with no successors (task departs when all finish).
     pub fn sinks(&self) -> Vec<usize> {
         (0..self.len())
-            .filter(|&i| self.succs[i].is_empty())
+            .filter(|&i| self.inner.succs[i].is_empty())
             .collect()
     }
 
     /// A topological order of subtask indices.
     pub fn topological_order(&self) -> &[usize] {
-        &self.topo
+        &self.inner.topo
     }
 
     /// Whether the graph is a single chain (a pipeline).
     pub fn is_chain(&self) -> bool {
         self.sources().len() == 1
-            && (0..self.len()).all(|i| self.succs[i].len() <= 1 && self.preds[i].len() <= 1)
+            && (0..self.len())
+                .all(|i| self.inner.succs[i].len() <= 1 && self.inner.preds[i].len() <= 1)
     }
 
     /// The distinct stages used by this graph, in ascending order.
     pub fn stages_used(&self) -> Vec<StageId> {
-        let mut v: Vec<StageId> = self.subtasks.iter().map(|s| s.stage).collect();
+        let mut v: Vec<StageId> = self.inner.subtasks.iter().map(|s| s.stage).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -173,7 +220,7 @@ impl TaskGraph {
     /// all subtasks of this task on stage `j`).
     pub fn stage_demand(&self) -> BTreeMap<StageId, TimeDelta> {
         let mut m = BTreeMap::new();
-        for s in &self.subtasks {
+        for s in &self.inner.subtasks {
             *m.entry(s.stage).or_insert(TimeDelta::ZERO) += s.computation();
         }
         m
@@ -181,7 +228,7 @@ impl TaskGraph {
 
     /// Total computation time over all subtasks.
     pub fn total_computation(&self) -> TimeDelta {
-        self.subtasks.iter().map(|s| s.computation()).sum()
+        self.inner.subtasks.iter().map(|s| s.computation()).sum()
     }
 
     /// Evaluates the end-to-end delay expression `d(L_1, …, L_M)` — the
@@ -200,8 +247,8 @@ impl TaskGraph {
             "one delay per subtask is required"
         );
         let mut finish = vec![0.0f64; self.len()];
-        for &i in &self.topo {
-            let start = self.preds[i]
+        for &i in &self.inner.topo {
+            let start = self.inner.preds[i]
                 .iter()
                 .map(|&p| finish[p])
                 .fold(0.0f64, f64::max);
@@ -216,11 +263,18 @@ impl TaskGraph {
     /// task is bound to one replica at admission time (the analysis then
     /// applies per replica exactly as for any other stage).
     pub fn remap_stages(&self, f: impl Fn(StageId) -> StageId) -> TaskGraph {
-        let mut g = self.clone();
-        for sub in &mut g.subtasks {
+        let mut inner = GraphInner {
+            subtasks: self.inner.subtasks.clone(),
+            preds: self.inner.preds.clone(),
+            succs: self.inner.succs.clone(),
+            topo: self.inner.topo.clone(),
+        };
+        for sub in &mut inner.subtasks {
             sub.stage = f(sub.stage);
         }
-        g
+        TaskGraph {
+            inner: std::sync::Arc::new(inner),
+        }
     }
 
     /// Like [`TaskGraph::longest_path`] but returns the subtask indices of
@@ -233,9 +287,9 @@ impl TaskGraph {
         assert_eq!(delays.len(), self.len());
         let mut finish = vec![0.0f64; self.len()];
         let mut via: Vec<Option<usize>> = vec![None; self.len()];
-        for &i in &self.topo {
+        for &i in &self.inner.topo {
             let mut start = 0.0;
-            for &p in &self.preds[i] {
+            for &p in &self.inner.preds[i] {
                 if finish[p] > start {
                     start = finish[p];
                     via[i] = Some(p);
@@ -394,10 +448,12 @@ impl TaskGraphBuilder {
         }
 
         Ok(TaskGraph {
-            subtasks: std::mem::take(&mut self.subtasks),
-            preds,
-            succs,
-            topo,
+            inner: std::sync::Arc::new(GraphInner {
+                subtasks: std::mem::take(&mut self.subtasks),
+                preds,
+                succs,
+                topo,
+            }),
         })
     }
 }
@@ -482,6 +538,28 @@ impl TaskSpec {
             .stage_demand()
             .into_iter()
             .map(move |(stage, c)| (stage, c.ratio(deadline)))
+    }
+
+    /// Appends the contributions of [`Self::contributions`] to `out`
+    /// without allocating.
+    ///
+    /// Produces bit-identical values in the same ascending stage order:
+    /// per-stage demand is summed in integer microseconds (stashed in the
+    /// `f64` slot via its bit pattern, so u64 overflow semantics match
+    /// [`TimeDelta`] addition exactly) and divided by the deadline once at
+    /// the end, just as `stage_demand` + `ratio` would.
+    pub fn contributions_into(&self, out: &mut Vec<(StageId, f64)>) {
+        for sub in self.graph.subtasks() {
+            let c = sub.computation().as_micros();
+            match out.iter_mut().find(|(s, _)| *s == sub.stage) {
+                Some(slot) => slot.1 = f64::from_bits(slot.1.to_bits() + c),
+                None => out.push((sub.stage, f64::from_bits(c))),
+            }
+        }
+        out.sort_unstable_by_key(|&(stage, _)| stage);
+        for (_, v) in out.iter_mut() {
+            *v = TimeDelta::from_micros(v.to_bits()).ratio(self.deadline);
+        }
     }
 
     /// The contribution `C_ij / D_i` at one stage (zero if unused).

@@ -70,6 +70,10 @@ pub struct StageTracker {
     peak: f64,
     entries: HashMap<TaskId, Contribution>,
     expiry_heap: BinaryHeap<Reverse<(Time, TaskId)>>,
+    /// Tasks flagged by [`StageTracker::mark_departed`], in departure
+    /// order, validated lazily — an idle reset touches only departed
+    /// tasks instead of scanning every live entry.
+    departed: Vec<TaskId>,
 }
 
 impl StageTracker {
@@ -89,6 +93,7 @@ impl StageTracker {
             peak: reserved,
             entries: HashMap::new(),
             expiry_heap: BinaryHeap::new(),
+            departed: Vec::new(),
         }
     }
 
@@ -192,7 +197,10 @@ impl StageTracker {
     /// finished), making it eligible for removal at the next idle reset.
     pub fn mark_departed(&mut self, task: TaskId) {
         if let Some(c) = self.entries.get_mut(&task) {
-            c.departed = true;
+            if !c.departed {
+                c.departed = true;
+                self.departed.push(task);
+            }
         }
     }
 
@@ -200,18 +208,21 @@ impl StageTracker {
     /// tasks, as they can no longer affect this stage's schedule. Call when
     /// the stage has no running or ready subtask. Returns the number
     /// removed. The reservation floor is untouched.
+    ///
+    /// `O(departed)`: only the tasks flagged since the last reset are
+    /// visited (lazily revalidated — an expiry or shed may have removed
+    /// them already), never the full live set.
     pub fn reset_idle(&mut self) -> usize {
         let mut removed = 0;
-        let extra = &mut self.extra;
-        self.entries.retain(|_, c| {
-            if c.departed {
-                *extra -= c.amount;
+        let mut departed = std::mem::take(&mut self.departed);
+        for task in departed.drain(..) {
+            if self.entries.get(&task).is_some_and(|c| c.departed) {
+                let c = self.entries.remove(&task).expect("entry just observed");
+                self.extra -= c.amount;
                 removed += 1;
-                false
-            } else {
-                true
             }
-        });
+        }
+        self.departed = departed;
         self.normalize();
         removed
     }

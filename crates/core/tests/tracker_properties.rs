@@ -1,0 +1,138 @@
+//! Property tests for [`StageTracker`]'s heap/departure-list expiry
+//! machinery: under arbitrary operation sequences the incrementally
+//! maintained value must match the `recompute()` oracle (the exact sum
+//! over the surviving entry map), and the live set must behave as the
+//! decrement-at-deadline / reset-on-idle rules dictate — including
+//! simultaneous expiries, re-adds that extend deadlines, sheds racing
+//! lazy heap entries, and departures invalidated before the next reset.
+
+use frap_core::synthetic::StageTracker;
+use frap_core::task::TaskId;
+use frap_core::time::{Time, TimeDelta};
+use proptest::prelude::*;
+
+/// One scripted operation, decoded from `(kind, task, amount_milli,
+/// time_ms)`. Task ids come from a small pool so adds, sheds, departures,
+/// and expiries collide often; expiry offsets are multiples of 10 ms from
+/// a small pool of instants so *simultaneous* expiry of several tasks is
+/// the common case, not the exception.
+fn apply(tracker: &mut StageTracker, clock: &mut Time, op: (u8, u64, u64, u64)) -> String {
+    let (kind, task, amount_milli, time_ms) = op;
+    match kind {
+        // Charge: expiries are absolute deadlines, always in the future.
+        0 | 1 => {
+            let amount = amount_milli as f64 / 1_000.0;
+            let expiry = *clock + TimeDelta::from_millis(10 * (1 + time_ms % 8));
+            tracker.add(TaskId::new(task), amount, expiry);
+            format!("add({task}, {amount}, {expiry:?})")
+        }
+        2 => {
+            tracker.shed(TaskId::new(task));
+            format!("shed({task})")
+        }
+        3 => {
+            tracker.mark_departed(TaskId::new(task));
+            format!("mark_departed({task})")
+        }
+        4 => {
+            tracker.reset_idle();
+            "reset_idle".to_string()
+        }
+        // Decrement-at-deadline with a monotone clock.
+        _ => {
+            let now = Time::from_millis(time_ms).max(*clock);
+            *clock = now;
+            tracker.advance_to(now);
+            format!("advance_to({now:?})")
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn incremental_value_matches_recompute_oracle(
+        ops in proptest::collection::vec(
+            (0u8..6, 0u64..12, 0u64..500, 0u64..100),
+            1..80,
+        )
+    ) {
+        let mut tracker = StageTracker::new(0.25);
+        let mut clock = Time::ZERO;
+        for &op in &ops {
+            let desc = apply(&mut tracker, &mut clock, op);
+            // The incrementally maintained sum must match the exact
+            // oracle up to float accumulation error.
+            let incremental = tracker.value();
+            let mut oracle = tracker.clone();
+            oracle.recompute();
+            prop_assert!(
+                (incremental - oracle.value()).abs() < 1e-9,
+                "after {desc}: incremental {incremental} vs oracle {}",
+                oracle.value()
+            );
+            prop_assert!(incremental >= tracker.reserved() - 1e-12);
+            prop_assert!(tracker.peak() >= incremental - 1e-12);
+        }
+        // Drain everything by expiring every deadline. The tracker must
+        // land exactly on its reservation floor — no float residue.
+        tracker.advance_to(Time::from_secs(3_600));
+        prop_assert_eq!(tracker.live_tasks(), 0);
+        prop_assert_eq!(tracker.value(), tracker.reserved());
+    }
+
+    /// All tasks share one expiry instant: a single `advance_to` must
+    /// remove every one of them in one pass (simultaneous expiries).
+    #[test]
+    fn simultaneous_expiries_all_removed(
+        n in 1usize..32,
+        amount_milli in 1u64..100,
+        expiry_ms in 1u64..50,
+    ) {
+        let mut tracker = StageTracker::new(0.0);
+        for i in 0..n {
+            tracker.add(
+                TaskId::new(i as u64),
+                amount_milli as f64 / 1_000.0,
+                Time::from_millis(expiry_ms),
+            );
+        }
+        prop_assert_eq!(tracker.live_tasks(), n);
+        let removed = tracker.advance_to(Time::from_millis(expiry_ms));
+        prop_assert_eq!(removed, n);
+        prop_assert_eq!(tracker.live_tasks(), 0);
+        prop_assert_eq!(tracker.value(), 0.0);
+    }
+
+    /// Departure flags survive arbitrary interleavings: after a reset, no
+    /// departed task remains and no merely-live task was dropped.
+    #[test]
+    fn reset_idle_removes_exactly_departed(
+        present in proptest::collection::vec(proptest::bool::ANY, 32),
+        departed in proptest::collection::vec(proptest::bool::ANY, 32),
+    ) {
+        let mut tracker = StageTracker::new(0.0);
+        for (t, &p) in present.iter().enumerate() {
+            if p {
+                tracker.add(TaskId::new(t as u64), 0.01, Time::from_secs(100));
+            }
+        }
+        for (t, &d) in departed.iter().enumerate() {
+            if d {
+                // Departures of absent tasks must be no-ops.
+                tracker.mark_departed(TaskId::new(t as u64));
+            }
+        }
+        let removed = tracker.reset_idle();
+        let expected = present
+            .iter()
+            .zip(&departed)
+            .filter(|&(&p, &d)| p && d)
+            .count();
+        prop_assert_eq!(removed, expected);
+        for (t, (&p, &d)) in present.iter().zip(&departed).enumerate() {
+            prop_assert_eq!(tracker.contains(TaskId::new(t as u64)), p && !d);
+        }
+        // A second reset is a no-op: the departure list was drained.
+        prop_assert_eq!(tracker.reset_idle(), 0);
+    }
+}

@@ -17,9 +17,16 @@
 //! non-nested), which makes deadlock impossible by construction; PCP's
 //! single-blocking property is what the feasible region's `β_j` terms rely
 //! on and what the property tests in `frap-sim` verify.
+//!
+//! Lock identifiers are dense per-stage indices, so every per-lock map is a
+//! plain vector indexed by `LockId::index()`; the per-job sets (blocked
+//! requests, inheritance boosts, held locks) are small sorted or linear
+//! vectors. Iteration over these structures is in a fixed deterministic
+//! order (ascending lock index, ascending job key), and every tie-break —
+//! which waiter wakes first, which holder inherits — resolves exactly as
+//! the ordered-map implementation it replaced.
 
 use frap_core::task::{LockId, Priority};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::Hash;
 
 /// Outcome of a lock acquisition attempt.
@@ -66,16 +73,17 @@ struct BlockedReq {
 /// ```
 #[derive(Debug, Clone)]
 pub struct LockManager<J> {
-    /// Per-lock registered users: the ceiling is the max registered priority.
-    users: Vec<BTreeSet<(Priority, J)>>,
-    /// Current holder of each lock.
-    held: HashMap<usize, J>,
+    /// Per-lock registered users, sorted ascending by `(Priority, J)`:
+    /// the ceiling is the last element.
+    users: Vec<Vec<(Priority, J)>>,
+    /// Current holder of each lock, indexed by lock.
+    held: Vec<Option<J>>,
     /// The (single, non-nested) lock each holder holds.
-    holder_locks: HashMap<J, usize>,
-    /// Jobs blocked at their acquisition point.
-    blocked: BTreeMap<J, BlockedReq>,
+    holder_locks: Vec<(J, usize)>,
+    /// Jobs blocked at their acquisition point, sorted ascending by `J`.
+    blocked: Vec<(J, BlockedReq)>,
     /// Inherited priorities of blockers.
-    boosts: HashMap<J, Priority>,
+    boosts: Vec<(J, Priority)>,
 }
 
 impl<J: Copy + Ord + Hash + std::fmt::Debug> LockManager<J> {
@@ -83,16 +91,16 @@ impl<J: Copy + Ord + Hash + std::fmt::Debug> LockManager<J> {
     pub fn new() -> LockManager<J> {
         LockManager {
             users: Vec::new(),
-            held: HashMap::new(),
-            holder_locks: HashMap::new(),
-            blocked: BTreeMap::new(),
-            boosts: HashMap::new(),
+            held: Vec::new(),
+            holder_locks: Vec::new(),
+            blocked: Vec::new(),
+            boosts: Vec::new(),
         }
     }
 
-    fn users_mut(&mut self, lock: usize) -> &mut BTreeSet<(Priority, J)> {
+    fn users_mut(&mut self, lock: usize) -> &mut Vec<(Priority, J)> {
         if lock >= self.users.len() {
-            self.users.resize_with(lock + 1, BTreeSet::new);
+            self.users.resize_with(lock + 1, Vec::new);
         }
         &mut self.users[lock]
     }
@@ -102,35 +110,40 @@ impl<J: Copy + Ord + Hash + std::fmt::Debug> LockManager<J> {
     pub fn ceiling(&self, lock: LockId) -> Option<Priority> {
         self.users
             .get(lock.index())
-            .and_then(|s| s.iter().next_back().map(|&(p, _)| p))
+            .and_then(|s| s.last().map(|&(p, _)| p))
     }
 
     /// Registers a (future) user of `lock`, raising its ceiling if needed.
     /// Call when a lock-using subtask becomes present at the stage.
     pub fn register_user(&mut self, lock: LockId, priority: Priority, job: J) {
-        self.users_mut(lock.index()).insert((priority, job));
+        let users = self.users_mut(lock.index());
+        if let Err(pos) = users.binary_search(&(priority, job)) {
+            users.insert(pos, (priority, job));
+        }
     }
 
     /// Removes a user registration. Call when the subtask leaves the stage.
     pub fn deregister_user(&mut self, lock: LockId, priority: Priority, job: J) {
         if let Some(s) = self.users.get_mut(lock.index()) {
-            s.remove(&(priority, job));
+            if let Ok(pos) = s.binary_search(&(priority, job)) {
+                s.remove(pos);
+            }
         }
     }
 
     /// Whether `job` currently holds `lock`.
     pub fn holds(&self, job: &J, lock: LockId) -> bool {
-        self.held.get(&lock.index()) == Some(job)
+        self.held.get(lock.index()).copied().flatten().as_ref() == Some(job)
     }
 
     /// Whether `job` is blocked at a lock-acquisition point.
     pub fn is_blocked(&self, job: &J) -> bool {
-        self.blocked.contains_key(job)
+        self.blocked.binary_search_by(|e| e.0.cmp(job)).is_ok()
     }
 
     /// The priority `job` currently inherits from jobs it blocks, if any.
     pub fn inherited(&self, job: &J) -> Option<Priority> {
-        self.boosts.get(job).copied()
+        self.boosts.iter().find(|(b, _)| b == job).map(|&(_, p)| p)
     }
 
     /// The PCP system ceiling from the perspective of `job`: the highest
@@ -138,8 +151,11 @@ impl<J: Copy + Ord + Hash + std::fmt::Debug> LockManager<J> {
     pub fn system_ceiling_excluding(&self, job: &J) -> Option<Priority> {
         self.held
             .iter()
-            .filter(|(_, holder)| *holder != job)
-            .filter_map(|(&lock, _)| self.ceiling(LockId::new(lock)))
+            .enumerate()
+            .filter_map(|(lock, h)| match h {
+                Some(holder) if holder != job => self.ceiling(LockId::new(lock)),
+                _ => None,
+            })
             .max()
     }
 
@@ -153,13 +169,14 @@ impl<J: Copy + Ord + Hash + std::fmt::Debug> LockManager<J> {
             self.grant(job, lock);
             Acquire::Acquired
         } else {
-            self.blocked.insert(
-                job,
-                BlockedReq {
-                    lock: lock.index(),
-                    priority,
-                },
-            );
+            let req = BlockedReq {
+                lock: lock.index(),
+                priority,
+            };
+            match self.blocked.binary_search_by(|e| e.0.cmp(&job)) {
+                Ok(pos) => self.blocked[pos] = (job, req),
+                Err(pos) => self.blocked.insert(pos, (job, req)),
+            }
             self.recompute_boosts();
             Acquire::Blocked
         }
@@ -170,11 +187,14 @@ impl<J: Copy + Ord + Hash + std::fmt::Debug> LockManager<J> {
     /// returned jobs already hold their requested locks and must be made
     /// runnable by the caller.
     pub fn release(&mut self, job: &J) -> Vec<J> {
-        let Some(lock) = self.holder_locks.remove(job) else {
+        let Some(pos) = self.holder_locks.iter().position(|(h, _)| h == job) else {
             return Vec::new();
         };
-        self.held.remove(&lock);
-        self.boosts.remove(job);
+        let (_, lock) = self.holder_locks.swap_remove(pos);
+        self.held[lock] = None;
+        if let Some(bpos) = self.boosts.iter().position(|(b, _)| b == job) {
+            self.boosts.swap_remove(bpos);
+        }
         self.wake_unblockable()
     }
 
@@ -183,7 +203,9 @@ impl<J: Copy + Ord + Hash + std::fmt::Debug> LockManager<J> {
     /// [`LockManager::release`]. User registrations must be removed
     /// separately via [`LockManager::deregister_user`].
     pub fn remove_job(&mut self, job: &J) -> Vec<J> {
-        self.blocked.remove(job);
+        if let Ok(pos) = self.blocked.binary_search_by(|e| e.0.cmp(job)) {
+            self.blocked.remove(pos);
+        }
         let woken = self.release(job);
         self.recompute_boosts();
         woken
@@ -196,11 +218,11 @@ impl<J: Copy + Ord + Hash + std::fmt::Debug> LockManager<J> {
 
     /// Number of currently held locks.
     pub fn held_count(&self) -> usize {
-        self.held.len()
+        self.held.iter().flatten().count()
     }
 
     fn can_acquire(&self, job: &J, priority: Priority, lock: LockId) -> bool {
-        if self.held.contains_key(&lock.index()) {
+        if self.held.get(lock.index()).copied().flatten().is_some() {
             return false;
         }
         match self.system_ceiling_excluding(job) {
@@ -211,26 +233,37 @@ impl<J: Copy + Ord + Hash + std::fmt::Debug> LockManager<J> {
 
     fn grant(&mut self, job: J, lock: LockId) {
         debug_assert!(
-            !self.holder_locks.contains_key(&job),
+            !self.holder_locks.iter().any(|(h, _)| *h == job),
             "nested locking is not supported"
         );
-        self.held.insert(lock.index(), job);
-        self.holder_locks.insert(job, lock.index());
+        if lock.index() >= self.held.len() {
+            self.held.resize(lock.index() + 1, None);
+        }
+        self.held[lock.index()] = Some(job);
+        self.holder_locks.push((job, lock.index()));
     }
 
     fn wake_unblockable(&mut self) -> Vec<J> {
         let mut woken = Vec::new();
         loop {
-            // Highest-priority blocked job that can now acquire.
-            let candidate = self
-                .blocked
-                .iter()
-                .filter(|(j, req)| self.can_acquire(j, req.priority, LockId::new(req.lock)))
-                .max_by_key(|(_, req)| req.priority)
-                .map(|(&j, &req)| (j, req));
+            // Highest-priority blocked job that can now acquire. Scanning
+            // ascending job keys and keeping the last maximum reproduces
+            // the ordered-map tie-break: the largest job key wins among
+            // equal priorities.
+            let mut candidate: Option<(usize, J, BlockedReq)> = None;
+            for i in 0..self.blocked.len() {
+                let (j, req) = self.blocked[i];
+                if self.can_acquire(&j, req.priority, LockId::new(req.lock))
+                    && candidate
+                        .as_ref()
+                        .is_none_or(|&(_, _, best)| req.priority >= best.priority)
+                {
+                    candidate = Some((i, j, req));
+                }
+            }
             match candidate {
-                Some((j, req)) => {
-                    self.blocked.remove(&j);
+                Some((pos, j, req)) => {
+                    self.blocked.remove(pos);
                     self.grant(j, LockId::new(req.lock));
                     woken.push(j);
                 }
@@ -245,25 +278,32 @@ impl<J: Copy + Ord + Hash + std::fmt::Debug> LockManager<J> {
     /// prevents its acquisition (the holder of its requested lock, or of
     /// the highest-ceiling lock held by another job).
     fn recompute_boosts(&mut self) {
-        self.boosts.clear();
-        let blocked: Vec<(J, BlockedReq)> = self.blocked.iter().map(|(&j, &r)| (j, r)).collect();
-        for (job, req) in blocked {
-            let blocker = if let Some(&holder) = self.held.get(&req.lock) {
-                Some(holder)
-            } else {
-                // Blocked by the ceiling rule: boost the holder of the
-                // highest-ceiling lock held by another job.
-                self.held
-                    .iter()
-                    .filter(|(_, h)| **h != job)
-                    .max_by_key(|(&l, _)| self.ceiling(LockId::new(l)))
-                    .map(|(_, &h)| h)
+        let mut boosts = std::mem::take(&mut self.boosts);
+        boosts.clear();
+        for i in 0..self.blocked.len() {
+            let (job, req) = self.blocked[i];
+            let blocker = match self.held.get(req.lock).copied().flatten() {
+                Some(holder) => Some(holder),
+                None => {
+                    // Blocked by the ceiling rule: boost the holder of the
+                    // highest-ceiling lock held by another job.
+                    self.held
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(l, h)| h.map(|holder| (l, holder)))
+                        .filter(|(_, holder)| *holder != job)
+                        .max_by_key(|&(l, _)| self.ceiling(LockId::new(l)))
+                        .map(|(_, holder)| holder)
+                }
             };
             if let Some(b) = blocker {
-                let entry = self.boosts.entry(b).or_insert(req.priority);
-                *entry = (*entry).max(req.priority);
+                match boosts.iter_mut().find(|(h, _)| *h == b) {
+                    Some((_, p)) => *p = (*p).max(req.priority),
+                    None => boosts.push((b, req.priority)),
+                }
             }
         }
+        self.boosts = boosts;
     }
 }
 
@@ -434,5 +474,31 @@ mod tests {
         // *more urgent* than 100, so yes: acquisition proceeds.
         assert_eq!(m.try_acquire(2, p(90), l(1)), Acquire::Acquired);
         assert_eq!(m.held_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_registration_is_idempotent() {
+        let mut m: LockManager<u32> = LockManager::new();
+        m.register_user(l(0), p(10), 1);
+        m.register_user(l(0), p(10), 1);
+        m.deregister_user(l(0), p(10), 1);
+        assert_eq!(m.ceiling(l(0)), None);
+    }
+
+    #[test]
+    fn equal_priority_waiters_wake_in_descending_key_order() {
+        // The tie-break contract the simulator's determinism rests on:
+        // among equal-priority waiters the largest job key wakes first.
+        let mut m: LockManager<u32> = LockManager::new();
+        for job in [1, 2, 9] {
+            m.register_user(l(0), p(10), job);
+        }
+        m.register_user(l(0), p(30), 7);
+        assert_eq!(m.try_acquire(7, p(30), l(0)), Acquire::Acquired);
+        assert_eq!(m.try_acquire(2, p(10), l(0)), Acquire::Blocked);
+        assert_eq!(m.try_acquire(9, p(10), l(0)), Acquire::Blocked);
+        assert_eq!(m.try_acquire(1, p(10), l(0)), Acquire::Blocked);
+        let woken = m.release(&7);
+        assert_eq!(woken, vec![9], "largest key wins among equal priorities");
     }
 }

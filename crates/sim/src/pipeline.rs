@@ -19,12 +19,12 @@
 use crate::events::EventQueue;
 use crate::metrics::{SimMetrics, TaskOutcome};
 use crate::sched::{DeadlineMonotonic, PriorityPolicy};
-use crate::stage::{Effect, Stage};
+use crate::stage::{Effect, SegmentSlice, Stage};
 use crate::trace::{Trace, TraceEvent};
 use frap_core::admission::{Admission, AdmitOutcome, ContributionModel, ExactContributions};
 use frap_core::graph::{TaskGraph, TaskSpec};
 use frap_core::region::{FeasibleRegion, RegionTest};
-use frap_core::task::{Importance, Priority, StageId, TaskId};
+use frap_core::task::{Importance, Priority, Segment, StageId, TaskId};
 use frap_core::time::{Time, TimeDelta};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
@@ -65,15 +65,29 @@ enum Event {
     UtilizationSample,
 }
 
+/// Per-node run state: outstanding precedence count plus the node's
+/// segment range in the task's shared arena.
+#[derive(Debug)]
+struct NodeRun {
+    remaining_preds: u32,
+    seg_start: u32,
+    seg_len: u32,
+}
+
 #[derive(Debug)]
 struct TaskRun {
-    graph: Rc<TaskGraph>,
+    graph: TaskGraph,
+    /// All the task's segments, concatenated in node order; jobs receive
+    /// refcounted [`SegmentSlice`] views instead of cloned vectors.
+    arena: Rc<[Segment]>,
     priority: Priority,
     arrival: Time,
     abs_deadline: Time,
-    remaining_preds: Vec<u32>,
+    nodes: Vec<NodeRun>,
     nodes_done: u32,
-    outstanding_per_stage: HashMap<usize, u32>,
+    /// `(stage, outstanding subtasks)` — graphs touch a handful of stages,
+    /// so a linear scan beats hashing.
+    outstanding_per_stage: Vec<(u32, u32)>,
 }
 
 #[derive(Debug)]
@@ -81,6 +95,9 @@ struct Pending {
     seq: u64,
     spec: TaskSpec,
     expires: Time,
+    /// Index into [`Simulation::pending_shapes`]: the interned admission
+    /// contribution vector, computed once at enqueue.
+    shape: u32,
 }
 
 /// A point-in-time view of a [`Simulation`]'s state; see
@@ -317,6 +334,11 @@ impl SimBuilder {
             sampling_started: false,
             router: self.router,
             effects: Vec::new(),
+            cascade: VecDeque::new(),
+            release_scratch: Vec::new(),
+            pending_shapes: Vec::new(),
+            contrib_scratch: Vec::new(),
+            failed_shapes: Vec::new(),
         }
     }
 }
@@ -344,7 +366,22 @@ pub struct Simulation {
     sample_period: Option<TimeDelta>,
     sampling_started: bool,
     router: Option<BoxRouter>,
+    /// Reused stage-effect buffer: taken (`std::mem::take`) around each
+    /// stage mutation and restored after, so the steady-state event path
+    /// never allocates.
     effects: Vec<Effect>,
+    /// Reused FIFO for cascading effects in [`Simulation::drain_effects`].
+    cascade: VecDeque<(usize, Effect)>,
+    /// Reused successor-release list in [`Simulation::subtask_completed`].
+    release_scratch: Vec<u32>,
+    /// Interned admission contribution vectors of waiting arrivals (one
+    /// entry per distinct shape; cleared whenever the queue empties).
+    pending_shapes: Vec<Vec<(StageId, f64)>>,
+    /// Reused buffer for computing a spec's contributions at enqueue.
+    contrib_scratch: Vec<(StageId, f64)>,
+    /// Reused per-pass rejection memo in [`Simulation::retry_pending`],
+    /// indexed by shape id.
+    failed_shapes: Vec<bool>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -480,7 +517,7 @@ impl Simulation {
                     time: now,
                     task: id,
                 });
-                self.start_task(id, &spec);
+                self.start_task(id, spec);
                 return;
             }
         }
@@ -506,7 +543,7 @@ impl Simulation {
                     time: now,
                     task: id,
                 });
-                self.start_task(id, &spec);
+                self.start_task(id, spec);
             }
             None => match self.wait {
                 WaitPolicy::Reject => {
@@ -517,7 +554,13 @@ impl Simulation {
                     let seq = self.pending_seq;
                     self.pending_seq += 1;
                     let expires = now + wait;
-                    self.pending.push_back(Pending { seq, spec, expires });
+                    let shape = self.intern_shape(&spec);
+                    self.pending.push_back(Pending {
+                        seq,
+                        spec,
+                        expires,
+                        shape,
+                    });
                     self.queue.push(expires, Event::WaitTimeout { seq });
                     self.record(TraceEvent::Queued { time: now });
                 }
@@ -525,33 +568,44 @@ impl Simulation {
         }
     }
 
-    fn start_task(&mut self, id: TaskId, spec: &TaskSpec) {
+    fn start_task(&mut self, id: TaskId, spec: TaskSpec) {
         let now = self.clock;
-        let priority = self.policy.priority(now, spec, id);
-        let graph = Rc::new(spec.graph.clone());
-        let mut outstanding: HashMap<usize, u32> = HashMap::new();
-        for sub in graph.subtasks() {
+        let priority = self.policy.priority(now, &spec, id);
+        let abs_deadline = now + spec.deadline;
+        let graph = spec.graph;
+        let mut outstanding: Vec<(u32, u32)> = Vec::new();
+        let mut nodes = Vec::with_capacity(graph.len());
+        let mut all_segments: Vec<Segment> = Vec::new();
+        for (i, sub) in graph.subtasks().enumerate() {
             assert!(
                 sub.stage.index() < self.stages.len(),
                 "task references stage {} but the system has {}",
                 sub.stage.index(),
                 self.stages.len()
             );
-            *outstanding.entry(sub.stage.index()).or_insert(0) += 1;
+            let stage = sub.stage.index() as u32;
+            match outstanding.iter_mut().find(|&&mut (s, _)| s == stage) {
+                Some((_, count)) => *count += 1,
+                None => outstanding.push((stage, 1)),
+            }
+            let seg_start = all_segments.len() as u32;
+            all_segments.extend_from_slice(&sub.segments);
+            nodes.push(NodeRun {
+                remaining_preds: graph.preds(i).len() as u32,
+                seg_start,
+                seg_len: all_segments.len() as u32 - seg_start,
+            });
         }
-        let remaining_preds: Vec<u32> = (0..graph.len())
-            .map(|i| graph.preds(i).len() as u32)
-            .collect();
-        let abs_deadline = now + spec.deadline;
         let sources = graph.sources();
         self.tasks.insert(
             id,
             TaskRun {
-                graph: Rc::clone(&graph),
+                graph,
+                arena: all_segments.into(),
                 priority,
                 arrival: now,
                 abs_deadline,
-                remaining_preds,
+                nodes,
                 nodes_done: 0,
                 outstanding_per_stage: outstanding,
             },
@@ -562,12 +616,26 @@ impl Simulation {
         }
     }
 
+    /// A refcounted view of `node`'s segments plus its stage index.
+    fn node_release(run: &TaskRun, node: u32) -> (Priority, SegmentSlice, usize) {
+        let nr = &run.nodes[node as usize];
+        let slice = SegmentSlice::new(
+            Rc::clone(&run.arena),
+            nr.seg_start as usize,
+            nr.seg_len as usize,
+        );
+        (
+            run.priority,
+            slice,
+            run.graph.subtask(node as usize).stage.index(),
+        )
+    }
+
     fn release_subtask(&mut self, task: TaskId, node: u32) {
         let now = self.clock;
         let (priority, segments, stage_idx) = {
             let run = self.tasks.get(&task).expect("live task");
-            let sub = run.graph.subtask(node as usize);
-            (run.priority, sub.segments.clone(), sub.stage.index())
+            Self::node_release(run, node)
         };
         let mut effects = std::mem::take(&mut self.effects);
         effects.clear();
@@ -599,10 +667,16 @@ impl Simulation {
                 }
             }
             Event::WaitTimeout { seq } => {
-                if let Some(pos) = self.pending.iter().position(|p| p.seq == seq) {
+                // `seq` values are strictly increasing along the queue
+                // (FIFO order is preserved by retries), so the stale-token
+                // miss case costs O(log n) instead of a full scan.
+                if let Ok(pos) = self.pending.binary_search_by(|p| p.seq.cmp(&seq)) {
                     self.pending.remove(pos);
                     self.metrics.wait_timeouts += 1;
                     self.metrics.rejected += 1;
+                    if self.pending.is_empty() {
+                        self.pending_shapes.clear();
+                    }
                 }
             }
         }
@@ -613,11 +687,12 @@ impl Simulation {
         // Effects may cascade (a completion releases a successor on another
         // stage, which produces further effects); process in FIFO order so
         // a Completed departure is recorded before the Idle reset that the
-        // same event produced.
-        let mut queue: VecDeque<(usize, Effect)> = {
-            let fx = std::mem::take(&mut self.effects);
-            fx.into_iter().map(|e| (stage_idx, e)).collect()
-        };
+        // same event produced. The FIFO itself is a reused buffer.
+        let mut queue = std::mem::take(&mut self.cascade);
+        debug_assert!(queue.is_empty());
+        for e in self.effects.drain(..) {
+            queue.push_back((stage_idx, e));
+        }
         while let Some((stage, effect)) = queue.pop_front() {
             match effect {
                 Effect::Start { key, gen, finish } => {
@@ -652,6 +727,7 @@ impl Simulation {
                 }
             }
         }
+        self.cascade = queue;
     }
 
     fn subtask_completed(
@@ -669,12 +745,13 @@ impl Simulation {
         // Per-stage departure bookkeeping for idle resets.
         let left = run
             .outstanding_per_stage
-            .get_mut(&stage_idx)
+            .iter_mut()
+            .find_map(|(s, c)| (*s as usize == stage_idx).then_some(c))
             .expect("stage had outstanding subtasks");
         *left -= 1;
         let departed_stage = *left == 0;
         run.nodes_done += 1;
-        let graph = Rc::clone(&run.graph);
+        let graph = run.graph.clone();
         let all_done = run.nodes_done as usize == graph.len();
 
         if departed_stage {
@@ -710,26 +787,31 @@ impl Simulation {
         }
 
         // Release successors whose predecessors are all complete.
-        let mut to_release = Vec::new();
+        let mut to_release = std::mem::take(&mut self.release_scratch);
+        to_release.clear();
         {
             let run = self.tasks.get_mut(&task).expect("live task");
             for &succ in graph.succs(node as usize) {
-                run.remaining_preds[succ] -= 1;
-                if run.remaining_preds[succ] == 0 {
+                run.nodes[succ].remaining_preds -= 1;
+                if run.nodes[succ].remaining_preds == 0 {
                     to_release.push(succ as u32);
                 }
             }
         }
-        for succ in to_release {
+        for &succ in &to_release {
             let (priority, segments, succ_stage) = {
                 let run = self.tasks.get(&task).expect("live task");
-                let sub = graph.subtask(succ as usize);
-                (run.priority, sub.segments.clone(), sub.stage.index())
+                Self::node_release(run, succ)
             };
-            let mut effects = Vec::new();
+            let mut effects = std::mem::take(&mut self.effects);
+            effects.clear();
             self.stages[succ_stage].add_job(now, (task, succ), priority, segments, &mut effects);
-            cascade.extend(effects.into_iter().map(|e| (succ_stage, e)));
+            for e in effects.drain(..) {
+                cascade.push_back((succ_stage, e));
+            }
+            self.effects = effects;
         }
+        self.release_scratch = to_release;
     }
 
     /// Kills an admitted task everywhere (used when shed at overload). The
@@ -748,7 +830,8 @@ impl Simulation {
         let now = self.clock;
         for node in 0..run.graph.len() {
             let stage_idx = run.graph.subtask(node).stage.index();
-            let mut effects = Vec::new();
+            let mut effects = std::mem::take(&mut self.effects);
+            effects.clear();
             self.stages[stage_idx].kill(now, (task, node as u32), &mut effects);
             // A kill can start another job or idle the stage.
             self.effects = effects;
@@ -762,33 +845,80 @@ impl Simulation {
         self.metrics.utilization_timeline.push((self.clock, utils));
     }
 
+    /// Interns `spec`'s admission contribution vector among the waiting
+    /// arrivals' shapes and returns its dense id. Identical specs (the
+    /// common case: a saturated queue of one task family) share an id, so
+    /// the retry loop can memoize rejections in O(1) per entry.
+    fn intern_shape(&mut self, spec: &TaskSpec) -> u32 {
+        let mut contrib = std::mem::take(&mut self.contrib_scratch);
+        self.admission.contributions_for(spec, &mut contrib);
+        let shape = match self.pending_shapes.iter().position(|s| *s == contrib) {
+            Some(i) => i as u32,
+            None => {
+                self.pending_shapes.push(contrib.clone());
+                (self.pending_shapes.len() - 1) as u32
+            }
+        };
+        self.contrib_scratch = contrib;
+        shape
+    }
+
     fn retry_pending(&mut self) {
         if self.pending.is_empty() {
             return;
         }
         let now = self.clock;
-        let mut remaining = VecDeque::with_capacity(self.pending.len());
-        while let Some(p) = self.pending.pop_front() {
-            if p.expires <= now {
+        // A rejected admission test leaves the controller's counters
+        // untouched, so at a fixed `now` an identical contribution vector
+        // is rejected again: memoize rejections per shape and skip the
+        // re-test. A successful admission does change the counters, so the
+        // memo is invalidated there.
+        let mut failed = std::mem::take(&mut self.failed_shapes);
+        failed.clear();
+        failed.resize(self.pending_shapes.len(), false);
+        // In-place walk: the common saturated pass admits nobody and
+        // removes nothing, so it must not shuffle the queue around.
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].expires <= now {
                 // The timeout event will (or already did) account for it;
                 // drop it here to avoid double admission.
+                self.pending.remove(i);
                 self.metrics.wait_timeouts += 1;
                 self.metrics.rejected += 1;
                 continue;
             }
-            match self.admission.try_admit(now, &p.spec) {
+            let shape = self.pending[i].shape as usize;
+            if failed[shape] {
+                i += 1;
+                continue;
+            }
+            let admitted = {
+                let p = &self.pending[i];
+                self.admission
+                    .try_admit_with(now, &p.spec, &self.pending_shapes[shape])
+            };
+            match admitted {
                 Some(id) => {
+                    failed.iter_mut().for_each(|f| *f = false);
+                    let p = self.pending.remove(i).expect("entry exists");
                     self.metrics.admitted += 1;
                     self.record(TraceEvent::Admitted {
                         time: now,
                         task: id,
                     });
-                    self.start_task(id, &p.spec);
+                    self.start_task(id, p.spec);
                 }
-                None => remaining.push_back(p),
+                None => {
+                    failed[shape] = true;
+                    i += 1;
+                }
             }
         }
-        self.pending = remaining;
+        self.failed_shapes = failed;
+        if self.pending.is_empty() {
+            self.pending_shapes.clear();
+        }
     }
 }
 

@@ -12,27 +12,125 @@
 //! (schedule a completion event, a subtask finished, the stage went idle)
 //! that the [`crate::pipeline::Simulation`] turns into events, precedence
 //! releases, and synthetic-utilization resets.
+//!
+//! # Data layout
+//!
+//! This is the simulator's hottest state, so it is kept dense and
+//! allocation-free on the steady-state event path (see DESIGN.md §11):
+//!
+//! * jobs live in a **slab** (`Vec<Slot>` plus a free list) addressed by a
+//!   dense `u32` index; the only by-key map is consulted at admission and
+//!   kill time, never per event;
+//! * the ready queue is a **binary max-heap of packed keys** with lazy
+//!   deletion: the bit-inverted `(priority, task, node)` fields compare as
+//!   one integer pair, reproducing the previous ordered-set total order
+//!   (highest priority, then lowest task id, then lowest node) exactly;
+//! * completion events carry a **generation token that embeds the slot
+//!   index** plus a per-slot start counter, so stale-event detection is two
+//!   array reads instead of a hash lookup;
+//! * the running set is a tiny vector (`servers` is 1–3);
+//! * per-job segments are a [`SegmentSlice`] view into a shared per-task
+//!   arena instead of an owned clone.
 
 use crate::metrics::StageMetrics;
 use crate::pcp::{Acquire, LockManager};
 use frap_core::task::{LockId, Priority, Segment, StageId, TaskId};
 use frap_core::time::{Time, TimeDelta};
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
 
 /// Identifies one job (a subtask instance) at a stage: `(task, node)`.
 pub type JobKey = (TaskId, u32);
 
-/// Ready-queue ordering: highest priority first, then lowest task id, then
-/// lowest node index — a deterministic total order.
-type ReadyKey = (Priority, Reverse<TaskId>, Reverse<u32>);
-
-fn ready_key(priority: Priority, key: JobKey) -> ReadyKey {
-    (priority, Reverse(key.0), Reverse(key.1))
+/// A shared, cheaply clonable view of a job's segment list: a reference
+/// into a per-task segment arena. Cloning bumps a refcount; no segment
+/// data is copied.
+///
+/// `From<Vec<Segment>>` covers the common whole-list case (and keeps unit
+/// tests free of arena plumbing).
+#[derive(Debug, Clone)]
+pub struct SegmentSlice {
+    arena: Rc<[Segment]>,
+    start: u32,
+    len: u32,
 }
 
-fn job_of(k: &ReadyKey) -> JobKey {
-    ((k.1).0, (k.2).0)
+impl SegmentSlice {
+    /// A view of `arena[start..start + len]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn new(arena: Rc<[Segment]>, start: usize, len: usize) -> SegmentSlice {
+        assert!(start + len <= arena.len(), "segment slice out of bounds");
+        SegmentSlice {
+            arena,
+            start: start as u32,
+            len: len as u32,
+        }
+    }
+
+    /// The viewed segments.
+    #[inline]
+    pub fn as_slice(&self) -> &[Segment] {
+        &self.arena[self.start as usize..(self.start + self.len) as usize]
+    }
+
+    /// Number of segments in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl From<Vec<Segment>> for SegmentSlice {
+    fn from(v: Vec<Segment>) -> SegmentSlice {
+        let len = v.len();
+        SegmentSlice::new(v.into(), 0, len)
+    }
+}
+
+/// The ready queue's packed ordering key. The heap pops the lexicographic
+/// maximum of `(hi, lo)`; with every field bit-inverted this is exactly
+/// the old ordered-set order `(Priority, Reverse<TaskId>, Reverse<node>)`
+/// popped from the back — highest priority first (smaller raw priority key
+/// = more urgent = larger inverted value), then lowest task id, then
+/// lowest node — for *all* value ranges, not just small ones.
+///
+/// `stamp` is the lazy-deletion token: an entry is live iff it equals the
+/// slot's current `ready_stamp`. It participates in `Ord` only among
+/// entries for the same job, where order is irrelevant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ReadyEntry {
+    /// `!priority.key() << 64 | !task.seq()`.
+    hi: u128,
+    /// `!node << 32 | slot`.
+    lo: u64,
+    /// Copy of the slot's `ready_stamp` at push time.
+    stamp: u64,
+}
+
+impl ReadyEntry {
+    #[inline]
+    fn slot(self) -> usize {
+        (self.lo & u64::from(u32::MAX)) as usize
+    }
+}
+
+#[inline]
+fn pack_hi(priority: Priority, task: TaskId) -> u128 {
+    (u128::from(!priority.key()) << 64) | u128::from(!task.seq())
+}
+
+#[inline]
+fn pack_lo(node: u32, slot: u32) -> u64 {
+    (u64::from(!node) << 32) | u64::from(slot)
 }
 
 /// What the simulation must do after a stage mutation.
@@ -61,30 +159,63 @@ pub enum Effect {
     Idle,
 }
 
+/// One slab slot. `ready_stamp` and `run_count` are monotone across slot
+/// reuse, so heap entries and generation tokens from a previous occupant
+/// can never validate against a new one.
 #[derive(Debug, Clone)]
-struct Job {
+struct Slot {
+    key: JobKey,
     base: Priority,
-    segments: Vec<Segment>,
-    seg_idx: usize,
+    segments: SegmentSlice,
+    seg_idx: u32,
     remaining: TimeDelta,
     acquired_current: bool,
     entered_at: Time,
     block_started: Option<Time>,
     blocked_total: TimeDelta,
     block_episodes: u32,
-    ready_entry: Option<ReadyKey>,
-}
-
-impl Job {
-    fn current_lock(&self) -> Option<LockId> {
-        self.segments.get(self.seg_idx).and_then(|s| s.lock)
-    }
-}
-
-#[derive(Debug, Clone, Copy)]
-struct RunInfo {
-    gen: u64,
+    occupied: bool,
+    ready: bool,
+    /// Effective priority of the live ready entry (re-key detection).
+    ready_prio: Priority,
+    /// Lazy-deletion token for ready entries; bumped on every transition.
+    ready_stamp: u64,
+    running: bool,
+    /// Start counter; the low 32 bits are the generation token payload.
+    run_count: u64,
     started: Time,
+}
+
+impl Slot {
+    fn vacant(empty: &SegmentSlice) -> Slot {
+        Slot {
+            key: (TaskId::new(0), 0),
+            base: Priority::LOWEST,
+            segments: empty.clone(),
+            seg_idx: 0,
+            remaining: TimeDelta::ZERO,
+            acquired_current: false,
+            entered_at: Time::ZERO,
+            block_started: None,
+            blocked_total: TimeDelta::ZERO,
+            block_episodes: 0,
+            occupied: false,
+            ready: false,
+            ready_prio: Priority::LOWEST,
+            ready_stamp: 0,
+            running: false,
+            run_count: 0,
+            started: Time::ZERO,
+        }
+    }
+
+    #[inline]
+    fn current_lock(&self) -> Option<LockId> {
+        self.segments
+            .as_slice()
+            .get(self.seg_idx as usize)
+            .and_then(|s| s.lock)
+    }
 }
 
 /// The execution state of one stage: one or more identical servers
@@ -100,12 +231,21 @@ struct RunInfo {
 pub struct Stage {
     id: StageId,
     servers: usize,
-    jobs: HashMap<JobKey, Job>,
-    ready: BTreeSet<ReadyKey>,
-    running: HashMap<JobKey, RunInfo>,
-    gen_index: HashMap<u64, JobKey>,
-    next_gen: u64,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// By-key entry points (admission, kill, queries) only — never
+    /// consulted on the per-event path.
+    index: HashMap<JobKey, u32>,
+    job_count: usize,
+    ready: BinaryHeap<ReadyEntry>,
+    running_slots: Vec<u32>,
     locks: LockManager<JobKey>,
+    /// Scratch for lock registration/deregistration (reused, no per-job
+    /// allocation).
+    lock_scratch: Vec<LockId>,
+    /// Cached empty slice so freeing a slot drops its arena reference
+    /// without allocating.
+    empty_segments: SegmentSlice,
     /// Local accounting; harvested by the simulation at the end.
     pub metrics: StageMetrics,
 }
@@ -131,12 +271,15 @@ impl Stage {
         Stage {
             id,
             servers,
-            jobs: HashMap::new(),
-            ready: BTreeSet::new(),
-            running: HashMap::new(),
-            gen_index: HashMap::new(),
-            next_gen: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            job_count: 0,
+            ready: BinaryHeap::new(),
+            running_slots: Vec::with_capacity(servers),
             locks: LockManager::new(),
+            lock_scratch: Vec::new(),
+            empty_segments: Vec::new().into(),
             metrics,
         }
     }
@@ -153,105 +296,186 @@ impl Stage {
 
     /// Whether no job is present (running, ready, or blocked).
     pub fn is_idle(&self) -> bool {
-        self.jobs.is_empty()
+        self.job_count == 0
     }
 
     /// Number of jobs present at the stage.
     pub fn job_count(&self) -> usize {
-        self.jobs.len()
+        self.job_count
     }
 
     /// One currently executing job (the one with the lowest task id), if
     /// any — exact for single-server stages; see
     /// [`Stage::running_jobs`] for the full set.
     pub fn running(&self) -> Option<JobKey> {
-        self.running.keys().min().copied()
+        self.running_slots
+            .iter()
+            .map(|&r| self.slots[r as usize].key)
+            .min()
     }
 
     /// All currently executing jobs, in deterministic (key) order.
     pub fn running_jobs(&self) -> Vec<JobKey> {
-        let mut v: Vec<JobKey> = self.running.keys().copied().collect();
+        let mut v: Vec<JobKey> = self
+            .running_slots
+            .iter()
+            .map(|&r| self.slots[r as usize].key)
+            .collect();
         v.sort_unstable();
         v
     }
 
-    /// The running job with the least effective priority (the preemption
-    /// victim), with its ordering key.
-    fn min_running(&self) -> Option<(ReadyKey, JobKey)> {
-        self.running
-            .keys()
-            .map(|&k| (ready_key(self.effective(k, self.jobs[&k].base), k), k))
-            .min()
-    }
-
-    /// Starts `key` on a free server; the caller ensures capacity.
-    fn start(&mut self, now: Time, key: JobKey, effects: &mut Vec<Effect>) {
-        let gen = self.next_gen;
-        self.next_gen += 1;
-        self.gen_index.insert(gen, key);
-        self.running.insert(key, RunInfo { gen, started: now });
-        let finish = now + self.jobs[&key].remaining;
-        effects.push(Effect::Start { key, gen, finish });
-    }
-
-    /// Stops `key` if running, banking its busy span; returns the elapsed
-    /// span if it was running.
-    fn stop(&mut self, now: Time, key: JobKey) -> Option<TimeDelta> {
-        let info = self.running.remove(&key)?;
-        self.gen_index.remove(&info.gen);
-        let elapsed = now.saturating_since(info.started);
-        self.metrics.busy += elapsed;
-        Some(elapsed)
-    }
-
-    fn effective(&self, key: JobKey, base: Priority) -> Priority {
-        match self.locks.inherited(&key) {
-            Some(boost) => base.max(boost),
-            None => base,
+    #[inline]
+    fn effective_of(&self, slot: usize) -> Priority {
+        let s = &self.slots[slot];
+        match self.locks.inherited(&s.key) {
+            Some(boost) => s.base.max(boost),
+            None => s.base,
         }
     }
 
-    fn make_ready(&mut self, key: JobKey) {
-        let base = self.jobs[&key].base;
-        let eff = self.effective(key, base);
-        let rk = ready_key(eff, key);
-        self.ready.insert(rk);
-        self.jobs.get_mut(&key).expect("job exists").ready_entry = Some(rk);
+    /// The running job with the least effective priority (the preemption
+    /// victim): its packed priority word and slot.
+    fn min_running(&self) -> Option<(u128, usize)> {
+        self.running_slots
+            .iter()
+            .map(|&r| {
+                let slot = r as usize;
+                let s = &self.slots[slot];
+                let eff = self.effective_of(slot);
+                ((pack_hi(eff, s.key.0), pack_lo(s.key.1, r)), slot)
+            })
+            .min()
+            .map(|((hi, _), slot)| (hi, slot))
     }
 
-    fn unready(&mut self, key: JobKey) {
-        if let Some(job) = self.jobs.get_mut(&key) {
-            if let Some(rk) = job.ready_entry.take() {
-                self.ready.remove(&rk);
+    /// Starts the job in `slot` on a free server; the caller ensures
+    /// capacity.
+    fn start(&mut self, now: Time, slot: usize, effects: &mut Vec<Effect>) {
+        let s = &mut self.slots[slot];
+        s.run_count += 1;
+        s.running = true;
+        s.started = now;
+        let gen = ((slot as u64) << 32) | (s.run_count & u64::from(u32::MAX));
+        let finish = now + s.remaining;
+        let key = s.key;
+        self.running_slots.push(slot as u32);
+        effects.push(Effect::Start { key, gen, finish });
+    }
+
+    /// Stops the job in `slot` if running, banking its busy span; returns
+    /// the elapsed span if it was running.
+    fn stop(&mut self, now: Time, slot: usize) -> Option<TimeDelta> {
+        let s = &mut self.slots[slot];
+        if !s.running {
+            return None;
+        }
+        s.running = false;
+        let elapsed = now.saturating_since(s.started);
+        self.metrics.busy += elapsed;
+        let pos = self
+            .running_slots
+            .iter()
+            .position(|&r| r as usize == slot)
+            .expect("running slot is listed");
+        self.running_slots.swap_remove(pos);
+        Some(elapsed)
+    }
+
+    fn make_ready(&mut self, slot: usize) {
+        let eff = self.effective_of(slot);
+        let s = &mut self.slots[slot];
+        s.ready = true;
+        s.ready_prio = eff;
+        s.ready_stamp += 1;
+        let entry = ReadyEntry {
+            hi: pack_hi(eff, s.key.0),
+            lo: pack_lo(s.key.1, slot as u32),
+            stamp: s.ready_stamp,
+        };
+        self.ready.push(entry);
+    }
+
+    fn unready(&mut self, slot: usize) {
+        let s = &mut self.slots[slot];
+        if s.ready {
+            s.ready = false;
+            s.ready_stamp += 1;
+        }
+    }
+
+    /// The highest-ordered live ready entry, discarding stale heap tops.
+    fn peek_best(&mut self) -> Option<ReadyEntry> {
+        while let Some(&top) = self.ready.peek() {
+            let s = &self.slots[top.slot()];
+            if s.occupied && s.ready && s.ready_stamp == top.stamp {
+                return Some(top);
+            }
+            self.ready.pop();
+        }
+        None
+    }
+
+    /// Re-keys ready entries whose effective priority changed due to
+    /// inheritance updates (the old entry goes stale; a fresh one is
+    /// pushed).
+    fn refresh_ready_keys(&mut self) {
+        for slot in 0..self.slots.len() {
+            if !(self.slots[slot].occupied && self.slots[slot].ready) {
+                continue;
+            }
+            let eff = self.effective_of(slot);
+            if eff != self.slots[slot].ready_prio {
+                let s = &mut self.slots[slot];
+                s.ready_prio = eff;
+                s.ready_stamp += 1;
+                let entry = ReadyEntry {
+                    hi: pack_hi(eff, s.key.0),
+                    lo: pack_lo(s.key.1, slot as u32),
+                    stamp: s.ready_stamp,
+                };
+                self.ready.push(entry);
             }
         }
     }
 
-    /// Re-keys ready entries whose effective priority changed due to
-    /// inheritance updates.
-    fn refresh_ready_keys(&mut self) {
-        let stale: Vec<(JobKey, ReadyKey, Priority)> = self
-            .jobs
-            .iter()
-            .filter_map(|(&key, job)| {
-                let rk = job.ready_entry?;
-                let eff = match self.locks.inherited(&key) {
-                    Some(boost) => job.base.max(boost),
-                    None => job.base,
-                };
-                if rk.0 != eff {
-                    Some((key, rk, eff))
-                } else {
-                    None
-                }
-            })
-            .collect();
-        for (key, old, eff) in stale {
-            self.ready.remove(&old);
-            let new = ready_key(eff, key);
-            self.ready.insert(new);
-            self.jobs.get_mut(&key).expect("job exists").ready_entry = Some(new);
+    /// Registers (`register = true`) or removes this job's lock-user
+    /// entries, deduplicating via the reused scratch buffer.
+    fn update_lock_users(&mut self, slot: usize, register: bool) {
+        let mut scratch = std::mem::take(&mut self.lock_scratch);
+        scratch.clear();
+        let (base, key) = {
+            let s = &self.slots[slot];
+            scratch.extend(s.segments.as_slice().iter().filter_map(|seg| seg.lock));
+            (s.base, s.key)
+        };
+        scratch.sort_unstable();
+        scratch.dedup();
+        for &l in &scratch {
+            if register {
+                self.locks.register_user(l, base, key);
+            } else {
+                self.locks.deregister_user(l, base, key);
+            }
         }
+        self.lock_scratch = scratch;
+    }
+
+    /// Returns the job's slot to the free list. Stamps and counters stay
+    /// monotone so stale heap entries and generation tokens from this
+    /// occupant never validate against the next one.
+    fn free_slot(&mut self, slot: usize) {
+        let empty = self.empty_segments.clone();
+        let s = &mut self.slots[slot];
+        debug_assert!(s.occupied && !s.running);
+        s.occupied = false;
+        s.ready = false;
+        s.ready_stamp += 1;
+        s.segments = empty; // drop the arena reference
+        let key = s.key;
+        self.index.remove(&key);
+        self.free.push(slot as u32);
+        self.job_count -= 1;
     }
 
     /// Admits a subtask instance to this stage's ready queue.
@@ -264,64 +488,73 @@ impl Stage {
         now: Time,
         key: JobKey,
         base: Priority,
-        segments: Vec<Segment>,
+        segments: impl Into<SegmentSlice>,
         effects: &mut Vec<Effect>,
     ) {
+        let segments = segments.into();
         assert!(!segments.is_empty(), "jobs need at least one segment");
         assert!(
-            self.servers == 1 || segments.iter().all(|seg| seg.lock.is_none()),
+            self.servers == 1 || segments.as_slice().iter().all(|seg| seg.lock.is_none()),
             "critical sections require a single-server stage (PCP is a \
              uniprocessor protocol)"
         );
-        let first_remaining = segments[0].duration;
+        let first_remaining = segments.as_slice()[0].duration;
+        let slot = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                let empty = self.empty_segments.clone();
+                self.slots.push(Slot::vacant(&empty));
+                self.slots.len() - 1
+            }
+        };
+        {
+            let s = &mut self.slots[slot];
+            debug_assert!(!s.occupied, "free-listed slot is vacant");
+            s.key = key;
+            s.base = base;
+            s.segments = segments;
+            s.seg_idx = 0;
+            s.remaining = first_remaining;
+            s.acquired_current = false;
+            s.entered_at = now;
+            s.block_started = None;
+            s.blocked_total = TimeDelta::ZERO;
+            s.block_episodes = 0;
+            s.occupied = true;
+        }
+        let prev = self.index.insert(key, slot as u32);
+        assert!(prev.is_none(), "job {key:?} added twice");
         // Register this job as a future user of every lock it touches, so
         // PCP ceilings are in place before anyone can block on it.
-        let lock_set: Vec<LockId> = {
-            let mut v: Vec<LockId> = segments.iter().filter_map(|s| s.lock).collect();
-            v.sort_unstable();
-            v.dedup();
-            v
-        };
-        for l in &lock_set {
-            self.locks.register_user(*l, base, key);
-        }
-        let prev = self.jobs.insert(
-            key,
-            Job {
-                base,
-                segments,
-                seg_idx: 0,
-                remaining: first_remaining,
-                acquired_current: false,
-                entered_at: now,
-                block_started: None,
-                blocked_total: TimeDelta::ZERO,
-                block_episodes: 0,
-                ready_entry: None,
-            },
-        );
-        assert!(prev.is_none(), "job {key:?} added twice");
-        self.make_ready(key);
+        self.update_lock_users(slot, true);
+        self.job_count += 1;
+        self.make_ready(slot);
         self.reschedule(now, effects);
     }
 
     /// Handles a `SegmentDone` event. Stale generations (from preempted
-    /// runs) are ignored.
+    /// runs or freed slots) are ignored.
     pub fn segment_done(&mut self, now: Time, gen: u64, effects: &mut Vec<Effect>) {
-        let Some(&key) = self.gen_index.get(&gen) else {
+        let slot = (gen >> 32) as usize;
+        let count = gen & u64::from(u32::MAX);
+        let live = self.slots.get(slot).is_some_and(|s| {
+            s.occupied && s.running && (s.run_count & u64::from(u32::MAX)) == count
+        });
+        if !live {
             return; // stale
-        };
-        self.stop(now, key);
+        }
+        self.stop(now, slot);
 
         // Release the segment's lock, waking any PCP-blocked jobs.
-        let job = self.jobs.get_mut(&key).expect("running job exists");
-        let finished_lock = job.acquired_current && job.current_lock().is_some();
-        job.remaining = TimeDelta::ZERO;
-        job.seg_idx += 1;
-        job.acquired_current = false;
-        let done = job.seg_idx >= job.segments.len();
+        let s = &mut self.slots[slot];
+        let finished_lock = s.acquired_current && s.current_lock().is_some();
+        let key = s.key;
+        s.remaining = TimeDelta::ZERO;
+        s.seg_idx += 1;
+        s.acquired_current = false;
+        let done = s.seg_idx as usize >= s.segments.len();
         if !done {
-            job.remaining = job.segments[job.seg_idx].duration;
+            s.remaining = s.segments.as_slice()[s.seg_idx as usize].duration;
         }
         if finished_lock {
             let woken = self.locks.release(&key);
@@ -329,30 +562,32 @@ impl Stage {
         }
 
         if done {
-            let job = self.jobs.remove(&key).expect("job exists");
-            for l in locks_used(&job.segments) {
-                self.locks.deregister_user(l, job.base, key);
-            }
-            let stage_delay = now.saturating_since(job.entered_at);
+            self.update_lock_users(slot, false);
+            let (blocked_total, block_episodes, entered_at) = {
+                let s = &self.slots[slot];
+                (s.blocked_total, s.block_episodes, s.entered_at)
+            };
+            self.free_slot(slot);
+            let stage_delay = now.saturating_since(entered_at);
             self.metrics.subtasks_completed += 1;
-            self.metrics.blocking_total += job.blocked_total;
-            self.metrics.blocking_max = self.metrics.blocking_max.max(job.blocked_total);
-            self.metrics.max_block_episodes =
-                self.metrics.max_block_episodes.max(job.block_episodes);
+            self.metrics.blocking_total += blocked_total;
+            self.metrics.blocking_max = self.metrics.blocking_max.max(blocked_total);
+            self.metrics.max_block_episodes = self.metrics.max_block_episodes.max(block_episodes);
             self.metrics.stage_delay_total += stage_delay;
             self.metrics.stage_delay_max = self.metrics.stage_delay_max.max(stage_delay);
             effects.push(Effect::Completed {
                 key,
-                blocked_for: job.blocked_total,
+                blocked_for: blocked_total,
                 stage_delay,
             });
         } else {
             // More segments: contend for the processor again (and possibly
             // a new lock) under normal scheduling rules.
-            self.make_ready(key);
+            self.make_ready(slot);
         }
         self.reschedule(now, effects);
-        if self.jobs.is_empty() {
+        if self.job_count == 0 {
+            self.ready.clear();
             effects.push(Effect::Idle);
         }
     }
@@ -360,44 +595,47 @@ impl Stage {
     /// Removes a job outright (task shed/killed). Releases its lock and
     /// wakes blocked jobs as needed.
     pub fn kill(&mut self, now: Time, key: JobKey, effects: &mut Vec<Effect>) {
-        if !self.jobs.contains_key(&key) {
+        let Some(&slot32) = self.index.get(&key) else {
             return;
-        }
-        self.stop(now, key); // also invalidates the in-flight SegmentDone
-        self.unready(key);
+        };
+        let slot = slot32 as usize;
+        self.stop(now, slot); // also invalidates the in-flight SegmentDone
+        self.unready(slot);
         let woken = self.locks.remove_job(&key);
         self.wake(now, &woken);
-        let job = self.jobs.remove(&key).expect("job exists");
-        for l in locks_used(&job.segments) {
-            self.locks.deregister_user(l, job.base, key);
-        }
+        self.update_lock_users(slot, false);
+        self.free_slot(slot);
         self.refresh_ready_keys();
         self.reschedule(now, effects);
-        if self.jobs.is_empty() {
+        if self.job_count == 0 {
+            self.ready.clear();
             effects.push(Effect::Idle);
         }
     }
 
     /// Closes the running busy spans at the end of the simulation.
     pub fn finalize(&mut self, until: Time) {
-        for info in self.running.values_mut() {
-            self.metrics.busy += until.saturating_since(info.started);
-            info.started = until;
+        for i in 0..self.running_slots.len() {
+            let slot = self.running_slots[i] as usize;
+            let s = &mut self.slots[slot];
+            self.metrics.busy += until.saturating_since(s.started);
+            s.started = until;
         }
     }
 
     fn wake(&mut self, now: Time, woken: &[JobKey]) {
-        for &w in woken {
-            let job = self.jobs.get_mut(&w).expect("woken job exists");
-            if let Some(started) = job.block_started.take() {
+        for w in woken {
+            let slot = self.index[w] as usize;
+            let s = &mut self.slots[slot];
+            if let Some(started) = s.block_started.take() {
                 let blocked = now.saturating_since(started);
-                job.blocked_total += blocked;
-                job.block_episodes += 1;
+                s.blocked_total += blocked;
+                s.block_episodes += 1;
                 self.metrics.blocking_events += 1;
             }
             // The woken job already holds its lock (granted by PCP wake).
-            job.acquired_current = true;
-            self.make_ready(w);
+            s.acquired_current = true;
+            self.make_ready(slot);
         }
         self.refresh_ready_keys();
     }
@@ -405,15 +643,15 @@ impl Stage {
     /// Ensures the `servers` highest effective-priority runnable jobs are
     /// executing.
     fn reschedule(&mut self, now: Time, effects: &mut Vec<Effect>) {
-        while let Some(best_rk) = self.ready.iter().next_back().copied() {
-            if self.running.len() >= self.servers {
+        while let Some(best) = self.peek_best() {
+            if self.running_slots.len() >= self.servers {
                 // All servers busy: preempt the least urgent runner only
                 // for a strictly higher priority (ties never preempt).
-                let (min_rk, victim) = self.min_running().expect("servers are busy");
-                if best_rk.0 > min_rk.0 {
+                let (min_hi, victim) = self.min_running().expect("servers are busy");
+                if best.hi >> 64 > min_hi >> 64 {
                     let elapsed = self.stop(now, victim).expect("victim was running");
-                    let job = self.jobs.get_mut(&victim).expect("running job exists");
-                    job.remaining = job.remaining.saturating_sub(elapsed);
+                    let s = &mut self.slots[victim];
+                    s.remaining = s.remaining.saturating_sub(elapsed);
                     self.make_ready(victim);
                     continue;
                 }
@@ -421,44 +659,35 @@ impl Stage {
             }
 
             // A server is free: start the best ready job.
-            let key = job_of(&best_rk);
-            self.ready.remove(&best_rk);
-            self.jobs
-                .get_mut(&key)
-                .expect("ready job exists")
-                .ready_entry = None;
+            let slot = best.slot();
+            self.ready.pop(); // `best` was the validated top
+            {
+                let s = &mut self.slots[slot];
+                s.ready = false;
+                s.ready_stamp += 1;
+            }
 
             // Acquire the current segment's lock if needed.
-            let (needs_lock, base, acquired) = {
-                let j = &self.jobs[&key];
-                (j.current_lock(), j.base, j.acquired_current)
+            let (needs_lock, base, acquired, key) = {
+                let s = &self.slots[slot];
+                (s.current_lock(), s.base, s.acquired_current, s.key)
             };
             if let (Some(lock), false) = (needs_lock, acquired) {
                 match self.locks.try_acquire(key, base, lock) {
                     Acquire::Acquired => {
-                        self.jobs
-                            .get_mut(&key)
-                            .expect("job exists")
-                            .acquired_current = true;
+                        self.slots[slot].acquired_current = true;
                     }
                     Acquire::Blocked => {
-                        self.jobs.get_mut(&key).expect("job exists").block_started = Some(now);
+                        self.slots[slot].block_started = Some(now);
                         // Inheritance may have boosted a ready holder.
                         self.refresh_ready_keys();
                         continue;
                     }
                 }
             }
-            self.start(now, key, effects);
+            self.start(now, slot, effects);
         }
     }
-}
-
-fn locks_used(segments: &[Segment]) -> Vec<LockId> {
-    let mut v: Vec<LockId> = segments.iter().filter_map(|s| s.lock).collect();
-    v.sort_unstable();
-    v.dedup();
-    v
 }
 
 #[cfg(test)]
@@ -575,6 +804,37 @@ mod tests {
         st.segment_done(at(5), gen, &mut fx);
         let (k, _, _) = start_of(&fx);
         assert_eq!(k, key(2), "lower task id wins among equal priorities");
+    }
+
+    #[test]
+    fn tie_break_by_node_within_a_task() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(9), Priority::new(10), plain(ms(5)), &mut fx);
+        let (_, gen, _) = start_of(&fx);
+        fx.clear();
+        st.add_job(
+            at(0),
+            (TaskId::new(3), 7),
+            Priority::new(100),
+            plain(ms(5)),
+            &mut fx,
+        );
+        st.add_job(
+            at(0),
+            (TaskId::new(3), 2),
+            Priority::new(100),
+            plain(ms(5)),
+            &mut fx,
+        );
+        fx.clear();
+        st.segment_done(at(5), gen, &mut fx);
+        let (k, _, _) = start_of(&fx);
+        assert_eq!(
+            k,
+            (TaskId::new(3), 2),
+            "lower node wins among equal priorities and task ids"
+        );
     }
 
     #[test]
@@ -873,5 +1133,63 @@ mod tests {
         fx.clear();
         st.segment_done(at(0), gen, &mut fx);
         assert!(fx.iter().any(|e| matches!(e, Effect::Completed { .. })));
+    }
+
+    #[test]
+    fn slot_reuse_invalidates_prior_generations() {
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        // Job 1 occupies slot 0; kill it while its SegmentDone is in flight.
+        st.add_job(at(0), key(1), Priority::new(100), plain(ms(10)), &mut fx);
+        let (_, gen1, _) = start_of(&fx);
+        fx.clear();
+        st.kill(at(2), key(1), &mut fx);
+        // Job 2 reuses slot 0.
+        fx.clear();
+        st.add_job(at(3), key(2), Priority::new(100), plain(ms(5)), &mut fx);
+        let (_, gen2, _) = start_of(&fx);
+        assert_ne!(gen1, gen2, "slot reuse must mint a fresh generation");
+        // The dead job's completion must not touch the new occupant.
+        fx.clear();
+        st.segment_done(at(10), gen1, &mut fx);
+        assert!(fx.is_empty(), "stale generation from the prior occupant");
+        assert_eq!(st.job_count(), 1);
+        st.segment_done(at(8), gen2, &mut fx);
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Completed { key: k, .. } if *k == key(2))));
+    }
+
+    #[test]
+    fn segment_slice_shares_one_arena() {
+        let arena: Rc<[Segment]> = vec![
+            Segment::compute(ms(1)),
+            Segment::compute(ms(2)),
+            Segment::compute(ms(3)),
+        ]
+        .into();
+        let head = SegmentSlice::new(Rc::clone(&arena), 0, 1);
+        let tail = SegmentSlice::new(Rc::clone(&arena), 1, 2);
+        assert_eq!(head.len(), 1);
+        assert_eq!(tail.as_slice()[1].duration, ms(3));
+        // Three live references: both views plus the local handle.
+        assert_eq!(Rc::strong_count(&arena), 3);
+
+        let mut st = Stage::new(StageId::new(0));
+        let mut fx = Vec::new();
+        st.add_job(at(0), key(1), Priority::new(100), tail, &mut fx);
+        let (_, gen, finish) = start_of(&fx);
+        assert_eq!(finish, at(2), "first segment of the view is 2 ms");
+        fx.clear();
+        st.segment_done(at(2), gen, &mut fx);
+        let (_, gen, finish) = start_of(&fx);
+        assert_eq!(finish, at(5));
+        fx.clear();
+        st.segment_done(at(5), gen, &mut fx);
+        assert!(fx.iter().any(|e| matches!(e, Effect::Completed { .. })));
+        // The stage dropped its reference when the job completed.
+        assert_eq!(Rc::strong_count(&arena), 2);
+        drop(head);
+        assert_eq!(Rc::strong_count(&arena), 1);
     }
 }

@@ -149,7 +149,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs a benchmark identified by `id` within this group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
         let label = format!("{}/{}", self.name, id);
         run_benchmark(&label, self.config, &mut f);
         self
@@ -250,7 +254,8 @@ fn run_benchmark(label: &str, config: Config, f: &mut dyn FnMut(&mut Bencher)) {
         if b.elapsed >= per_sample || warm_up_start.elapsed() >= config.warm_up {
             if b.elapsed < per_sample && b.elapsed > Duration::ZERO {
                 let scale = per_sample.as_nanos() as f64 / b.elapsed.as_nanos().max(1) as f64;
-                iters = ((iters as f64 * scale).ceil() as u64).clamp(iters, iters.saturating_mul(1000));
+                iters =
+                    ((iters as f64 * scale).ceil() as u64).clamp(iters, iters.saturating_mul(1000));
             }
             break;
         }
