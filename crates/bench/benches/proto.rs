@@ -1,0 +1,185 @@
+//! Gateway wire-protocol hot path: admit round-trip encode/decode cost.
+//!
+//! The gateway's per-decision wire overhead is one `AdmitRequest` decode
+//! plus one `AdmitResponse` encode, amortized across whatever batch a
+//! single `read()` delivered. These benches measure that round trip at
+//! batch sizes 1 / 16 / 256 — both through the owned [`Frame`] decode
+//! path and through the allocation-free
+//! [`FrameBuffer::next_frame_into`] arena path the server actually uses —
+//! so a regression in either encode or decode shows up as ns/frame.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use frap_core::wire::WireTaskSpec;
+use frap_gateway::proto::{BatchedFrame, Frame, FrameBuffer, Verdict};
+use std::hint::black_box;
+
+/// A representative 3-stage task spec, matching the loadgen's shape.
+fn spec() -> WireTaskSpec {
+    WireTaskSpec {
+        deadline_us: 30_000,
+        stage_demands_us: vec![9_400, 11_200, 8_700],
+        importance: 3,
+    }
+}
+
+/// Bytes of `n` back-to-back admit requests, as one `read()` would see.
+fn admit_batch_bytes(n: usize) -> Vec<u8> {
+    let task = spec();
+    let mut bytes = Vec::new();
+    for i in 0..n {
+        Frame::encode_admit_request_into(i as u64 + 1, 1_000_000, false, &task, &mut bytes);
+    }
+    bytes
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proto_encode");
+    for &n in &[1usize, 16, 256] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("admit_request", n), |b| {
+            let task = spec();
+            let mut out = Vec::with_capacity(64 * n);
+            b.iter(|| {
+                out.clear();
+                for i in 0..n {
+                    Frame::encode_admit_request_into(
+                        i as u64 + 1,
+                        1_000_000,
+                        false,
+                        black_box(&task),
+                        &mut out,
+                    );
+                }
+                black_box(out.len())
+            });
+        });
+        group.bench_function(BenchmarkId::new("admit_response", n), |b| {
+            let mut out = Vec::with_capacity(16 * n);
+            b.iter(|| {
+                out.clear();
+                for i in 0..n {
+                    Frame::AdmitResponse {
+                        req_id: i as u64 + 1,
+                        verdict: Verdict::Admitted {
+                            ticket_id: i as u64,
+                        },
+                    }
+                    .encode_into(&mut out);
+                }
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proto_decode");
+    for &n in &[1usize, 16, 256] {
+        let bytes = admit_batch_bytes(n);
+        group.throughput(Throughput::Elements(n as u64));
+        // Owned path: each frame materializes a `Frame::AdmitRequest`
+        // with its own demand vector (what `next_frame` returns).
+        group.bench_function(BenchmarkId::new("frame_buffer_owned", n), |b| {
+            b.iter_batched_ref(
+                FrameBuffer::new,
+                |buf| {
+                    buf.extend(&bytes);
+                    let mut frames = 0u64;
+                    while let Some(frame) = buf.next_frame().expect("well-formed") {
+                        black_box(&frame);
+                        frames += 1;
+                    }
+                    assert_eq!(frames, n as u64);
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        // Arena path: demand vectors land in one reused `Vec<u64>`; the
+        // per-frame result is a flat `AdmitHead` (server hot path).
+        group.bench_function(BenchmarkId::new("frame_buffer_arena", n), |b| {
+            let mut demands: Vec<u64> = Vec::with_capacity(4 * n);
+            b.iter_batched_ref(
+                FrameBuffer::new,
+                |buf| {
+                    buf.extend(&bytes);
+                    demands.clear();
+                    let mut frames = 0u64;
+                    while let Some(batched) =
+                        buf.next_frame_into(&mut demands).expect("well-formed")
+                    {
+                        match batched {
+                            BatchedFrame::Admit(head) => {
+                                black_box(head.demands_in(&demands));
+                            }
+                            BatchedFrame::Other(_) => unreachable!("admit-only stream"),
+                        }
+                        frames += 1;
+                    }
+                    assert_eq!(frames, n as u64);
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proto_round_trip");
+    for &n in &[1usize, 16, 256] {
+        group.throughput(Throughput::Elements(n as u64));
+        // Full wire cycle: encode n requests, decode them through the
+        // arena path, encode n responses, decode those — the complete
+        // per-batch protocol cost with no admission logic in the loop.
+        group.bench_function(BenchmarkId::new("admit_cycle", n), |b| {
+            let task = spec();
+            let mut wire = Vec::with_capacity(80 * n);
+            let mut demands: Vec<u64> = Vec::with_capacity(4 * n);
+            b.iter_batched_ref(
+                || (FrameBuffer::new(), FrameBuffer::new()),
+                |(req_buf, resp_buf)| {
+                    wire.clear();
+                    for i in 0..n {
+                        Frame::encode_admit_request_into(
+                            i as u64 + 1,
+                            1_000_000,
+                            false,
+                            &task,
+                            &mut wire,
+                        );
+                    }
+                    req_buf.extend(&wire);
+                    wire.clear();
+                    demands.clear();
+                    while let Some(batched) =
+                        req_buf.next_frame_into(&mut demands).expect("well-formed")
+                    {
+                        let BatchedFrame::Admit(head) = batched else {
+                            unreachable!("admit-only stream")
+                        };
+                        Frame::AdmitResponse {
+                            req_id: head.req_id,
+                            verdict: Verdict::Admitted {
+                                ticket_id: head.req_id,
+                            },
+                        }
+                        .encode_into(&mut wire);
+                    }
+                    resp_buf.extend(&wire);
+                    let mut verdicts = 0u64;
+                    while let Some(frame) = resp_buf.next_frame().expect("well-formed") {
+                        black_box(&frame);
+                        verdicts += 1;
+                    }
+                    assert_eq!(verdicts, n as u64);
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_round_trip);
+criterion_main!(benches);

@@ -1,18 +1,24 @@
-//! CI perf regression gate over `BENCH_experiments.json`.
+//! CI perf regression gate over the repo's `BENCH_*.json` reports.
 //!
 //! ```text
-//! perf_gate <baseline.json> <candidate.json> [--max-regression <pct>]
+//! perf_gate <baseline.json> <candidate.json> [--max-regression <pct>] [--metric <key>]
 //! ```
 //!
-//! Compares the candidate report's single-thread throughput
-//! (`speedup_point.serial_events_per_sec`) against the committed baseline
-//! and exits non-zero if it regressed by more than the threshold
-//! (default 30%). Per-figure events/s deltas are printed for context but
-//! never gate — quick-scale figure runs are too short to be stable on
-//! shared runners. When `GITHUB_STEP_SUMMARY` is set, a markdown table of
+//! By default compares the candidate report's single-thread simulator
+//! throughput (`speedup_point.serial_events_per_sec`) against the
+//! committed baseline and exits non-zero if it regressed by more than
+//! the threshold (default 30%). Per-figure events/s deltas are printed
+//! for context but never gate — quick-scale figure runs are too short to
+//! be stable on shared runners.
+//!
+//! `--metric <key>` gates on any other higher-is-better scalar instead,
+//! which is how CI gates the loadgen reports: `--metric
+//! decisions_per_sec` against `BENCH_gateway.json` / `BENCH_service.json`
+//! (the committed copies are the baselines). The figure table is skipped
+//! in that mode. When `GITHUB_STEP_SUMMARY` is set, a markdown table of
 //! the comparison is appended to it.
 //!
-//! The reports are the hand-rolled JSON written by `bench_experiments`;
+//! The reports are the hand-rolled JSON written by the bench binaries;
 //! extraction is textual on purpose so the gate needs no JSON dependency.
 
 use std::fmt::Write as _;
@@ -56,6 +62,8 @@ fn figure_rates(json: &str) -> Vec<(String, f64)> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut max_regression_pct = 30.0;
+    let mut metric = String::from("serial_events_per_sec");
+    let mut default_metric = true;
     let mut paths = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -64,57 +72,66 @@ fn main() -> ExitCode {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .expect("--max-regression takes a percentage");
+        } else if a == "--metric" {
+            metric = it.next().expect("--metric takes a JSON key").clone();
+            default_metric = false;
         } else {
             paths.push(a.clone());
         }
     }
     let [baseline_path, candidate_path] = paths.as_slice() else {
-        eprintln!("usage: perf_gate <baseline.json> <candidate.json> [--max-regression <pct>]");
+        eprintln!(
+            "usage: perf_gate <baseline.json> <candidate.json> \
+             [--max-regression <pct>] [--metric <key>]"
+        );
         return ExitCode::from(2);
     };
 
     let baseline = std::fs::read_to_string(baseline_path).expect("read baseline report");
     let candidate = std::fs::read_to_string(candidate_path).expect("read candidate report");
-    let base_rate =
-        extract_f64(&baseline, "serial_events_per_sec").expect("baseline serial_events_per_sec");
-    let cand_rate =
-        extract_f64(&candidate, "serial_events_per_sec").expect("candidate serial_events_per_sec");
+    let base_rate = extract_f64(&baseline, &metric)
+        .unwrap_or_else(|| panic!("baseline {baseline_path} has no \"{metric}\""));
+    let cand_rate = extract_f64(&candidate, &metric)
+        .unwrap_or_else(|| panic!("candidate {candidate_path} has no \"{metric}\""));
 
     let ratio = cand_rate / base_rate;
     let delta_pct = (ratio - 1.0) * 100.0;
     println!(
-        "[perf-gate] serial events/s: baseline {:.0}, candidate {:.0} ({delta_pct:+.1}%)",
+        "[perf-gate] {metric}: baseline {:.0}, candidate {:.0} ({delta_pct:+.1}%)",
         base_rate, cand_rate
     );
 
-    let base_figs = figure_rates(&baseline);
-    let cand_figs = figure_rates(&candidate);
     let mut summary = String::new();
-    let _ = writeln!(summary, "### Perf gate: simulator throughput\n");
+    let _ = writeln!(summary, "### Perf gate: {candidate_path} / {metric}\n");
     let _ = writeln!(summary, "| metric | baseline | candidate | delta |");
     let _ = writeln!(summary, "|---|---:|---:|---:|");
     let _ = writeln!(
         summary,
-        "| serial events/s | {:.0} | {:.0} | {delta_pct:+.1}% |",
+        "| {metric} | {:.0} | {:.0} | {delta_pct:+.1}% |",
         base_rate, cand_rate
     );
-    for (name, cand) in &cand_figs {
-        if let Some((_, base)) = base_figs.iter().find(|(n, _)| n == name) {
-            let d = (cand / base - 1.0) * 100.0;
-            println!(
-                "[perf-gate] {name}: {base:.0} -> {cand:.0} events/s ({d:+.1}%, informational)"
-            );
-            let _ = writeln!(
-                summary,
-                "| {name} events/s (info) | {base:.0} | {cand:.0} | {d:+.1}% |"
-            );
+    // Per-figure context only makes sense for the experiments report.
+    if default_metric {
+        let base_figs = figure_rates(&baseline);
+        let cand_figs = figure_rates(&candidate);
+        for (name, cand) in &cand_figs {
+            if let Some((_, base)) = base_figs.iter().find(|(n, _)| n == name) {
+                let d = (cand / base - 1.0) * 100.0;
+                println!(
+                    "[perf-gate] {name}: {base:.0} -> {cand:.0} events/s ({d:+.1}%, informational)"
+                );
+                let _ = writeln!(
+                    summary,
+                    "| {name} events/s (info) | {base:.0} | {cand:.0} | {d:+.1}% |"
+                );
+            }
         }
     }
 
     let failed = delta_pct < -max_regression_pct;
     let _ = writeln!(
         summary,
-        "\n**{}** (gate: serial regression > {max_regression_pct:.0}% fails)",
+        "\n**{}** (gate: {metric} regression > {max_regression_pct:.0}% fails)",
         if failed { "FAILED" } else { "passed" }
     );
     if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
@@ -130,7 +147,7 @@ fn main() -> ExitCode {
 
     if failed {
         eprintln!(
-            "[perf-gate] FAIL: single-thread throughput regressed {:.1}% \
+            "[perf-gate] FAIL: {metric} regressed {:.1}% \
              (threshold {max_regression_pct:.0}%)",
             -delta_pct
         );

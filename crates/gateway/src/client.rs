@@ -17,8 +17,7 @@
 //! share only a rate (both sides are monotonic microsecond counters).
 
 use crate::proto::{
-    AdmitRequest, Frame, FrameBuffer, Hello, HelloAck, ProtoError, StatsReport, Verdict,
-    HELLO_ACK_LEN, VERSION,
+    Frame, FrameBuffer, Hello, HelloAck, ProtoError, StatsReport, Verdict, HELLO_ACK_LEN, VERSION,
 };
 use frap_core::time::TimeDelta;
 use frap_core::wire::WireTaskSpec;
@@ -109,13 +108,7 @@ impl GatewayClient {
         let expires_at_us = self
             .server_now_us()
             .saturating_add(transport_budget.as_micros());
-        Frame::AdmitRequest(AdmitRequest {
-            req_id,
-            expires_at_us,
-            allow_shed,
-            task: task.clone(),
-        })
-        .encode_into(&mut self.outbox);
+        Frame::encode_admit_request_into(req_id, expires_at_us, allow_shed, task, &mut self.outbox);
         req_id
     }
 
@@ -171,6 +164,48 @@ impl GatewayClient {
                 std::io::ErrorKind::InvalidData,
                 format!("expected an admit response, got {other:?}"),
             )),
+        }
+    }
+
+    /// Drains admit responses in a batch: blocks until at least one
+    /// arrives, then appends every admit response already buffered or
+    /// readable without further blocking, as `(req_id, verdict)` pairs in
+    /// FIFO order. Returns how many were appended.
+    ///
+    /// This is the receive-side mirror of request pipelining: a client
+    /// that keeps a window in flight pays one `read()` for a whole
+    /// window's worth of verdicts instead of one per decision.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, EOF, a malformed frame, or a non-admit
+    /// frame arriving interleaved (callers awaiting heartbeats or stats
+    /// should use [`recv_frame`](GatewayClient::recv_frame) instead).
+    pub fn recv_admits_into(&mut self, out: &mut Vec<(u64, Verdict)>) -> std::io::Result<usize> {
+        let before = out.len();
+        loop {
+            while let Some(frame) = self.inbox.next_frame().map_err(proto_err)? {
+                match frame {
+                    Frame::AdmitResponse { req_id, verdict } => out.push((req_id, verdict)),
+                    other => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("expected an admit response, got {other:?}"),
+                        ))
+                    }
+                }
+            }
+            if out.len() > before {
+                return Ok(out.len() - before);
+            }
+            let n = self.stream.read(&mut self.scratch)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "gateway closed the connection",
+                ));
+            }
+            self.inbox.extend(&self.scratch[..n]);
         }
     }
 

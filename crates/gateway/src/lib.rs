@@ -12,7 +12,8 @@
 //! | module | role |
 //! |---|---|
 //! | [`proto`] | versioned, length-prefixed little-endian wire protocol: frames, handshake, incremental decoder |
-//! | [`server`] | acceptor + fixed worker pool, read batching, deadline-aware timeouts, bounded in-flight windows, graceful drain |
+//! | [`reactor`] | per-worker readiness reactor: epoll on Linux, `poll(2)` on other Unix, with a cross-thread waker |
+//! | [`server`] | reactor-driven worker pool, batched shard admission, bounded in-flight windows, graceful drain |
 //! | [`client`] | blocking pipelining client used by tests and the `gateway-loadgen` binary |
 //!
 //! The protocol and threading model are documented in DESIGN.md §10.
@@ -50,11 +51,15 @@
 //! server.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the [`reactor`] module carries a scoped
+// `#[allow(unsafe_code)]` for its raw syscall surface (epoll/poll/eventfd),
+// which `forbid` would make impossible. Everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod proto;
+pub mod reactor;
 pub mod server;
 
 pub use client::GatewayClient;

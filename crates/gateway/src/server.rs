@@ -1,21 +1,36 @@
-//! The gateway server: an acceptor thread plus a fixed worker pool
-//! multiplexing non-blocking connections.
+//! The gateway server: a fixed pool of reactor-driven workers
+//! multiplexing non-blocking connections with batched shard admission.
 //!
 //! # Threading model
 //!
-//! One **acceptor** thread owns the listener; accepted sockets are handed
-//! round-robin to `workers` **worker** threads over channels. Each worker
-//! owns its connections outright — per-connection state (reassembly
-//! buffer, pending write buffer, live ticket table) is plain mutable data
-//! with no locks; the only shared state is the admission service itself
-//! (which has its own sharding) and the gateway's atomic counters.
+//! There is no acceptor thread and there are no sleeps. Each of the
+//! `workers` **worker** threads owns a [`Reactor`] (epoll on Linux,
+//! `poll(2)` on other Unix) and a clone of the listening socket,
+//! registered for exclusive readiness — an incoming connect wakes one
+//! worker, which accepts directly into its own connection slab. Each
+//! worker owns its connections outright: per-connection state
+//! (reassembly buffer, pending write buffer, live ticket table) is plain
+//! mutable data with no locks; the only shared state is the admission
+//! service itself (which has its own sharding), the gateway's atomic
+//! counters, and the open-connection gauge guarded by the condvar that
+//! [`GatewayServer::wait_idle`] blocks on. Control-plane transitions
+//! (drain, shutdown) reach sleeping workers through each reactor's
+//! cross-thread [`Waker`] — a worker blocked in `epoll_wait` with zero
+//! traffic costs zero CPU and still reacts to drain immediately.
 //!
 //! # Batching
 //!
-//! A worker drains **every** complete frame out of each `read()` and
-//! appends all the replies to one coalesced buffer, written back with as
-//! few `write()` calls as the socket accepts. A pipelining client
-//! therefore pays roughly two syscalls per *window*, not per decision.
+//! A worker drains **every** complete frame out of each `read()`. All
+//! consecutive admit requests in that batch are classified against one
+//! clock read and then resolved by a single
+//! [`admit_batch`](frap_service::AdmissionService::admit_batch) pass —
+//! one shard lock + one admission-gate acquisition for the whole run
+//! instead of one per decision, while producing verdict-for-verdict the
+//! same answers the one-at-a-time path would (the batch equivalence
+//! tests in `frap-service` pin this down). Replies are appended to one
+//! coalesced buffer, written back with as few `write()` calls as the
+//! socket accepts: a pipelining client pays roughly two syscalls and one
+//! lock round per *window*, not per decision.
 //!
 //! # Deadline-aware timeouts
 //!
@@ -32,43 +47,48 @@
 //! The handshake advertises an in-flight **window**. The server bounds
 //! each connection's unacknowledged reply bytes to `window` maximum-size
 //! admit responses; while a client is not draining its responses the
-//! worker stops *reading* that connection, so TCP flow control pushes
-//! back to the sender instead of the gateway buffering without bound.
+//! worker drops the connection's *read* interest, so TCP flow control
+//! pushes back to the sender instead of the gateway buffering without
+//! bound. Read interest returns the moment the reply backlog drains
+//! below the window.
 //!
 //! # Graceful drain
 //!
-//! [`GatewayServer::drain`] stops the acceptor (closing the listener) and
-//! puts the service into drain: in-flight requests still get definitive
-//! answers (rejections once draining), releases keep working, and every
-//! ticket still held for a connection is released by RAII when the
-//! connection goes away — including abrupt client disconnects.
+//! [`GatewayServer::drain`] wakes every worker; each deregisters and
+//! drops its listener clone (closing the accept queue once the last
+//! clone is gone) and the service stops admitting: in-flight requests
+//! still get definitive answers (rejections once draining), releases
+//! keep working, and every ticket still held for a connection is
+//! released by RAII when the connection goes away — including abrupt
+//! client disconnects.
 
 use crate::proto::{
-    AdmitRequest, Frame, FrameBuffer, Hello, HelloAck, StatsReport, Verdict, HELLO_LEN, MAX_FRAME,
-    VERSION,
+    AdmitHead, BatchedFrame, Frame, FrameBuffer, Hello, HelloAck, StatsReport, Verdict, HELLO_LEN,
+    MAX_FRAME, VERSION,
 };
+use crate::reactor::{Event, Interest, Reactor, Waker, WAKE_TOKEN};
 use frap_core::admission::ContributionModel;
+use frap_core::graph::{TaskGraph, TaskSpec};
 use frap_core::region::RegionTest;
-use frap_service::{AdmissionService, AdmissionTicket, Clock};
+use frap_core::task::{StageId, SubtaskSpec};
+use frap_core::time::TimeDelta;
+use frap_core::Importance;
+use frap_service::{AdmissionService, AdmissionTicket, BatchRequest, Clock, ServiceOutcome};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tunables for [`GatewayServer::bind`].
 #[derive(Debug, Clone)]
 pub struct GatewayConfig {
-    /// Worker threads processing connections (the acceptor is extra).
+    /// Worker threads processing connections. Each runs its own reactor
+    /// and accepts directly; there is no separate acceptor thread.
     pub workers: usize,
     /// Per-connection in-flight admission window advertised at handshake.
     pub window: u16,
-    /// How long an idle worker sleeps before polling its connections
-    /// again. Lower is lower latency at idle; higher is kinder to shared
-    /// machines.
-    pub idle_sleep: Duration,
 }
 
 impl Default for GatewayConfig {
@@ -76,7 +96,6 @@ impl Default for GatewayConfig {
         GatewayConfig {
             workers: 2,
             window: 256,
-            idle_sleep: Duration::from_micros(100),
         }
     }
 }
@@ -122,19 +141,39 @@ pub struct GatewaySnapshot {
     pub bad_requests: u64,
     /// Connections killed for unparseable or client-inappropriate frames.
     pub protocol_errors: u64,
-    /// Times a worker skipped reading a connection because its reply
-    /// window was full (TCP backpressure engaged).
+    /// Times a connection's read interest was dropped because its reply
+    /// window was full (TCP backpressure engaged). Counted per stall
+    /// episode, not per poll cycle.
     pub backpressure_stalls: u64,
 }
 
 struct Shared {
     stop: AtomicBool,
     draining: AtomicBool,
-    open_conns: AtomicUsize,
+    /// Open-connection gauge; guarded by a mutex (not an atomic) so
+    /// [`GatewayServer::wait_idle`] can block on `idle_cv` without a
+    /// missed-wakeup race between the last decrement and the wait.
+    open_conns: Mutex<usize>,
+    idle_cv: Condvar,
     stats: GatewayCounters,
 }
 
 impl Shared {
+    fn conns_opened(&self, n: usize) {
+        *self.open_conns.lock().expect("conn gauge poisoned") += n;
+    }
+
+    fn conns_closed(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let mut open = self.open_conns.lock().expect("conn gauge poisoned");
+        *open -= n;
+        if *open == 0 {
+            self.idle_cv.notify_all();
+        }
+    }
+
     fn snapshot(&self) -> GatewaySnapshot {
         let s = &self.stats;
         GatewaySnapshot {
@@ -164,7 +203,7 @@ pub struct GatewayServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
     drain_service: Arc<dyn Fn() + Send + Sync>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    wakers: Vec<Waker>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -172,21 +211,19 @@ impl std::fmt::Debug for GatewayServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GatewayServer")
             .field("addr", &self.addr)
-            .field(
-                "open_conns",
-                &self.shared.open_conns.load(Ordering::Relaxed),
-            )
+            .field("open_conns", &self.open_connections())
             .finish_non_exhaustive()
     }
 }
 
 impl GatewayServer {
-    /// Binds a listener and starts the acceptor and worker threads
-    /// serving `service`.
+    /// Binds a listener and starts the reactor worker threads serving
+    /// `service`.
     ///
     /// # Errors
     ///
-    /// Propagates the I/O error when the address cannot be bound.
+    /// Propagates the I/O error when the address cannot be bound or a
+    /// worker's reactor cannot be created.
     ///
     /// # Panics
     ///
@@ -209,33 +246,31 @@ impl GatewayServer {
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             draining: AtomicBool::new(false),
-            open_conns: AtomicUsize::new(0),
+            open_conns: Mutex::new(0),
+            idle_cv: Condvar::new(),
             stats: GatewayCounters::default(),
         });
 
-        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(cfg.workers);
+        let mut wakers = Vec::with_capacity(cfg.workers);
         let mut workers = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
-            let (tx, rx) = std::sync::mpsc::channel();
-            senders.push(tx);
+            let (reactor, waker) = Reactor::new()?;
+            wakers.push(waker);
+            // Each worker owns a clone of the listening socket; once every
+            // clone is dropped (drain/shutdown) the accept queue closes.
+            let listener = listener.try_clone()?;
             let shared = Arc::clone(&shared);
             let service = service.clone();
             let cfg = cfg.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("frap-gateway-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, &service, &rx, &cfg))
+                    .spawn(move || worker_loop(&shared, &service, listener, reactor, &cfg))
                     .expect("spawn worker"),
             );
         }
-
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("frap-gateway-acceptor".into())
-                .spawn(move || acceptor_loop(&shared, listener, &senders))
-                .expect("spawn acceptor")
-        };
+        // The workers hold the only remaining listener handles.
+        drop(listener);
 
         let drain_service: Arc<dyn Fn() + Send + Sync> = {
             let service = service.clone();
@@ -246,7 +281,7 @@ impl GatewayServer {
             shared,
             addr,
             drain_service,
-            acceptor: Some(acceptor),
+            wakers,
             workers,
         })
     }
@@ -264,27 +299,40 @@ impl GatewayServer {
 
     /// Connections currently open.
     pub fn open_connections(&self) -> usize {
-        self.shared.open_conns.load(Ordering::Relaxed)
+        *self.shared.open_conns.lock().expect("conn gauge poisoned")
     }
 
-    /// Begins a graceful drain: the listener closes (new connects are
-    /// refused), the service stops admitting (in-flight requests get
+    /// Begins a graceful drain: every worker is woken to drop its
+    /// listener clone (new connects are refused once the last clone
+    /// closes), the service stops admitting (in-flight requests get
     /// definitive rejections; releases keep working), and existing
     /// connections are served until they disconnect. Idempotent.
     pub fn drain(&self) {
         self.shared.draining.store(true, Ordering::Release);
         (self.drain_service)();
+        for waker in &self.wakers {
+            waker.wake();
+        }
     }
 
-    /// Waits up to `timeout` for every connection to close after a
+    /// Blocks up to `timeout` for every connection to close after a
     /// [`GatewayServer::drain`]. Returns whether the gateway went idle.
+    /// The wait parks on a condvar signalled at each connection close —
+    /// no polling.
     pub fn wait_idle(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        while self.open_connections() > 0 {
-            if Instant::now() >= deadline {
+        let mut open = self.shared.open_conns.lock().expect("conn gauge poisoned");
+        while *open > 0 {
+            let now = Instant::now();
+            if now >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            let (guard, _timed_out) = self
+                .shared
+                .idle_cv
+                .wait_timeout(open, deadline - now)
+                .expect("conn gauge poisoned");
+            open = guard;
         }
         true
     }
@@ -300,8 +348,8 @@ impl GatewayServer {
     fn stop_and_join(&mut self) {
         self.drain();
         self.shared.stop.store(true, Ordering::Release);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        for waker in &self.wakers {
+            waker.wake();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -315,33 +363,20 @@ impl Drop for GatewayServer {
     }
 }
 
-fn acceptor_loop(shared: &Shared, listener: TcpListener, senders: &[Sender<TcpStream>]) {
-    let mut next = 0usize;
-    while !shared.stop.load(Ordering::Acquire) && !shared.draining.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = stream.set_nodelay(true);
-                if stream.set_nonblocking(true).is_err() {
-                    continue;
-                }
-                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-                shared.open_conns.fetch_add(1, Ordering::Relaxed);
-                // Workers outlive the acceptor; a send only fails during
-                // total shutdown, where dropping the socket is correct.
-                if senders[next % senders.len()].send(stream).is_err() {
-                    shared.open_conns.fetch_sub(1, Ordering::Relaxed);
-                    break;
-                }
-                next += 1;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_micros(500));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(1)),
-        }
-    }
-    // Dropping the listener here closes the accept queue: graceful drain
-    // means refusing new work at the edge, not queueing it.
+/// The listener's reactor token; connection tokens start above it.
+const LISTENER_TOKEN: usize = 0;
+const FIRST_CONN: usize = 1;
+
+/// The reactor key for a socket: its raw descriptor on Unix, the token
+/// on the degraded non-Unix shim (which only needs a unique id).
+#[cfg(unix)]
+fn reactor_key<S: std::os::unix::io::AsRawFd>(sock: &S, _token: usize) -> std::os::unix::io::RawFd {
+    sock.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn reactor_key<S>(_sock: &S, token: usize) -> i32 {
+    token as i32
 }
 
 /// Per-connection state owned by exactly one worker.
@@ -354,6 +389,9 @@ struct Conn {
     tickets: HashMap<u64, AdmissionTicket>,
     greeted: bool,
     hello_bytes: Vec<u8>,
+    /// The interest currently registered with the reactor; reregistration
+    /// happens only when the desired interest differs.
+    interest: Interest,
 }
 
 impl Conn {
@@ -365,125 +403,311 @@ impl Conn {
             tickets: HashMap::new(),
             greeted: false,
             hello_bytes: Vec::with_capacity(HELLO_LEN),
+            interest: Interest::READ,
         }
     }
+}
+
+/// Reusable per-worker buffers for resolving one read's admit requests
+/// through the service's batch path without per-request allocation.
+#[derive(Default)]
+struct BatchScratch {
+    /// Admit headers accumulated from one read, in arrival order.
+    pending: Vec<AdmitHead>,
+    /// Stage-demand arena the headers index into (µs per stage).
+    demands: Vec<u64>,
+    /// Built specs for the requests that reach the admission test.
+    specs: Vec<TaskSpec>,
+    /// `pending` index of each entry in `specs` (arrival order).
+    lanes: Vec<usize>,
+    /// Verdict per `pending` entry; pre-classified ones (expired, bad)
+    /// are filled first, admission outcomes afterwards.
+    verdicts: Vec<Option<Verdict>>,
+    /// Service outcomes for `specs`, parallel to `lanes`.
+    outcomes: Vec<ServiceOutcome>,
+    /// Interned task graphs keyed by stage-demand vector. Task streams
+    /// tend to reuse a bounded set of shapes, and a [`TaskGraph`] is
+    /// immutable behind an `Arc` — so a hit turns ~10 allocations of
+    /// graph construction into one atomic increment.
+    graphs: HashMap<Vec<u64>, TaskGraph>,
+}
+
+/// Cap on distinct interned task shapes per worker. Insertion stops at
+/// the cap (first shapes win; no wholesale eviction), so a stream of
+/// never-repeating shapes degrades to one failed lookup per request —
+/// cheaper than any churn policy — while repeating streams converge to
+/// all hits.
+const GRAPH_CACHE_CAP: usize = 8192;
+
+/// The task graph for a stage-demand vector, interned in `graphs`. A hit
+/// costs a hash lookup and an `Arc` clone; a miss builds the pipeline
+/// chain exactly as [`frap_core::wire::WireTaskSpec::to_spec`] would.
+fn graph_for(
+    graphs: &mut HashMap<Vec<u64>, TaskGraph>,
+    demands: &[u64],
+) -> Result<TaskGraph, frap_core::error::GraphError> {
+    if let Some(graph) = graphs.get(demands) {
+        return Ok(graph.clone());
+    }
+    let subtasks = demands
+        .iter()
+        .enumerate()
+        .map(|(j, &us)| SubtaskSpec::new(StageId::new(j), TimeDelta::from_micros(us)))
+        .collect();
+    let graph = TaskGraph::chain(subtasks)?;
+    if graphs.len() < GRAPH_CACHE_CAP {
+        graphs.insert(demands.to_vec(), graph.clone());
+    }
+    Ok(graph)
 }
 
 fn worker_loop<R, M, C>(
     shared: &Shared,
     service: &AdmissionService<R, M, C>,
-    rx: &Receiver<TcpStream>,
+    listener: TcpListener,
+    mut reactor: Reactor,
     cfg: &GatewayConfig,
 ) where
     R: RegionTest + Send + Sync + 'static,
     M: ContributionModel + Send + Sync + 'static,
     C: Clock + 'static,
 {
-    let mut conns: Vec<Conn> = Vec::new();
+    let mut listener = Some(listener);
+    if let Some(l) = listener.as_ref() {
+        // Exclusive readiness: a pending connect wakes one worker, and
+        // level-triggering re-arms the others if it does not drain the
+        // queue.
+        if reactor
+            .register(
+                reactor_key(l, LISTENER_TOKEN),
+                LISTENER_TOKEN,
+                Interest::READ,
+                true,
+            )
+            .is_err()
+        {
+            listener = None;
+        }
+    }
+
+    let mut slab: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
     let mut scratch = vec![0u8; 64 * 1024];
+    let mut batch = BatchScratch::default();
     // Unacknowledged reply bytes allowed per connection before the worker
-    // stops reading it: the window in maximum-size admit responses.
+    // drops its read interest: the window in maximum-size admit responses.
     let reply_cap = cfg.window as usize * 32;
 
     loop {
+        if reactor.wait(&mut events, None).is_err() {
+            break;
+        }
         let stopping = shared.stop.load(Ordering::Acquire);
-        while let Ok(stream) = rx.try_recv() {
-            conns.push(Conn::new(stream));
+        if stopping || shared.draining.load(Ordering::Acquire) {
+            // Deregister before dropping: clones in other workers keep the
+            // underlying socket (and with it any stale epoll registration)
+            // alive, so removal must be explicit.
+            if let Some(l) = listener.take() {
+                let _ = reactor.deregister(reactor_key(&l, LISTENER_TOKEN));
+            }
         }
         if stopping {
             break;
         }
 
-        let mut progressed = false;
-        conns.retain_mut(|conn| {
-            match serve_conn(conn, service, shared, cfg, reply_cap, &mut scratch) {
-                ConnState::Progressed => {
-                    progressed = true;
-                    true
+        for &ev in &events {
+            match ev.token {
+                WAKE_TOKEN => {} // control-plane flags checked above
+                LISTENER_TOKEN => {
+                    accept_ready(shared, &mut reactor, &listener, &mut slab, &mut free);
                 }
-                ConnState::Idle => true,
-                ConnState::Closed => {
+                token => {
+                    let slot = token - FIRST_CONN;
+                    // A stale event for a slot closed (or recycled) earlier
+                    // in this batch resolves to a skip or a spurious
+                    // `WouldBlock` serve — both benign.
+                    let Some(conn) = slab.get_mut(slot).and_then(Option::as_mut) else {
+                        continue;
+                    };
+                    if serve_conn(
+                        conn,
+                        ev,
+                        service,
+                        shared,
+                        &mut reactor,
+                        token,
+                        cfg.window,
+                        reply_cap,
+                        &mut scratch,
+                        &mut batch,
+                    ) {
+                        continue;
+                    }
+                    let conn = slab[slot].take().expect("conn vanished");
+                    let _ = reactor.deregister(reactor_key(&conn.stream, token));
+                    drop(conn); // releases every still-held ticket
+                    free.push(slot);
                     shared.stats.closed.fetch_add(1, Ordering::Relaxed);
-                    shared.open_conns.fetch_sub(1, Ordering::Relaxed);
-                    false
+                    shared.conns_closed(1);
                 }
             }
-        });
-
-        if !progressed {
-            std::thread::sleep(cfg.idle_sleep);
         }
     }
-    // Worker exit drops `conns`, releasing every still-held ticket.
-    let dropped = conns.len();
+
+    // Worker exit drops the slab, releasing every still-held ticket.
+    let dropped = slab.iter().filter(|slot| slot.is_some()).count();
     shared
         .stats
         .closed
         .fetch_add(dropped as u64, Ordering::Relaxed);
-    shared.open_conns.fetch_sub(dropped, Ordering::Relaxed);
+    shared.conns_closed(dropped);
 }
 
-enum ConnState {
-    /// Read, wrote, or processed something — poll again immediately.
-    Progressed,
-    /// Nothing to do right now.
-    Idle,
-    /// Connection is finished; drop it (releasing its tickets).
-    Closed,
+/// Accepts every pending connection into this worker's slab.
+fn accept_ready(
+    shared: &Shared,
+    reactor: &mut Reactor,
+    listener: &Option<TcpListener>,
+    slab: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+) {
+    let Some(listener) = listener.as_ref() else {
+        return;
+    };
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let slot = free.pop().unwrap_or_else(|| {
+                    slab.push(None);
+                    slab.len() - 1
+                });
+                let token = FIRST_CONN + slot;
+                if reactor
+                    .register(reactor_key(&stream, token), token, Interest::READ, false)
+                    .is_err()
+                {
+                    free.push(slot);
+                    continue;
+                }
+                slab[slot] = Some(Conn::new(stream));
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.conns_opened(1);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
 }
 
+/// Serves one readiness event on a connection. Returns whether the
+/// connection stays open.
+#[allow(clippy::too_many_arguments)]
 fn serve_conn<R, M, C>(
     conn: &mut Conn,
+    ev: Event,
     service: &AdmissionService<R, M, C>,
     shared: &Shared,
-    cfg: &GatewayConfig,
+    reactor: &mut Reactor,
+    token: usize,
+    window: u16,
     reply_cap: usize,
     scratch: &mut [u8],
-) -> ConnState
+    batch: &mut BatchScratch,
+) -> bool
 where
     R: RegionTest + Send + Sync + 'static,
     M: ContributionModel + Send + Sync + 'static,
     C: Clock + 'static,
 {
-    let mut progressed = false;
-
-    // Always try to push pending replies out first: a full outbox is what
-    // backpressure looks like from this side.
-    match flush(&mut conn.stream, &mut conn.outbox) {
-        Ok(wrote) => progressed |= wrote,
-        Err(_) => return ConnState::Closed,
+    // Push pending replies out first: draining the outbox is what lifts
+    // backpressure and what a writable event asks for.
+    if (ev.writable || !conn.outbox.is_empty())
+        && flush(&mut conn.stream, &mut conn.outbox).is_err()
+    {
+        return false;
     }
 
-    // Reply window full and the client is not reading: stop consuming its
-    // requests so TCP pushes back on the sender.
-    if conn.outbox.len() >= reply_cap {
+    if ev.readable {
+        loop {
+            // Reply window full and the client not draining: stop reading
+            // so TCP pushes back on the sender (interest drops below).
+            if conn.outbox.len() >= reply_cap {
+                break;
+            }
+            let n = match conn.stream.read(scratch) {
+                Ok(0) => return false,
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            };
+            if !ingest(conn, &scratch[..n], service, shared, window, batch) {
+                return false;
+            }
+            // One coalesced write per read's worth of replies.
+            if flush(&mut conn.stream, &mut conn.outbox).is_err() {
+                return false;
+            }
+        }
+    }
+
+    update_interest(conn, reactor, token, reply_cap, shared);
+    true
+}
+
+/// Recomputes the connection's desired readiness interest and
+/// reregisters only on change. Dropping read interest is the
+/// backpressure stall; each such transition is counted once.
+fn update_interest(
+    conn: &mut Conn,
+    reactor: &mut Reactor,
+    token: usize,
+    reply_cap: usize,
+    shared: &Shared,
+) {
+    let want = Interest {
+        readable: conn.outbox.len() < reply_cap,
+        writable: !conn.outbox.is_empty(),
+    };
+    if want == conn.interest {
+        return;
+    }
+    if conn.interest.readable && !want.readable {
         shared
             .stats
             .backpressure_stalls
             .fetch_add(1, Ordering::Relaxed);
-        return if progressed {
-            ConnState::Progressed
-        } else {
-            ConnState::Idle
-        };
     }
-
-    let n = match conn.stream.read(scratch) {
-        Ok(0) => return ConnState::Closed,
-        Ok(n) => n,
-        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => 0,
-        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => 0,
-        Err(_) => return ConnState::Closed,
-    };
-    if n == 0 {
-        return if progressed {
-            ConnState::Progressed
-        } else {
-            ConnState::Idle
-        };
+    if reactor
+        .reregister(reactor_key(&conn.stream, token), token, want)
+        .is_ok()
+    {
+        conn.interest = want;
     }
-    let mut bytes = &scratch[..n];
+}
 
+/// Feeds freshly-read bytes through the handshake and frame decoder,
+/// resolving admit requests in batches. Returns `false` on a protocol
+/// violation (already counted) that must end the connection.
+fn ingest<R, M, C>(
+    conn: &mut Conn,
+    mut bytes: &[u8],
+    service: &AdmissionService<R, M, C>,
+    shared: &Shared,
+    window: u16,
+    batch: &mut BatchScratch,
+) -> bool
+where
+    R: RegionTest + Send + Sync + 'static,
+    M: ContributionModel + Send + Sync + 'static,
+    C: Clock + 'static,
+{
     // The fixed-size hello precedes all framing.
     if !conn.greeted {
         let need = HELLO_LEN - conn.hello_bytes.len();
@@ -491,7 +715,7 @@ where
         conn.hello_bytes.extend_from_slice(&bytes[..take]);
         bytes = &bytes[take..];
         if conn.hello_bytes.len() < HELLO_LEN {
-            return ConnState::Progressed;
+            return true;
         }
         let hello: [u8; HELLO_LEN] = conn.hello_bytes[..].try_into().unwrap();
         match Hello::decode(&hello) {
@@ -499,7 +723,7 @@ where
                 conn.greeted = true;
                 let ack = HelloAck {
                     version: VERSION,
-                    window: cfg.window,
+                    window,
                     max_frame: MAX_FRAME as u32,
                     server_now_us: service.clock().now().as_micros(),
                 };
@@ -507,34 +731,172 @@ where
             }
             Err(_) => {
                 shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return ConnState::Closed;
+                return false;
             }
         }
     }
 
     conn.inbox.extend(bytes);
-    loop {
-        match conn.inbox.next_frame() {
-            Ok(Some(frame)) => {
+    debug_assert!(batch.pending.is_empty() && batch.demands.is_empty());
+    let ok = loop {
+        match conn.inbox.next_frame_into(&mut batch.demands) {
+            Ok(Some(BatchedFrame::Admit(head))) => {
                 shared.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                batch.pending.push(head);
+            }
+            Ok(Some(BatchedFrame::Other(frame))) => {
+                shared.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                // Responses must leave in request order, and a release's
+                // capacity effect must land after the admits that precede
+                // it — so the pending batch resolves first.
+                resolve_admits(conn, service, shared, batch);
                 if !handle_frame(conn, frame, service, shared) {
                     shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    return ConnState::Closed;
+                    break false;
                 }
             }
-            Ok(None) => break,
+            Ok(None) => break true,
             Err(_) => {
                 shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return ConnState::Closed;
+                break false;
+            }
+        }
+    };
+    if ok {
+        resolve_admits(conn, service, shared, batch);
+    } else {
+        batch.pending.clear();
+        batch.demands.clear();
+    }
+    ok
+}
+
+/// Resolves every pending admit request in one classification pass plus
+/// one [`admit_batch`](AdmissionService::admit_batch) call, emitting
+/// responses in arrival order. Verdict-for-verdict equivalent to calling
+/// the single-admit path per request under a fixed clock.
+fn resolve_admits<R, M, C>(
+    conn: &mut Conn,
+    service: &AdmissionService<R, M, C>,
+    shared: &Shared,
+    batch: &mut BatchScratch,
+) where
+    R: RegionTest + Send + Sync + 'static,
+    M: ContributionModel + Send + Sync + 'static,
+    C: Clock + 'static,
+{
+    if batch.pending.is_empty() {
+        return;
+    }
+    batch.specs.clear();
+    batch.lanes.clear();
+    batch.verdicts.clear();
+    batch.outcomes.clear();
+
+    // One clock read classifies the whole batch: every request in it
+    // arrived in the same read, i.e. at the same instant.
+    let now_us = service.clock().now().as_micros();
+    let max_stages = service.region().stages();
+    for idx in 0..batch.pending.len() {
+        let head = batch.pending[idx];
+        // Deadline-aware timeout: transport slack already gone means the
+        // task cannot possibly meet its deadline; it never reaches a shard.
+        if now_us > head.expires_at_us {
+            service.note_expired_on_arrival();
+            shared
+                .stats
+                .expired_on_arrival
+                .fetch_add(1, Ordering::Relaxed);
+            batch.verdicts.push(Some(Verdict::Expired));
+            continue;
+        }
+        // A task visiting more stages than the region models cannot be
+        // charged; answer without an admission test.
+        let (d0, d1) = head.demands;
+        if d1 - d0 > max_stages {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            batch.verdicts.push(Some(Verdict::Rejected));
+            continue;
+        }
+        // The graph depends only on the demand vector; deadline and
+        // importance ride alongside it in the spec. An interned graph
+        // yields a spec identical to what `WireTaskSpec::to_spec` builds.
+        match graph_for(&mut batch.graphs, &batch.demands[d0..d1]) {
+            Ok(graph) => {
+                batch.specs.push(TaskSpec {
+                    deadline: TimeDelta::from_micros(head.deadline_us),
+                    importance: Importance::new(head.importance),
+                    graph,
+                });
+                batch.lanes.push(idx);
+                batch.verdicts.push(None);
+            }
+            Err(_) => {
+                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                batch.verdicts.push(Some(Verdict::Rejected));
             }
         }
     }
 
-    // One coalesced write for everything this batch produced.
-    if flush(&mut conn.stream, &mut conn.outbox).is_err() {
-        return ConnState::Closed;
+    if !batch.specs.is_empty() {
+        let requests: Vec<BatchRequest<'_>> = batch
+            .specs
+            .iter()
+            .zip(&batch.lanes)
+            .map(|(spec, &idx)| BatchRequest {
+                spec,
+                allow_shed: batch.pending[idx].allow_shed,
+            })
+            .collect();
+        service.admit_batch_into(&requests, &mut batch.outcomes);
     }
-    ConnState::Progressed
+
+    let mut outcomes = batch.outcomes.drain(..);
+    for (idx, slot) in batch.verdicts.iter_mut().enumerate() {
+        let verdict = match slot.take() {
+            Some(verdict) => verdict,
+            None => {
+                let outcome = outcomes.next().expect("outcome per spec");
+                outcome_verdict(conn, outcome, shared)
+            }
+        };
+        Frame::AdmitResponse {
+            req_id: batch.pending[idx].req_id,
+            verdict,
+        }
+        .encode_into(&mut conn.outbox);
+        shared.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+    debug_assert!(outcomes.next().is_none(), "outcome count mismatch");
+    drop(outcomes);
+    batch.pending.clear();
+    batch.demands.clear();
+}
+
+/// Converts a service outcome into a wire verdict, retaining any ticket
+/// in the connection's table.
+fn outcome_verdict(conn: &mut Conn, outcome: ServiceOutcome, shared: &Shared) -> Verdict {
+    match outcome {
+        ServiceOutcome::Admitted(ticket) => {
+            let ticket_id = ticket.id();
+            conn.tickets.insert(ticket_id, ticket);
+            shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            Verdict::Admitted { ticket_id }
+        }
+        ServiceOutcome::AdmittedAfterShedding { ticket, shed } => {
+            let ticket_id = ticket.id();
+            conn.tickets.insert(ticket_id, ticket);
+            shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            Verdict::AdmittedAfterShedding {
+                ticket_id,
+                shed: shed.len() as u32,
+            }
+        }
+        ServiceOutcome::Rejected => {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            Verdict::Rejected
+        }
+    }
 }
 
 /// Writes as much of `outbox` as the socket accepts without blocking.
@@ -556,8 +918,8 @@ fn flush(stream: &mut TcpStream, outbox: &mut Vec<u8>) -> std::io::Result<bool> 
     Ok(written > 0)
 }
 
-/// Applies one client frame; returns `false` when the frame is a protocol
-/// violation that must end the connection.
+/// Applies one non-admit client frame; returns `false` when the frame is
+/// a protocol violation that must end the connection.
 fn handle_frame<R, M, C>(
     conn: &mut Conn,
     frame: Frame,
@@ -570,16 +932,8 @@ where
     C: Clock + 'static,
 {
     match frame {
-        Frame::AdmitRequest(req) => {
-            let verdict = decide(conn, &req, service, shared);
-            Frame::AdmitResponse {
-                req_id: req.req_id,
-                verdict,
-            }
-            .encode_into(&mut conn.outbox);
-            shared.stats.frames_out.fetch_add(1, Ordering::Relaxed);
-            true
-        }
+        // Admit requests are batched by the caller and never reach here.
+        Frame::AdmitRequest(_) => unreachable!("admits resolve through resolve_admits"),
         Frame::Release { ticket_id } => {
             if let Some(ticket) = conn.tickets.remove(&ticket_id) {
                 ticket.release();
@@ -610,77 +964,5 @@ where
         }
         // Server-to-client frames arriving at the server are violations.
         Frame::AdmitResponse { .. } | Frame::HeartbeatAck { .. } | Frame::StatsResponse(_) => false,
-    }
-}
-
-fn decide<R, M, C>(
-    conn: &mut Conn,
-    req: &AdmitRequest,
-    service: &AdmissionService<R, M, C>,
-    shared: &Shared,
-) -> Verdict
-where
-    R: RegionTest + Send + Sync + 'static,
-    M: ContributionModel + Send + Sync + 'static,
-    C: Clock + 'static,
-{
-    // Deadline-aware timeout: transport slack already gone means the task
-    // cannot possibly meet its deadline, so it never reaches a shard.
-    if service.clock().now().as_micros() > req.expires_at_us {
-        service.note_expired_on_arrival();
-        shared
-            .stats
-            .expired_on_arrival
-            .fetch_add(1, Ordering::Relaxed);
-        return Verdict::Expired;
-    }
-    // A task visiting more stages than the region models cannot be
-    // charged; answer without an admission test.
-    if req.task.stages() > service.region().stages() {
-        shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-        return Verdict::Rejected;
-    }
-    let spec = match req.task.to_spec() {
-        Ok(spec) => spec,
-        Err(_) => {
-            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return Verdict::Rejected;
-        }
-    };
-    if req.allow_shed {
-        match service.try_admit_or_shed(&spec) {
-            frap_service::ServiceOutcome::Admitted(ticket) => {
-                let ticket_id = ticket.id();
-                conn.tickets.insert(ticket_id, ticket);
-                shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
-                Verdict::Admitted { ticket_id }
-            }
-            frap_service::ServiceOutcome::AdmittedAfterShedding { ticket, shed } => {
-                let ticket_id = ticket.id();
-                conn.tickets.insert(ticket_id, ticket);
-                shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
-                Verdict::AdmittedAfterShedding {
-                    ticket_id,
-                    shed: shed.len() as u32,
-                }
-            }
-            frap_service::ServiceOutcome::Rejected => {
-                shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                Verdict::Rejected
-            }
-        }
-    } else {
-        match service.try_admit(&spec) {
-            Some(ticket) => {
-                let ticket_id = ticket.id();
-                conn.tickets.insert(ticket_id, ticket);
-                shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
-                Verdict::Admitted { ticket_id }
-            }
-            None => {
-                shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                Verdict::Rejected
-            }
-        }
     }
 }

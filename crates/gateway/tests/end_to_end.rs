@@ -266,6 +266,416 @@ fn shedding_over_the_wire_reports_victims() {
     service.debug_validate();
 }
 
+/// Completes the hello handshake on a raw stream, returning the ack.
+fn raw_handshake(stream: &mut TcpStream) -> frap_gateway::proto::HelloAck {
+    stream
+        .write_all(&Hello { version: VERSION }.encode())
+        .expect("hello");
+    let mut ack = [0u8; frap_gateway::proto::HELLO_ACK_LEN];
+    stream.read_exact(&mut ack).expect("hello ack");
+    frap_gateway::proto::HelloAck::decode(&ack).expect("well-formed ack")
+}
+
+/// Reads the next frame off a raw stream.
+fn raw_next_frame(stream: &mut TcpStream, inbox: &mut FrameBuffer) -> Frame {
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(frame) = inbox.next_frame().expect("well-formed frame") {
+            return frame;
+        }
+        let n = stream.read(&mut buf).expect("read");
+        assert_ne!(n, 0, "server closed mid-stream");
+        inbox.extend(&buf[..n]);
+    }
+}
+
+/// A reactor must make a big, mostly-idle connection population cheap:
+/// every connection registers once and costs nothing until its socket is
+/// actually readable. With 1 000 idle connections parked, the few active
+/// ones must still be served promptly and every open/close must be
+/// accounted.
+#[test]
+fn a_thousand_mostly_idle_connections_stay_cheap_and_correct() {
+    let (server, service) = start(2, 2);
+    let addr = server.local_addr();
+
+    let mut clients: Vec<GatewayClient> = (0..1000)
+        .map(|i| {
+            GatewayClient::connect(addr).unwrap_or_else(|e| panic!("connect #{i} failed: {e}"))
+        })
+        .collect();
+
+    // While ~99% of the population idles, every 100th connection does a
+    // full admit/release round trip and a heartbeat; none of them may
+    // stall behind the idle crowd.
+    let active = Instant::now();
+    for i in (0..clients.len()).step_by(100) {
+        let client = &mut clients[i];
+        let verdict = client
+            .admit(&small_task(2), TimeDelta::from_millis(500), false)
+            .expect("admit on an active connection");
+        if let Some(ticket_id) = verdict.ticket_id() {
+            client.release(ticket_id).expect("release");
+        }
+        client.heartbeat().expect("heartbeat");
+    }
+    assert!(
+        active.elapsed() < Duration::from_secs(5),
+        "active connections starved behind idle ones: {:?}",
+        active.elapsed()
+    );
+
+    drop(clients);
+    assert!(
+        server.wait_idle(Duration::from_secs(10)),
+        "disconnects not observed"
+    );
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.accepted, 1000);
+    assert_eq!(snapshot.closed, 1000);
+    assert_eq!(snapshot.protocol_errors, 0);
+    assert!(wait_no_live_tasks(&service, Duration::from_secs(5)));
+    service.debug_validate();
+}
+
+/// Connects with the kernel receive buffer clamped to 4 KiB **before**
+/// the handshake, so the advertised TCP window stays tiny and reply
+/// bytes back up after a few kilobytes instead of after megabytes of
+/// buffer autotuning. Linux-only (the constants and the reactor's epoll
+/// backend are both Linux-specific); requires a raw socket because std
+/// offers no pre-connect socket options.
+#[cfg(target_os = "linux")]
+fn connect_with_tiny_recv_buffer(addr: std::net::SocketAddr) -> TcpStream {
+    use std::os::unix::io::FromRawFd;
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const std::ffi::c_void,
+            len: u32,
+        ) -> i32;
+        fn connect(fd: i32, addr: *const std::ffi::c_void, len: u32) -> i32;
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port_be: u16,
+        addr_be: u32,
+        zero: [u8; 8],
+    }
+
+    let std::net::SocketAddr::V4(v4) = addr else {
+        panic!("loopback gateway binds IPv4");
+    };
+    let sa = SockaddrIn {
+        family: AF_INET as u16,
+        port_be: v4.port().to_be(),
+        addr_be: u32::from(*v4.ip()).to_be(),
+        zero: [0; 8],
+    };
+    let size: i32 = 4096;
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM, 0);
+        assert!(fd >= 0, "socket() failed");
+        let rc = setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_RCVBUF,
+            &size as *const i32 as *const std::ffi::c_void,
+            std::mem::size_of::<i32>() as u32,
+        );
+        assert_eq!(rc, 0, "setsockopt(SO_RCVBUF) failed");
+        let rc = connect(
+            fd,
+            &sa as *const SockaddrIn as *const std::ffi::c_void,
+            std::mem::size_of::<SockaddrIn>() as u32,
+        );
+        assert_eq!(rc, 0, "connect() failed");
+        TcpStream::from_raw_fd(fd)
+    }
+}
+
+/// A client that floods requests but never reads must not make the
+/// server buffer replies without bound: once a connection's unwritten
+/// reply bytes reach the advertised window's worth, the worker drops
+/// read interest (a backpressure stall) and the client's bytes wait in
+/// kernel buffers. When the client finally reads, everything resolves
+/// in order.
+#[cfg(target_os = "linux")]
+#[test]
+fn slow_reader_backpressure_stops_reads_at_the_window() {
+    let service =
+        AdmissionService::builder(FeasibleRegion::deadline_monotonic(2), ExactContributions)
+            .shards(1)
+            .build();
+    let server = GatewayServer::bind(
+        "127.0.0.1:0",
+        service.clone(),
+        GatewayConfig {
+            workers: 1,
+            window: 4,
+        },
+    )
+    .expect("bind");
+
+    let mut stream = connect_with_tiny_recv_buffer(server.local_addr());
+    stream.set_nodelay(true).expect("nodelay");
+    raw_handshake(&mut stream);
+
+    // Far more requests than window=4 permits in flight, written without
+    // reading a single reply — enough reply bytes (> 7 MB) to overflow
+    // the server's send buffer even at the kernel's autotuning ceiling
+    // (tcp_wmem max defaults to 4 MB), plus the client's clamped receive
+    // buffer.
+    let total: u64 = 400_000;
+    let task = small_task(2);
+    let mut bytes = Vec::new();
+    for req_id in 1..=total {
+        Frame::encode_admit_request_into(req_id, u64::MAX, false, &task, &mut bytes);
+    }
+    let mut writer_stream = stream.try_clone().expect("clone stream");
+    let writer = std::thread::spawn(move || {
+        writer_stream.write_all(&bytes).expect("flood write");
+    });
+
+    // Wait for the reply path to wedge: server replies fill the kernel
+    // buffers, the outbox backs up past the cap, and the worker stops
+    // reading — visible as a backpressure stall in live stats.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while server.stats().backpressure_stalls == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "flooding a non-reading client never engaged backpressure"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Now drain: every request still gets its verdict, in order.
+    let mut inbox = FrameBuffer::new();
+    for expect in 1..=total {
+        match raw_next_frame(&mut stream, &mut inbox) {
+            Frame::AdmitResponse { req_id, .. } => assert_eq!(req_id, expect),
+            other => panic!("expected admit response #{expect}, got {other:?}"),
+        }
+    }
+    writer.join().expect("writer thread");
+
+    drop(stream);
+    assert!(server.wait_idle(Duration::from_secs(5)));
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.protocol_errors, 0);
+    assert!(
+        snapshot.backpressure_stalls >= 1,
+        "flooding a non-reading client never engaged backpressure"
+    );
+    assert!(wait_no_live_tasks(&service, Duration::from_secs(5)));
+    service.debug_validate();
+}
+
+/// Drain and shutdown must complete promptly — workers block in the
+/// reactor and are woken explicitly, so there is no polling interval to
+/// wait out.
+#[test]
+fn drain_completes_promptly_with_no_sleeping_workers() {
+    let (server, service) = start(2, 1);
+    let addr = server.local_addr();
+    let mut clients: Vec<GatewayClient> = (0..8)
+        .map(|_| GatewayClient::connect(addr).expect("connect"))
+        .collect();
+    for client in &mut clients {
+        client
+            .admit(&small_task(2), TimeDelta::from_millis(500), false)
+            .expect("admit");
+    }
+
+    let begun = Instant::now();
+    server.drain();
+    drop(clients);
+    assert!(
+        server.wait_idle(Duration::from_secs(5)),
+        "connections lingered after drain"
+    );
+    let snapshot = server.shutdown();
+    // Generous for debug builds and loaded CI, but far below anything a
+    // sleep-poll loop with even a 100 ms interval could achieve for
+    // 8 connections + drain + join.
+    assert!(
+        begun.elapsed() < Duration::from_secs(2),
+        "drain/wait_idle/shutdown took {:?}",
+        begun.elapsed()
+    );
+    assert_eq!(snapshot.protocol_errors, 0);
+    assert!(wait_no_live_tasks(&service, Duration::from_secs(5)));
+    service.debug_validate();
+}
+
+/// Non-admit frames interleaved into a pipelined burst must flush the
+/// pending admit batch first: every response comes back in exactly the
+/// order its request was written, with expired-on-arrival verdicts
+/// holding their batch position.
+#[test]
+fn mixed_batches_keep_response_order_and_expiry_position() {
+    let (server, service) = start(2, 1);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    raw_handshake(&mut stream);
+    std::thread::sleep(Duration::from_millis(2)); // server clock > 1 µs
+
+    // One write: admit, expired admit, heartbeat, admit, stats request,
+    // expired admit.
+    let task = small_task(2);
+    let mut bytes = Vec::new();
+    Frame::encode_admit_request_into(1, u64::MAX, false, &task, &mut bytes);
+    Frame::encode_admit_request_into(2, 1, false, &task, &mut bytes);
+    Frame::Heartbeat { nonce: 9 }.encode_into(&mut bytes);
+    Frame::encode_admit_request_into(3, u64::MAX, false, &task, &mut bytes);
+    Frame::StatsRequest.encode_into(&mut bytes);
+    Frame::encode_admit_request_into(4, 1, false, &task, &mut bytes);
+    stream.write_all(&bytes).expect("burst write");
+
+    let mut inbox = FrameBuffer::new();
+    match raw_next_frame(&mut stream, &mut inbox) {
+        Frame::AdmitResponse { req_id: 1, verdict } => assert!(verdict.is_admitted()),
+        other => panic!("expected response 1, got {other:?}"),
+    }
+    assert_eq!(
+        raw_next_frame(&mut stream, &mut inbox),
+        Frame::AdmitResponse {
+            req_id: 2,
+            verdict: Verdict::Expired
+        }
+    );
+    assert_eq!(
+        raw_next_frame(&mut stream, &mut inbox),
+        Frame::HeartbeatAck { nonce: 9 }
+    );
+    match raw_next_frame(&mut stream, &mut inbox) {
+        Frame::AdmitResponse { req_id: 3, .. } => {}
+        other => panic!("expected response 3, got {other:?}"),
+    }
+    match raw_next_frame(&mut stream, &mut inbox) {
+        Frame::StatsResponse(report) => assert_eq!(report.expired_on_arrival, 1),
+        other => panic!("expected stats, got {other:?}"),
+    }
+    assert_eq!(
+        raw_next_frame(&mut stream, &mut inbox),
+        Frame::AdmitResponse {
+            req_id: 4,
+            verdict: Verdict::Expired
+        }
+    );
+
+    drop(stream);
+    assert!(server.wait_idle(Duration::from_secs(5)));
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.protocol_errors, 0);
+    assert_eq!(service.counters().expired_on_arrival, 2);
+    assert!(wait_no_live_tasks(&service, Duration::from_secs(5)));
+    service.debug_validate();
+}
+
+/// A deterministic trace of admissions and shedding requests, mixing
+/// task shapes until the region saturates.
+fn differential_trace() -> Vec<(WireTaskSpec, bool)> {
+    let mut trace = Vec::new();
+    for i in 0..40u64 {
+        trace.push((
+            WireTaskSpec::new(
+                TimeDelta::from_millis(150 + 10 * (i % 4)),
+                &[
+                    TimeDelta::from_millis(4 + (i % 3)),
+                    TimeDelta::from_millis(6),
+                ],
+                Importance::new(1),
+            ),
+            false,
+        ));
+    }
+    for i in 0..12u64 {
+        trace.push((
+            WireTaskSpec::new(
+                TimeDelta::from_millis(200),
+                &[TimeDelta::from_millis(8), TimeDelta::from_millis(8)],
+                Importance::new(5),
+            ),
+            i % 2 == 0,
+        ));
+    }
+    for _ in 0..8u64 {
+        trace.push((
+            WireTaskSpec::new(
+                TimeDelta::from_millis(400),
+                &[TimeDelta::from_millis(1), TimeDelta::from_millis(1)],
+                Importance::new(3),
+            ),
+            false,
+        ));
+    }
+    trace
+}
+
+/// Runs the trace against a fresh gateway; `pipelined` sends the whole
+/// trace in one write (the server resolves it in large batches), the
+/// alternative issues one synchronous admit at a time (batches of one).
+/// No ticket is released mid-trace, so capacity evolves identically.
+fn run_trace(pipelined: bool) -> Vec<Verdict> {
+    let (server, service) = start(2, 2);
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+    let trace = differential_trace();
+    let budget = TimeDelta::from_millis(30_000);
+    let mut verdicts = Vec::with_capacity(trace.len());
+
+    if pipelined {
+        for (task, allow_shed) in &trace {
+            client.queue_admit(task, budget, *allow_shed);
+        }
+        client.flush().expect("flush");
+        let mut batch = Vec::new();
+        while verdicts.len() < trace.len() {
+            batch.clear();
+            client.recv_admits_into(&mut batch).expect("recv");
+            verdicts.extend(batch.iter().map(|&(_, v)| v));
+        }
+    } else {
+        for (task, allow_shed) in &trace {
+            verdicts.push(client.admit(task, budget, *allow_shed).expect("admit"));
+        }
+    }
+
+    drop(client);
+    assert!(server.wait_idle(Duration::from_secs(5)));
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.protocol_errors, 0);
+    assert!(wait_no_live_tasks(&service, Duration::from_secs(5)));
+    service.debug_validate();
+    verdicts
+}
+
+/// The acceptance-criteria differential: for a fixed trace, the verdict
+/// stream under the reactor's batched resolution is identical — verdict
+/// for verdict, ticket id for ticket id, shed count for shed count — to
+/// the single-admit path.
+#[test]
+fn batched_and_single_admit_paths_yield_identical_verdict_streams() {
+    let batched = run_trace(true);
+    let singles = run_trace(false);
+    assert_eq!(batched, singles);
+    assert!(
+        batched.iter().any(|v| v.is_admitted()),
+        "trace never admitted — differential is vacuous"
+    );
+    assert!(
+        batched.iter().any(|v| matches!(v, Verdict::Rejected)),
+        "trace never rejected — differential is vacuous"
+    );
+}
+
 /// Batched pipelining over loopback must clear 100k decisions/s in a
 /// release build (CI runs the `gateway-loadgen` smoke in release; this
 /// in-test floor is relaxed under `debug_assertions` where the

@@ -38,6 +38,8 @@ pub mod wheel;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use metrics::{CounterSnapshot, MetricsSnapshot, ServiceCounters, UtilizationSeries};
-pub use service::{AdmissionService, AdmissionServiceBuilder, AdmissionTicket, ServiceOutcome};
+pub use service::{
+    AdmissionService, AdmissionServiceBuilder, AdmissionTicket, BatchRequest, ServiceOutcome,
+};
 pub use shard::ShardedUtilization;
 pub use wheel::TimerWheel;

@@ -33,6 +33,10 @@ impl ServiceCounters {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_rejected_n(&self, n: u64) {
+        self.rejected.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn add_shed(&self, n: u64) {
         self.shed.fetch_add(n, Ordering::Relaxed);
     }

@@ -50,6 +50,27 @@ thread_local! {
         const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
 }
 
+/// One arrival inside an [`AdmissionService::admit_batch`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRequest<'a> {
+    /// The arriving task.
+    pub spec: &'a TaskSpec,
+    /// Whether less-important live work may be shed to fit it (the
+    /// Section 5 overload path, as in
+    /// [`AdmissionService::try_admit_or_shed`]).
+    pub allow_shed: bool,
+}
+
+impl<'a> BatchRequest<'a> {
+    /// A plain (non-shedding) admission request.
+    pub fn new(spec: &'a TaskSpec) -> BatchRequest<'a> {
+        BatchRequest {
+            spec,
+            allow_shed: false,
+        }
+    }
+}
+
 /// What happened to an arrival offered via
 /// [`AdmissionService::try_admit_or_shed`].
 #[derive(Debug)]
@@ -370,8 +391,7 @@ where
 
             let admitted = {
                 let _gate = inner.gate.lock().expect("gate poisoned");
-                inner.state.pin_idle_floors();
-                inner.state.read_into(current);
+                inner.state.pin_and_read_into(current);
                 let ok = tentative_feasible(&inner.region, current, contrib, tentative);
                 if ok {
                     inner.state.charge(contrib);
@@ -425,8 +445,7 @@ where
             inner.model.contributions_into(spec, contrib);
 
             let _gate = inner.gate.lock().expect("gate poisoned");
-            inner.state.pin_idle_floors();
-            inner.state.read_into(current);
+            inner.state.pin_and_read_into(current);
             if tentative_feasible(&inner.region, current, contrib, tentative) {
                 inner.state.charge(contrib);
                 drop(_gate);
@@ -455,8 +474,7 @@ where
                     .expect("shedding index points at a live entry");
                 inner.state.subtract_entry(&entry.contributions);
                 shed.push(victim);
-                inner.state.pin_idle_floors();
-                inner.state.read_into(current);
+                inner.state.pin_and_read_into(current);
                 if tentative_feasible(&inner.region, current, contrib, tentative) {
                     fits = true;
                     break;
@@ -476,6 +494,111 @@ where
         });
         record_ns(&mut guards[home].latency, started.elapsed());
         outcome
+    }
+
+    /// Resolves a batch of arrivals in arrival order, decision-for-decision
+    /// equivalent to calling [`AdmissionService::try_admit`] /
+    /// [`AdmissionService::try_admit_or_shed`] once per request from the
+    /// same thread — but a contiguous run of non-shedding requests costs
+    /// **one** clock read, **one** shard-lock acquisition, and **one**
+    /// admission-gate acquisition for the whole run instead of one each
+    /// per decision. This is the networked fast path: a gateway worker
+    /// hands every `AdmitRequest` drained from one socket read to a
+    /// single `admit_batch` call.
+    ///
+    /// Requests with [`BatchRequest::allow_shed`] set break the run and go
+    /// through the cross-shard shedding path individually (shedding needs
+    /// every shard lock, so batching it would serialize the world anyway).
+    ///
+    /// Equivalence notes (the batch-equivalence tests pin these down):
+    ///
+    /// * the single clock read makes every request in a run arrive "at the
+    ///   same instant" — identical to back-to-back singles under any fixed
+    ///   clock, and merely a nanoseconds-coarser arrival stamp under a
+    ///   wall clock;
+    /// * expired-entry drains (`expire_due`) run once per run instead of
+    ///   once per decision; with the clock fixed the second drain of a
+    ///   single-call sequence is a no-op, so the decisions are identical;
+    /// * per-decision latency is recorded as the run's wall time divided
+    ///   evenly across its decisions, keeping histogram counts equal to
+    ///   decision counts.
+    pub fn admit_batch(&self, requests: &[BatchRequest<'_>]) -> Vec<ServiceOutcome> {
+        let mut out = Vec::with_capacity(requests.len());
+        self.admit_batch_into(requests, &mut out);
+        out
+    }
+
+    /// [`AdmissionService::admit_batch`] into a caller-owned buffer, so a
+    /// steady-state caller (the gateway worker loop) allocates nothing per
+    /// batch. Outcomes are appended in request order.
+    pub fn admit_batch_into(&self, requests: &[BatchRequest<'_>], out: &mut Vec<ServiceOutcome>) {
+        let mut i = 0;
+        while i < requests.len() {
+            if requests[i].allow_shed {
+                out.push(self.try_admit_or_shed(requests[i].spec));
+                i += 1;
+            } else {
+                let mut j = i + 1;
+                while j < requests.len() && !requests[j].allow_shed {
+                    j += 1;
+                }
+                self.admit_run(&requests[i..j], out);
+                i = j;
+            }
+        }
+    }
+
+    /// One contiguous non-shedding run: single clock read, single home
+    /// shard lock, single gate hold.
+    fn admit_run(&self, run: &[BatchRequest<'_>], out: &mut Vec<ServiceOutcome>) {
+        let started = Instant::now();
+        let inner = &*self.inner;
+        if inner.draining.load(Ordering::Acquire) {
+            inner.counters.add_rejected_n(run.len() as u64);
+            for _ in run {
+                out.push(ServiceOutcome::Rejected);
+            }
+            return;
+        }
+        let shard_idx = self.home_shard();
+        let mut shard = self.lock_shard(shard_idx);
+        // Clock read AFTER the lock, exactly as in `try_admit`: any earlier
+        // wheel advance happened-before this read.
+        let now = inner.clock.now();
+        let expired = inner.state.expire_due(&mut shard, now);
+        if expired > 0 {
+            inner.counters.add_expired(expired);
+        }
+
+        SCRATCH.with(|scratch| {
+            let (contrib, current, tentative) = &mut *scratch.borrow_mut();
+            let _gate = inner.gate.lock().expect("gate poisoned");
+            for req in run {
+                contrib.clear();
+                inner.model.contributions_into(req.spec, contrib);
+                // Floors were pinned by the first iteration's read; later
+                // iterations re-read because this run's own charges moved
+                // the vector.
+                inner.state.pin_and_read_into(current);
+                if tentative_feasible(&inner.region, current, contrib, tentative) {
+                    inner.state.charge(contrib);
+                    let ticket = self.commit(&mut shard, shard_idx, now, req.spec, contrib);
+                    out.push(ServiceOutcome::Admitted(ticket));
+                } else {
+                    inner.counters.add_rejected();
+                    out.push(ServiceOutcome::Rejected);
+                }
+            }
+        });
+
+        // One wall-clock measurement spread across the run so the latency
+        // histogram still holds one sample per decision.
+        if !run.is_empty() {
+            let per = started.elapsed() / run.len() as u32;
+            for _ in run {
+                record_ns(&mut shard.latency, per);
+            }
+        }
     }
 
     /// Puts the service into **drain**: every subsequent admission attempt
@@ -987,6 +1110,104 @@ mod tests {
         assert_eq!(c.decisions(), 0, "not an admission decision");
         assert_eq!(svc.live_tasks(), 0);
         svc.debug_validate();
+    }
+
+    #[test]
+    fn admit_batch_matches_single_admits_on_twin_services() {
+        let (batched, _c1) = manual_service(2, 2);
+        let (singles, _c2) = manual_service(2, 2);
+        let specs: Vec<TaskSpec> = (0..30)
+            .map(|i| pipeline_task(200, &[5 + (i % 7), 3 + (i % 5)]))
+            .collect();
+        let requests: Vec<BatchRequest<'_>> = specs.iter().map(BatchRequest::new).collect();
+
+        let batch_outcomes = batched.admit_batch(&requests);
+        let single_outcomes: Vec<Option<AdmissionTicket>> =
+            specs.iter().map(|s| singles.try_admit(s)).collect();
+
+        assert_eq!(batch_outcomes.len(), single_outcomes.len());
+        for (i, (b, s)) in batch_outcomes.iter().zip(&single_outcomes).enumerate() {
+            match (b, s) {
+                (ServiceOutcome::Admitted(bt), Some(st)) => {
+                    assert_eq!(bt.id(), st.id(), "ticket ids diverged at {i}");
+                    assert_eq!(bt.deadline(), st.deadline());
+                }
+                (ServiceOutcome::Rejected, None) => {}
+                other => panic!("decision diverged at {i}: {other:?}"),
+            }
+        }
+        let (cb, cs) = (batched.counters(), singles.counters());
+        assert_eq!(cb.admitted, cs.admitted);
+        assert_eq!(cb.rejected, cs.rejected);
+        // One histogram sample per decision on both paths.
+        assert_eq!(
+            batched.snapshot().decision_latency.count(),
+            specs.len() as u64
+        );
+        batched.debug_validate();
+        singles.debug_validate();
+        for o in batch_outcomes {
+            if let Some(t) = o.ticket() {
+                t.detach();
+            }
+        }
+        for t in single_outcomes.into_iter().flatten() {
+            t.detach();
+        }
+    }
+
+    #[test]
+    fn admit_batch_during_drain_rejects_everything() {
+        let (svc, _clock) = manual_service(2, 1);
+        svc.drain();
+        let spec = pipeline_task(100, &[1, 1]);
+        let outcomes = svc.admit_batch(&[
+            BatchRequest::new(&spec),
+            BatchRequest {
+                spec: &spec,
+                allow_shed: true,
+            },
+            BatchRequest::new(&spec),
+        ]);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, ServiceOutcome::Rejected)));
+        assert_eq!(svc.counters().rejected, 3);
+        svc.debug_validate();
+    }
+
+    #[test]
+    fn admit_batch_sheds_through_the_slow_path() {
+        let (svc, clock) = manual_service(2, 1);
+        let low = pipeline_task(100, &[30, 30]).with_importance(Importance::new(1));
+        let t_low = svc.try_admit(&low).expect("fits");
+        let low_id = t_low.id();
+        clock.advance(ms(1));
+        let vip = pipeline_task(100, &[30, 30]).with_importance(Importance::CRITICAL);
+        let blocked = pipeline_task(100, &[30, 30]).with_importance(Importance::new(1));
+        let outcomes = svc.admit_batch(&[
+            BatchRequest::new(&blocked),
+            BatchRequest {
+                spec: &vip,
+                allow_shed: true,
+            },
+        ]);
+        assert!(matches!(outcomes[0], ServiceOutcome::Rejected));
+        match &outcomes[1] {
+            ServiceOutcome::AdmittedAfterShedding { shed, .. } => {
+                assert_eq!(shed, &vec![low_id]);
+            }
+            other => panic!("expected shedding admission, got {other:?}"),
+        }
+        svc.debug_validate();
+        t_low.detach();
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (svc, _clock) = manual_service(2, 1);
+        assert!(svc.admit_batch(&[]).is_empty());
+        assert_eq!(svc.counters().decisions(), 0);
     }
 
     #[test]

@@ -198,6 +198,23 @@ impl ShardedUtilization {
         }
     }
 
+    /// Fused [`ShardedUtilization::pin_idle_floors`] +
+    /// [`ShardedUtilization::read_into`]: one pass over the stages instead
+    /// of two, for decision paths that always do both back to back.
+    /// **Caller must hold the admission gate** (pinning is an addition-side
+    /// operation).
+    pub fn pin_and_read_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        for ((total, live), &floor) in self.totals.iter().zip(&self.live).zip(&self.floors) {
+            if live.0.load(Ordering::SeqCst) == 0 {
+                total.0.store(0.0);
+                out.push(floor);
+            } else {
+                out.push(floor + total.0.load().max(0.0));
+            }
+        }
+    }
+
     /// Number of live contributions currently charged on `stage`.
     pub fn stage_live(&self, stage: usize) -> usize {
         self.live[stage].0.load(Ordering::SeqCst)
