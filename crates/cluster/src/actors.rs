@@ -1,0 +1,247 @@
+//! Harness actors wrapping [`CoordCore`] and [`NodeCore`] around real
+//! admission services: the cluster as it runs under the deterministic
+//! simulator.
+//!
+//! Frames cross the simulated network in their *encoded* wire form
+//! ([`frap_gateway::proto::Frame`]'s length-prefixed encoding), so the
+//! harness exercises the exact codec the TCP transport uses; a frame
+//! that would not survive the wire does not survive the harness either.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use frap_core::admission::ExactContributions;
+use frap_core::graph::TaskSpec;
+use frap_core::time::Time;
+use frap_gateway::proto::Frame;
+use frap_service::{AdmissionService, ManualClock};
+
+use crate::coord::CoordCore;
+use crate::harness::{Actor, ActorId, Ctx};
+use crate::node::NodeCore;
+use crate::shared_caps::SharedStageCaps;
+
+/// Timer id: periodic cluster tick (coordinator sweep / node beat).
+const TIMER_TICK: u64 = 0;
+/// Timer id: next workload arrival (nodes only).
+const TIMER_ARRIVAL: u64 = 1;
+
+/// Decodes every complete frame in `bytes` (a delivery may carry
+/// exactly one encoded frame in the harness, but be liberal).
+fn decode_all(bytes: &[u8]) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    let mut rest = bytes;
+    while let Ok(Some((frame, used))) = Frame::decode(rest) {
+        frames.push(frame);
+        rest = &rest[used..];
+        if rest.is_empty() {
+            break;
+        }
+    }
+    frames
+}
+
+fn encode(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    frame.encode_into(&mut out);
+    out
+}
+
+/// The coordinator under the harness: holds the [`CoordCore`] ledger,
+/// sweeps liveness on a periodic timer, and routes slot-addressed
+/// frames back to the actor that registered the slot.
+pub struct CoordActor {
+    core: Rc<RefCell<CoordCore>>,
+    tick_us: u64,
+    /// Which harness actor speaks for each node slot — learned from the
+    /// frames themselves (the grant a hello provokes names the slot).
+    route: BTreeMap<u32, ActorId>,
+}
+
+impl CoordActor {
+    /// Wraps `core`, sweeping every `tick_us`. Kick it off by
+    /// scheduling timer 0 once; it reschedules itself.
+    pub fn new(core: Rc<RefCell<CoordCore>>, tick_us: u64) -> CoordActor {
+        CoordActor {
+            core,
+            tick_us,
+            route: BTreeMap::new(),
+        }
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, from: Option<ActorId>, frames: Vec<Frame>) {
+        for frame in frames {
+            let slot = match &frame {
+                Frame::LeaseGrant { node, .. }
+                | Frame::LeaseSteal { node, .. }
+                | Frame::LeaseReturn { node, .. }
+                | Frame::LeaseRequest { node, .. } => Some(*node),
+                _ => None,
+            };
+            if let (Some(slot), Some(from)) = (slot, from) {
+                // Frames emitted while handling `from`'s traffic about
+                // slot `slot` teach us the route only when they answer
+                // that sender — steals address *other* slots.
+                if matches!(frame, Frame::LeaseGrant { .. }) {
+                    self.route.insert(slot, from);
+                }
+            }
+            let target = slot.and_then(|s| self.route.get(&s).copied()).or(from);
+            if let Some(to) = target {
+                ctx.send(to, encode(&frame));
+            }
+        }
+    }
+}
+
+impl Actor for CoordActor {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer_id: u64) {
+        debug_assert_eq!(timer_id, TIMER_TICK);
+        let frames = self.core.borrow_mut().on_tick(ctx.now_us());
+        self.dispatch(ctx, None, frames);
+        ctx.set_timer(self.tick_us, TIMER_TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, bytes: &[u8]) {
+        for frame in decode_all(bytes) {
+            let out = self.core.borrow_mut().handle(ctx.now_us(), &frame);
+            self.dispatch(ctx, Some(from), out);
+        }
+    }
+}
+
+/// Admission verdict counts observed by one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeVerdicts {
+    /// Arrivals admitted.
+    pub admitted: u64,
+    /// Arrivals rejected.
+    pub rejected: u64,
+}
+
+/// One gateway node under the harness: a [`NodeCore`] lease wallet, a
+/// real [`AdmissionService`] admitting against the wallet's shared
+/// caps on virtual time, and a scripted arrival trace.
+pub struct NodeActor {
+    core: Rc<RefCell<NodeCore>>,
+    service: Arc<AdmissionService<SharedStageCaps, ExactContributions, Arc<ManualClock>>>,
+    clock: Arc<ManualClock>,
+    coord: ActorId,
+    tick_us: u64,
+    arrivals: VecDeque<(u64, TaskSpec)>,
+    arrivals_primed: bool,
+    verdicts: Rc<RefCell<NodeVerdicts>>,
+}
+
+impl NodeActor {
+    /// Builds a node actor around shared caps of `stages` stages.
+    /// Returns the actor plus handles the test keeps: the lease core,
+    /// the admission service, and the verdict counters.
+    ///
+    /// `arrivals` must be sorted by time; each is admitted (or not) at
+    /// its virtual instant. Kick the actor off by scheduling timer 0
+    /// once.
+    #[allow(clippy::type_complexity)]
+    pub fn new(
+        core: NodeCore,
+        coord: ActorId,
+        tick_us: u64,
+        arrivals: Vec<(u64, TaskSpec)>,
+    ) -> (
+        NodeActor,
+        Rc<RefCell<NodeCore>>,
+        Arc<AdmissionService<SharedStageCaps, ExactContributions, Arc<ManualClock>>>,
+        Rc<RefCell<NodeVerdicts>>,
+    ) {
+        debug_assert!(arrivals.windows(2).all(|w| w[0].0 <= w[1].0));
+        let caps = core.caps().clone();
+        let clock = Arc::new(ManualClock::new());
+        let service = Arc::new(
+            AdmissionService::builder(caps, ExactContributions)
+                .clock(Arc::clone(&clock))
+                .shards(1)
+                .build(),
+        );
+        let core = Rc::new(RefCell::new(core));
+        let verdicts = Rc::new(RefCell::new(NodeVerdicts::default()));
+        let actor = NodeActor {
+            core: Rc::clone(&core),
+            service: Arc::clone(&service),
+            clock,
+            coord,
+            tick_us,
+            arrivals: arrivals.into(),
+            arrivals_primed: false,
+            verdicts: Rc::clone(&verdicts),
+        };
+        (actor, core, service, verdicts)
+    }
+
+    fn sync_clock(&self, now_us: u64) {
+        self.clock.set(Time::from_micros(now_us));
+        // Expire due deadlines so utilization decays on schedule even
+        // between admissions.
+        self.service.maintain();
+    }
+
+    fn schedule_next_arrival(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(&(at, _)) = self.arrivals.front() {
+            ctx.set_timer(at.saturating_sub(ctx.now_us()), TIMER_ARRIVAL);
+        }
+    }
+}
+
+impl Actor for NodeActor {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer_id: u64) {
+        self.sync_clock(ctx.now_us());
+        match timer_id {
+            TIMER_TICK => {
+                let frames = self.core.borrow_mut().on_tick(ctx.now_us(), &*self.service);
+                for frame in frames {
+                    ctx.send(self.coord, encode(&frame));
+                }
+                ctx.set_timer(self.tick_us, TIMER_TICK);
+                // The first tick primes the arrival chain; after that
+                // each arrival timer schedules its own successor.
+                if !self.arrivals_primed {
+                    self.arrivals_primed = true;
+                    self.schedule_next_arrival(ctx);
+                }
+            }
+            TIMER_ARRIVAL => {
+                while let Some(&(at, _)) = self.arrivals.front() {
+                    if at > ctx.now_us() {
+                        break;
+                    }
+                    let (_, spec) = self.arrivals.pop_front().expect("peeked");
+                    match self.service.try_admit(&spec) {
+                        Some(ticket) => {
+                            self.verdicts.borrow_mut().admitted += 1;
+                            // Hold the charge until the deadline decrement,
+                            // the paper's bookkeeping rule.
+                            ticket.detach();
+                        }
+                        None => self.verdicts.borrow_mut().rejected += 1,
+                    }
+                }
+                self.schedule_next_arrival(ctx);
+            }
+            other => panic!("unknown timer {other}"),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, bytes: &[u8]) {
+        self.sync_clock(ctx.now_us());
+        for frame in decode_all(bytes) {
+            let out = self
+                .core
+                .borrow_mut()
+                .on_frame(ctx.now_us(), &frame, &*self.service);
+            for frame in out {
+                ctx.send(self.coord, encode(&frame));
+            }
+        }
+    }
+}

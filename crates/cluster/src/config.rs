@@ -1,0 +1,140 @@
+//! Cluster timing and budget-policy parameters.
+
+/// Timing and budget-policy parameters shared by the lease coordinator
+/// and every node.
+///
+/// The lease protocol's safety argument (no capacity is ever counted
+/// twice; see `DESIGN.md` §13) rests on three timing relations that
+/// [`ClusterConfig::validate`] enforces:
+///
+/// 1. A node that hears nothing from the coordinator for
+///    [`lease_ttl_us`](ClusterConfig::lease_ttl_us) stops admitting
+///    (its caps drop to zero) and discards its lease.
+/// 2. The coordinator presumes a node dead after
+///    [`dead_after_us`](ClusterConfig::dead_after_us) =
+///    `miss_limit × heartbeat_us` of silence. Requiring
+///    `dead_after ≥ lease_ttl` (plus the delay bound below) means a
+///    silent node has *already* stopped admitting by the time it is
+///    declared dead.
+/// 3. A dead node's lease is reclaimed only after a further
+///    [`grace_us`](ClusterConfig::grace_us) =
+///    `max_delay_us + max_deadline_us`: by then every task the node
+///    admitted before it stopped has passed its end-to-end deadline,
+///    so its synthetic-utilization charge has fully decayed and the
+///    reclaimed budget can be re-leased without double-counting.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Node beat period, µs. A registered node sends a cumulative
+    /// `LeaseReturn` at least this often (the beat doubles as state
+    /// anti-entropy); an unregistered node retries `NodeHello` at the
+    /// same period. The coordinator sweeps liveness at this period too.
+    pub heartbeat_us: u64,
+    /// Consecutive missed beats after which the coordinator presumes a
+    /// node dead and dooms its lease.
+    pub miss_limit: u32,
+    /// Node-side lease time-to-live, µs: hearing nothing from the
+    /// coordinator for this long zeroes the node's caps and bumps its
+    /// incarnation. Must not exceed [`ClusterConfig::dead_after_us`].
+    pub lease_ttl_us: u64,
+    /// Assumed upper bound on one-way message delay, µs. Only the
+    /// reclaim grace period depends on it; ordinary operation does not.
+    pub max_delay_us: u64,
+    /// Upper bound on any admitted task's relative end-to-end deadline,
+    /// µs. Bounds how long a dead node's admitted work keeps its
+    /// synthetic-utilization charge alive.
+    pub max_deadline_us: u64,
+    /// A freshly registered node's initial grant per stage is
+    /// `total_j / initial_div` (clamped by the unleased pool).
+    pub initial_div: u64,
+    /// Units a node asks for per borrow-on-pressure request.
+    pub borrow_chunk_units: u64,
+    /// A node borrows when any stage's unspent headroom falls below
+    /// this many units.
+    pub low_water_units: u64,
+    /// Return-on-idle keeps `spent + keep_units` per stage and returns
+    /// the rest once the excess tops `borrow_chunk_units` (hysteresis,
+    /// so borrow/return do not oscillate).
+    pub keep_units: u64,
+}
+
+impl ClusterConfig {
+    /// Silence after which the coordinator dooms a node's lease:
+    /// `miss_limit × heartbeat_us`.
+    pub fn dead_after_us(&self) -> u64 {
+        u64::from(self.miss_limit) * self.heartbeat_us
+    }
+
+    /// Extra wait between dooming a lease and reclaiming its budget:
+    /// `max_delay_us + max_deadline_us` (in-flight admissions land,
+    /// then drain past their deadlines).
+    pub fn grace_us(&self) -> u64 {
+        self.max_delay_us + self.max_deadline_us
+    }
+
+    /// Checks the timing relations the safety argument needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any relation is violated.
+    pub fn validate(&self) {
+        assert!(self.heartbeat_us > 0, "heartbeat period must be positive");
+        assert!(self.miss_limit > 0, "miss limit must be positive");
+        assert!(
+            self.lease_ttl_us >= 2 * self.heartbeat_us,
+            "lease TTL {} must cover at least two beats of {} µs",
+            self.lease_ttl_us,
+            self.heartbeat_us
+        );
+        assert!(
+            self.dead_after_us() >= self.lease_ttl_us,
+            "dead-after {} µs must be at least the lease TTL {} µs: a node \
+             declared dead must already have stopped admitting",
+            self.dead_after_us(),
+            self.lease_ttl_us
+        );
+        assert!(self.initial_div > 0, "initial_div must be positive");
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            heartbeat_us: 50_000,
+            miss_limit: 4,
+            lease_ttl_us: 150_000,
+            max_delay_us: 50_000,
+            max_deadline_us: 2_000_000,
+            initial_div: 4,
+            borrow_chunk_units: 20_000_000,
+            low_water_units: 10_000_000,
+            keep_units: 30_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ClusterConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dead-after")]
+    fn ttl_longer_than_dead_after_is_rejected() {
+        let cfg = ClusterConfig {
+            lease_ttl_us: 500_000,
+            ..ClusterConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn derived_windows() {
+        let cfg = ClusterConfig::default();
+        assert_eq!(cfg.dead_after_us(), 200_000);
+        assert_eq!(cfg.grace_us(), 2_050_000);
+    }
+}

@@ -1,0 +1,428 @@
+//! Blocking TCP transport for the lease protocol, reusing the
+//! gateway's versioned wire format (`frap_gateway::proto`, v2 lease
+//! frames).
+//!
+//! The lease plane is low-rate — a handful of frames per node per
+//! heartbeat — so plain blocking sockets with one thread per node
+//! connection are the right tool; the admission hot path never touches
+//! any of this. [`CoordServer`] hosts a [`CoordCore`] behind a mutex;
+//! [`LeaseClient`] runs a [`NodeCore`] beat loop next to whatever
+//! `AdmissionService` the node's gateway serves admissions from.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use frap_gateway::proto::{Frame, Hello, HelloAck, HELLO_ACK_LEN, HELLO_LEN, MAX_FRAME, VERSION};
+
+use crate::coord::CoordCore;
+use crate::node::{NodeCore, SpentProbe};
+
+/// Lease-plane traffic counters (both directions), shared so the
+/// loadgen can report lease overhead alongside decision throughput.
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    /// Frames written.
+    pub frames_out: AtomicU64,
+    /// Payload bytes written.
+    pub bytes_out: AtomicU64,
+    /// Frames read.
+    pub frames_in: AtomicU64,
+    /// Payload bytes read.
+    pub bytes_in: AtomicU64,
+}
+
+impl LinkStats {
+    fn note_out(&self, frames: u64, bytes: u64) {
+        self.frames_out.fetch_add(frames, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+    }
+    fn note_in(&self, frames: u64, bytes: u64) {
+        self.frames_in.fetch_add(frames, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Total frames in both directions.
+    pub fn frames(&self) -> u64 {
+        self.frames_in.load(Ordering::Relaxed) + self.frames_out.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes in both directions.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed) + self.bytes_out.load(Ordering::Relaxed)
+    }
+}
+
+/// Reads frames off a blocking stream into complete [`Frame`]s.
+struct FrameReader {
+    buf: Vec<u8>,
+    filled: usize,
+}
+
+impl FrameReader {
+    fn new() -> FrameReader {
+        FrameReader {
+            buf: vec![0u8; 16 * 1024],
+            filled: 0,
+        }
+    }
+
+    /// Reads at least one frame if the peer sends one; returns the
+    /// decoded frames and their encoded size, or `Ok(None)` on timeout,
+    /// or `Err` on EOF/error.
+    fn read_frames(
+        &mut self,
+        stream: &mut TcpStream,
+    ) -> std::io::Result<Option<(Vec<Frame>, u64)>> {
+        if self.filled == self.buf.len() {
+            self.buf.resize((self.buf.len() * 2).min(MAX_FRAME * 2), 0);
+        }
+        let n = match stream.read(&mut self.buf[self.filled..]) {
+            Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Ok(None)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        self.filled += n;
+        let mut frames = Vec::new();
+        let mut consumed = 0;
+        loop {
+            match Frame::decode(&self.buf[consumed..self.filled]) {
+                Ok(Some((frame, used))) => {
+                    frames.push(frame);
+                    consumed += used;
+                }
+                Ok(None) => break,
+                Err(e) => return Err(std::io::Error::new(ErrorKind::InvalidData, e.to_string())),
+            }
+        }
+        if consumed > 0 {
+            self.buf.copy_within(consumed..self.filled, 0);
+            self.filled -= consumed;
+        }
+        Ok(if frames.is_empty() {
+            None
+        } else {
+            Some((frames, consumed as u64))
+        })
+    }
+}
+
+fn write_frames(
+    stream: &mut TcpStream,
+    frames: &[Frame],
+    stats: &LinkStats,
+) -> std::io::Result<()> {
+    if frames.is_empty() {
+        return Ok(());
+    }
+    let mut out = Vec::new();
+    for f in frames {
+        f.encode_into(&mut out);
+    }
+    stats.note_out(frames.len() as u64, out.len() as u64);
+    stream.write_all(&out)
+}
+
+/// A lease coordinator listening on TCP.
+///
+/// One blocking handler thread per node connection plus a periodic
+/// sweeper for liveness dooms and grace-period reclaims. Steal frames
+/// are routed to their target node's connection through a shared
+/// writer registry.
+pub struct CoordServer {
+    core: Arc<Mutex<CoordCore>>,
+    stats: Arc<LinkStats>,
+    local_addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl CoordServer {
+    /// Binds `addr` and serves `core` until drop.
+    pub fn bind<A: ToSocketAddrs>(addr: A, core: CoordCore) -> std::io::Result<CoordServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let core = Arc::new(Mutex::new(core));
+        let stats = Arc::new(LinkStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        // slot → stream clone, for routing steals to other nodes.
+        let writers: Arc<Mutex<Vec<(u32, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
+        let epoch_zero = Instant::now();
+        let mut threads = Vec::new();
+
+        // Sweeper: doom/reclaim on the coordinator's wall clock.
+        {
+            let core = Arc::clone(&core);
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(10));
+                    let now_us = epoch_zero.elapsed().as_micros() as u64;
+                    let _ = core.lock().expect("coord poisoned").on_tick(now_us);
+                }
+            }));
+        }
+
+        // Acceptor: spawns one handler thread per node connection.
+        {
+            let core = Arc::clone(&core);
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            let writers = Arc::clone(&writers);
+            threads.push(std::thread::spawn(move || {
+                let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let core = Arc::clone(&core);
+                            let stats = Arc::clone(&stats);
+                            let shutdown = Arc::clone(&shutdown);
+                            let writers = Arc::clone(&writers);
+                            handlers.push(std::thread::spawn(move || {
+                                let _ = serve_node_conn(
+                                    stream, &core, &stats, &writers, &shutdown, epoch_zero,
+                                );
+                            }));
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for h in handlers {
+                    let _ = h.join();
+                }
+            }));
+        }
+
+        Ok(CoordServer {
+            core,
+            stats,
+            local_addr,
+            shutdown,
+            threads,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Lease-plane traffic counters.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// The coordinator ledger (for inspection and invariant checks).
+    pub fn core(&self) -> &Arc<Mutex<CoordCore>> {
+        &self.core
+    }
+}
+
+impl Drop for CoordServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_node_conn(
+    mut stream: TcpStream,
+    core: &Mutex<CoordCore>,
+    stats: &LinkStats,
+    writers: &Mutex<Vec<(u32, TcpStream)>>,
+    shutdown: &AtomicBool,
+    epoch_zero: Instant,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    // Handshake: reuse the gateway preamble.
+    let mut hello = [0u8; HELLO_LEN];
+    stream.read_exact(&mut hello)?;
+    let hello = Hello::decode(&hello)
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    let ack = HelloAck {
+        version: hello.version.min(VERSION),
+        window: 1,
+        max_frame: MAX_FRAME as u32,
+        server_now_us: epoch_zero.elapsed().as_micros() as u64,
+    };
+    stream.write_all(&ack.encode())?;
+
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut reader = FrameReader::new();
+    let mut my_slots: Vec<u32> = Vec::new();
+    while !shutdown.load(Ordering::Relaxed) {
+        let Some((frames, bytes)) = reader.read_frames(&mut stream)? else {
+            continue;
+        };
+        stats.note_in(frames.len() as u64, bytes);
+        for frame in frames {
+            let now_us = epoch_zero.elapsed().as_micros() as u64;
+            let out = core.lock().expect("coord poisoned").handle(now_us, &frame);
+            let mut here = Vec::new();
+            for f in out {
+                match &f {
+                    Frame::LeaseGrant { node, .. } => {
+                        // The grant answers this connection's node; adopt
+                        // the slot and register our stream for steals.
+                        if !my_slots.contains(node) {
+                            my_slots.push(*node);
+                            if let Ok(clone) = stream.try_clone() {
+                                let mut w = writers.lock().expect("writers poisoned");
+                                w.retain(|(s, _)| s != node);
+                                w.push((*node, clone));
+                            }
+                        }
+                        here.push(f);
+                    }
+                    Frame::LeaseSteal { node, .. } if !my_slots.contains(node) => {
+                        // Steal aimed at another node: route via its
+                        // registered connection; drop it if the node is
+                        // gone (steals are best-effort).
+                        let mut w = writers.lock().expect("writers poisoned");
+                        if let Some((_, peer)) = w.iter_mut().find(|(s, _)| s == node) {
+                            let _ = write_frames(peer, std::slice::from_ref(&f), stats);
+                        }
+                    }
+                    _ => here.push(f),
+                }
+            }
+            write_frames(&mut stream, &here, stats)?;
+        }
+    }
+    Ok(())
+}
+
+/// The node-side lease loop: owns the connection to the coordinator,
+/// beats on schedule, and keeps a [`NodeCore`]'s wallet (and therefore
+/// the node's shared admission caps) in sync.
+///
+/// The probe is the node's own `AdmissionService`; the loop never
+/// touches its hot path — it only reads utilizations and nudges the
+/// shared caps.
+pub struct LeaseClient {
+    core: Arc<Mutex<NodeCore>>,
+    stats: Arc<LinkStats>,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LeaseClient {
+    /// Starts the lease loop against `coord_addr`. `tick` is the drive
+    /// period (use a fraction of the heartbeat; the core rate-limits
+    /// itself). Reconnects with fresh handshakes on any I/O error —
+    /// lease TTL expiry in `core` handles the safety side of long
+    /// outages.
+    pub fn start<P>(
+        coord_addr: String,
+        core: NodeCore,
+        probe: Arc<P>,
+        tick: Duration,
+    ) -> LeaseClient
+    where
+        P: SpentProbe + Send + Sync + 'static,
+    {
+        let core = Arc::new(Mutex::new(core));
+        let stats = Arc::new(LinkStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let core = Arc::clone(&core);
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                let epoch_zero = Instant::now();
+                while !shutdown.load(Ordering::Relaxed) {
+                    if let Err(_e) = lease_session(
+                        &coord_addr,
+                        &core,
+                        &*probe,
+                        &stats,
+                        &shutdown,
+                        epoch_zero,
+                        tick,
+                    ) {
+                        // Connection lost: back off briefly, then retry.
+                        std::thread::sleep(tick);
+                    }
+                }
+            })
+        };
+        LeaseClient {
+            core,
+            stats,
+            shutdown,
+            thread: Some(thread),
+        }
+    }
+
+    /// The wallet, for inspection.
+    pub fn core(&self) -> &Arc<Mutex<NodeCore>> {
+        &self.core
+    }
+
+    /// Lease-plane traffic counters.
+    pub fn stats(&self) -> &Arc<LinkStats> {
+        &self.stats
+    }
+}
+
+impl Drop for LeaseClient {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn lease_session<P: SpentProbe>(
+    addr: &str,
+    core: &Mutex<NodeCore>,
+    probe: &P,
+    stats: &LinkStats,
+    shutdown: &AtomicBool,
+    epoch_zero: Instant,
+    tick: Duration,
+) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&Hello { version: VERSION }.encode())?;
+    let mut ack = [0u8; HELLO_ACK_LEN];
+    stream.read_exact(&mut ack)?;
+    HelloAck::decode(&ack)
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+
+    stream.set_read_timeout(Some(tick))?;
+    let mut reader = FrameReader::new();
+    while !shutdown.load(Ordering::Relaxed) {
+        let now_us = epoch_zero.elapsed().as_micros() as u64;
+        let out = core.lock().expect("node poisoned").on_tick(now_us, probe);
+        write_frames(&mut stream, &out, stats)?;
+
+        // Drain whatever the coordinator sent until the next tick.
+        if let Some((frames, bytes)) = reader.read_frames(&mut stream)? {
+            stats.note_in(frames.len() as u64, bytes);
+            for frame in frames {
+                let now_us = epoch_zero.elapsed().as_micros() as u64;
+                let out = core
+                    .lock()
+                    .expect("node poisoned")
+                    .on_frame(now_us, &frame, probe);
+                write_frames(&mut stream, &out, stats)?;
+            }
+        }
+    }
+    Ok(())
+}

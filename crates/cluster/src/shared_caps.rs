@@ -1,0 +1,132 @@
+//! Atomically adjustable per-stage caps: the region a lease-holding
+//! node admits against.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use frap_core::lease::UNIT_SCALE;
+use frap_core::region::RegionTest;
+
+/// Matches `frap_core::lease`'s cap slack: float summation across
+/// shards can read a fully charged stage a few ulps above its cap.
+const CAP_EPSILON: f64 = 1e-9;
+
+/// A box region whose per-stage caps are shared atomics in budget
+/// units, so the lease layer can grow and shrink a node's admissible
+/// box while an `AdmissionService` keeps admitting against it — no
+/// rebuild, no hot-path change.
+///
+/// Memory-ordering note: all accesses are `Relaxed`. The admission
+/// service evaluates [`RegionTest::feasible`] while holding its
+/// decision gate (a mutex), and the lease layer's shrink discipline is
+/// *lower caps, then read utilization through that same gate* — the
+/// mutex's happens-before edges make every relaxed cap write visible to
+/// any decision that could otherwise race past it (see `DESIGN.md`
+/// §13).
+#[derive(Debug, Clone)]
+pub struct SharedStageCaps {
+    units: Arc<Vec<AtomicU64>>,
+}
+
+impl SharedStageCaps {
+    /// `stages` caps, all zero — a node admits nothing until granted a
+    /// lease.
+    pub fn new(stages: usize) -> SharedStageCaps {
+        SharedStageCaps {
+            units: Arc::new((0..stages).map(|_| AtomicU64::new(0)).collect()),
+        }
+    }
+
+    /// Caps from explicit unit values.
+    pub fn from_units(units: &[u64]) -> SharedStageCaps {
+        SharedStageCaps {
+            units: Arc::new(units.iter().map(|&u| AtomicU64::new(u)).collect()),
+        }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Current cap of `stage`, in units.
+    pub fn get(&self, stage: usize) -> u64 {
+        self.units[stage].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every cap, in units.
+    pub fn units(&self) -> Vec<u64> {
+        self.units
+            .iter()
+            .map(|u| u.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Overwrites one stage's cap.
+    pub fn store(&self, stage: usize, units: u64) {
+        self.units[stage].store(units, Ordering::Relaxed);
+    }
+
+    /// Grows one stage's cap by `delta` units.
+    pub fn add(&self, stage: usize, delta: u64) {
+        self.units[stage].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Shrinks one stage's cap by `delta` units, saturating at zero.
+    pub fn sub_saturating(&self, stage: usize, delta: u64) {
+        let _ = self.units[stage].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(delta))
+        });
+    }
+
+    /// Zeroes every cap — the node's admit-nothing state (lease expired
+    /// or not yet granted).
+    pub fn zero_all(&self) {
+        for u in self.units.iter() {
+            u.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl RegionTest for SharedStageCaps {
+    fn stages(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Pointwise `U_j ≤ cap_j` against the current caps — monotone for
+    /// any fixed cap snapshot, which is all the admission gate observes.
+    fn feasible(&self, utilizations: &[f64]) -> bool {
+        debug_assert_eq!(utilizations.len(), self.units.len());
+        utilizations.iter().zip(self.units.iter()).all(|(&u, cap)| {
+            u <= cap.load(Ordering::Relaxed) as f64 / UNIT_SCALE as f64 + CAP_EPSILON
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_start_closed_and_open_with_grants() {
+        let caps = SharedStageCaps::new(2);
+        assert!(!caps.feasible(&[0.001, 0.0]));
+        assert!(caps.feasible(&[0.0, 0.0]));
+        caps.add(0, UNIT_SCALE / 10);
+        caps.add(1, UNIT_SCALE / 5);
+        assert!(caps.feasible(&[0.1, 0.2]));
+        assert!(!caps.feasible(&[0.11, 0.0]));
+        caps.sub_saturating(0, UNIT_SCALE); // saturates at zero
+        assert_eq!(caps.get(0), 0);
+    }
+
+    #[test]
+    fn clones_share_the_same_caps() {
+        let caps = SharedStageCaps::new(1);
+        let peer = caps.clone();
+        caps.store(0, 42);
+        assert_eq!(peer.get(0), 42);
+        peer.zero_all();
+        assert_eq!(caps.units(), vec![0]);
+    }
+}

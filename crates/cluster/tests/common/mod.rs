@@ -1,0 +1,189 @@
+//! Shared scaffolding for the cluster integration tests: builds an
+//! N-node cluster under the deterministic harness, with handles into
+//! every core so invariants can be checked mid-run.
+#![allow(dead_code)] // each test binary uses a subset of the helpers
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use frap_cluster::actors::{CoordActor, NodeActor, NodeVerdicts};
+use frap_cluster::{ClusterConfig, CoordCore, NodeCore, Sim};
+use frap_core::admission::ExactContributions;
+use frap_core::graph::TaskSpec;
+use frap_core::lease::{params_fingerprint, StageCaps};
+use frap_core::region::FeasibleRegion;
+use frap_core::time::Time;
+use frap_service::{AdmissionService, ManualClock};
+use frap_workload::PipelineWorkloadBuilder;
+
+use frap_cluster::SharedStageCaps;
+
+pub type NodeService = Arc<AdmissionService<SharedStageCaps, ExactContributions, Arc<ManualClock>>>;
+
+/// A cluster under the harness, with every handle a test might poke.
+pub struct Cluster {
+    pub sim: Sim,
+    pub coord_actor: usize,
+    pub coord: Rc<RefCell<CoordCore>>,
+    pub node_actors: Vec<usize>,
+    pub nodes: Vec<Rc<RefCell<NodeCore>>>,
+    pub services: Vec<NodeService>,
+    pub verdicts: Vec<Rc<RefCell<NodeVerdicts>>>,
+    pub caps: StageCaps,
+    pub region: FeasibleRegion,
+}
+
+/// Timing tuned for virtual time: fast beats, small chunks, and a
+/// `max_delay_us` that dominates any jitter the tests inject.
+pub fn test_config() -> ClusterConfig {
+    ClusterConfig {
+        heartbeat_us: 10_000,
+        miss_limit: 4,
+        lease_ttl_us: 30_000,
+        max_delay_us: 10_000,
+        max_deadline_us: 1_000_000,
+        initial_div: 4,
+        borrow_chunk_units: 20_000_000,
+        low_water_units: 20_000_000,
+        keep_units: 20_000_000,
+    }
+}
+
+/// A Poisson pipeline arrival trace spanning `[start_us, start_us +
+/// span_us]` virtual time: small tasks (per-stage demand ≈ 1% of a
+/// stage budget) so a 3-way budget split suffers little granularity
+/// loss. `start_us` leaves warmup room for lease registration.
+pub fn trace(
+    stages: usize,
+    load: f64,
+    seed: u64,
+    start_us: u64,
+    span_us: u64,
+) -> Vec<(u64, TaskSpec)> {
+    PipelineWorkloadBuilder::new(stages)
+        .mean_computation_ms(5.0)
+        .resolution(40.0)
+        .load(load)
+        .seed(seed)
+        .build()
+        .until(Time::from_micros(span_us))
+        .map(|(t, spec)| (start_us + t.as_micros(), spec))
+        .collect()
+}
+
+/// Builds an `n`-node cluster: coordinator actor 0, nodes 1..=n, with
+/// `arrivals[i]` scripted into node `i`. Actors are kicked off at
+/// staggered virtual instants so ticks do not all collide.
+pub fn build_cluster(
+    seed: u64,
+    stages: usize,
+    n: usize,
+    cfg: ClusterConfig,
+    arrivals: Vec<Vec<(u64, TaskSpec)>>,
+) -> Cluster {
+    assert_eq!(arrivals.len(), n);
+    let region = FeasibleRegion::deadline_monotonic(stages);
+    let caps = StageCaps::inscribed(&region);
+    let fp = params_fingerprint(&region, &caps);
+
+    let mut sim = Sim::new(seed);
+    let coord = Rc::new(RefCell::new(CoordCore::new(cfg.clone(), caps.units(), fp)));
+    let coord_actor = sim.add_actor(Box::new(CoordActor::new(
+        Rc::clone(&coord),
+        cfg.heartbeat_us,
+    )));
+    sim.schedule_timer(coord_actor, 0, 0);
+
+    let mut node_actors = Vec::new();
+    let mut nodes = Vec::new();
+    let mut services = Vec::new();
+    let mut verdicts = Vec::new();
+    for (i, node_arrivals) in arrivals.into_iter().enumerate() {
+        let core = NodeCore::new(cfg.clone(), i as u64 + 1, SharedStageCaps::new(stages), fp);
+        let (actor, core, service, v) =
+            NodeActor::new(core, coord_actor, cfg.heartbeat_us, node_arrivals);
+        let id = sim.add_actor(Box::new(actor));
+        // Stagger first ticks so beats interleave rather than stampede.
+        sim.schedule_timer(id, (i as u64 + 1) * 137, 0);
+        node_actors.push(id);
+        nodes.push(core);
+        services.push(service);
+        verdicts.push(v);
+    }
+
+    Cluster {
+        sim,
+        coord_actor,
+        coord,
+        node_actors,
+        nodes,
+        services,
+        verdicts,
+        caps,
+        region,
+    }
+}
+
+/// Splits a global trace round-robin across `n` nodes, preserving
+/// per-node time order.
+pub fn round_robin(trace: &[(u64, TaskSpec)], n: usize) -> Vec<Vec<(u64, TaskSpec)>> {
+    let mut per_node = vec![Vec::new(); n];
+    for (i, (t, spec)) in trace.iter().enumerate() {
+        per_node[i % n].push((*t, spec.clone()));
+    }
+    per_node
+}
+
+impl Cluster {
+    /// Aggregate utilization across every node, per stage.
+    pub fn aggregate_utilization(&self) -> Vec<f64> {
+        let stages = self.caps.caps().len();
+        let mut sum = vec![0.0; stages];
+        for service in &self.services {
+            for (j, u) in service.utilizations().into_iter().enumerate() {
+                sum[j] += u;
+            }
+        }
+        sum
+    }
+
+    /// Asserts the safety invariant: the cluster-wide utilization never
+    /// exceeds the cap vector (hence stays inside the feasible region).
+    /// `slack` absorbs per-node unit-rounding (1 unit = 1e-9) — use a
+    /// few multiples of node count.
+    pub fn assert_within_caps(&self, slack: f64) {
+        let sum = self.aggregate_utilization();
+        for (j, (&u, &cap)) in sum.iter().zip(self.caps.caps()).enumerate() {
+            assert!(
+                u <= cap + slack,
+                "stage {j}: aggregate utilization {u} exceeds cap {cap} (+{slack})"
+            );
+        }
+    }
+
+    /// Total admitted / rejected across nodes.
+    pub fn totals(&self) -> (u64, u64) {
+        self.verdicts.iter().fold((0, 0), |(a, r), v| {
+            let v = v.borrow();
+            (a + v.admitted, r + v.rejected)
+        })
+    }
+
+    /// Runs virtual time forward to `until_us`, re-checking the ledger
+    /// and the aggregate-utilization safety invariant every
+    /// `check_every_us` of virtual time.
+    pub fn run_checked(&mut self, until_us: u64, check_every_us: u64, slack: f64) {
+        let mut next_check = self.sim.now_us();
+        while self.sim.now_us() < until_us {
+            if !self.sim.step() {
+                break;
+            }
+            if self.sim.now_us() >= next_check {
+                self.coord.borrow().debug_conservation();
+                self.assert_within_caps(slack);
+                next_check = self.sim.now_us() + check_every_us;
+            }
+        }
+    }
+}

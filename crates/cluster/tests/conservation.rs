@@ -1,0 +1,136 @@
+//! Lease-conservation property tests under randomized fault schedules.
+//!
+//! Three invariants from ISSUE 6, checked continuously while the
+//! cluster runs under generated drop/duplicate/jitter faults and
+//! partitions:
+//!
+//! (a) per stage, Σ outstanding lease units + coordinator pool equals
+//!     the stage budget exactly (`debug_conservation`), so total
+//!     granted never exceeds the budget;
+//! (b) the cluster-wide admitted utilization never exceeds the
+//!     inscribed cap vector (hence stays inside the feasible region);
+//! (c) after a partition heals, reconciliation reclaims the dead
+//!     node's budget within the configured bound and the node
+//!     re-registers under a fresh lease.
+
+mod common;
+
+use common::{build_cluster, round_robin, test_config, trace, Cluster};
+use frap_cluster::LinkFaults;
+use proptest::prelude::*;
+
+const STAGES: usize = 3;
+const NODES: usize = 3;
+/// Aggregate rounding slack: a few integer units (1 unit = 1e-9
+/// utilization) per node.
+const SLACK: f64 = 1e-6;
+
+/// Returns the cluster plus the number of scripted arrivals.
+fn lossy_cluster(seed: u64, drop_p: f64, dup_p: f64, jitter_us: u64) -> (Cluster, u64) {
+    let all = trace(STAGES, 2.0, seed ^ 0x9e37, 60_000, 300_000);
+    let total = all.len() as u64;
+    let arrivals = round_robin(&all, NODES);
+    let mut cluster = build_cluster(seed, STAGES, NODES, test_config(), arrivals);
+    cluster.sim.set_default_link(LinkFaults {
+        drop_p,
+        dup_p,
+        delay_us: 1_000,
+        // Keep worst-case delivery below ClusterConfig::max_delay_us.
+        jitter_us: jitter_us.min(8_000),
+    });
+    (cluster, total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Invariants (a) + (b) hold at every checkpoint of a lossy run.
+    #[test]
+    fn conservation_and_region_bound_under_faults(
+        seed in 0u64..1 << 48,
+        drop_p in 0.0f64..0.15,
+        dup_p in 0.0f64..0.15,
+        jitter_us in 0u64..8_000,
+    ) {
+        let (mut cluster, total) = lossy_cluster(seed, drop_p, dup_p, jitter_us);
+        // run_checked asserts (a) debug_conservation and (b) caps bound
+        // every 2ms of virtual time.
+        cluster.run_checked(500_000, 2_000, SLACK);
+        let (admitted, rejected) = cluster.totals();
+        prop_assert_eq!(admitted + rejected, total, "every arrival got a verdict");
+        prop_assert!(admitted > 0, "lossy cluster should still admit work");
+    }
+
+    /// Invariant (c): a partitioned node's lease is reclaimed within
+    /// ttl + dead_after + grace, conservation holds throughout, and on
+    /// heal the node re-registers with a fresh incarnation and spends
+    /// again.
+    #[test]
+    fn partition_heal_restores_budget(
+        seed in 0u64..1 << 48,
+        drop_p in 0.0f64..0.05,
+    ) {
+        let cfg = test_config();
+        let (mut cluster, _total) = lossy_cluster(seed, drop_p, 0.02, 2_000);
+        let coord_actor = cluster.coord_actor;
+        let victim_actor = cluster.node_actors[0];
+        let victim_id = cluster.nodes[0].borrow().node_id();
+
+        // Let everyone register and start spending.
+        cluster.run_checked(120_000, 2_000, SLACK);
+        prop_assert_eq!(cluster.coord.borrow().lease_count(), NODES);
+        let incarnation_before = cluster.nodes[0].borrow().incarnation();
+
+        // Partition the victim from the coordinator.
+        cluster.sim.partition(victim_actor, coord_actor);
+        let cut_at = cluster.sim.now_us();
+
+        // The reclaim bound: TTL silences the node, dead_after dooms
+        // the lease, grace lets its admitted work drain; margin covers
+        // sweep periods and in-flight deliveries.
+        let bound =
+            cfg.lease_ttl_us + cfg.dead_after_us() + cfg.grace_us() + 4 * cfg.heartbeat_us;
+        cluster.run_checked(cut_at + bound, 2_000, SLACK);
+
+        // Victim's lease reclaimed; its budget is back in the ledger
+        // (debug_conservation holds with the lease gone), and the
+        // victim stopped admitting: caps zeroed, incarnation bumped.
+        let live = cluster.coord.borrow().live_leases();
+        prop_assert!(
+            live.iter().all(|&(id, _, _)| id != victim_id),
+            "victim lease should be doomed or reclaimed, live = {:?}",
+            live
+        );
+        prop_assert_eq!(cluster.coord.borrow().lease_count(), NODES - 1);
+        cluster.coord.borrow().debug_conservation();
+        prop_assert!(
+            cluster.nodes[0]
+                .borrow()
+                .caps()
+                .units()
+                .iter()
+                .all(|&u| u == 0),
+            "expired wallet must zero its admission caps"
+        );
+        prop_assert!(cluster.nodes[0].borrow().incarnation() > incarnation_before);
+
+        // Heal: the victim re-registers under a fresh incarnation and
+        // receives a new grant.
+        cluster.sim.heal_all();
+        let healed_at = cluster.sim.now_us();
+        cluster.run_checked(healed_at + 8 * cfg.heartbeat_us, 2_000, SLACK);
+        prop_assert_eq!(cluster.coord.borrow().lease_count(), NODES);
+        prop_assert!(cluster.nodes[0].borrow().registered());
+        prop_assert!(
+            cluster.nodes[0]
+                .borrow()
+                .caps()
+                .units()
+                .iter()
+                .any(|&u| u > 0),
+            "re-registered node should hold budget again"
+        );
+        cluster.coord.borrow().debug_conservation();
+        cluster.assert_within_caps(SLACK);
+    }
+}

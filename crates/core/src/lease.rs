@@ -1,0 +1,271 @@
+//! Leaseable per-stage utilization budgets for distributed admission.
+//!
+//! The paper's region test `Σ_j f(U_j) ≤ α(1 − Σβ)` is **nonlinear** in
+//! the utilization vector, and `f` is superadditive on `[0, 1)` — so the
+//! region's *budget* cannot be split among gateway nodes in `f`-space:
+//! per-node shares of the right-hand side would let the aggregate vector
+//! leave the region. What *can* be split is utilization itself, which is
+//! additive across nodes. This module therefore fixes a point
+//! `(Û_1, …, Û_N)` **inside** the feasible region — a per-stage cap
+//! vector — and treats each stage's cap as a one-dimensional budget that
+//! a coordinator may lease out in slices. Because `f` is monotone, any
+//! spending pattern with `Σ_nodes U_j^{(n)} ≤ Û_j` for every stage keeps
+//! the true aggregate inside the region:
+//!
+//! ```text
+//! Σ_j f(Σ_n U_j^{(n)})  ≤  Σ_j f(Û_j)  ≤  α(1 − Σβ)
+//! ```
+//!
+//! The cap vector is itself a [`RegionTest`] ([`StageCaps`]), so a node
+//! spends its lease through the exact same
+//! [`tentative_feasible`](crate::admission::tentative_feasible) fast
+//! path the single-node controllers use — only the region object differs.
+//!
+//! # Integer budget units
+//!
+//! Lease accounting must satisfy an *exact* conservation invariant
+//! (`Σ leased + unleased = total`, always), which floats cannot promise
+//! under arbitrary grant/return interleavings. Budgets therefore travel
+//! as integer **units** of 10⁻⁹ utilization ([`UNIT_SCALE`]): one unit
+//! is one nano-Erlang of stage utilization. Conversions round in the
+//! safe direction — budgets round *down*
+//! ([`units_from_utilization`]), per-task demands round *up*
+//! ([`demand_units`]) — so unit-space admission is never less
+//! conservative than the real-valued test it mirrors.
+//!
+//! # Why leases carry region parameters
+//!
+//! A lease is only meaningful against the region it was cut from: α
+//! depends on the priority assignment (see `alpha_for_assignment` and
+//! the priority-order sensitivity results in the multi-stage
+//! fixed-priority literature), and β on the blocking terms. Nodes and
+//! coordinator must agree on *all* of it, so leases are tagged with a
+//! [`params_fingerprint`] of the full parameter set, not just a budget
+//! scalar; a mismatch means a misconfigured node whose grants must be
+//! refused.
+
+use crate::region::{FeasibleRegion, RegionTest};
+
+/// Budget units per 1.0 of utilization: one unit is 10⁻⁹ Erlang.
+pub const UNIT_SCALE: u64 = 1_000_000_000;
+
+/// Slack absorbed by [`StageCaps::feasible`]: float summation across
+/// shards can read a fully-charged stage a few ulps above its cap, and
+/// such round-off must not read as a safety violation. The slack is far
+/// below one budget unit, so unit-valued (integral) comparisons remain
+/// exact.
+const CAP_EPSILON: f64 = 1e-9;
+
+/// Converts a utilization into whole budget units, rounding **down** —
+/// a budget never promises capacity the region does not contain.
+pub fn units_from_utilization(utilization: f64) -> u64 {
+    if utilization.is_nan() || utilization <= 0.0 {
+        return 0;
+    }
+    (utilization * UNIT_SCALE as f64).floor() as u64
+}
+
+/// The utilization a unit count represents (exact for any realistic
+/// count: unit totals fit far below 2⁵³).
+pub fn utilization_from_units(units: u64) -> f64 {
+    units as f64 / UNIT_SCALE as f64
+}
+
+/// A task's per-stage demand in budget units: `⌈C·SCALE / D⌉`, rounding
+/// **up** so spending a lease in unit space is at least as conservative
+/// as charging the real-valued contribution `C/D`.
+///
+/// A zero deadline yields `u64::MAX` (inadmissible), mirroring the
+/// region test's rejection of undefined contributions.
+pub fn demand_units(computation_us: u64, deadline_us: u64) -> u64 {
+    if deadline_us == 0 {
+        return u64::MAX;
+    }
+    let num = computation_us as u128 * UNIT_SCALE as u128;
+    let den = deadline_us as u128;
+    num.div_ceil(den).min(u64::MAX as u128) as u64
+}
+
+/// A box-shaped feasible region: per-stage utilization caps
+/// `U_j ≤ cap_j`. This is the region a lease-holding node admits
+/// against — its caps are the node's currently-leased amounts — and the
+/// region a cluster *as a whole* enforces when its caps are a point
+/// inside a [`FeasibleRegion`] (see [`StageCaps::inscribed`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageCaps {
+    caps: Vec<f64>,
+}
+
+impl StageCaps {
+    /// Caps from explicit per-stage bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cap is negative or NaN.
+    pub fn new(caps: Vec<f64>) -> StageCaps {
+        for &c in &caps {
+            assert!(c >= 0.0 && !c.is_nan(), "stage cap must be ≥ 0, got {c}");
+        }
+        StageCaps { caps }
+    }
+
+    /// The largest symmetric cap vector inscribed in `region`: every
+    /// stage capped at `f⁻¹(budget / N)`, the region's equal-utilization
+    /// corner. By monotonicity of `f`, any spending within these caps is
+    /// feasible for `region` itself.
+    pub fn inscribed(region: &FeasibleRegion) -> StageCaps {
+        let cap = region.max_equal_utilization();
+        StageCaps {
+            caps: vec![cap; region.stages()],
+        }
+    }
+
+    /// Caps from whole budget units (exact: unit counts are integral
+    /// `f64` values well below 2⁵³).
+    pub fn from_units(units: &[u64]) -> StageCaps {
+        StageCaps {
+            caps: units.iter().map(|&u| u as f64).collect(),
+        }
+    }
+
+    /// The per-stage caps.
+    pub fn caps(&self) -> &[f64] {
+        &self.caps
+    }
+
+    /// The caps as whole budget units, rounded down.
+    pub fn units(&self) -> Vec<u64> {
+        self.caps
+            .iter()
+            .map(|&c| units_from_utilization(c))
+            .collect()
+    }
+}
+
+impl RegionTest for StageCaps {
+    fn stages(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Pointwise `U_j ≤ cap_j` — monotone, as [`RegionTest`] requires.
+    fn feasible(&self, utilizations: &[f64]) -> bool {
+        debug_assert_eq!(utilizations.len(), self.caps.len());
+        utilizations
+            .iter()
+            .zip(&self.caps)
+            .all(|(&u, &cap)| u <= cap + CAP_EPSILON)
+    }
+}
+
+/// A collision-resistant-enough digest of everything two cluster
+/// members must agree on before trading leases: stage count, α, the
+/// blocking vector, and the cap vector itself. FNV-1a over the exact
+/// bit patterns — any parameter drift (a different priority assignment
+/// changing α, a re-tuned cap point) changes the fingerprint.
+pub fn params_fingerprint(region: &FeasibleRegion, caps: &StageCaps) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(region.stages() as u64);
+    h.write_u64(region.alpha().value().to_bits());
+    for &beta in region.blocking() {
+        h.write_u64(beta.to_bits());
+    }
+    h.write_u64(caps.caps.len() as u64);
+    for &cap in &caps.caps {
+        h.write_u64(cap.to_bits());
+    }
+    h.finish()
+}
+
+/// FNV-1a, 64-bit.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::tentative_feasible;
+
+    #[test]
+    fn unit_conversions_round_safely() {
+        assert_eq!(units_from_utilization(0.5), UNIT_SCALE / 2);
+        assert_eq!(units_from_utilization(0.0), 0);
+        assert_eq!(units_from_utilization(-1.0), 0);
+        assert_eq!(units_from_utilization(f64::NAN), 0);
+        // Budgets round down…
+        assert!(utilization_from_units(units_from_utilization(0.3)) <= 0.3);
+        // …demands round up.
+        assert_eq!(demand_units(1, 3), UNIT_SCALE / 3 + 1);
+        assert_eq!(demand_units(10, 10), UNIT_SCALE);
+        assert_eq!(demand_units(5, 0), u64::MAX);
+    }
+
+    #[test]
+    fn inscribed_caps_stay_inside_the_region() {
+        let region = FeasibleRegion::deadline_monotonic(4);
+        let caps = StageCaps::inscribed(&region);
+        assert!(region.contains(caps.caps()).unwrap());
+        // And they are maximal in the symmetric direction: nudging every
+        // stage up leaves the region.
+        let bumped: Vec<f64> = caps.caps().iter().map(|c| c + 1e-6).collect();
+        assert!(!region.contains(&bumped).unwrap());
+    }
+
+    #[test]
+    fn stage_caps_is_a_box_region() {
+        let caps = StageCaps::new(vec![0.4, 0.2]);
+        assert_eq!(caps.stages(), 2);
+        assert!(caps.feasible(&[0.4, 0.2]));
+        assert!(!caps.feasible(&[0.41, 0.0]));
+        assert!(!caps.feasible(&[0.0, 0.21]));
+    }
+
+    #[test]
+    fn tentative_feasible_spends_against_caps() {
+        let caps = StageCaps::from_units(&[100, 50]);
+        let mut scratch = Vec::new();
+        let current = [40.0, 10.0];
+        assert!(tentative_feasible(
+            &caps,
+            &current,
+            &[(crate::task::StageId::new(0), 60.0)],
+            &mut scratch,
+        ));
+        assert!(!tentative_feasible(
+            &caps,
+            &current,
+            &[(crate::task::StageId::new(0), 61.0)],
+            &mut scratch,
+        ));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_parameter() {
+        let region = FeasibleRegion::deadline_monotonic(3);
+        let caps = StageCaps::inscribed(&region);
+        let fp = params_fingerprint(&region, &caps);
+        assert_eq!(fp, params_fingerprint(&region, &caps), "deterministic");
+
+        let other_region = FeasibleRegion::deadline_monotonic(4);
+        let other_caps = StageCaps::inscribed(&other_region);
+        assert_ne!(fp, params_fingerprint(&other_region, &other_caps));
+
+        let tweaked = StageCaps::new(vec![0.1, 0.1, 0.1]);
+        assert_ne!(fp, params_fingerprint(&region, &tweaked));
+    }
+}

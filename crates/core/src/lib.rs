@@ -90,6 +90,7 @@ pub mod delay;
 pub mod error;
 pub mod graph;
 pub mod hist;
+pub mod lease;
 pub mod region;
 pub mod rta;
 pub mod synthetic;
@@ -102,6 +103,7 @@ pub use alpha::Alpha;
 pub use delay::{stage_delay_factor, UNIPROCESSOR_BOUND};
 pub use graph::{TaskGraph, TaskSpec};
 pub use hist::LatencyHistogram;
+pub use lease::{StageCaps, UNIT_SCALE};
 pub use region::{FeasibleRegion, RegionTest};
 pub use synthetic::{StageTracker, SyntheticState};
 pub use task::{Importance, Priority, StageId, SubtaskSpec, TaskId};

@@ -94,7 +94,11 @@ fn main() {
         let server = GatewayServer::bind(
             "127.0.0.1:0",
             service.clone(),
-            GatewayConfig { workers, window },
+            GatewayConfig {
+                workers,
+                window,
+                idle_timeout: None,
+            },
         )
         .expect("bind loopback gateway");
         (Some(server), Some(service))

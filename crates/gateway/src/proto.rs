@@ -16,7 +16,16 @@
 //! `server_now_us` to translate local instants into the server's clock so
 //! it can stamp each request with the absolute instant at which the
 //! task's transport slack is gone ([`AdmitRequest::expires_at_us`]). A
-//! magic or version mismatch closes the connection.
+//! magic mismatch closes the connection.
+//!
+//! ## Version negotiation
+//!
+//! The client's hello carries the highest version it speaks; the server
+//! answers with the version the connection will use:
+//! `min(client, VERSION)`. Either side rejects a peer older than
+//! [`MIN_VERSION`] or newer frames than the negotiated version allows —
+//! a v1 client against a v2 server negotiates v1 and simply never sees
+//! the cluster frames (types ≥ 8), which ship in protocol version 2.
 //!
 //! # Framing
 //!
@@ -46,14 +55,31 @@
 //! | 5 | [`Frame::HeartbeatAck`] | server → client |
 //! | 6 | [`Frame::StatsRequest`] | client → server |
 //! | 7 | [`Frame::StatsResponse`] | server → client |
+//! | 8 | [`Frame::NodeHello`] | node → coordinator (v2) |
+//! | 9 | [`Frame::LeaseGrant`] | coordinator → node (v2) |
+//! | 10 | [`Frame::LeaseReturn`] | node → coordinator (v2) |
+//! | 11 | [`Frame::LeaseRequest`] | node → coordinator (v2) |
+//! | 12 | [`Frame::LeaseSteal`] | coordinator → node (v2) |
+//!
+//! The lease frames (`frap-cluster`) reuse this framing between gateway
+//! nodes and their lease coordinator. Budget amounts are **cumulative
+//! per-epoch counters** in integer units of 10⁻⁹ utilization (see
+//! `frap_core::lease`): `issued` only ever grows on the coordinator,
+//! `returned` only ever grows on the node, and receivers apply
+//! pointwise `max` — which makes every lease frame idempotent and
+//! reorder-tolerant by construction.
 
 use frap_core::wire::WireTaskSpec;
 use std::fmt;
 
 /// `"FRAP"` when the four magic bytes are read little-endian.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"FRAP");
-/// Protocol version spoken by this crate.
-pub const VERSION: u16 = 1;
+/// Highest protocol version spoken by this crate. Version 2 added the
+/// cluster lease frames (types 8–12); the handshake negotiates down to
+/// [`MIN_VERSION`] for older peers.
+pub const VERSION: u16 = 2;
+/// Oldest protocol version still accepted in a handshake.
+pub const MIN_VERSION: u16 = 1;
 /// Hard upper bound on one frame's body (`type` byte plus payload).
 pub const MAX_FRAME: usize = 64 * 1024;
 /// Hard upper bound on per-frame element counts (stage demands,
@@ -71,6 +97,11 @@ const TYPE_HEARTBEAT: u8 = 4;
 const TYPE_HEARTBEAT_ACK: u8 = 5;
 const TYPE_STATS_REQUEST: u8 = 6;
 const TYPE_STATS_RESPONSE: u8 = 7;
+const TYPE_NODE_HELLO: u8 = 8;
+const TYPE_LEASE_GRANT: u8 = 9;
+const TYPE_LEASE_RETURN: u8 = 10;
+const TYPE_LEASE_REQUEST: u8 = 11;
+const TYPE_LEASE_STEAL: u8 = 12;
 
 const VERDICT_ADMITTED: u8 = 0;
 const VERDICT_ADMITTED_AFTER_SHEDDING: u8 = 1;
@@ -138,7 +169,11 @@ impl Hello {
         out
     }
 
-    /// Decodes and validates a client hello.
+    /// Decodes and validates a client hello. Any version in
+    /// `MIN_VERSION..=VERSION` is accepted; the server answers with the
+    /// version the connection will actually speak
+    /// (`min(client, VERSION)`), so a newer server stays compatible with
+    /// older clients.
     ///
     /// # Errors
     ///
@@ -150,7 +185,7 @@ impl Hello {
             return Err(ProtoError::BadMagic(magic));
         }
         let version = u16::from_le_bytes(buf[4..6].try_into().unwrap());
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(ProtoError::BadVersion(version));
         }
         Ok(Hello { version })
@@ -182,7 +217,10 @@ impl HelloAck {
         out
     }
 
-    /// Decodes and validates a server hello acknowledgement.
+    /// Decodes and validates a server hello acknowledgement. The version
+    /// is the one the server chose for this connection; anything in
+    /// `MIN_VERSION..=VERSION` is acceptable to this client (the server
+    /// never picks a version above what the client offered).
     ///
     /// # Errors
     ///
@@ -194,7 +232,7 @@ impl HelloAck {
             return Err(ProtoError::BadMagic(magic));
         }
         let version = u16::from_le_bytes(buf[4..6].try_into().unwrap());
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(ProtoError::BadVersion(version));
         }
         Ok(HelloAck {
@@ -260,6 +298,20 @@ pub enum BatchedFrame {
     /// Any other frame, decoded exactly as [`FrameBuffer::next_frame`]
     /// would.
     Other(Frame),
+}
+
+/// Encodes the shared shape of [`Frame::LeaseReturn`] /
+/// [`Frame::LeaseRequest`] / [`Frame::LeaseSteal`]:
+/// `node:u32 epoch:u32 count:u16 units:u64×count`.
+fn encode_lease_vec(out: &mut Vec<u8>, ty: u8, node: u32, epoch: u32, units: &[u64]) {
+    debug_assert!(units.len() <= MAX_STAGES);
+    out.push(ty);
+    out.extend_from_slice(&node.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(units.len() as u16).to_le_bytes());
+    for u in units {
+        out.extend_from_slice(&u.to_le_bytes());
+    }
 }
 
 /// Decodes an admit-request body into an [`AdmitHead`], appending the
@@ -400,6 +452,78 @@ pub enum Frame {
     StatsRequest,
     /// Server's counter snapshot.
     StatsResponse(StatsReport),
+    /// A gateway node (re)registers with its lease coordinator
+    /// (protocol v2). Sent until answered by a matching
+    /// [`Frame::LeaseGrant`].
+    NodeHello {
+        /// Operator-assigned stable node identity.
+        node_id: u64,
+        /// Node-chosen incarnation, bumped every time the node discards
+        /// its lease state (start-up, lease TTL expiry). The coordinator
+        /// treats a higher incarnation as proof the older lease holder
+        /// is gone.
+        incarnation: u64,
+        /// Fingerprint of the region parameters the node was configured
+        /// with (`frap_core::lease::params_fingerprint`); the
+        /// coordinator ignores hellos from nodes configured against a
+        /// different region.
+        params_fp: u64,
+    },
+    /// Coordinator → node: the node's cumulative lease state (v2). Sent
+    /// only in response to a node-initiated frame, so receiving one
+    /// also proves coordinator liveness.
+    LeaseGrant {
+        /// Coordinator-assigned compact node slot.
+        node: u32,
+        /// Lease epoch for this registration; stale-epoch frames are
+        /// discarded by both sides.
+        epoch: u32,
+        /// Echo of the node's incarnation so the node can match the
+        /// grant to its current registration attempt.
+        incarnation: u64,
+        /// Cumulative per-stage units ever issued to this epoch
+        /// (monotone; receiver applies pointwise `max`).
+        issued_units: Vec<u64>,
+        /// Coordinator's view of the node's cumulative returns (an ack;
+        /// informational).
+        returned_units: Vec<u64>,
+    },
+    /// Node → coordinator: cumulative per-stage units returned this
+    /// epoch (v2). Monotone; the coordinator credits the pointwise
+    /// increase back to the stage pools exactly once no matter how
+    /// often the frame is duplicated or reordered.
+    LeaseReturn {
+        /// Coordinator-assigned node slot.
+        node: u32,
+        /// Lease epoch.
+        epoch: u32,
+        /// Cumulative returned units per stage.
+        returned_units: Vec<u64>,
+    },
+    /// Node → coordinator: borrow-on-pressure (v2). Asks that cumulative
+    /// issue reach `want_units`; the coordinator grants what the pool
+    /// has. Idempotent: a duplicate whose want is already issued is a
+    /// no-op.
+    LeaseRequest {
+        /// Coordinator-assigned node slot.
+        node: u32,
+        /// Lease epoch.
+        epoch: u32,
+        /// Desired cumulative issued units per stage.
+        want_units: Vec<u64>,
+    },
+    /// Coordinator → node: return-on-demand (v2). Asks the node to raise
+    /// its cumulative returns toward `want_returned_units`; the node
+    /// returns whatever its local spending allows via
+    /// [`Frame::LeaseReturn`].
+    LeaseSteal {
+        /// Target node slot.
+        node: u32,
+        /// Lease epoch.
+        epoch: u32,
+        /// Desired cumulative returned units per stage.
+        want_returned_units: Vec<u64>,
+    },
 }
 
 impl Frame {
@@ -472,6 +596,58 @@ impl Frame {
                 for u in &s.utilizations {
                     out.extend_from_slice(&u.to_bits().to_le_bytes());
                 }
+            }
+            Frame::NodeHello {
+                node_id,
+                incarnation,
+                params_fp,
+            } => {
+                out.push(TYPE_NODE_HELLO);
+                out.extend_from_slice(&node_id.to_le_bytes());
+                out.extend_from_slice(&incarnation.to_le_bytes());
+                out.extend_from_slice(&params_fp.to_le_bytes());
+            }
+            Frame::LeaseGrant {
+                node,
+                epoch,
+                incarnation,
+                issued_units,
+                returned_units,
+            } => {
+                debug_assert!(issued_units.len() <= MAX_STAGES);
+                debug_assert_eq!(issued_units.len(), returned_units.len());
+                out.push(TYPE_LEASE_GRANT);
+                out.extend_from_slice(&node.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&incarnation.to_le_bytes());
+                out.extend_from_slice(&(issued_units.len() as u16).to_le_bytes());
+                for u in issued_units {
+                    out.extend_from_slice(&u.to_le_bytes());
+                }
+                for u in returned_units {
+                    out.extend_from_slice(&u.to_le_bytes());
+                }
+            }
+            Frame::LeaseReturn {
+                node,
+                epoch,
+                returned_units,
+            } => {
+                encode_lease_vec(out, TYPE_LEASE_RETURN, *node, *epoch, returned_units);
+            }
+            Frame::LeaseRequest {
+                node,
+                epoch,
+                want_units,
+            } => {
+                encode_lease_vec(out, TYPE_LEASE_REQUEST, *node, *epoch, want_units);
+            }
+            Frame::LeaseSteal {
+                node,
+                epoch,
+                want_returned_units,
+            } => {
+                encode_lease_vec(out, TYPE_LEASE_STEAL, *node, *epoch, want_returned_units);
             }
         }
         let len = (out.len() - len_at - 4) as u32;
@@ -643,6 +819,68 @@ impl Frame {
                     utilizations,
                 }))
             }
+            TYPE_NODE_HELLO => {
+                r.frame = "NodeHello";
+                let node_id = r.u64()?;
+                let incarnation = r.u64()?;
+                let params_fp = r.u64()?;
+                r.finish()?;
+                Ok(Frame::NodeHello {
+                    node_id,
+                    incarnation,
+                    params_fp,
+                })
+            }
+            TYPE_LEASE_GRANT => {
+                r.frame = "LeaseGrant";
+                let node = r.u32()?;
+                let epoch = r.u32()?;
+                let incarnation = r.u64()?;
+                let n = r.count()?;
+                let mut issued_units = Vec::with_capacity(n);
+                for _ in 0..n {
+                    issued_units.push(r.u64()?);
+                }
+                let mut returned_units = Vec::with_capacity(n);
+                for _ in 0..n {
+                    returned_units.push(r.u64()?);
+                }
+                r.finish()?;
+                Ok(Frame::LeaseGrant {
+                    node,
+                    epoch,
+                    incarnation,
+                    issued_units,
+                    returned_units,
+                })
+            }
+            TYPE_LEASE_RETURN => {
+                r.frame = "LeaseReturn";
+                let (node, epoch, returned_units) = r.lease_vec()?;
+                Ok(Frame::LeaseReturn {
+                    node,
+                    epoch,
+                    returned_units,
+                })
+            }
+            TYPE_LEASE_REQUEST => {
+                r.frame = "LeaseRequest";
+                let (node, epoch, want_units) = r.lease_vec()?;
+                Ok(Frame::LeaseRequest {
+                    node,
+                    epoch,
+                    want_units,
+                })
+            }
+            TYPE_LEASE_STEAL => {
+                r.frame = "LeaseSteal";
+                let (node, epoch, want_returned_units) = r.lease_vec()?;
+                Ok(Frame::LeaseSteal {
+                    node,
+                    epoch,
+                    want_returned_units,
+                })
+            }
             other => Err(ProtoError::UnknownType(other)),
         }
     }
@@ -695,6 +933,20 @@ impl Reader<'_> {
             return Err(ProtoError::Malformed(self.frame));
         }
         Ok(n)
+    }
+
+    /// Decodes the shared `node:u32 epoch:u32 count:u16 units:u64×count`
+    /// tail of the single-vector lease frames, consuming the payload.
+    fn lease_vec(&mut self) -> Result<(u32, u32, Vec<u64>), ProtoError> {
+        let node = self.u32()?;
+        let epoch = self.u32()?;
+        let n = self.count()?;
+        let mut units = Vec::with_capacity(n);
+        for _ in 0..n {
+            units.push(self.u64()?);
+        }
+        self.finish()?;
+        Ok((node, epoch, units))
     }
 
     /// The payload must be fully consumed: trailing bytes are an error.
@@ -847,6 +1099,33 @@ mod tests {
         roundtrip(Frame::Heartbeat { nonce: 0xDEAD });
         roundtrip(Frame::HeartbeatAck { nonce: 0xBEEF });
         roundtrip(Frame::StatsRequest);
+        roundtrip(Frame::NodeHello {
+            node_id: 3,
+            incarnation: 9,
+            params_fp: 0xFEED_FACE,
+        });
+        roundtrip(Frame::LeaseGrant {
+            node: 1,
+            epoch: 2,
+            incarnation: 9,
+            issued_units: vec![100, 0, 55],
+            returned_units: vec![40, 0, 0],
+        });
+        roundtrip(Frame::LeaseReturn {
+            node: 1,
+            epoch: 2,
+            returned_units: vec![41, 0, 7],
+        });
+        roundtrip(Frame::LeaseRequest {
+            node: 1,
+            epoch: 2,
+            want_units: vec![150, 10, 55],
+        });
+        roundtrip(Frame::LeaseSteal {
+            node: 4,
+            epoch: 1,
+            want_returned_units: vec![90, 0, 0],
+        });
         roundtrip(Frame::StatsResponse(StatsReport {
             admitted: 1,
             rejected: 2,
@@ -879,6 +1158,30 @@ mod tests {
         assert_eq!(
             Hello::decode(&wrong_version),
             Err(ProtoError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn handshake_accepts_the_whole_negotiable_range() {
+        for version in MIN_VERSION..=VERSION {
+            let hello = Hello { version };
+            assert_eq!(
+                Hello::decode(&hello.encode()),
+                Ok(hello),
+                "hello v{version}"
+            );
+            let ack = HelloAck {
+                version,
+                window: 8,
+                max_frame: MAX_FRAME as u32,
+                server_now_us: 1,
+            };
+            assert_eq!(HelloAck::decode(&ack.encode()), Ok(ack), "ack v{version}");
+        }
+        let too_old = Hello { version: 0 };
+        assert_eq!(
+            Hello::decode(&too_old.encode()),
+            Err(ProtoError::BadVersion(0))
         );
     }
 

@@ -89,6 +89,13 @@ pub struct GatewayConfig {
     pub workers: usize,
     /// Per-connection in-flight admission window advertised at handshake.
     pub window: u16,
+    /// Liveness cutoff: a connection from which nothing — not even a
+    /// [`Frame::Heartbeat`] — has been read for this long is closed,
+    /// releasing every ticket it still holds (the lease/cluster layer
+    /// relies on this to reconcile capacity held by dead peers). `None`
+    /// disables the sweep; traffic of any kind counts as liveness, so
+    /// set it to a few heartbeat intervals.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for GatewayConfig {
@@ -96,6 +103,7 @@ impl Default for GatewayConfig {
         GatewayConfig {
             workers: 2,
             window: 256,
+            idle_timeout: None,
         }
     }
 }
@@ -115,6 +123,7 @@ struct GatewayCounters {
     bad_requests: AtomicU64,
     protocol_errors: AtomicU64,
     backpressure_stalls: AtomicU64,
+    idle_disconnects: AtomicU64,
 }
 
 /// A point-in-time copy of the gateway's transport counters.
@@ -145,6 +154,10 @@ pub struct GatewaySnapshot {
     /// window was full (TCP backpressure engaged). Counted per stall
     /// episode, not per poll cycle.
     pub backpressure_stalls: u64,
+    /// Connections closed by the liveness sweep
+    /// ([`GatewayConfig::idle_timeout`]): nothing read for longer than
+    /// the cutoff. Their tickets were released on close.
+    pub idle_disconnects: u64,
 }
 
 struct Shared {
@@ -188,6 +201,7 @@ impl Shared {
             bad_requests: s.bad_requests.load(Ordering::Relaxed),
             protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
             backpressure_stalls: s.backpressure_stalls.load(Ordering::Relaxed),
+            idle_disconnects: s.idle_disconnects.load(Ordering::Relaxed),
         }
     }
 }
@@ -392,6 +406,11 @@ struct Conn {
     /// The interest currently registered with the reactor; reregistration
     /// happens only when the desired interest differs.
     interest: Interest,
+    /// When bytes were last read off this connection; the liveness sweep
+    /// closes connections whose silence exceeds
+    /// [`GatewayConfig::idle_timeout`]. Any traffic counts — a
+    /// [`Frame::Heartbeat`] is the cheapest way to stay alive.
+    last_heard: Instant,
 }
 
 impl Conn {
@@ -404,6 +423,7 @@ impl Conn {
             greeted: false,
             hello_bytes: Vec::with_capacity(HELLO_LEN),
             interest: Interest::READ,
+            last_heard: Instant::now(),
         }
     }
 }
@@ -498,9 +518,14 @@ fn worker_loop<R, M, C>(
     // Unacknowledged reply bytes allowed per connection before the worker
     // drops its read interest: the window in maximum-size admit responses.
     let reply_cap = cfg.window as usize * 32;
+    // Waking at half the cutoff bounds how late the sweep can notice a
+    // dead connection without costing measurable idle CPU.
+    let wait_timeout = cfg
+        .idle_timeout
+        .map(|t| (t / 2).max(Duration::from_millis(1)));
 
     loop {
-        if reactor.wait(&mut events, None).is_err() {
+        if reactor.wait(&mut events, wait_timeout).is_err() {
             break;
         }
         let stopping = shared.stop.load(Ordering::Acquire);
@@ -544,12 +569,27 @@ fn worker_loop<R, M, C>(
                     ) {
                         continue;
                     }
-                    let conn = slab[slot].take().expect("conn vanished");
-                    let _ = reactor.deregister(reactor_key(&conn.stream, token));
-                    drop(conn); // releases every still-held ticket
-                    free.push(slot);
-                    shared.stats.closed.fetch_add(1, Ordering::Relaxed);
-                    shared.conns_closed(1);
+                    close_conn(shared, &mut reactor, &mut slab, &mut free, slot);
+                }
+            }
+        }
+
+        // Liveness sweep: a connection silent past the cutoff is dead to
+        // us — close it so its tickets release and (for cluster peers)
+        // lease reconciliation can reclaim the capacity it held.
+        if let Some(cutoff) = cfg.idle_timeout {
+            let now = Instant::now();
+            for slot in 0..slab.len() {
+                let idle = match slab[slot].as_ref() {
+                    Some(conn) => now.saturating_duration_since(conn.last_heard),
+                    None => continue,
+                };
+                if idle > cutoff {
+                    shared
+                        .stats
+                        .idle_disconnects
+                        .fetch_add(1, Ordering::Relaxed);
+                    close_conn(shared, &mut reactor, &mut slab, &mut free, slot);
                 }
             }
         }
@@ -562,6 +602,23 @@ fn worker_loop<R, M, C>(
         .closed
         .fetch_add(dropped as u64, Ordering::Relaxed);
     shared.conns_closed(dropped);
+}
+
+/// Closes one slab connection: deregisters it, releases its tickets (by
+/// drop), recycles the slot, and settles the gauges.
+fn close_conn(
+    shared: &Shared,
+    reactor: &mut Reactor,
+    slab: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    slot: usize,
+) {
+    let conn = slab[slot].take().expect("conn vanished");
+    let _ = reactor.deregister(reactor_key(&conn.stream, FIRST_CONN + slot));
+    drop(conn); // releases every still-held ticket
+    free.push(slot);
+    shared.stats.closed.fetch_add(1, Ordering::Relaxed);
+    shared.conns_closed(1);
 }
 
 /// Accepts every pending connection into this worker's slab.
@@ -647,6 +704,7 @@ where
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => return false,
             };
+            conn.last_heard = Instant::now();
             if !ingest(conn, &scratch[..n], service, shared, window, batch) {
                 return false;
             }
@@ -719,10 +777,12 @@ where
         }
         let hello: [u8; HELLO_LEN] = conn.hello_bytes[..].try_into().unwrap();
         match Hello::decode(&hello) {
-            Ok(_) => {
+            Ok(hello) => {
                 conn.greeted = true;
                 let ack = HelloAck {
-                    version: VERSION,
+                    // Negotiate down to what the client speaks; decode
+                    // already rejected anything below MIN_VERSION.
+                    version: hello.version.min(VERSION),
                     window,
                     max_frame: MAX_FRAME as u32,
                     server_now_us: service.clock().now().as_micros(),
@@ -962,7 +1022,17 @@ where
             shared.stats.frames_out.fetch_add(1, Ordering::Relaxed);
             true
         }
-        // Server-to-client frames arriving at the server are violations.
-        Frame::AdmitResponse { .. } | Frame::HeartbeatAck { .. } | Frame::StatsResponse(_) => false,
+        // Server-to-client frames arriving at the server are violations,
+        // and so are cluster lease frames: those belong on a connection
+        // to a lease *coordinator* (`frap-cluster`), not to the admission
+        // gateway.
+        Frame::AdmitResponse { .. }
+        | Frame::HeartbeatAck { .. }
+        | Frame::StatsResponse(_)
+        | Frame::NodeHello { .. }
+        | Frame::LeaseGrant { .. }
+        | Frame::LeaseReturn { .. }
+        | Frame::LeaseRequest { .. }
+        | Frame::LeaseSteal { .. } => false,
     }
 }

@@ -420,6 +420,7 @@ fn slow_reader_backpressure_stops_reads_at_the_window() {
         GatewayConfig {
             workers: 1,
             window: 4,
+            idle_timeout: None,
         },
     )
     .expect("bind");

@@ -714,6 +714,19 @@ where
         out
     }
 
+    /// The aggregate utilization vector read **under the admission
+    /// gate**: no decision can interleave with the read, so the returned
+    /// vector is a consistent cut of the counters. The cluster layer
+    /// uses this to shrink a node's caps safely — lower the caps first,
+    /// then read gated; anything at or below the reading is provably
+    /// still being enforced by the new, smaller caps.
+    pub fn gated_utilizations(&self) -> Vec<f64> {
+        let _gate = self.inner.gate.lock().expect("gate poisoned");
+        let mut out = Vec::with_capacity(self.inner.state.stages());
+        self.inner.state.read_into(&mut out);
+        out
+    }
+
     /// Number of admitted tasks whose deadlines have not yet expired.
     pub fn live_tasks(&self) -> usize {
         (0..self.inner.state.shard_count())
