@@ -1,0 +1,73 @@
+//! Vectorized region-kernel cost versus the exact scalar evaluation
+//! (DESIGN.md §14): `RegionKernel::feasible` (f32 fast path with exact
+//! fallback near the boundary) against `exact_feasible` (the f64 sum the
+//! fast path must reproduce decision-for-decision).
+//!
+//! Two regimes per size: *admit-heavy* vectors sit comfortably inside the
+//! region (the fast path proves feasibility and skips the fallback) and
+//! *reject-heavy* vectors sit clearly outside (the fast path proves
+//! infeasibility). Both are the kernel's fast-exit cases; the boundary
+//! band where it falls back to the exact sum is covered by the
+//! differential battery in `frap-core`, not benchmarked here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frap_core::region::FeasibleRegion;
+use std::hint::black_box;
+
+const SIZES: [usize; 4] = [2, 8, 64, 1024];
+
+/// Per-stage utilization that lands the whole vector inside (admit) or
+/// outside (reject) the unit budget, away from the guard band.
+fn vectors(stages: usize) -> (Vec<f64>, Vec<f64>) {
+    let admit = vec![0.5 / stages as f64; stages];
+    // f(u) ≥ u, so u = 2.5/n per stage pushes the sum past budget 1.
+    let reject = vec![(2.5 / stages as f64).min(0.9); stages];
+    (admit, reject)
+}
+
+fn scalar_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region_kernel_scalar");
+    for stages in SIZES {
+        let region = FeasibleRegion::deadline_monotonic(stages);
+        let kernel = region.kernel();
+        let (admit, reject) = vectors(stages);
+        group.bench_with_input(
+            BenchmarkId::new("admit_heavy", stages),
+            &admit,
+            |b, utils| b.iter(|| black_box(kernel.exact_feasible(black_box(utils)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reject_heavy", stages),
+            &reject,
+            |b, utils| b.iter(|| black_box(kernel.exact_feasible(black_box(utils)))),
+        );
+    }
+    group.finish();
+}
+
+fn vectorized_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region_kernel_vectorized");
+    for stages in SIZES {
+        let region = FeasibleRegion::deadline_monotonic(stages);
+        let kernel = region.kernel();
+        let (admit, reject) = vectors(stages);
+        group.bench_with_input(
+            BenchmarkId::new("admit_heavy", stages),
+            &admit,
+            |b, utils| b.iter(|| black_box(kernel.feasible(black_box(utils)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reject_heavy", stages),
+            &reject,
+            |b, utils| b.iter(|| black_box(kernel.feasible(black_box(utils)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = scalar_exact, vectorized_kernel
+}
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Times the vectorized region kernel against the exact scalar sum and
+//! emits `BENCH_kernel.json` (same hand-rolled JSON shape as the other
+//! `BENCH_*` reports, so `perf_gate --metric checks_per_sec` can gate it).
+//!
+//! For each size in {2, 8, 64, 1024} stages and each regime (admit-heavy
+//! vectors inside the region, reject-heavy vectors outside), the loop
+//! calls `RegionKernel::exact_feasible` (scalar f64 baseline) and
+//! `RegionKernel::feasible` (f32 fast path with exact fallback) enough
+//! times to fill `BENCH_MIN_MILLIS` (default 200) of wall time and
+//! reports ns/op plus the speedup. The headline `checks_per_sec` is the
+//! vectorized kernel's rate on the 8-stage reject-heavy regime — the
+//! shape closest to the service loadgen's admission mix.
+//!
+//! Environment knobs: `BENCH_MIN_MILLIS` (per-cell measurement window),
+//! `BENCH_OUT` (output path, default `BENCH_kernel.json`).
+
+use frap_core::kernel::RegionKernel;
+use frap_core::region::FeasibleRegion;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 4] = [2, 8, 64, 1024];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Admit-heavy (inside) and reject-heavy (outside) vectors for `stages`,
+/// both away from the boundary band so each path takes its fast exit.
+fn vectors(stages: usize) -> (Vec<f64>, Vec<f64>) {
+    let admit = vec![0.5 / stages as f64; stages];
+    let reject = vec![(2.5 / stages as f64).min(0.9); stages];
+    (admit, reject)
+}
+
+/// ns/op of `op` measured over at least `min_millis` of wall time.
+fn time_ns_per_op(min_millis: u64, mut op: impl FnMut() -> bool) -> f64 {
+    // Warm up caches and branch predictors.
+    let mut sink = false;
+    for _ in 0..10_000 {
+        sink ^= op();
+    }
+    let mut iters = 0u64;
+    let mut batch = 100_000u64;
+    let started = Instant::now();
+    loop {
+        for _ in 0..batch {
+            sink ^= op();
+        }
+        iters += batch;
+        let elapsed = started.elapsed();
+        if elapsed.as_millis() as u64 >= min_millis {
+            black_box(sink);
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        batch = batch.saturating_mul(2).min(10_000_000);
+    }
+}
+
+struct Cell {
+    stages: usize,
+    regime: &'static str,
+    scalar_ns: f64,
+    kernel_ns: f64,
+}
+
+fn main() {
+    let min_millis = env_u64("BENCH_MIN_MILLIS", 200);
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_kernel.json".to_string());
+
+    let mut cells = Vec::new();
+    for stages in SIZES {
+        let region = FeasibleRegion::deadline_monotonic(stages);
+        let kernel: RegionKernel = region.kernel();
+        let (admit, reject) = vectors(stages);
+        for (regime, utils) in [("admit_heavy", &admit), ("reject_heavy", &reject)] {
+            let scalar_ns = time_ns_per_op(min_millis, || kernel.exact_feasible(black_box(utils)));
+            let kernel_ns = time_ns_per_op(min_millis, || kernel.feasible(black_box(utils)));
+            println!(
+                "[bench] {stages:>4} stages {regime:<12} scalar {scalar_ns:>8.2} ns/op, \
+                 kernel {kernel_ns:>8.2} ns/op ({:.2}x)",
+                scalar_ns / kernel_ns
+            );
+            cells.push(Cell {
+                stages,
+                regime,
+                scalar_ns,
+                kernel_ns,
+            });
+        }
+    }
+
+    // Headline: vectorized checks/s on the 8-stage reject-heavy cell.
+    let headline = cells
+        .iter()
+        .find(|c| c.stages == 8 && c.regime == "reject_heavy")
+        .expect("8-stage reject-heavy cell");
+    let checks_per_sec = 1e9 / headline.kernel_ns;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"region_kernel\",\n");
+    json.push_str(&format!("  \"min_millis_per_cell\": {min_millis},\n"));
+    json.push_str(&format!("  \"checks_per_sec\": {checks_per_sec:.1},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"stages\": {}, \"regime\": \"{}\", \"scalar_ns_per_op\": {:.2}, \
+             \"kernel_ns_per_op\": {:.2}, \"speedup\": {:.4}}}{comma}\n",
+            c.stages,
+            c.regime,
+            c.scalar_ns,
+            c.kernel_ns,
+            c.scalar_ns / c.kernel_ns
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("[bench] wrote {out_path}");
+}

@@ -54,6 +54,14 @@ fn bucket_upper_bound(idx: usize) -> u64 {
     (1u64 << octave) + (sub + 1) * (1u64 << (octave - SUB_BITS)) - 1
 }
 
+fn bucket_lower_bound(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else {
+        bucket_upper_bound(idx - 1) + 1
+    }
+}
+
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> LatencyHistogram {
@@ -141,6 +149,80 @@ impl LatencyHistogram {
 impl Default for LatencyHistogram {
     fn default() -> Self {
         LatencyHistogram::new()
+    }
+}
+
+/// A [`LatencyHistogram`] recordable from many threads without a lock.
+///
+/// Same buckets and bounded relative error; `record` is a **single**
+/// relaxed atomic increment, so lock-free decision paths can keep latency
+/// accounting without re-introducing the mutex they just avoided (or a
+/// tail of min/max RMWs per sample). The price: min and max are only
+/// known to bucket resolution (≤ 12.5 % wide) rather than exactly, and
+/// [`AtomicLatencyHistogram::count`] sums the buckets instead of reading
+/// one counter. Snapshot into the plain histogram with
+/// [`AtomicLatencyHistogram::merge_into`].
+#[derive(Debug)]
+pub struct AtomicLatencyHistogram {
+    counts: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl AtomicLatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> AtomicLatencyHistogram {
+        AtomicLatencyHistogram {
+            counts: (0..BUCKETS).map(|_| Default::default()).collect(),
+        }
+    }
+
+    /// Records one value (one relaxed `fetch_add`).
+    pub fn record(&self, value: TimeDelta) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.counts[bucket_of(value.as_micros())].fetch_add(1, Relaxed);
+    }
+
+    /// Number of recorded values (sums the buckets; intended for
+    /// snapshot/reporting paths, not per-sample hot loops).
+    pub fn count(&self) -> u64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.counts.iter().map(|c| c.load(Relaxed)).sum()
+    }
+
+    /// Adds this histogram's cumulative contents into `out`, like
+    /// [`LatencyHistogram::merge`] (it does not drain; callers building a
+    /// point-in-time snapshot should merge into a fresh histogram).
+    /// Values recorded concurrently may or may not be included.
+    ///
+    /// `out`'s min/max are widened to the *bucket bounds* of the lowest
+    /// and highest non-empty buckets — within the histogram's ≤ 12.5 %
+    /// relative error, but not exact the way `LatencyHistogram::record`'s
+    /// own extremes are.
+    pub fn merge_into(&self, out: &mut LatencyHistogram) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut total = 0u64;
+        let mut lowest = None;
+        let mut highest = None;
+        for (bucket, count) in self.counts.iter().enumerate() {
+            let c = count.load(Relaxed);
+            if c > 0 {
+                out.counts[bucket] += c;
+                total += c;
+                lowest.get_or_insert(bucket);
+                highest = Some(bucket);
+            }
+        }
+        if total > 0 {
+            out.total += total;
+            let (lo, hi) = (lowest.expect("non-empty"), highest.expect("non-empty"));
+            out.max = out.max.max(TimeDelta::from_micros(bucket_upper_bound(hi)));
+            out.min = out.min.min(TimeDelta::from_micros(bucket_lower_bound(lo)));
+        }
+    }
+}
+
+impl Default for AtomicLatencyHistogram {
+    fn default() -> Self {
+        AtomicLatencyHistogram::new()
     }
 }
 
@@ -252,5 +334,77 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn bad_quantile_panics() {
         LatencyHistogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_the_locked_one() {
+        let atomic = AtomicLatencyHistogram::new();
+        let mut plain = LatencyHistogram::new();
+        let mut x = 1u64;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(48271) % 2_000_000 + 1;
+            atomic.record(us(x));
+            plain.record(us(x));
+        }
+        let mut merged = LatencyHistogram::new();
+        atomic.merge_into(&mut merged);
+        assert_eq!(merged.count(), plain.count());
+        assert_eq!(atomic.count(), plain.count());
+        // Extremes are bucket-resolution (≤ 12.5 % wide), bracketing the
+        // exact ones the locked histogram tracks per sample.
+        assert!(merged.max() >= plain.max());
+        assert!(merged.max().as_micros() as f64 <= plain.max().as_micros() as f64 * 1.26 + 4.0);
+        assert!(merged.min() <= plain.min());
+        assert!(merged.min().as_micros() as f64 >= plain.min().as_micros() as f64 / 1.26 - 4.0);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            // Same buckets, so mid-range percentiles agree except where
+            // the locked histogram clamps to its exact extremes.
+            let (m, p) = (merged.percentile(q), plain.percentile(q));
+            assert!(m >= p, "q={q}");
+            assert!(
+                m.as_micros() as f64 <= p.as_micros() as f64 * 1.26 + 4.0,
+                "q={q}"
+            );
+        }
+        // Merging into a non-empty histogram accumulates.
+        atomic.merge_into(&mut merged);
+        assert_eq!(merged.count(), 2 * plain.count());
+    }
+
+    #[test]
+    fn empty_atomic_merge_is_a_no_op() {
+        let atomic = AtomicLatencyHistogram::new();
+        let mut out = LatencyHistogram::new();
+        out.record(us(5));
+        atomic.merge_into(&mut out);
+        assert_eq!(out.count(), 1);
+        assert_eq!(out.min(), us(5));
+    }
+
+    #[test]
+    fn atomic_histogram_is_thread_safe() {
+        let atomic = std::sync::Arc::new(AtomicLatencyHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&atomic);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(us(t * 1_000 + i % 97));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let mut out = LatencyHistogram::new();
+        atomic.merge_into(&mut out);
+        assert_eq!(out.count(), 40_000);
+        assert_eq!(out.min(), us(0), "bucket 0 is exact");
+        let max = out.max().as_micros();
+        assert!(
+            (3_096..=3_584).contains(&max),
+            "bucket-resolution max: {max}"
+        );
     }
 }

@@ -90,6 +90,7 @@ pub mod delay;
 pub mod error;
 pub mod graph;
 pub mod hist;
+pub mod kernel;
 pub mod lease;
 pub mod region;
 pub mod rta;

@@ -25,6 +25,7 @@ use crate::alpha::Alpha;
 use crate::delay::{stage_delay_factor, stage_delay_factor_inverse};
 use crate::error::RegionError;
 use crate::graph::TaskGraph;
+use crate::kernel::{FastVerdict, RegionKernel};
 
 /// A feasible region for an `N`-stage system: the set of synthetic
 /// utilization vectors under which every admitted task meets its
@@ -46,26 +47,35 @@ pub struct FeasibleRegion {
     stages: usize,
     alpha: Alpha,
     blocking: Vec<f64>,
+    /// `α (1 − Σβ)` cached at construction so the per-decision hot path
+    /// ([`RegionTest::feasible`] via [`RegionKernel`]) never re-sums the
+    /// blocking vector. Recomputed by [`FeasibleRegion::with_blocking`]
+    /// with the same expression [`FeasibleRegion::budget`] always used.
+    budget: f64,
+}
+
+fn compute_budget(alpha: Alpha, blocking: &[f64]) -> f64 {
+    let beta_sum: f64 = blocking.iter().sum();
+    (alpha.value() * (1.0 - beta_sum)).max(0.0)
 }
 
 impl FeasibleRegion {
     /// The region for deadline-monotonic scheduling of independent tasks
     /// (`α = 1`, no blocking): Equation (13).
     pub fn deadline_monotonic(stages: usize) -> FeasibleRegion {
-        FeasibleRegion {
-            stages,
-            alpha: Alpha::DEADLINE_MONOTONIC,
-            blocking: vec![0.0; stages],
-        }
+        FeasibleRegion::with_alpha(stages, Alpha::DEADLINE_MONOTONIC)
     }
 
     /// The region for an arbitrary fixed-priority policy with
     /// urgency-inversion parameter `alpha`: Equation (12).
     pub fn with_alpha(stages: usize, alpha: Alpha) -> FeasibleRegion {
+        let blocking = vec![0.0; stages];
+        let budget = compute_budget(alpha, &blocking);
         FeasibleRegion {
             stages,
             alpha,
-            blocking: vec![0.0; stages],
+            blocking,
+            budget,
         }
     }
 
@@ -96,6 +106,7 @@ impl FeasibleRegion {
             return Err(RegionError::InvalidBlocking { value: sum });
         }
         self.blocking = blocking;
+        self.budget = compute_budget(self.alpha, &self.blocking);
         Ok(self)
     }
 
@@ -117,8 +128,13 @@ impl FeasibleRegion {
     /// The right-hand side of the pipeline inequality:
     /// `α (1 − Σ_j β_j)`.
     pub fn budget(&self) -> f64 {
-        let beta_sum: f64 = self.blocking.iter().sum();
-        (self.alpha.value() * (1.0 - beta_sum)).max(0.0)
+        self.budget
+    }
+
+    /// The vectorized fast-path kernel for this region's pipeline test
+    /// (see [`crate::kernel`]): stage count plus the cached budget.
+    pub fn kernel(&self) -> RegionKernel {
+        RegionKernel::new(self.stages, self.budget)
     }
 
     /// The left-hand side of the pipeline inequality: `Σ_j f(U_j)`.
@@ -255,10 +271,29 @@ impl RegionTest for FeasibleRegion {
         self.stages
     }
 
-    /// The pipeline-form test `Σ f(U_j) ≤ α(1 − Σβ)`.
+    /// The pipeline-form test `Σ f(U_j) ≤ α(1 − Σβ)`, routed through the
+    /// vectorized [`RegionKernel`]: definitive fast verdicts are returned
+    /// directly (they provably match the exact test); near-boundary and
+    /// ineligible vectors fall back to the exact, validating
+    /// [`FeasibleRegion::contains`] path. Pipelines shorter than the
+    /// measured crossover skip the kernel entirely (see
+    /// [`crate::kernel::SCALAR_CUTOVER`]) — the guard-band bookkeeping
+    /// costs more than the exact sum there.
+    /// Decision-for-decision identical to calling `contains` alone
+    /// (`tests/kernel_differential.rs`).
     fn feasible(&self, utilizations: &[f64]) -> bool {
-        self.contains(utilizations)
-            .expect("well-formed utilization vector")
+        if utilizations.len() < crate::kernel::SCALAR_CUTOVER {
+            return self
+                .contains(utilizations)
+                .expect("well-formed utilization vector");
+        }
+        match self.kernel().classify(utilizations) {
+            FastVerdict::Feasible => true,
+            FastVerdict::Infeasible => false,
+            FastVerdict::NearBoundary | FastVerdict::Ineligible => self
+                .contains(utilizations)
+                .expect("well-formed utilization vector"),
+        }
     }
 }
 

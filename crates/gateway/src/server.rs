@@ -906,6 +906,7 @@ fn resolve_admits<R, M, C>(
             .map(|(spec, &idx)| BatchRequest {
                 spec,
                 allow_shed: batch.pending[idx].allow_shed,
+                shard: None,
             })
             .collect();
         service.admit_batch_into(&requests, &mut batch.outcomes);

@@ -18,17 +18,36 @@ use std::time::Instant;
 pub trait Clock: Send + Sync {
     /// The current time.
     fn now(&self) -> Time;
+
+    /// The current time, given an [`Instant`] the caller already sampled
+    /// a moment ago. Wall-clock implementations can convert the hint
+    /// instead of issuing a second system clock read; virtual clocks
+    /// ignore it. The default just calls [`Clock::now`]. The hint must
+    /// not be from the future; results may be up to "now − hint" stale,
+    /// which callers on the hot path accept by construction (they took
+    /// the hint at entry, nanoseconds ago).
+    fn now_with_hint(&self, _hint: Instant) -> Time {
+        self.now()
+    }
 }
 
 impl<C: Clock + ?Sized> Clock for &C {
     fn now(&self) -> Time {
         (**self).now()
     }
+
+    fn now_with_hint(&self, hint: Instant) -> Time {
+        (**self).now_with_hint(hint)
+    }
 }
 
 impl<C: Clock + ?Sized> Clock for std::sync::Arc<C> {
     fn now(&self) -> Time {
         (**self).now()
+    }
+
+    fn now_with_hint(&self, hint: Instant) -> Time {
+        (**self).now_with_hint(hint)
     }
 }
 
@@ -57,6 +76,12 @@ impl Default for MonotonicClock {
 impl Clock for MonotonicClock {
     fn now(&self) -> Time {
         Time::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn now_with_hint(&self, hint: Instant) -> Time {
+        // Saves a system clock read on the decision fast path; the hint
+        // was sampled after `epoch`, so the subtraction is well-defined.
+        Time::from_micros(hint.duration_since(self.epoch).as_micros() as u64)
     }
 }
 
@@ -133,5 +158,17 @@ mod tests {
         let a = c.now();
         let b = c.now();
         assert!(a <= b);
+    }
+
+    #[test]
+    fn hinted_reads_interleave_monotonically_with_plain_reads() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        let hinted = c.now_with_hint(Instant::now());
+        let b = c.now();
+        assert!(a <= hinted && hinted <= b);
+        // Manual clocks ignore the hint entirely.
+        let m = ManualClock::starting_at(Time::from_micros(42));
+        assert_eq!(m.now_with_hint(Instant::now()), Time::from_micros(42));
     }
 }

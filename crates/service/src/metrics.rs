@@ -22,6 +22,8 @@ pub struct ServiceCounters {
     released: AtomicU64,
     expired: AtomicU64,
     expired_on_arrival: AtomicU64,
+    fast_rejected: AtomicU64,
+    seqlock_fallbacks: AtomicU64,
 }
 
 impl ServiceCounters {
@@ -53,15 +55,32 @@ impl ServiceCounters {
         self.expired_on_arrival.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts a lock-free fast-path rejection. The decision is *not* also
+    /// added to `rejected` here — the fast path pays exactly one atomic
+    /// RMW per decision — `snapshot` folds the two together so
+    /// [`CounterSnapshot::rejected`] still covers every rejection.
+    pub(crate) fn add_fast_rejected(&self) {
+        self.fast_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_seqlock_fallback(&self) {
+        self.seqlock_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> CounterSnapshot {
+        let fast_rejected = self.fast_rejected.load(Ordering::Relaxed);
         CounterSnapshot {
             admitted: self.admitted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
+            // The locked path and the fast path keep separate tallies so
+            // each decision costs one RMW; `rejected` reports their sum.
+            rejected: self.rejected.load(Ordering::Relaxed) + fast_rejected,
             shed: self.shed.load(Ordering::Relaxed),
             released: self.released.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             expired_on_arrival: self.expired_on_arrival.load(Ordering::Relaxed),
+            fast_rejected,
+            seqlock_fallbacks: self.seqlock_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -85,6 +104,13 @@ pub struct CounterSnapshot {
     /// [`note_expired_on_arrival`](crate::AdmissionService::note_expired_on_arrival);
     /// they never touch the shards and are not counted as decisions).
     pub expired_on_arrival: u64,
+    /// The subset of `rejected` concluded by the lock-free reject fast
+    /// path (DESIGN.md §14) without taking a shard mutex or the gate.
+    pub fast_rejected: u64,
+    /// Fast-path attempts that observed a torn seqlock snapshot and fell
+    /// back to the locked decision path. Diagnostic only — fallbacks cost
+    /// a retry through the slow path, never a wrong verdict.
+    pub seqlock_fallbacks: u64,
 }
 
 impl CounterSnapshot {
@@ -134,6 +160,14 @@ impl MetricsSnapshot {
 /// Records a decision duration into a nanosecond-valued histogram.
 pub(crate) fn record_ns(hist: &mut LatencyHistogram, elapsed: std::time::Duration) {
     // The histogram's tick is reinterpreted as 1 ns (module docs).
+    hist.record(TimeDelta::from_micros(elapsed.as_nanos() as u64));
+}
+
+/// [`record_ns`] for the lock-free fast path's shared atomic histogram.
+pub(crate) fn record_ns_atomic(
+    hist: &frap_core::hist::AtomicLatencyHistogram,
+    elapsed: std::time::Duration,
+) {
     hist.record(TimeDelta::from_micros(elapsed.as_nanos() as u64));
 }
 
@@ -198,15 +232,21 @@ mod tests {
         c.add_released();
         c.add_expired(2);
         c.add_expired_on_arrival();
+        c.add_fast_rejected();
+        c.add_seqlock_fallback();
         let s = c.snapshot();
         assert_eq!(s.admitted, 2);
-        assert_eq!(s.rejected, 1);
+        // One locked rejection plus one fast-path rejection: `rejected`
+        // reports the sum, `fast_rejected` the lock-free subset.
+        assert_eq!(s.rejected, 2);
         assert_eq!(s.shed, 3);
         assert_eq!(s.released, 1);
         assert_eq!(s.expired, 2);
         assert_eq!(s.expired_on_arrival, 1);
-        assert_eq!(s.decisions(), 3);
-        assert!((s.acceptance_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.fast_rejected, 1);
+        assert_eq!(s.seqlock_fallbacks, 1);
+        assert_eq!(s.decisions(), 4);
+        assert!((s.acceptance_ratio() - 2.0 / 4.0).abs() < 1e-12);
     }
 
     #[test]

@@ -23,11 +23,13 @@
 //! concurrency tests hammer on).
 
 use crate::clock::{Clock, MonotonicClock};
-use crate::metrics::{record_ns, CounterSnapshot, MetricsSnapshot, ServiceCounters};
+use crate::metrics::{
+    record_ns, record_ns_atomic, CounterSnapshot, MetricsSnapshot, ServiceCounters,
+};
 use crate::shard::{LiveEntry, Shard, ShardedUtilization};
 use frap_core::admission::{tentative_feasible, ContributionModel};
 use frap_core::graph::TaskSpec;
-use frap_core::hist::LatencyHistogram;
+use frap_core::hist::{AtomicLatencyHistogram, LatencyHistogram};
 use frap_core::region::RegionTest;
 use frap_core::task::StageId;
 use frap_core::time::Time;
@@ -59,15 +61,32 @@ pub struct BatchRequest<'a> {
     /// Section 5 overload path, as in
     /// [`AdmissionService::try_admit_or_shed`]).
     pub allow_shed: bool,
+    /// Shard to book an admission on (reduced modulo the service's shard
+    /// count); `None` routes to the calling thread's home shard. Callers
+    /// that presort a batch by shard let a run lock each distinct shard
+    /// once instead of once per decision.
+    pub shard: Option<usize>,
 }
 
 impl<'a> BatchRequest<'a> {
-    /// A plain (non-shedding) admission request.
+    /// A plain (non-shedding) admission request on the home shard.
     pub fn new(spec: &'a TaskSpec) -> BatchRequest<'a> {
         BatchRequest {
             spec,
             allow_shed: false,
+            shard: None,
         }
+    }
+
+    /// Routes this request's bookkeeping to a specific shard. The
+    /// decision itself is unchanged (the region test is global); only the
+    /// admitted entry's owning shard — and thus which mutex its releases
+    /// and deadline decrements take — moves. Equivalent to
+    /// [`AdmissionService::try_admit`] called from a thread whose home
+    /// shard is `shard % shards`.
+    pub fn on_shard(mut self, shard: usize) -> Self {
+        self.shard = Some(shard);
+        self
     }
 }
 
@@ -187,6 +206,12 @@ struct Inner<R, M, C> {
     counters: ServiceCounters,
     next_id: AtomicU64,
     draining: AtomicBool,
+    /// Latency samples for decisions concluded on the lock-free reject
+    /// fast path (which holds no shard mutex to record through).
+    fast_latency: AtomicLatencyHistogram,
+    /// Whether the lock-free reject fast path is enabled (builder knob;
+    /// the oracle-replay tests disable it to get the pure locked path).
+    fast_path: bool,
 }
 
 impl<R, M, C> std::fmt::Debug for Inner<R, M, C>
@@ -211,6 +236,7 @@ pub struct AdmissionServiceBuilder<R, M, C = MonotonicClock> {
     clock: C,
     shards: usize,
     reservations: Option<Vec<f64>>,
+    fast_path: bool,
 }
 
 impl<R: RegionTest, M: ContributionModel> AdmissionServiceBuilder<R, M, MonotonicClock> {
@@ -226,6 +252,7 @@ impl<R: RegionTest, M: ContributionModel> AdmissionServiceBuilder<R, M, Monotoni
             clock: MonotonicClock::new(),
             shards,
             reservations: None,
+            fast_path: true,
         }
     }
 }
@@ -240,7 +267,17 @@ impl<R: RegionTest, M: ContributionModel, C: Clock> AdmissionServiceBuilder<R, M
             clock,
             shards: self.shards,
             reservations: self.reservations,
+            fast_path: self.fast_path,
         }
+    }
+
+    /// Enables or disables the lock-free reject fast path (default:
+    /// enabled). Disabling forces every decision through the locked path
+    /// — the serial-oracle replay tests build one twin each way and
+    /// assert decision-for-decision identical outcomes.
+    pub fn fast_path(mut self, enabled: bool) -> Self {
+        self.fast_path = enabled;
+        self
     }
 
     /// Sets the shard count (use 1 for bit-exact agreement with the
@@ -292,6 +329,8 @@ impl<R: RegionTest, M: ContributionModel, C: Clock> AdmissionServiceBuilder<R, M
                 counters: ServiceCounters::default(),
                 next_id: AtomicU64::new(0),
                 draining: AtomicBool::new(false),
+                fast_latency: AtomicLatencyHistogram::new(),
+                fast_path: self.fast_path,
             }),
         }
     }
@@ -367,12 +406,27 @@ where
     /// Attempts to admit `spec`, arriving now. Returns a ticket on
     /// admission or `None` (counting a rejection) if charging the task
     /// would leave the feasible region.
+    ///
+    /// Pure rejections usually resolve on a **lock-free fast path**
+    /// (DESIGN.md §14): when the home shard's timer wheel has nothing due
+    /// and an untorn seqlock snapshot of the utilization vector already
+    /// proves the arrival infeasible, the decision needs no shard mutex
+    /// and no gate. The fast path never admits — any possibly-feasible
+    /// reading falls through to the locked path below, so its verdicts
+    /// are decision-for-decision identical to the locked ones.
     pub fn try_admit(&self, spec: &TaskSpec) -> Option<AdmissionTicket> {
         let started = Instant::now();
         let inner = &*self.inner;
         if inner.draining.load(Ordering::Acquire) {
             inner.counters.add_rejected();
             return None;
+        }
+        if inner.fast_path {
+            let now = inner.clock.now_with_hint(started);
+            if self.fast_reject_at(now, spec, self.home_shard()) {
+                record_ns_atomic(&inner.fast_latency, started.elapsed());
+                return None;
+            }
         }
         let shard_idx = self.home_shard();
         let mut shard = self.lock_shard(shard_idx);
@@ -530,8 +584,21 @@ where
 
     /// [`AdmissionService::admit_batch`] into a caller-owned buffer, so a
     /// steady-state caller (the gateway worker loop) allocates nothing per
-    /// batch. Outcomes are appended in request order.
+    /// batch beyond shard-guard bookkeeping. Outcomes are appended in
+    /// request order.
+    ///
+    /// The clock is read **once per batch**, before any lock (the
+    /// one-clock-read regression test pins this): every non-shedding run
+    /// in the batch decides at the same instant, and `expire_due` clamps
+    /// to each wheel's cursor so the hoisted reading can never rewind a
+    /// wheel another thread advanced meanwhile. Shedding requests go
+    /// through [`AdmissionService::try_admit_or_shed`], which takes every
+    /// shard lock and therefore re-reads the clock itself.
     pub fn admit_batch_into(&self, requests: &[BatchRequest<'_>], out: &mut Vec<ServiceOutcome>) {
+        if requests.is_empty() {
+            return;
+        }
+        let now = self.inner.clock.now();
         let mut i = 0;
         while i < requests.len() {
             if requests[i].allow_shed {
@@ -542,15 +609,17 @@ where
                 while j < requests.len() && !requests[j].allow_shed {
                     j += 1;
                 }
-                self.admit_run(&requests[i..j], out);
+                self.admit_run(now, &requests[i..j], out);
                 i = j;
             }
         }
     }
 
-    /// One contiguous non-shedding run: single clock read, single home
-    /// shard lock, single gate hold.
-    fn admit_run(&self, run: &[BatchRequest<'_>], out: &mut Vec<ServiceOutcome>) {
+    /// One contiguous non-shedding run at one instant: a lock-free prefix
+    /// of pure rejections, then one lock acquisition per *distinct*
+    /// target shard (ascending) and one gate hold for every remaining
+    /// decision.
+    fn admit_run(&self, now: Time, run: &[BatchRequest<'_>], out: &mut Vec<ServiceOutcome>) {
         let started = Instant::now();
         let inner = &*self.inner;
         if inner.draining.load(Ordering::Acquire) {
@@ -560,20 +629,102 @@ where
             }
             return;
         }
-        let shard_idx = self.home_shard();
-        let mut shard = self.lock_shard(shard_idx);
-        // Clock read AFTER the lock, exactly as in `try_admit`: any earlier
-        // wheel advance happened-before this read.
-        let now = inner.clock.now();
-        let expired = inner.state.expire_due(&mut shard, now);
-        if expired > 0 {
-            inner.counters.add_expired(expired);
+        let home = self.home_shard();
+        let count = inner.state.shard_count();
+        let target_of = |req: &BatchRequest<'_>| req.shard.map_or(home, |s| s % count);
+
+        // Lock-free prefix: leading requests the seqlock snapshot already
+        // proves infeasible reject without any lock, exactly as
+        // `try_admit`'s fast path would decide them one by one. The first
+        // request that *might* fit (or a torn snapshot) ends the prefix;
+        // everything after it is decided under locks, because an admit
+        // changes the vector the snapshot was taken against.
+        let mut fast = 0;
+        if inner.fast_path {
+            while fast < run.len() {
+                let req = &run[fast];
+                if !self.fast_reject_at(now, req.spec, target_of(req)) {
+                    break;
+                }
+                out.push(ServiceOutcome::Rejected);
+                fast += 1;
+            }
+        }
+        let locked_run = &run[fast..];
+        if locked_run.is_empty() {
+            let per = started.elapsed() / fast as u32;
+            for _ in 0..fast {
+                record_ns_atomic(&inner.fast_latency, per);
+            }
+            return;
         }
 
+        // Uniform-target runs — untargeted batches, i.e. almost every
+        // real caller — skip the distinct-set bookkeeping (three heap
+        // allocations, a sort, and two binary searches per decision) and
+        // run the single-shard loop directly.
+        let first_target = target_of(&locked_run[0]);
+        if locked_run.iter().all(|r| target_of(r) == first_target) {
+            let mut shard = self.lock_shard(first_target);
+            let expired = inner.state.expire_due(&mut shard, now);
+            if expired > 0 {
+                inner.counters.add_expired(expired);
+            }
+            SCRATCH.with(|scratch| {
+                let (contrib, current, tentative) = &mut *scratch.borrow_mut();
+                let _gate = inner.gate.lock().expect("gate poisoned");
+                for req in locked_run {
+                    contrib.clear();
+                    inner.model.contributions_into(req.spec, contrib);
+                    // Floors were pinned by the first iteration's read;
+                    // later iterations re-read because this run's own
+                    // charges moved the vector.
+                    inner.state.pin_and_read_into(current);
+                    if tentative_feasible(&inner.region, current, contrib, tentative) {
+                        inner.state.charge(contrib);
+                        let ticket = self.commit(&mut shard, first_target, now, req.spec, contrib);
+                        out.push(ServiceOutcome::Admitted(ticket));
+                    } else {
+                        inner.counters.add_rejected();
+                        out.push(ServiceOutcome::Rejected);
+                    }
+                }
+            });
+            let per = started.elapsed() / run.len() as u32;
+            for _ in 0..fast {
+                record_ns_atomic(&inner.fast_latency, per);
+            }
+            for _ in locked_run {
+                record_ns(&mut shard.latency, per);
+            }
+            return;
+        }
+
+        // Distinct target shards, locked in ascending order; the gate
+        // still comes last, preserving the global lock order.
+        let mut distinct: Vec<usize> = locked_run.iter().map(&target_of).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut guards: Vec<MutexGuard<'_, Shard>> =
+            distinct.iter().map(|&i| self.lock_shard(i)).collect();
+
+        // Each shard's wheel is drained at its first decision, matching
+        // the order a sequence of single `try_admit` calls would apply
+        // decrements in.
+        let mut drained = vec![false; distinct.len()];
+        let mut expired = 0;
         SCRATCH.with(|scratch| {
             let (contrib, current, tentative) = &mut *scratch.borrow_mut();
             let _gate = inner.gate.lock().expect("gate poisoned");
-            for req in run {
+            for req in locked_run {
+                let target = target_of(req);
+                let g = distinct
+                    .binary_search(&target)
+                    .expect("target was collected");
+                if !drained[g] {
+                    drained[g] = true;
+                    expired += inner.state.expire_due(&mut guards[g], now);
+                }
                 contrib.clear();
                 inner.model.contributions_into(req.spec, contrib);
                 // Floors were pinned by the first iteration's read; later
@@ -582,7 +733,7 @@ where
                 inner.state.pin_and_read_into(current);
                 if tentative_feasible(&inner.region, current, contrib, tentative) {
                     inner.state.charge(contrib);
-                    let ticket = self.commit(&mut shard, shard_idx, now, req.spec, contrib);
+                    let ticket = self.commit(&mut guards[g], target, now, req.spec, contrib);
                     out.push(ServiceOutcome::Admitted(ticket));
                 } else {
                     inner.counters.add_rejected();
@@ -590,14 +741,20 @@ where
                 }
             }
         });
+        if expired > 0 {
+            inner.counters.add_expired(expired);
+        }
 
         // One wall-clock measurement spread across the run so the latency
-        // histogram still holds one sample per decision.
-        if !run.is_empty() {
-            let per = started.elapsed() / run.len() as u32;
-            for _ in run {
-                record_ns(&mut shard.latency, per);
-            }
+        // histograms still hold one sample per decision, each recorded
+        // against the path (and shard) that decided it.
+        let per = started.elapsed() / run.len() as u32;
+        for _ in 0..fast {
+            record_ns_atomic(&inner.fast_latency, per);
+        }
+        for req in locked_run {
+            let g = distinct.binary_search(&target_of(req)).expect("collected");
+            record_ns(&mut guards[g].latency, per);
         }
     }
 
@@ -749,6 +906,10 @@ where
             latency.merge(&shard.latency);
             live += shard.entries.len();
         }
+        // Decisions concluded lock-free recorded their latency in the
+        // shared atomic histogram; fold it in so histogram counts still
+        // equal decision counts.
+        self.inner.fast_latency.merge_into(&mut latency);
         MetricsSnapshot {
             counters: self.inner.counters.snapshot(),
             decision_latency: latency,
@@ -778,6 +939,44 @@ where
             inner.region.feasible(&current),
             "aggregate utilization {current:?} left the feasible region"
         );
+    }
+
+    /// Tries to conclude "reject" for `spec` without any lock. Returns
+    /// `true` (after counting the rejection) only when both hold:
+    ///
+    /// * shard `target`'s next-due hint is after `now`, so the drain a
+    ///   locked decision would perform first is provably a no-op — the
+    ///   snapshot cannot be missing a deadline decrement the locked path
+    ///   would have applied;
+    /// * an untorn seqlock snapshot of the utilization vector (the same
+    ///   values `pin_and_read_into` yields, read-only) proves `spec`
+    ///   infeasible.
+    ///
+    /// Anything else — hint expired, torn snapshot, or a feasible-looking
+    /// vector — returns `false` and the caller takes the locked path, so
+    /// this path can only ever produce rejections the locked path would
+    /// also produce, never an admit and never a divergent reject.
+    fn fast_reject_at(&self, now: Time, spec: &TaskSpec, target: usize) -> bool {
+        let inner = &*self.inner;
+        if now.as_micros() >= inner.state.shard_next_due(target) {
+            return false;
+        }
+        SCRATCH.with(|scratch| {
+            let (contrib, current, tentative) = &mut *scratch.borrow_mut();
+            contrib.clear();
+            inner.model.contributions_into(spec, contrib);
+            if !inner.state.snapshot_into(current) {
+                inner.counters.add_seqlock_fallback();
+                return false;
+            }
+            if tentative_feasible(&inner.region, current, contrib, tentative) {
+                return false;
+            }
+            // One RMW covers the decision: `fast_rejected` is folded into
+            // the reported `rejected` total at snapshot time.
+            inner.counters.add_fast_rejected();
+            true
+        })
     }
 
     fn home_shard(&self) -> usize {
@@ -816,6 +1015,9 @@ where
         );
         shard.wheel.insert(expiry, id);
         shard.by_importance.insert((spec.importance, id));
+        // Publish the deadline to the lock-free path's next-due hint so
+        // fast rejects stop as soon as this entry's decrement comes due.
+        inner.state.note_deadline(shard_idx, expiry);
         inner.counters.add_admitted();
         AdmissionTicket {
             sink: Some(Arc::clone(&self.inner) as Arc<dyn TicketSink>),
@@ -1179,6 +1381,7 @@ mod tests {
             BatchRequest {
                 spec: &spec,
                 allow_shed: true,
+                shard: None,
             },
             BatchRequest::new(&spec),
         ]);
@@ -1203,6 +1406,7 @@ mod tests {
             BatchRequest {
                 spec: &vip,
                 allow_shed: true,
+                shard: None,
             },
         ]);
         assert!(matches!(outcomes[0], ServiceOutcome::Rejected));

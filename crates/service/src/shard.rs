@@ -28,6 +28,24 @@
 //! * Exactly-once removal is enforced by `HashMap::remove` on the entry
 //!   map: whichever of {deadline expiry, release, shed} wins removes the
 //!   entry; the others observe its absence and do nothing.
+//!
+//! On top of the rules above, two lock-free aids power the service's
+//! reject fast path (DESIGN.md §14):
+//!
+//! * **Seqlock over additions.** A global sequence counter is bumped to
+//!   odd before a charge's first add and to even after its last.
+//!   [`ShardedUtilization::snapshot_into`] reads the utilization vector
+//!   without any lock and reports whether the read was torn (the counter
+//!   was odd, or changed across the read). Reductions deliberately do
+//!   *not* bump the counter: a snapshot missing a concurrent reduction is
+//!   merely stale-high, which the monotone region test turns into a
+//!   conservative (reject-only) answer.
+//! * **Per-shard next-due hints.** Each shard publishes a lower bound on
+//!   its earliest pending deadline decrement. A reader that observes
+//!   `now < hint` knows a locked decision on that shard would drain
+//!   nothing from its wheel, so skipping the drain cannot change the
+//!   verdict. Commits lower the hint with `fetch_min`; drains refresh it
+//!   from the wheel under the shard lock.
 
 use crate::wheel::TimerWheel;
 use frap_core::hist::LatencyHistogram;
@@ -36,6 +54,15 @@ use frap_core::time::Time;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Largest wheel population for which a consumed next-due hint is
+/// refreshed by an exact [`TimerWheel::earliest`] scan; above it the
+/// refresh falls back to the `now + 1` lower bound (see
+/// [`ShardedUtilization::expire_due`]). 512 entries keeps the scan under
+/// a few microseconds and is an order of magnitude above the live-task
+/// population of reject-dominated steady states, the only regime where
+/// the lock-free reject path needs a far-future hint.
+const HINT_SCAN_LIMIT: usize = 512;
 
 /// An `f64` stored in an `AtomicU64` by bit pattern, with CAS-loop add.
 #[derive(Debug, Default)]
@@ -114,6 +141,9 @@ pub struct Shard {
     pub latency: LatencyHistogram,
     /// Scratch buffer for wheel drains.
     drained: Vec<(Time, u64)>,
+    /// This shard's index in the owning [`ShardedUtilization`], so a
+    /// locked drain can refresh the matching next-due hint.
+    index: usize,
 }
 
 /// Per-stage synthetic-utilization counters sharded across worker threads.
@@ -124,6 +154,11 @@ pub struct ShardedUtilization {
     totals: Vec<CachePadded<AtomicF64>>,
     /// Number of live contributions per stage.
     live: Vec<CachePadded<AtomicUsize>>,
+    /// Seqlock over additions: odd while a charge is in flight.
+    seq: CachePadded<AtomicU64>,
+    /// Per-shard lower bound (µs) on the earliest pending deadline
+    /// decrement; `u64::MAX` when the shard's wheel is known empty.
+    next_due: Vec<CachePadded<AtomicU64>>,
     shards: Vec<Mutex<Shard>>,
 }
 
@@ -152,14 +187,19 @@ impl ShardedUtilization {
                 .map(|_| CachePadded(AtomicF64::new(0.0)))
                 .collect(),
             live: floors.iter().map(|_| CachePadded::default()).collect(),
+            seq: CachePadded(AtomicU64::new(0)),
+            next_due: (0..shards)
+                .map(|_| CachePadded(AtomicU64::new(u64::MAX)))
+                .collect(),
             shards: (0..shards)
-                .map(|_| {
+                .map(|index| {
                     Mutex::new(Shard {
                         entries: HashMap::new(),
                         wheel: TimerWheel::new(start),
                         by_importance: BTreeSet::new(),
                         latency: LatencyHistogram::new(),
                         drained: Vec::new(),
+                        index,
                     })
                 })
                 .collect(),
@@ -221,12 +261,76 @@ impl ShardedUtilization {
     }
 
     /// Charges an arrival's contributions. **Caller must hold the
-    /// admission gate** — additions are only legal under the gate.
+    /// admission gate** — additions are only legal under the gate, which
+    /// is also what makes the single seqlock writer-side safe (no two
+    /// charges are ever concurrent).
     pub fn charge(&self, contributions: &[(StageId, f64)]) {
+        self.seq.0.fetch_add(1, Ordering::SeqCst); // odd: charge in flight
         for &(stage, amount) in contributions {
             self.totals[stage.index()].0.fetch_add(amount);
             self.live[stage.index()].0.fetch_add(1, Ordering::SeqCst);
         }
+        self.seq.0.fetch_add(1, Ordering::SeqCst); // even: charge visible
+    }
+
+    /// A charge that pauses between the first stage's add and the rest,
+    /// so the torn-read test can deterministically catch a reader mid
+    /// charge. Same seqlock protocol as [`ShardedUtilization::charge`].
+    #[cfg(test)]
+    pub fn torn_charge_for_test(&self, contributions: &[(StageId, f64)], pause: impl FnOnce()) {
+        self.seq.0.fetch_add(1, Ordering::SeqCst);
+        let (first, rest) = contributions.split_first().expect("non-empty charge");
+        self.totals[first.0.index()].0.fetch_add(first.1);
+        self.live[first.0.index()].0.fetch_add(1, Ordering::SeqCst);
+        pause();
+        for &(stage, amount) in rest {
+            self.totals[stage.index()].0.fetch_add(amount);
+            self.live[stage.index()].0.fetch_add(1, Ordering::SeqCst);
+        }
+        self.seq.0.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Lock-free utilization snapshot for the reject fast path. Reads the
+    /// same per-stage values [`ShardedUtilization::pin_and_read_into`]
+    /// would produce — stages with no live contributions read as exactly
+    /// the floor — but **without writing** the pin back and without any
+    /// lock. Returns `false` (leaving `out` unspecified) when the seqlock
+    /// shows a charge in flight or completed mid-read; the caller must
+    /// then fall back to the locked path.
+    ///
+    /// Reductions do not participate in the seqlock, so a "clean" snapshot
+    /// may still be missing concurrent subtractions — i.e. it is
+    /// stale-*high*, which the monotone region test renders conservative:
+    /// only safe-to-make rejections may be concluded from it.
+    pub fn snapshot_into(&self, out: &mut Vec<f64>) -> bool {
+        let s1 = self.seq.0.load(Ordering::SeqCst);
+        if s1 & 1 == 1 {
+            return false;
+        }
+        out.clear();
+        for ((total, live), &floor) in self.totals.iter().zip(&self.live).zip(&self.floors) {
+            if live.0.load(Ordering::SeqCst) == 0 {
+                out.push(floor);
+            } else {
+                out.push(floor + total.0.load().max(0.0));
+            }
+        }
+        self.seq.0.load(Ordering::SeqCst) == s1
+    }
+
+    /// Lowers shard `index`'s next-due hint to `expiry` if it is earlier.
+    /// Called on every commit, after the entry is inserted in the wheel.
+    pub fn note_deadline(&self, index: usize, expiry: Time) {
+        self.next_due[index]
+            .0
+            .fetch_min(expiry.as_micros(), Ordering::SeqCst);
+    }
+
+    /// Shard `index`'s next-due hint in microseconds: a lower bound on the
+    /// earliest deadline decrement a locked drain of that shard could
+    /// apply. `u64::MAX` means the wheel is known empty.
+    pub fn shard_next_due(&self, index: usize) -> u64 {
+        self.next_due[index].0.load(Ordering::SeqCst)
     }
 
     /// Pins every stage with no live contributions to exactly the floor,
@@ -266,7 +370,18 @@ impl ShardedUtilization {
     /// global totals, in deterministic `(expiry, ticket)` order. Returns
     /// the number of entries expired.
     pub fn expire_due(&self, shard: &mut Shard, now: Time) -> u64 {
+        // Batch decisions hoist one clock read per batch, so `now` may
+        // predate advances applied by interleaved per-request decisions;
+        // a zero-width advance is legal and still surfaces due entries.
+        let now = now.max(shard.wheel.cursor());
         if shard.wheel.cursor() >= now && shard.wheel.is_empty() {
+            // Still heal a stale hint, or the fast path would stay
+            // disabled for this shard until its next real drain.
+            if self.next_due[shard.index].0.load(Ordering::SeqCst) <= now.as_micros() {
+                self.next_due[shard.index]
+                    .0
+                    .store(u64::MAX, Ordering::SeqCst);
+            }
             return 0;
         }
         let mut drained = std::mem::take(&mut shard.drained);
@@ -282,6 +397,30 @@ impl ShardedUtilization {
             }
         }
         shard.drained = drained;
+        // Refresh the next-due hint once the drain has consumed it. The
+        // exact scan is O(slots + entries), so it is only worth paying on
+        // a lightly loaded wheel — precisely the regime where rejections
+        // dominate and the fast path earns its keep. A crowded wheel
+        // (admission-heavy churn, where lazy-deleted released entries
+        // also pile up) gets `now + 1` instead: the cheapest valid lower
+        // bound, since everything due ≤ `now` was drained above. That
+        // leaves the fast path mostly disabled there, which costs nothing
+        // — admission-heavy runs leave the lock-free reject prefix after
+        // a request or two anyway.
+        if self.next_due[shard.index].0.load(Ordering::SeqCst) <= now.as_micros() {
+            let refreshed = if shard.wheel.len() <= HINT_SCAN_LIMIT {
+                shard
+                    .wheel
+                    .earliest()
+                    .map(Time::as_micros)
+                    .unwrap_or(u64::MAX)
+            } else {
+                now.as_micros() + 1
+            };
+            self.next_due[shard.index]
+                .0
+                .store(refreshed, Ordering::SeqCst);
+        }
         expired
     }
 
@@ -392,5 +531,148 @@ mod tests {
     #[should_panic(expected = "reservation")]
     fn negative_floor_panics() {
         let _ = ShardedUtilization::new(&[-0.1], 1, Time::ZERO);
+    }
+
+    #[test]
+    fn snapshot_matches_pin_and_read_when_quiescent() {
+        let su = ShardedUtilization::new(&[0.05, 0.0, 0.1], 2, Time::ZERO);
+        su.charge(&[(stage(0), 0.2), (stage(2), 0.3)]);
+        let mut locked = Vec::new();
+        su.pin_and_read_into(&mut locked);
+        let mut snap = Vec::new();
+        assert!(su.snapshot_into(&mut snap));
+        assert_eq!(snap, locked);
+        // Idle stages read as the floor without the snapshot writing pins.
+        assert_eq!(snap[1], 0.0);
+        su.subtract_entry(&[(stage(0), 0.2), (stage(2), 0.3)]);
+        assert!(su.snapshot_into(&mut snap));
+        assert_eq!(snap, vec![0.05, 0.0, 0.1]);
+    }
+
+    #[test]
+    fn torn_charge_is_detected_by_the_seqlock() {
+        use std::sync::mpsc;
+        let su = std::sync::Arc::new(ShardedUtilization::new(&[0.0, 0.0], 1, Time::ZERO));
+        let (in_pause_tx, in_pause_rx) = mpsc::channel::<()>();
+        let (resume_tx, resume_rx) = mpsc::channel::<()>();
+        let writer = {
+            let su = std::sync::Arc::clone(&su);
+            std::thread::spawn(move || {
+                su.torn_charge_for_test(&[(stage(0), 0.25), (stage(1), 0.5)], || {
+                    in_pause_tx.send(()).unwrap();
+                    resume_rx.recv().unwrap();
+                });
+            })
+        };
+        // The writer is parked mid-charge: the first stage's add is
+        // published, the second's is not. A lock-free reader must see the
+        // odd sequence and refuse the snapshot — this is the "seqlock
+        // retry engaged" observation, made deterministic.
+        in_pause_rx.recv().unwrap();
+        let mut snap = Vec::new();
+        assert!(!su.snapshot_into(&mut snap), "torn read went undetected");
+        resume_tx.send(()).unwrap();
+        writer.join().unwrap();
+        assert!(su.snapshot_into(&mut snap));
+        assert_eq!(snap, vec![0.25, 0.5]);
+    }
+
+    #[test]
+    fn snapshot_detects_a_charge_completing_mid_read() {
+        // A full charge between the two sequence reads also invalidates;
+        // simulate by bumping the counter twice via a real charge after
+        // priming s1... not reachable without threads, so instead check
+        // the monotone property the protocol relies on: a clean snapshot
+        // taken after a charge reflects it entirely, never partially.
+        let su = ShardedUtilization::new(&[0.0; 4], 1, Time::ZERO);
+        for i in 1..=16u64 {
+            let amount = i as f64 * 0.001;
+            su.charge(&[
+                (stage(0), amount),
+                (stage(1), 2.0 * amount),
+                (stage(2), 3.0 * amount),
+                (stage(3), 4.0 * amount),
+            ]);
+            let mut snap = Vec::new();
+            assert!(su.snapshot_into(&mut snap));
+            // Proportions prove no partial charge is ever visible to a
+            // clean snapshot.
+            assert!((snap[1] - 2.0 * snap[0]).abs() < 1e-12);
+            assert!((snap[2] - 3.0 * snap[0]).abs() < 1e-12);
+            assert!((snap[3] - 4.0 * snap[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn next_due_hints_follow_commits_and_drains() {
+        let su = ShardedUtilization::new(&[0.0], 1, Time::ZERO);
+        assert_eq!(su.shard_next_due(0), u64::MAX);
+        let c = vec![(stage(0), 0.1)];
+        {
+            let mut sh = su.shard(0).lock().unwrap();
+            for (id, expiry) in [(1u64, 500u64), (2, 300), (3, 900)] {
+                su.charge(&c);
+                sh.entries.insert(
+                    id,
+                    LiveEntry {
+                        contributions: c.clone(),
+                        departed: vec![false],
+                        expiry: Time::from_micros(expiry),
+                        importance: Importance::LOWEST,
+                    },
+                );
+                sh.wheel.insert(Time::from_micros(expiry), id);
+                sh.by_importance.insert((Importance::LOWEST, id));
+                su.note_deadline(0, Time::from_micros(expiry));
+            }
+            // fetch_min kept the earliest commit.
+            assert_eq!(su.shard_next_due(0), 300);
+            // A drain past the hint refreshes it from the wheel.
+            assert_eq!(su.expire_due(&mut sh, Time::from_micros(600)), 2);
+            assert_eq!(su.shard_next_due(0), 900);
+            // Draining everything parks the hint at MAX.
+            assert_eq!(su.expire_due(&mut sh, Time::from_micros(1_000)), 1);
+            assert_eq!(su.shard_next_due(0), u64::MAX);
+        }
+        validate(&su);
+    }
+
+    #[test]
+    fn stale_hint_heals_even_when_the_wheel_is_already_drained() {
+        let su = ShardedUtilization::new(&[0.0], 1, Time::ZERO);
+        su.note_deadline(0, Time::from_micros(100));
+        let mut sh = su.shard(0).lock().unwrap();
+        // Wheel is empty (the entry was never actually inserted); a drain
+        // attempt at now ≥ hint must still reset the hint so the fast
+        // path is not permanently disabled.
+        assert_eq!(su.expire_due(&mut sh, Time::from_micros(150)), 0);
+        assert_eq!(su.shard_next_due(0), u64::MAX);
+    }
+
+    #[test]
+    fn hoisted_batch_clock_cannot_rewind_the_wheel() {
+        let su = ShardedUtilization::new(&[0.0], 1, Time::ZERO);
+        let mut sh = su.shard(0).lock().unwrap();
+        sh.wheel.insert(Time::from_micros(50), 1);
+        sh.entries.insert(
+            1,
+            LiveEntry {
+                contributions: vec![(stage(0), 0.1)],
+                departed: vec![false],
+                expiry: Time::from_micros(50),
+                importance: Importance::LOWEST,
+            },
+        );
+        su.charge(&[(stage(0), 0.1)]);
+        sh.by_importance.insert((Importance::LOWEST, 1));
+        let mut out = Vec::new();
+        sh.wheel.advance(Time::from_micros(200), &mut out);
+        for (expiry, id) in out {
+            sh.wheel.insert(expiry, id); // re-file for expire_due
+        }
+        // `now` predates the wheel cursor (a hoisted batch clock read);
+        // the clamp must surface the due entry instead of panicking.
+        assert_eq!(su.expire_due(&mut sh, Time::from_micros(100)), 1);
+        assert!(sh.entries.is_empty());
     }
 }

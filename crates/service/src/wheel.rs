@@ -90,6 +90,27 @@ impl TimerWheel {
         self.overflow.push(entry);
     }
 
+    /// The earliest pending expiry, or `None` if the wheel is empty.
+    ///
+    /// `O(LEVELS × SLOTS + overflow)` — a full scan, *not* the `O(1)`
+    /// insert/advance path. It backs the service's per-shard next-due
+    /// hints, which only call it when a drain has consumed the previous
+    /// hint, so the scan amortizes across many lock-free reads.
+    pub fn earliest(&self) -> Option<Time> {
+        let mut best: Option<Time> = None;
+        let mut fold = |entries: &[WheelEntry]| {
+            for &(expiry, _) in entries {
+                best = Some(best.map_or(expiry, |b: Time| b.min(expiry)));
+            }
+        };
+        fold(&self.due);
+        for slot in &self.slots {
+            fold(slot);
+        }
+        fold(&self.overflow);
+        best
+    }
+
     /// Moves the cursor to `now` and appends every entry with
     /// `expiry ≤ now` to `out`, sorted by `(expiry, id)`. Entries whose
     /// slot is visited but which are not yet due cascade to finer levels.
@@ -330,6 +351,26 @@ mod tests {
         assert!(now < expiry);
         assert_eq!(drain(&mut w, us(expiry)), vec![3]);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn earliest_tracks_the_minimum_across_due_slots_and_overflow() {
+        let mut w = TimerWheel::new(Time::ZERO);
+        assert_eq!(w.earliest(), None);
+        w.insert(us(1u64 << 50), 1); // overflow
+        assert_eq!(w.earliest(), Some(us(1u64 << 50)));
+        w.insert(us(70_000), 2); // level-2 slot
+        assert_eq!(w.earliest(), Some(us(70_000)));
+        w.insert(us(500), 3); // level-1 slot
+        assert_eq!(w.earliest(), Some(us(500)));
+        let mut out = Vec::new();
+        w.advance(us(600), &mut out);
+        assert_eq!(out, vec![(us(500), 3)]);
+        assert_eq!(w.earliest(), Some(us(70_000)));
+        w.insert(us(300), 4); // past the cursor: straight to due
+        assert_eq!(w.earliest(), Some(us(300)));
+        w.advance(us(1u64 << 51), &mut out);
+        assert_eq!(w.earliest(), None);
     }
 
     #[test]

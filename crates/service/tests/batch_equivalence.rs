@@ -107,6 +107,7 @@ fn run_batch(
         .map(|(spec, allow_shed)| BatchRequest {
             spec,
             allow_shed: *allow_shed,
+            shard: None,
         })
         .collect();
     svc.admit_batch(&requests)
@@ -236,6 +237,194 @@ fn expiry_drains_once_per_run_without_changing_decisions() {
     batched.debug_validate();
     singles.debug_validate();
     for t in live_b.into_iter().chain(live_s) {
+        t.detach();
+    }
+}
+
+/// A [`Clock`] wrapper counting every read, for pinning how many clock
+/// reads a code path performs.
+#[derive(Debug, Default)]
+struct CountingClock {
+    inner: ManualClock,
+    reads: std::sync::atomic::AtomicU64,
+}
+
+impl CountingClock {
+    fn reads(&self) -> u64 {
+        self.reads.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+impl frap_service::clock::Clock for CountingClock {
+    fn now(&self) -> frap_core::time::Time {
+        self.reads.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        self.inner.now()
+    }
+}
+
+#[test]
+fn one_clock_read_per_batch() {
+    // The regression this pins: `admit_batch_into` used to read the clock
+    // once per contiguous non-shedding run; it must now read exactly once
+    // per batch, no matter how the batch's decisions fall, plus one read
+    // per shedding request (those take every shard lock and re-read).
+    let clock = Arc::new(CountingClock::default());
+    let svc = AdmissionService::builder(FeasibleRegion::deadline_monotonic(2), ExactContributions)
+        .clock(Arc::clone(&clock))
+        .shards(2)
+        .build();
+
+    // Construction reads once (the timer wheels' start); baseline it.
+    let base = clock.reads();
+
+    // Empty batches read nothing.
+    assert!(svc.admit_batch(&[]).is_empty());
+    assert_eq!(clock.reads(), base);
+
+    // A plain batch mixing admits and rejects: exactly one read.
+    let spec = task(200, &[30, 30], 2);
+    let reqs: Vec<BatchRequest<'_>> = (0..10).map(|_| BatchRequest::new(&spec)).collect();
+    let outcomes = svc.admit_batch(&reqs);
+    assert!(outcomes.iter().any(|o| o.is_admitted()));
+    assert!(outcomes.iter().any(|o| !o.is_admitted()));
+    assert_eq!(
+        clock.reads() - base,
+        1,
+        "a non-shedding batch is one clock read"
+    );
+
+    // Sheds break runs but the plain runs still share the batch's read:
+    // [plain, shed, plain, shed] = 1 (batch) + 2 (sheds).
+    let before = clock.reads();
+    let mixed = [
+        BatchRequest::new(&spec),
+        BatchRequest {
+            spec: &spec,
+            allow_shed: true,
+            shard: None,
+        },
+        BatchRequest::new(&spec),
+        BatchRequest {
+            spec: &spec,
+            allow_shed: true,
+            shard: None,
+        },
+    ];
+    for o in svc.admit_batch(&mixed) {
+        if let Some(t) = o.ticket() {
+            t.detach();
+        }
+    }
+    assert_eq!(clock.reads() - before, 3);
+    svc.debug_validate();
+    for o in outcomes {
+        if let Some(t) = o.ticket() {
+            t.detach();
+        }
+    }
+}
+
+#[test]
+fn shard_targeted_batches_decide_like_untargeted_ones() {
+    // Shard routing moves only an admission's bookkeeping home, never the
+    // (global) decision: a round-robin-targeted batch must match an
+    // untargeted twin verdict-for-verdict and id-for-id, and the targeted
+    // entries must still expire on deadline from their adopted shards.
+    let shards = 4;
+    let (targeted, clock_t) = service(2, shards);
+    let (plain, clock_p) = service(2, shards);
+    let specs: Vec<TaskSpec> = (0..16).map(|i| task(100, &[10 + (i % 5), 8], 2)).collect();
+    let spread: Vec<BatchRequest<'_>> = specs
+        .iter()
+        .enumerate()
+        // Deliberately unsorted shard pattern, including out-of-range
+        // indices that reduce modulo the shard count.
+        .map(|(i, s)| BatchRequest::new(s).on_shard((i * 3 + 1) % (shards + 2)))
+        .collect();
+    let home: Vec<BatchRequest<'_>> = specs.iter().map(BatchRequest::new).collect();
+
+    let got = targeted.admit_batch(&spread);
+    let want = plain.admit_batch(&home);
+    assert_eq!(got.len(), want.len());
+    let mut admitted = 0;
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(g.is_admitted(), w.is_admitted());
+        admitted += g.is_admitted() as usize;
+    }
+    assert!(admitted > 0);
+    targeted.debug_validate();
+
+    // Detach everything, expire it, and confirm the targeted shards'
+    // wheels decrement exactly like the home shard's would.
+    for o in got.into_iter().chain(want) {
+        if let Some(t) = o.ticket() {
+            t.detach();
+        }
+    }
+    clock_t.advance(ms(200));
+    clock_p.advance(ms(200));
+    assert_eq!(targeted.maintain(), plain.maintain());
+    assert_eq!(targeted.live_tasks(), 0);
+    assert_eq!(targeted.counters().expired, admitted as u64);
+    targeted.debug_validate();
+}
+
+#[test]
+fn fast_path_twin_matches_locked_twin() {
+    // The lock-free reject fast path must be decision-for-decision
+    // invisible: a service with it disabled replays the same sequence to
+    // identical verdicts, ids, and counters (minus the fast_rejected
+    // accounting itself, which only the fast twin accrues).
+    let clock_f = Arc::new(ManualClock::new());
+    let clock_l = Arc::new(ManualClock::new());
+    let build = |clock: &Arc<ManualClock>, fast: bool| {
+        AdmissionService::builder(FeasibleRegion::deadline_monotonic(2), ExactContributions)
+            .clock(Arc::clone(clock))
+            .shards(2)
+            .fast_path(fast)
+            .build()
+    };
+    let fast_svc = build(&clock_f, true);
+    let locked_svc = build(&clock_l, false);
+
+    let reqs: Vec<(TaskSpec, bool)> = (0..40)
+        .map(|i| {
+            (
+                task(120, &[20 + (i % 9), 15], (i % 4) as u8 + 1),
+                i % 11 == 7,
+            )
+        })
+        .collect();
+    let mut live_f = Vec::new();
+    let mut live_l = Vec::new();
+    for (i, chunk) in reqs.chunks(7).enumerate() {
+        let got = run_singles(&fast_svc, chunk, &mut live_f);
+        let want = run_singles(&locked_svc, chunk, &mut live_l);
+        assert_eq!(got, want, "divergence in chunk {i}");
+        if i % 2 == 1 {
+            clock_f.advance(ms(60));
+            clock_l.advance(ms(60));
+        }
+    }
+    let (cf, cl) = (fast_svc.counters(), locked_svc.counters());
+    assert_eq!(cf.admitted, cl.admitted);
+    assert_eq!(cf.rejected, cl.rejected);
+    assert_eq!(cf.shed, cl.shed);
+    assert_eq!(cf.expired, cl.expired);
+    assert!(cf.fast_rejected > 0, "fast path never engaged");
+    assert_eq!(
+        cl.fast_rejected, 0,
+        "locked twin must not use the fast path"
+    );
+    // Histogram counts still equal decision counts on both twins.
+    assert_eq!(fast_svc.snapshot().decision_latency.count(), cf.decisions());
+    assert_eq!(
+        locked_svc.snapshot().decision_latency.count(),
+        cl.decisions()
+    );
+    fast_svc.debug_validate();
+    locked_svc.debug_validate();
+    for t in live_f.into_iter().chain(live_l) {
         t.detach();
     }
 }

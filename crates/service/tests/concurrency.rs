@@ -172,6 +172,186 @@ fn hammered_service_never_leaves_the_region() {
     );
 }
 
+/// The lock-free reject path (DESIGN.md §14) under fire: rejector threads
+/// hammer `try_admit` with a spec that is infeasible *even on an empty
+/// system* (three stages at u = 0.5 each, Σ f(0.5) = 2.25 > 1), so any
+/// admit is a genuine spurious-admit bug — no oracle replay needed to
+/// classify it. Meanwhile churn threads admit, release, and detach
+/// feasible work (mutating the seqlock-protected utilizations and the
+/// timer wheels) and a batch thread interleaves poison and feasible
+/// requests through `admit_batch`'s fast prefix. Afterwards the counters
+/// must balance exactly as a serial replay would: one decision per
+/// attempt, one histogram sample per decision, and exactly-once removal.
+#[test]
+fn lock_free_rejects_race_admissions_without_spurious_verdicts() {
+    const REJECTORS: usize = 3;
+    const CHURNERS: usize = 3;
+    const ITERS: usize = 20_000;
+
+    let service = AdmissionService::builder(
+        FeasibleRegion::deadline_monotonic(STAGES),
+        ExactContributions,
+    )
+    .shards(4)
+    .build();
+
+    // Infeasible on an empty system: the charge hammer below can only
+    // push utilizations higher, so every decision on this spec — fast
+    // path, locked path, or batch prefix — must be a rejection.
+    let poison = TaskSpec::pipeline(ms(10), &[ms(5), ms(5), ms(5)]).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+
+    for t in 0..REJECTORS {
+        let service = service.clone();
+        let poison = poison.clone();
+        workers.push(std::thread::spawn(move || {
+            for i in 0..ITERS {
+                assert!(
+                    service.try_admit(&poison).is_none(),
+                    "spurious admit of an always-infeasible spec \
+                     (rejector {t}, iteration {i})"
+                );
+            }
+            ITERS // admission attempts made
+        }));
+    }
+
+    for t in 0..CHURNERS {
+        let service = service.clone();
+        let specs = specs();
+        workers.push(std::thread::spawn(move || {
+            let mut rng = 0xc0ffee ^ (t as u64);
+            let mut held = Vec::new();
+            let mut attempts = 0usize;
+            for _ in 0..ITERS {
+                match next(&mut rng) % 8 {
+                    0..=4 => {
+                        let spec = &specs[(next(&mut rng) % specs.len() as u64) as usize];
+                        attempts += 1;
+                        if let Some(ticket) = service.try_admit(spec) {
+                            held.push(ticket);
+                        }
+                    }
+                    5 => {
+                        if !held.is_empty() {
+                            let k = (next(&mut rng) as usize) % held.len();
+                            held.swap_remove(k).release();
+                        }
+                    }
+                    _ => {
+                        if !held.is_empty() {
+                            let k = (next(&mut rng) as usize) % held.len();
+                            held.swap_remove(k).detach();
+                        }
+                    }
+                }
+            }
+            for ticket in held {
+                ticket.detach();
+            }
+            attempts
+        }));
+    }
+
+    // One thread drives the batch fast prefix against the same churn.
+    {
+        let service = service.clone();
+        let poison = poison.clone();
+        let specs = specs();
+        workers.push(std::thread::spawn(move || {
+            use frap_service::BatchRequest;
+            let mut rng = 0xbadc0de_u64;
+            let mut attempts = 0usize;
+            for _ in 0..ITERS / 8 {
+                let requests: Vec<BatchRequest<'_>> = (0..8)
+                    .map(|i| {
+                        if next(&mut rng).is_multiple_of(2) {
+                            BatchRequest::new(&poison).on_shard(i)
+                        } else {
+                            BatchRequest::new(&specs[i % specs.len()])
+                        }
+                    })
+                    .collect();
+                let poisoned: Vec<bool> = requests
+                    .iter()
+                    .map(|r| std::ptr::eq(r.spec, &poison))
+                    .collect();
+                attempts += requests.len();
+                for (outcome, was_poison) in
+                    service.admit_batch(&requests).into_iter().zip(poisoned)
+                {
+                    if was_poison {
+                        assert!(
+                            !outcome.is_admitted(),
+                            "spurious batch admit of an always-infeasible spec"
+                        );
+                    } else if let ServiceOutcome::Admitted(ticket) = outcome {
+                        ticket.detach();
+                    }
+                }
+            }
+            attempts
+        }));
+    }
+
+    // Validate the region + ledger invariants while the race runs.
+    let mut validations = 0u32;
+    while !stop.load(Ordering::Relaxed) {
+        service.debug_validate();
+        validations += 1;
+        if workers.iter().all(|w| w.is_finished()) {
+            stop.store(true, Ordering::Relaxed);
+        }
+        std::thread::yield_now();
+    }
+    let attempts: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert!(validations > 0);
+
+    service.debug_validate();
+    let snap = service.snapshot();
+    let c = snap.counters;
+
+    // Exactly one decision per attempt, and one latency sample per
+    // decision — the fast path's shared atomic histogram included.
+    assert_eq!(
+        c.decisions(),
+        attempts as u64,
+        "decision per attempt: {c:?}"
+    );
+    assert_eq!(c.decisions(), snap.decision_latency.count());
+    assert_eq!(c.shed, 0, "no shedding requested");
+
+    // The fast path actually engaged under contention, and it only ever
+    // concluded rejections (it is a strict subset of `rejected`).
+    assert!(c.fast_rejected > 0, "lock-free path never engaged: {c:?}");
+    assert!(c.fast_rejected <= c.rejected);
+    // Torn snapshots may or may not occur on this hardware; when they do,
+    // the seqlock fallback is the only legal response (counted, and the
+    // per-iteration asserts above prove no verdict went wrong either way).
+    assert!(c.seqlock_fallbacks <= c.decisions());
+
+    // Exactly-once removal held despite the race.
+    assert_eq!(
+        c.admitted,
+        c.released + c.expired + c.shed + snap.live_tasks as u64,
+        "exactly-once removal bookkeeping broke: {c:?} live={}",
+        snap.live_tasks
+    );
+    assert!(c.admitted > 0, "churners admitted work: {c:?}");
+    assert!(
+        c.rejected >= (REJECTORS * ITERS) as u64,
+        "every poison attempt rejected: {c:?}"
+    );
+
+    // Let the remaining deadlines fire and re-balance the books.
+    std::thread::sleep(std::time::Duration::from_millis(25));
+    service.maintain();
+    service.debug_validate();
+    assert_eq!(service.live_tasks(), 0, "all deadlines have passed");
+}
+
 #[test]
 fn concurrent_idle_resets_stay_consistent() {
     use frap_core::task::StageId;
