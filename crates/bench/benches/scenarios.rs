@@ -1,0 +1,38 @@
+//! Scenario-subsystem throughput: trace generation cost per family and
+//! end-to-end scenario simulation (generate → admit → execute → report).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frap_core::time::Time;
+use frap_scenarios::catalog;
+use frap_scenarios::runner::run_sim;
+use std::hint::black_box;
+
+fn generate_traces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_generate_1s");
+    for sc in catalog(Time::from_secs(1)) {
+        group.bench_with_input(BenchmarkId::from_parameter(sc.name), &sc, |b, sc| {
+            b.iter(|| black_box(sc.generate().len()));
+        });
+    }
+    group.finish();
+}
+
+fn simulate_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_sim_1s");
+    for sc in catalog(Time::from_secs(1)) {
+        group.bench_with_input(BenchmarkId::from_parameter(sc.name), &sc, |b, sc| {
+            b.iter(|| {
+                let run = run_sim(sc);
+                black_box((run.report.admitted, run.report.shed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = generate_traces, simulate_scenarios
+}
+criterion_main!(benches);

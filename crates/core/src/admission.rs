@@ -261,6 +261,9 @@ impl AdmitOutcome {
 struct LiveTask {
     importance: Importance,
     expiry: Time,
+    /// Relative deadline `D_i`, the denominator of every retained-charge
+    /// fraction when the task is shed mid-execution.
+    deadline: TimeDelta,
 }
 
 /// The feasible-region admission controller.
@@ -423,7 +426,35 @@ impl<R: RegionTest, M: ContributionModel> Admission<R, M> {
     /// strictly less important than `spec` (least important first) until
     /// the arrival fits or no candidates remain (Section 5's overload
     /// architecture).
+    ///
+    /// Victims' charges are reclaimed in full — correct only when shed
+    /// tasks have not started executing (e.g. pure admission accounting, or
+    /// eviction from a wait queue). Execution environments that kill tasks
+    /// mid-flight must use [`Admission::try_admit_or_shed_with`] and report
+    /// each victim's executed work, or the region guarantee is void.
     pub fn try_admit_or_shed(&mut self, now: Time, spec: &TaskSpec) -> AdmitOutcome {
+        self.try_admit_or_shed_with(now, spec, |_, _| {})
+    }
+
+    /// [`Admission::try_admit_or_shed`] with an *executed-work oracle*: for
+    /// each prospective victim, `executed` appends `(stage, e_j)` pairs
+    /// giving the execution time the victim has already received on each
+    /// stage. The controller then keeps `e_j / D_i` of the victim's charge
+    /// on those counters — marked departed, so the usual idle-reset and
+    /// decrement-at-deadline rules reclaim it — and only the *unexecuted*
+    /// remainder is freed for the arrival.
+    ///
+    /// This is what makes mid-execution shedding sound: interference a
+    /// victim already inflicted cannot be un-inflicted, so its charge must
+    /// persist exactly as if a task with computation `e_j` had been
+    /// admitted and completed. An oracle that reports nothing degenerates
+    /// to full immediate reclaim ([`Admission::try_admit_or_shed`]).
+    pub fn try_admit_or_shed_with(
+        &mut self,
+        now: Time,
+        spec: &TaskSpec,
+        mut executed: impl FnMut(TaskId, &mut Vec<(StageId, TimeDelta)>),
+    ) -> AdmitOutcome {
         self.advance_to(now);
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
@@ -439,12 +470,23 @@ impl<R: RegionTest, M: ContributionModel> Admission<R, M> {
         // or above the arrival's own importance.
         let mut shed = Vec::new();
         let mut fits = false;
+        let mut exec_buf: Vec<(StageId, TimeDelta)> = Vec::new();
+        let mut retain_buf: Vec<(StageId, f64)> = Vec::new();
         while let Some(&(imp, victim)) = self.by_importance.iter().next() {
             if imp >= spec.importance {
                 break;
             }
+            let deadline = self.live[&victim].deadline;
+            exec_buf.clear();
+            executed(victim, &mut exec_buf);
+            retain_buf.clear();
+            retain_buf.extend(
+                exec_buf
+                    .iter()
+                    .map(|&(stage, e)| (stage, e.ratio(deadline))),
+            );
             self.remove_live(victim);
-            self.state.shed_task(victim);
+            self.state.shed_task_retaining(victim, &retain_buf);
             self.stats.shed += 1;
             shed.push(victim);
             if self.admit_feasible(&scratch) {
@@ -524,6 +566,7 @@ impl<R: RegionTest, M: ContributionModel> Admission<R, M> {
             LiveTask {
                 importance: spec.importance,
                 expiry,
+                deadline: spec.deadline,
             },
         );
         self.by_importance.insert((spec.importance, id));
@@ -687,6 +730,59 @@ mod tests {
             other => panic!("expected shedding admission, got {other:?}"),
         }
         assert_eq!(ac.stats().shed, 1);
+    }
+
+    #[test]
+    fn shedding_with_oracle_retains_executed_work() {
+        let mut ac = exact_two_stage();
+        let low = pipeline_task(100, &[15, 15]).with_importance(Importance::new(1));
+        let mid = pipeline_task(100, &[15, 15]).with_importance(Importance::new(2));
+        let id_low = ac.try_admit(Time::ZERO, &low).unwrap();
+        let id_mid = ac.try_admit(Time::ZERO, &mid).unwrap();
+        let critical = pipeline_task(100, &[20, 20]).with_importance(Importance::CRITICAL);
+        // The low victim already ran 10 ms on stage 0: 0.1 of its 0.15
+        // charge there is sunk and must stay. Freeing only 0.05 + 0.15 is
+        // not enough for the arrival, so the mid victim is shed too.
+        let outcome = ac.try_admit_or_shed_with(Time::from_millis(1), &critical, |victim, out| {
+            if victim == id_low {
+                out.push((StageId::new(0), TimeDelta::from_millis(10)));
+            }
+        });
+        match outcome {
+            AdmitOutcome::AdmittedAfterShedding { shed, .. } => {
+                assert_eq!(shed, vec![id_low, id_mid]);
+            }
+            other => panic!("expected shedding admission, got {other:?}"),
+        }
+        // Stage 0 still carries the sunk 0.1 plus the arrival's 0.2.
+        let u0 = ac.state().stage(StageId::new(0)).value();
+        assert!((u0 - 0.3).abs() < 1e-9, "stage 0 utilization {u0}");
+        let u1 = ac.state().stage(StageId::new(1)).value();
+        assert!((u1 - 0.2).abs() < 1e-9, "stage 1 utilization {u1}");
+    }
+
+    #[test]
+    fn shedding_with_oracle_retained_charge_expires_at_deadline() {
+        let mut ac = exact_two_stage();
+        let low = pipeline_task(100, &[15, 15]).with_importance(Importance::new(1));
+        let id_low = ac.try_admit(Time::ZERO, &low).unwrap();
+        // Fill the region so the arrival must shed.
+        let filler = pipeline_task(100, &[20, 20]).with_importance(Importance::new(5));
+        ac.try_admit(Time::ZERO, &filler).unwrap();
+        let critical = pipeline_task(100, &[15, 15]).with_importance(Importance::CRITICAL);
+        let outcome = ac.try_admit_or_shed_with(Time::from_millis(1), &critical, |victim, out| {
+            assert_eq!(victim, id_low);
+            out.push((StageId::new(0), TimeDelta::from_millis(5)));
+        });
+        assert!(matches!(
+            outcome,
+            AdmitOutcome::AdmittedAfterShedding { .. }
+        ));
+        // The victim's sunk 0.05 persists on stage 0…
+        assert!(ac.state().stage(StageId::new(0)).contains(id_low));
+        // …until its original deadline passes.
+        ac.advance_to(Time::from_millis(100));
+        assert!(!ac.state().stage(StageId::new(0)).contains(id_low));
     }
 
     #[test]

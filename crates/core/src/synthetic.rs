@@ -236,6 +236,47 @@ impl StageTracker {
         Some(c.amount)
     }
 
+    /// Sheds `task` but keeps up to `retained` of its contribution charged
+    /// (clamped to the live amount), marking the remainder departed so the
+    /// normal idle-reset and deadline rules reclaim it.
+    ///
+    /// This is the accounting-sound eviction: a task killed mid-execution
+    /// has already inflicted interference equal to its executed work, and
+    /// that share of its charge must stay on the counter until the stage
+    /// idles or the task's deadline passes — exactly as if a task with that
+    /// smaller computation time had been admitted and completed. Reclaiming
+    /// it immediately (plain [`StageTracker::shed`]) hands already-consumed
+    /// capacity to the next arrival and voids the region guarantee.
+    ///
+    /// Returns the amount reclaimed immediately, or `None` if the task was
+    /// not live here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retained` is negative or not finite.
+    pub fn shed_retaining(&mut self, task: TaskId, retained: f64) -> Option<f64> {
+        assert!(
+            retained.is_finite() && retained >= 0.0,
+            "retained charge must be a finite non-negative utilization"
+        );
+        let c = self.entries.get_mut(&task)?;
+        let keep = retained.min(c.amount);
+        let reclaimed = c.amount - keep;
+        if keep <= 0.0 {
+            let c = self.entries.remove(&task).expect("entry just observed");
+            self.extra -= c.amount;
+        } else {
+            c.amount = keep;
+            if !c.departed {
+                c.departed = true;
+                self.departed.push(task);
+            }
+            self.extra -= reclaimed;
+        }
+        self.normalize();
+        Some(reclaimed)
+    }
+
     /// Exact recomputation of the live sum — counters drift by at most
     /// float rounding; this is used by tests and long-running deployments.
     pub fn recompute(&mut self) {
@@ -346,6 +387,33 @@ impl SyntheticState {
         self.stages.iter_mut().filter_map(|s| s.shed(task)).sum()
     }
 
+    /// Sheds a task from every stage while retaining the given per-stage
+    /// charges (its already-executed work, as utilization `e_j / D_i`);
+    /// see [`StageTracker::shed_retaining`]. Stages absent from `retained`
+    /// reclaim their full contribution. Returns the total reclaimed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a retained charge is negative/not finite or its stage
+    /// index is out of range.
+    pub fn shed_task_retaining(&mut self, task: TaskId, retained: &[(StageId, f64)]) -> f64 {
+        for &(stage, _) in retained {
+            assert!(stage.index() < self.stages.len(), "stage out of range");
+        }
+        let mut reclaimed = 0.0;
+        for (i, s) in self.stages.iter_mut().enumerate() {
+            let keep: f64 = retained
+                .iter()
+                .filter(|&&(stage, _)| stage.index() == i)
+                .map(|&(_, amount)| amount)
+                .sum();
+            if let Some(r) = s.shed_retaining(task, keep) {
+                reclaimed += r;
+            }
+        }
+        reclaimed
+    }
+
     /// The current utilization vector `(U_1, …, U_N)`.
     pub fn utilizations(&mut self) -> &[f64] {
         for (i, s) in self.stages.iter().enumerate() {
@@ -443,6 +511,56 @@ mod tests {
         assert_eq!(tr.shed(t(1)), Some(0.2));
         assert_eq!(tr.shed(t(1)), None);
         assert_eq!(tr.value(), 0.0);
+    }
+
+    #[test]
+    fn shed_retaining_keeps_executed_share() {
+        let mut tr = StageTracker::new(0.0);
+        tr.add(t(1), 0.4, at(100));
+        let reclaimed = tr.shed_retaining(t(1), 0.05).expect("task is live");
+        assert!((reclaimed - 0.35).abs() < 1e-12);
+        assert!((tr.value() - 0.05).abs() < 1e-12);
+        // The retained share is departed work: gone at the next idle reset.
+        assert_eq!(tr.reset_idle(), 1);
+        assert_eq!(tr.value(), 0.0);
+    }
+
+    #[test]
+    fn shed_retaining_decrements_at_deadline() {
+        let mut tr = StageTracker::new(0.0);
+        tr.add(t(1), 0.4, at(10));
+        tr.shed_retaining(t(1), 0.1);
+        assert_eq!(tr.advance_to(at(10)), 1);
+        assert_eq!(tr.value(), 0.0);
+    }
+
+    #[test]
+    fn shed_retaining_clamps_and_degenerates_to_shed() {
+        let mut tr = StageTracker::new(0.0);
+        tr.add(t(1), 0.2, at(100));
+        // Retained above the live amount: nothing reclaimed.
+        assert_eq!(tr.shed_retaining(t(1), 0.5), Some(0.0));
+        assert!((tr.value() - 0.2).abs() < 1e-12);
+        // Zero retained on a fresh entry: identical to a plain shed.
+        tr.add(t(2), 0.3, at(100));
+        assert_eq!(tr.shed_retaining(t(2), 0.0), Some(0.3));
+        assert!(!tr.contains(t(2)));
+        assert_eq!(tr.shed_retaining(t(9), 0.1), None);
+    }
+
+    #[test]
+    fn system_shed_retaining_per_stage() {
+        let mut st = SyntheticState::new(2);
+        st.add_task(
+            t(1),
+            &[(StageId::new(0), 0.1), (StageId::new(1), 0.2)],
+            at(10),
+        );
+        // Stage 0 keeps half its charge; stage 1 (absent from the slice)
+        // reclaims everything.
+        let reclaimed = st.shed_task_retaining(t(1), &[(StageId::new(0), 0.05)]);
+        assert!((reclaimed - 0.25).abs() < 1e-12);
+        assert_eq!(st.utilizations(), &[0.05, 0.0]);
     }
 
     #[test]

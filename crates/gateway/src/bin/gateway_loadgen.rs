@@ -7,7 +7,7 @@
 //! second, round-trip tail latency, and the expired-on-arrival rate.
 //!
 //! ```text
-//! gateway-loadgen [threads] [seconds] [stages] [load] [addr]
+//! gateway-loadgen [threads] [seconds] [stages] [load] [addr] [--trace FILE]
 //! ```
 //!
 //! Defaults: 4 threads, 2 seconds, 3 stages, offered load 2.0, and an
@@ -15,6 +15,13 @@
 //! over the wire; anything still in flight when the run stops is cleaned
 //! up by the server's disconnect handling, so the run must end with zero
 //! live tasks.
+//!
+//! `--trace FILE` replays a saved `frap-arrivals` file (v1 or v2, e.g.
+//! one written by `frap-scenarios`) instead of the built-in Poisson
+//! streams: every connection cycles through the trace's task specs over
+//! the same pipelining path, `stages` and `load` are taken from the
+//! trace, and the process exits with status 2 if the trace is empty or
+//! contains non-chain tasks (the wire protocol carries chains only).
 //!
 //! A machine-readable summary is written to `BENCH_gateway.json` (path
 //! overridable via the `BENCH_GATEWAY_OUT` environment variable). The
@@ -36,11 +43,39 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn parse_arg<T: std::str::FromStr>(idx: usize, default: T) -> T {
-    std::env::args()
-        .nth(idx)
+fn parse_arg<T: std::str::FromStr>(args: &[String], idx: usize, default: T) -> T {
+    args.get(idx)
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
+}
+
+/// Loads a saved arrival trace as wire specs, or exits with status 2 if
+/// the file is unusable for wire replay (empty, or non-chain tasks).
+fn load_trace_specs(path: &str) -> Vec<WireTaskSpec> {
+    let arrivals = match frap_workload::replay::load_arrivals(path) {
+        Ok(arrivals) => arrivals,
+        Err(e) => {
+            eprintln!("gateway-loadgen: cannot load trace {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if arrivals.is_empty() {
+        eprintln!("gateway-loadgen: trace {path} holds no arrivals");
+        std::process::exit(2);
+    }
+    arrivals
+        .iter()
+        .map(|(_, spec)| match WireTaskSpec::from_spec(spec) {
+            Some(wire) => wire,
+            None => {
+                eprintln!(
+                    "gateway-loadgen: trace {path} holds a non-chain task; \
+                     the wire protocol carries stage-ordered chains only"
+                );
+                std::process::exit(2);
+            }
+        })
+        .collect()
 }
 
 /// Records a round-trip duration, reinterpreting the histogram's tick as
@@ -60,11 +95,32 @@ struct ThreadTally {
 }
 
 fn main() {
-    let threads: usize = parse_arg(1, 2);
-    let seconds: f64 = parse_arg(2, 2.0);
-    let stages: usize = parse_arg(3, 3);
-    let load: f64 = parse_arg(4, 2.0);
-    let addr_arg: Option<String> = std::env::args().nth(5);
+    let mut args: Vec<String> = std::env::args().collect();
+    let trace_path = args.iter().position(|a| a == "--trace").map(|pos| {
+        if pos + 1 >= args.len() {
+            eprintln!("gateway-loadgen: --trace requires a file path");
+            std::process::exit(2);
+        }
+        let path = args.remove(pos + 1);
+        args.remove(pos);
+        path
+    });
+    let trace_specs = trace_path.as_deref().map(load_trace_specs);
+
+    let threads: usize = parse_arg(&args, 1, 2);
+    let seconds: f64 = parse_arg(&args, 2, 2.0);
+    let mut stages: usize = parse_arg(&args, 3, 3);
+    let load: f64 = parse_arg(&args, 4, 2.0);
+    let addr_arg: Option<String> = args.get(5).cloned();
+    if let Some(specs) = &trace_specs {
+        // The trace dictates the pipeline shape; size the region to the
+        // widest task it carries.
+        stages = specs
+            .iter()
+            .map(|s| s.stage_demands_us.len())
+            .max()
+            .unwrap_or(stages);
+    }
     // Per-connection in-flight window. Total in-flight (threads × window)
     // bounds the p50 round trip by Little's law — at 1.3 M decisions/s,
     // 64 requests in flight already cost ~50 µs — so the default stays
@@ -74,10 +130,17 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(32);
 
-    println!(
-        "gateway-loadgen: {threads} connection(s), {seconds:.1}s, \
-         {stages}-stage pipeline, offered load {load:.2}, window {window}"
-    );
+    match &trace_path {
+        Some(path) => println!(
+            "gateway-loadgen: {threads} connection(s), {seconds:.1}s, \
+             {stages}-stage pipeline, trace {path} ({} task(s)), window {window}",
+            trace_specs.as_ref().map_or(0, Vec::len)
+        ),
+        None => println!(
+            "gateway-loadgen: {threads} connection(s), {seconds:.1}s, \
+             {stages}-stage pipeline, offered load {load:.2}, window {window}"
+        ),
+    }
 
     // Spawn an in-process gateway unless pointed at a remote one.
     let (server, service) = if addr_arg.is_none() {
@@ -113,22 +176,26 @@ fn main() {
     println!("target         {addr}");
 
     // Pre-generate each connection's task stream so the hot loop measures
-    // the gateway, not the generator.
+    // the gateway, not the generator. A `--trace` replay hands every
+    // connection the same saved stream instead.
     let specs_per_thread = 2_000usize;
-    let streams: Vec<Vec<WireTaskSpec>> = (0..threads)
-        .map(|t| {
-            PipelineWorkloadBuilder::new(stages)
-                .mean_computation_ms(10.0)
-                .resolution(10.0)
-                .load(load)
-                .seed(0xFEED ^ (t as u64) << 8)
-                .build()
-                .specs()
-                .take(specs_per_thread)
-                .map(|spec| WireTaskSpec::from_spec(&spec).expect("pipeline-shaped"))
-                .collect()
-        })
-        .collect();
+    let streams: Vec<Vec<WireTaskSpec>> = match trace_specs {
+        Some(specs) => (0..threads).map(|_| specs.clone()).collect(),
+        None => (0..threads)
+            .map(|t| {
+                PipelineWorkloadBuilder::new(stages)
+                    .mean_computation_ms(10.0)
+                    .resolution(10.0)
+                    .load(load)
+                    .seed(0xFEED ^ (t as u64) << 8)
+                    .build()
+                    .specs()
+                    .take(specs_per_thread)
+                    .map(|spec| WireTaskSpec::from_spec(&spec).expect("pipeline-shaped"))
+                    .collect()
+            })
+            .collect(),
+    };
 
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();

@@ -90,6 +90,53 @@ impl TaskOutcome {
     }
 }
 
+/// How one offered arrival was resolved by admission control.
+///
+/// Recorded in arrival order (one entry per offered task) when decision
+/// logging is enabled via
+/// [`SimBuilder::record_decisions`](crate::pipeline::SimBuilder::record_decisions),
+/// so callers that know the arrival sequence (e.g. a trace with per-task
+/// tenant labels) can attribute every decision without the simulator
+/// carrying workload metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitDecision {
+    /// Admitted at arrival (including the reserved-importance bypass).
+    Admitted {
+        /// The id the admission controller assigned.
+        task: TaskId,
+    },
+    /// Rejected outright.
+    Rejected,
+    /// Parked in the admission wait queue and still waiting when the
+    /// simulation ended (otherwise upgraded in place to
+    /// [`AdmitDecision::AdmittedFromQueue`] or [`AdmitDecision::TimedOut`]).
+    Queued,
+    /// Admitted later from the wait queue.
+    AdmittedFromQueue {
+        /// The id the admission controller assigned.
+        task: TaskId,
+    },
+    /// The wait-queue stay ended in a timeout (counted as rejected).
+    TimedOut,
+}
+
+impl AdmitDecision {
+    /// The admitted task id, if this decision admitted one.
+    pub fn admitted_task(&self) -> Option<TaskId> {
+        match self {
+            AdmitDecision::Admitted { task } | AdmitDecision::AdmittedFromQueue { task } => {
+                Some(*task)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the arrival ended up admitted.
+    pub fn is_admitted(&self) -> bool {
+        self.admitted_task().is_some()
+    }
+}
+
 /// Whole-simulation metrics.
 #[derive(Debug, Clone, Default)]
 pub struct SimMetrics {
@@ -130,6 +177,12 @@ pub struct SimMetrics {
     /// (populated when sampling is enabled in the simulation builder) —
     /// the simulated analogue of the paper's Figure 1 curve.
     pub utilization_timeline: Vec<(Time, Vec<f64>)>,
+    /// One [`AdmitDecision`] per offered arrival, in arrival order
+    /// (populated only when decision logging is enabled in the builder).
+    pub decision_log: Vec<AdmitDecision>,
+    /// Tasks shed at overload, in shedding order (populated only when
+    /// decision logging is enabled in the builder).
+    pub shed_log: Vec<TaskId>,
 }
 
 impl SimMetrics {
@@ -244,6 +297,25 @@ mod tests {
             ..o
         };
         assert!(!ok.missed(), "finishing exactly at the deadline is a hit");
+    }
+
+    #[test]
+    fn admit_decision_helpers() {
+        let t = TaskId::new(7);
+        assert_eq!(AdmitDecision::Admitted { task: t }.admitted_task(), Some(t));
+        assert_eq!(
+            AdmitDecision::AdmittedFromQueue { task: t }.admitted_task(),
+            Some(t)
+        );
+        assert!(AdmitDecision::Admitted { task: t }.is_admitted());
+        for d in [
+            AdmitDecision::Rejected,
+            AdmitDecision::Queued,
+            AdmitDecision::TimedOut,
+        ] {
+            assert_eq!(d.admitted_task(), None);
+            assert!(!d.is_admitted());
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! configuration, seeds) produce identical metrics.
 
 use crate::events::EventQueue;
-use crate::metrics::{SimMetrics, TaskOutcome};
+use crate::metrics::{AdmitDecision, SimMetrics, TaskOutcome};
 use crate::sched::{DeadlineMonotonic, PriorityPolicy};
 use crate::stage::{Effect, SegmentSlice, Stage};
 use crate::trace::{Trace, TraceEvent};
@@ -98,6 +98,10 @@ struct Pending {
     /// Index into [`Simulation::pending_shapes`]: the interned admission
     /// contribution vector, computed once at enqueue.
     shape: u32,
+    /// Index of this arrival's [`AdmitDecision::Queued`] entry in the
+    /// decision log (`u32::MAX` when decision logging is off), so the
+    /// entry can be upgraded in place when the wait resolves.
+    log_idx: u32,
 }
 
 /// A point-in-time view of a [`Simulation`]'s state; see
@@ -149,6 +153,7 @@ pub struct SimBuilder {
     reserved_importance: Option<Importance>,
     idle_resets: bool,
     record_outcomes: bool,
+    record_decisions: bool,
     trace_capacity: Option<usize>,
     sample_period: Option<TimeDelta>,
     router: Option<BoxRouter>,
@@ -183,6 +188,7 @@ impl SimBuilder {
             reserved_importance: None,
             idle_resets: true,
             record_outcomes: false,
+            record_decisions: false,
             trace_capacity: None,
             sample_period: None,
             router: None,
@@ -250,6 +256,16 @@ impl SimBuilder {
     /// Keeps a per-task [`TaskOutcome`] record (memory ∝ completed tasks).
     pub fn record_outcomes(mut self, record: bool) -> SimBuilder {
         self.record_outcomes = record;
+        self
+    }
+
+    /// Logs one [`AdmitDecision`] per offered arrival (in arrival order)
+    /// into [`SimMetrics::decision_log`], plus every shed task into
+    /// [`SimMetrics::shed_log`] (memory ∝ offered tasks). Trace-driven
+    /// scenario reports use this to attribute decisions to the tenants and
+    /// importance classes of the arrival sequence they supplied.
+    pub fn record_decisions(mut self, record: bool) -> SimBuilder {
+        self.record_decisions = record;
         self
     }
 
@@ -329,6 +345,7 @@ impl SimBuilder {
             reserved_importance: self.reserved_importance,
             idle_resets: self.idle_resets,
             record_outcomes: self.record_outcomes,
+            record_decisions: self.record_decisions,
             trace: self.trace_capacity.map(Trace::new),
             sample_period: self.sample_period,
             sampling_started: false,
@@ -362,6 +379,7 @@ pub struct Simulation {
     reserved_importance: Option<Importance>,
     idle_resets: bool,
     record_outcomes: bool,
+    record_decisions: bool,
     trace: Option<Trace>,
     sample_period: Option<TimeDelta>,
     sampling_started: bool,
@@ -513,6 +531,11 @@ impl Simulation {
             if spec.importance >= threshold {
                 let id = self.admission.admit_reserved(now, &spec);
                 self.metrics.admitted += 1;
+                if self.record_decisions {
+                    self.metrics
+                        .decision_log
+                        .push(AdmitDecision::Admitted { task: id });
+                }
                 self.record(TraceEvent::Admitted {
                     time: now,
                     task: id,
@@ -524,7 +547,40 @@ impl Simulation {
         let admitted = match self.overload {
             OverloadPolicy::RejectArrival => self.admission.try_admit(now, &spec),
             OverloadPolicy::ShedLessImportant => {
-                match self.admission.try_admit_or_shed(now, &spec) {
+                // The executed-work oracle keeps the eviction sound: a
+                // victim's already-executed time is interference it has
+                // inflicted on queued tasks, so that share of its charge
+                // must stay on the counters until its deadline or an idle
+                // reset (Theorem 1's invariant). Only unexecuted work is
+                // reclaimed for the arrival.
+                let tasks = &self.tasks;
+                let stages = &self.stages;
+                let outcome = self
+                    .admission
+                    .try_admit_or_shed_with(now, &spec, |victim, out| {
+                        let Some(run) = tasks.get(&victim) else {
+                            return;
+                        };
+                        for (node, nr) in run.nodes.iter().enumerate() {
+                            if nr.remaining_preds > 0 {
+                                continue; // never released: nothing executed
+                            }
+                            let stage = run.graph.subtask(node).stage;
+                            let executed = stages[stage.index()]
+                                .executed(now, (victim, node as u32))
+                                .unwrap_or_else(|| {
+                                    // Completed subtask: its full demand ran.
+                                    run.arena[nr.seg_start as usize..][..nr.seg_len as usize]
+                                        .iter()
+                                        .map(|seg| seg.duration)
+                                        .sum()
+                                });
+                            if executed > TimeDelta::ZERO {
+                                out.push((stage, executed));
+                            }
+                        }
+                    });
+                match outcome {
                     AdmitOutcome::Admitted(id) => Some(id),
                     AdmitOutcome::AdmittedAfterShedding { task, shed } => {
                         for victim in shed {
@@ -539,6 +595,11 @@ impl Simulation {
         match admitted {
             Some(id) => {
                 self.metrics.admitted += 1;
+                if self.record_decisions {
+                    self.metrics
+                        .decision_log
+                        .push(AdmitDecision::Admitted { task: id });
+                }
                 self.record(TraceEvent::Admitted {
                     time: now,
                     task: id,
@@ -548,6 +609,9 @@ impl Simulation {
             None => match self.wait {
                 WaitPolicy::Reject => {
                     self.metrics.rejected += 1;
+                    if self.record_decisions {
+                        self.metrics.decision_log.push(AdmitDecision::Rejected);
+                    }
                     self.record(TraceEvent::Rejected { time: now });
                 }
                 WaitPolicy::WaitUpTo(wait) => {
@@ -555,16 +619,31 @@ impl Simulation {
                     self.pending_seq += 1;
                     let expires = now + wait;
                     let shape = self.intern_shape(&spec);
+                    let log_idx = if self.record_decisions {
+                        self.metrics.decision_log.push(AdmitDecision::Queued);
+                        (self.metrics.decision_log.len() - 1) as u32
+                    } else {
+                        u32::MAX
+                    };
                     self.pending.push_back(Pending {
                         seq,
                         spec,
                         expires,
                         shape,
+                        log_idx,
                     });
                     self.queue.push(expires, Event::WaitTimeout { seq });
                     self.record(TraceEvent::Queued { time: now });
                 }
             },
+        }
+    }
+
+    /// Upgrades a queued arrival's decision-log entry in place.
+    #[inline]
+    fn resolve_queued(&mut self, log_idx: u32, decision: AdmitDecision) {
+        if log_idx != u32::MAX {
+            self.metrics.decision_log[log_idx as usize] = decision;
         }
     }
 
@@ -671,7 +750,8 @@ impl Simulation {
                 // (FIFO order is preserved by retries), so the stale-token
                 // miss case costs O(log n) instead of a full scan.
                 if let Ok(pos) = self.pending.binary_search_by(|p| p.seq.cmp(&seq)) {
-                    self.pending.remove(pos);
+                    let entry = self.pending.remove(pos).expect("entry exists");
+                    self.resolve_queued(entry.log_idx, AdmitDecision::TimedOut);
                     self.metrics.wait_timeouts += 1;
                     self.metrics.rejected += 1;
                     if self.pending.is_empty() {
@@ -820,6 +900,9 @@ impl Simulation {
     /// controller has already done.
     fn kill_task(&mut self, task: TaskId) {
         self.metrics.shed += 1;
+        if self.record_decisions {
+            self.metrics.shed_log.push(task);
+        }
         self.record(TraceEvent::Shed {
             time: self.clock,
             task,
@@ -883,7 +966,8 @@ impl Simulation {
             if self.pending[i].expires <= now {
                 // The timeout event will (or already did) account for it;
                 // drop it here to avoid double admission.
-                self.pending.remove(i);
+                let entry = self.pending.remove(i).expect("entry exists");
+                self.resolve_queued(entry.log_idx, AdmitDecision::TimedOut);
                 self.metrics.wait_timeouts += 1;
                 self.metrics.rejected += 1;
                 continue;
@@ -902,6 +986,7 @@ impl Simulation {
                 Some(id) => {
                     failed.iter_mut().for_each(|f| *f = false);
                     let p = self.pending.remove(i).expect("entry exists");
+                    self.resolve_queued(p.log_idx, AdmitDecision::AdmittedFromQueue { task: id });
                     self.metrics.admitted += 1;
                     self.record(TraceEvent::Admitted {
                         time: now,
@@ -1085,6 +1170,69 @@ mod tests {
         assert_eq!(m.shed, 1, "the lax task was evicted mid-execution");
         assert_eq!(m.completed, 1);
         assert_eq!(m.missed, 0);
+    }
+
+    #[test]
+    fn decision_log_matches_arrival_order() {
+        let mut sim = SimBuilder::new(1).record_decisions(true).build();
+        // One fits (C/D = 0.5 < 0.586), the second is rejected.
+        let arrivals = vec![(at(0), task(100, &[50])), (at(1), task(100, &[50]))];
+        let m = sim.run(arrivals.into_iter(), Time::from_secs(1));
+        assert_eq!(m.decision_log.len(), 2);
+        assert!(m.decision_log[0].is_admitted());
+        assert_eq!(m.decision_log[1], AdmitDecision::Rejected);
+        assert!(m.shed_log.is_empty());
+    }
+
+    #[test]
+    fn decision_log_off_by_default() {
+        let mut sim = SimBuilder::new(1).build();
+        let arrivals = vec![(at(0), task(100, &[50]))];
+        let m = sim.run(arrivals.into_iter(), Time::from_secs(1));
+        assert!(m.decision_log.is_empty());
+    }
+
+    #[test]
+    fn decision_log_records_queue_resolutions() {
+        let mut sim = SimBuilder::new(1)
+            .wait(WaitPolicy::WaitUpTo(ms(30)))
+            .record_decisions(true)
+            .build();
+        // Arrival 2 waits and is admitted at the idle reset (t=50); arrival
+        // 3 (C/D = 0.8, never feasible under the single-stage DM bound)
+        // waits and times out.
+        let arrivals = vec![
+            (at(0), task(100, &[50])),
+            (at(30), task(100, &[50])),
+            (at(95), task(100, &[80])),
+        ];
+        let m = sim.run(arrivals.into_iter(), Time::from_secs(1));
+        assert_eq!(m.decision_log.len(), 3);
+        assert!(m.decision_log[0].is_admitted());
+        assert!(matches!(
+            m.decision_log[1],
+            AdmitDecision::AdmittedFromQueue { .. }
+        ));
+        assert_eq!(m.decision_log[2], AdmitDecision::TimedOut);
+        assert_eq!(m.admitted, 2);
+        assert_eq!(m.wait_timeouts, 1);
+    }
+
+    #[test]
+    fn shed_log_names_the_victim() {
+        let mut sim = SimBuilder::new(1)
+            .overload(OverloadPolicy::ShedLessImportant)
+            .record_decisions(true)
+            .build();
+        let mut lax = task(100, &[40]);
+        lax.importance = Importance::new(1);
+        let mut critical = task(100, &[40]);
+        critical.importance = Importance::CRITICAL;
+        let arrivals = vec![(at(0), lax), (at(5), critical)];
+        let m = sim.run(arrivals.into_iter(), Time::from_secs(1));
+        assert_eq!(m.shed_log.len(), 1);
+        let victim = m.decision_log[0].admitted_task().expect("lax admitted");
+        assert_eq!(m.shed_log[0], victim);
     }
 
     #[test]

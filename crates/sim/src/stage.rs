@@ -592,6 +592,29 @@ impl Stage {
         }
     }
 
+    /// Execution time the job has received so far at `now`: completed
+    /// segments in full plus the executed share of the current one (live
+    /// for a running job). Blocked and queued time contributes nothing.
+    /// `None` if the job is not at this stage (never released, or already
+    /// completed).
+    pub fn executed(&self, now: Time, key: JobKey) -> Option<TimeDelta> {
+        let &slot = self.index.get(&key)?;
+        let s = &self.slots[slot as usize];
+        let segs = s.segments.as_slice();
+        let mut done: TimeDelta = segs[..s.seg_idx as usize]
+            .iter()
+            .map(|seg| seg.duration)
+            .sum();
+        if let Some(cur) = segs.get(s.seg_idx as usize) {
+            let mut remaining = s.remaining;
+            if s.running {
+                remaining = remaining.saturating_sub(now.saturating_since(s.started));
+            }
+            done += cur.duration.saturating_sub(remaining);
+        }
+        Some(done)
+    }
+
     /// Removes a job outright (task shed/killed). Releases its lock and
     /// wakes blocked jobs as needed.
     pub fn kill(&mut self, now: Time, key: JobKey, effects: &mut Vec<Effect>) {

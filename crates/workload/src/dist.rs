@@ -154,6 +154,57 @@ impl Distribution for Pareto {
     }
 }
 
+/// Lognormal: `exp(mu + sigma·Z)` with `Z` standard normal (Box–Muller).
+/// The classic heavy-ish-tailed model for serverless invocation service
+/// times; [`LogNormal::from_mean_cv`] parameterizes it by the observable
+/// mean and coefficient of variation instead of the log-space moments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// A lognormal with log-space mean `mu` and log-space standard
+    /// deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mu` is finite and `sigma` is finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> LogNormal {
+        assert!(mu.is_finite());
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be >= 0");
+        LogNormal { mu, sigma }
+    }
+
+    /// A lognormal with the given mean (seconds) and coefficient of
+    /// variation (stddev / mean), both in value space.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean > 0` and `cv >= 0` (both finite).
+    pub fn from_mean_cv(mean: f64, cv: f64) -> LogNormal {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        assert!(cv.is_finite() && cv >= 0.0, "cv must be >= 0");
+        let sigma2 = (1.0 + cv * cv).ln();
+        LogNormal::new(mean.ln() - 0.5 * sigma2, sigma2.sqrt())
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // Box–Muller: u1 ∈ (0, 1] keeps the log finite.
+        let u1 = 1.0 - rng.next_f64();
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+}
+
 impl<T: Distribution + ?Sized> Distribution for Box<T> {
     fn sample(&self, rng: &mut Rng) -> f64 {
         (**self).sample(rng)
@@ -223,6 +274,34 @@ mod tests {
         let expect = 0.001 * 2.5 / 1.5;
         let m = empirical_mean(&d, 400_000);
         assert!((m - expect).abs() < 0.0002, "m={m} expect={expect}");
+    }
+
+    #[test]
+    fn lognormal_mean_and_positivity() {
+        let d = LogNormal::from_mean_cv(0.010, 1.5);
+        assert!((d.mean() - 0.010).abs() < 1e-12, "mean()={}", d.mean());
+        let mut rng = Rng::new(21);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!(x.is_finite() && x > 0.0);
+        }
+        let m = empirical_mean(&d, 400_000);
+        assert!((m - 0.010).abs() < 0.0005, "m={m}");
+    }
+
+    #[test]
+    fn lognormal_zero_cv_is_constant() {
+        let d = LogNormal::from_mean_cv(0.5, 0.0);
+        let mut rng = Rng::new(3);
+        for _ in 0..10 {
+            assert!((d.sample(&mut rng) - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mean")]
+    fn lognormal_rejects_nonpositive_mean() {
+        LogNormal::from_mean_cv(0.0, 1.0);
     }
 
     #[test]

@@ -2,17 +2,26 @@
 //!
 //! Experiments are reproducible from seeds, but sharing a concrete
 //! workload (or replaying a trace captured from a real system) needs a
-//! serialized form. The format is a line-oriented text file:
+//! serialized form. The format is a line-oriented text file with a
+//! versioned header:
 //!
 //! ```text
-//! # frap-arrivals v1
-//! <arrival_us>,<deadline_us>,<importance>,<nodes>,<edges>
+//! # frap-arrivals v2
+//! # scenario: serverless seed=42
+//! <arrival_us>,<deadline_us>,<importance>,<nodes>,<edges>[,<tenant>]
 //! ```
 //!
 //! where `<nodes>` is `;`-separated subtasks — each `stage:seg|seg|…`
 //! with a segment being `dur_us` or `dur_us@lock` (critical section) —
 //! and `<edges>` is `;`-separated `from->to` pairs (empty for single
 //! subtasks, `-` when absent).
+//!
+//! **v2** extends **v1** backward-compatibly: an optional trailing
+//! `<tenant>` field attributes each arrival to a tenant (defaults to 0
+//! when absent), and an optional `# scenario: <text>` comment carries
+//! free-form scenario metadata. Both versions parse through the same
+//! entry points; v1 files simply yield tenant 0 and no scenario line.
+//! Headers naming any other version are rejected (with the line number).
 //!
 //! # Examples
 //!
@@ -28,6 +37,23 @@
 //! assert_eq!(original[3].1, loaded[3].1);
 //! # Ok::<(), frap_workload::replay::ReplayError>(())
 //! ```
+//!
+//! Tenant-attributed traces round-trip through [`ArrivalTrace`]:
+//!
+//! ```
+//! use frap_core::graph::TaskSpec;
+//! use frap_core::time::{Time, TimeDelta};
+//! use frap_workload::replay::{parse_trace, render_trace, ArrivalTrace};
+//!
+//! let ms = TimeDelta::from_millis;
+//! let mut trace = ArrivalTrace::new().with_scenario("demo seed=1");
+//! trace.push(Time::ZERO, TaskSpec::pipeline(ms(50), &[ms(2), ms(3)]).unwrap(), 7);
+//! let text = render_trace(&trace);
+//! let loaded = parse_trace(&text)?;
+//! assert_eq!(loaded.records[0].tenant, 7);
+//! assert_eq!(loaded.scenario.as_deref(), Some("demo seed=1"));
+//! # Ok::<(), frap_workload::replay::ReplayError>(())
+//! ```
 
 use frap_core::graph::{TaskGraph, TaskSpec};
 use frap_core::task::{Importance, LockId, Segment, StageId, SubtaskSpec};
@@ -36,28 +62,105 @@ use std::fmt;
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Errors from loading an arrival trace.
+/// Errors from loading an arrival trace. Every parse variant carries the
+/// 1-based line number of the offending line (see [`ReplayError::line`]).
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum ReplayError {
     /// The file could not be read or written.
     Io(std::io::Error),
-    /// A line did not parse; carries the 1-based line number and a reason.
-    Parse {
+    /// The header names a format version this parser does not understand.
+    UnsupportedVersion {
         /// 1-based line number.
         line: usize,
-        /// What went wrong.
+        /// The version text found in the header.
+        version: String,
+    },
+    /// A data line had the wrong number of comma-separated fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// How many fields the line actually had.
+        got: usize,
+    },
+    /// A numeric field did not parse.
+    InvalidNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Which field was malformed.
+        what: &'static str,
+        /// The offending text.
+        text: String,
+    },
+    /// A node entry was structurally malformed (missing the `stage:segs`
+    /// separator).
+    MalformedNode {
+        /// 1-based line number.
+        line: usize,
+        /// The offending node text.
+        node: String,
+    },
+    /// An edge entry was structurally malformed (missing `->`).
+    MalformedEdge {
+        /// 1-based line number.
+        line: usize,
+        /// The offending edge text.
+        edge: String,
+    },
+    /// The nodes and edges did not assemble into a valid task graph
+    /// (cycle, dangling edge index, …).
+    InvalidGraph {
+        /// 1-based line number.
+        line: usize,
+        /// The graph builder's complaint.
         reason: String,
     },
+}
+
+impl ReplayError {
+    /// The 1-based line number the error points at (`None` for I/O
+    /// errors, which concern the file as a whole).
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            ReplayError::Io(_) => None,
+            ReplayError::UnsupportedVersion { line, .. }
+            | ReplayError::FieldCount { line, .. }
+            | ReplayError::InvalidNumber { line, .. }
+            | ReplayError::MalformedNode { line, .. }
+            | ReplayError::MalformedEdge { line, .. }
+            | ReplayError::InvalidGraph { line, .. } => Some(*line),
+        }
+    }
 }
 
 impl fmt::Display for ReplayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReplayError::Io(e) => write!(f, "arrival trace io error: {e}"),
-            ReplayError::Parse { line, reason } => {
-                write!(f, "arrival trace parse error at line {line}: {reason}")
-            }
+            ReplayError::UnsupportedVersion { line, version } => write!(
+                f,
+                "arrival trace parse error at line {line}: unsupported format version {version:?}"
+            ),
+            ReplayError::FieldCount { line, got } => write!(
+                f,
+                "arrival trace parse error at line {line}: expected 5 or 6 fields, got {got}"
+            ),
+            ReplayError::InvalidNumber { line, what, text } => write!(
+                f,
+                "arrival trace parse error at line {line}: invalid {what}: {text:?}"
+            ),
+            ReplayError::MalformedNode { line, node } => write!(
+                f,
+                "arrival trace parse error at line {line}: node missing stage separator: {node:?}"
+            ),
+            ReplayError::MalformedEdge { line, edge } => write!(
+                f,
+                "arrival trace parse error at line {line}: malformed edge: {edge:?}"
+            ),
+            ReplayError::InvalidGraph { line, reason } => write!(
+                f,
+                "arrival trace parse error at line {line}: invalid task graph: {reason}"
+            ),
         }
     }
 }
@@ -66,7 +169,7 @@ impl std::error::Error for ReplayError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ReplayError::Io(e) => Some(e),
-            ReplayError::Parse { .. } => None,
+            _ => None,
         }
     }
 }
@@ -77,83 +180,185 @@ impl From<std::io::Error> for ReplayError {
     }
 }
 
-const HEADER: &str = "# frap-arrivals v1";
+const HEADER_V1: &str = "# frap-arrivals v1";
+const HEADER_V2: &str = "# frap-arrivals v2";
+const HEADER_PREFIX: &str = "# frap-arrivals ";
+const SCENARIO_PREFIX: &str = "# scenario:";
 
-/// Renders an arrival sequence to the trace format.
+/// One arrival in a [`ArrivalTrace`]: when, what, and whose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Arrival time.
+    pub at: Time,
+    /// The task offered to admission control.
+    pub spec: TaskSpec,
+    /// Tenant (or workload-class) label; 0 when the trace predates v2.
+    pub tenant: u32,
+}
+
+/// A tenant-attributed arrival sequence plus scenario metadata — the
+/// in-memory form of the `frap-arrivals v2` on-disk format.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ArrivalTrace {
+    /// Free-form scenario description (`# scenario:` line), if any.
+    pub scenario: Option<String>,
+    /// Arrivals in nondecreasing time order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl ArrivalTrace {
+    /// An empty trace with no scenario metadata.
+    pub fn new() -> ArrivalTrace {
+        ArrivalTrace::default()
+    }
+
+    /// This trace with a `# scenario:` metadata line. Newlines are
+    /// replaced with spaces (the on-disk form is line-oriented).
+    pub fn with_scenario(mut self, scenario: impl Into<String>) -> ArrivalTrace {
+        self.scenario = Some(scenario.into().replace(['\n', '\r'], " "));
+        self
+    }
+
+    /// Appends an arrival.
+    pub fn push(&mut self, at: Time, spec: TaskSpec, tenant: u32) {
+        self.records.push(TraceRecord { at, spec, tenant });
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace has no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The arrivals as the `(Time, TaskSpec)` form the simulator and the
+    /// replication runner consume (tenants dropped; graph clones are
+    /// O(1) refcount bumps).
+    pub fn arrivals(&self) -> Vec<(Time, TaskSpec)> {
+        self.records
+            .iter()
+            .map(|r| (r.at, r.spec.clone()))
+            .collect()
+    }
+}
+
+fn render_spec_fields(out: &mut String, t: Time, spec: &TaskSpec) {
+    let mut nodes = String::new();
+    for (i, sub) in spec.graph.subtasks().enumerate() {
+        if i > 0 {
+            nodes.push(';');
+        }
+        let _ = write!(nodes, "{}:", sub.stage.index());
+        for (k, seg) in sub.segments.iter().enumerate() {
+            if k > 0 {
+                nodes.push('|');
+            }
+            match seg.lock {
+                Some(l) => {
+                    let _ = write!(nodes, "{}@{}", seg.duration.as_micros(), l.index());
+                }
+                None => {
+                    let _ = write!(nodes, "{}", seg.duration.as_micros());
+                }
+            }
+        }
+    }
+    let mut edges = String::new();
+    for i in 0..spec.graph.len() {
+        for &s in spec.graph.succs(i) {
+            if !edges.is_empty() {
+                edges.push(';');
+            }
+            let _ = write!(edges, "{i}->{s}");
+        }
+    }
+    if edges.is_empty() {
+        edges.push('-');
+    }
+    let _ = write!(
+        out,
+        "{},{},{},{},{}",
+        t.as_micros(),
+        spec.deadline.as_micros(),
+        spec.importance.level(),
+        nodes,
+        edges
+    );
+}
+
+/// Renders an arrival sequence to the v1 trace format (no tenants).
 pub fn render_arrivals(arrivals: &[(Time, TaskSpec)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "{HEADER_V1}");
     for (t, spec) in arrivals {
-        let mut nodes = String::new();
-        for (i, sub) in spec.graph.subtasks().enumerate() {
-            if i > 0 {
-                nodes.push(';');
-            }
-            let _ = write!(nodes, "{}:", sub.stage.index());
-            for (k, seg) in sub.segments.iter().enumerate() {
-                if k > 0 {
-                    nodes.push('|');
-                }
-                match seg.lock {
-                    Some(l) => {
-                        let _ = write!(nodes, "{}@{}", seg.duration.as_micros(), l.index());
-                    }
-                    None => {
-                        let _ = write!(nodes, "{}", seg.duration.as_micros());
-                    }
-                }
-            }
-        }
-        let mut edges = String::new();
-        for i in 0..spec.graph.len() {
-            for &s in spec.graph.succs(i) {
-                if !edges.is_empty() {
-                    edges.push(';');
-                }
-                let _ = write!(edges, "{i}->{s}");
-            }
-        }
-        if edges.is_empty() {
-            edges.push('-');
-        }
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{}",
-            t.as_micros(),
-            spec.deadline.as_micros(),
-            spec.importance.level(),
-            nodes,
-            edges
-        );
+        render_spec_fields(&mut out, *t, spec);
+        out.push('\n');
     }
     out
 }
 
-/// Parses the trace format back into an arrival sequence.
+/// Renders a tenant-attributed trace to the v2 format.
+pub fn render_trace(trace: &ArrivalTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER_V2}");
+    if let Some(scenario) = &trace.scenario {
+        let _ = writeln!(out, "{SCENARIO_PREFIX} {scenario}");
+    }
+    for r in &trace.records {
+        render_spec_fields(&mut out, r.at, &r.spec);
+        let _ = writeln!(out, ",{}", r.tenant);
+    }
+    out
+}
+
+/// Parses either trace format (v1 or v2) into an [`ArrivalTrace`].
+///
+/// v1 lines yield tenant 0; a v2 trailing tenant field and `# scenario:`
+/// metadata are picked up when present.
 ///
 /// # Errors
 ///
-/// Returns [`ReplayError::Parse`] with the offending line on any
-/// malformed input (bad field counts, non-numeric values, invalid graphs).
-pub fn parse_arrivals(text: &str) -> Result<Vec<(Time, TaskSpec)>, ReplayError> {
-    let mut out = Vec::new();
+/// Returns the [`ReplayError`] variant describing the first malformed
+/// line; every parse variant carries the 1-based line number.
+pub fn parse_trace(text: &str) -> Result<ArrivalTrace, ReplayError> {
+    let mut trace = ArrivalTrace::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
         let trimmed = raw.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix(SCENARIO_PREFIX) {
+            trace.scenario = Some(rest.trim().to_string());
+            continue;
+        }
+        if let Some(version) = trimmed.strip_prefix(HEADER_PREFIX) {
+            if version != "v1" && version != "v2" {
+                return Err(ReplayError::UnsupportedVersion {
+                    line,
+                    version: version.to_string(),
+                });
+            }
+            continue;
+        }
+        if trimmed.starts_with('#') {
             continue;
         }
         let fields: Vec<&str> = trimmed.split(',').collect();
-        if fields.len() != 5 {
-            return Err(ReplayError::Parse {
+        if fields.len() != 5 && fields.len() != 6 {
+            return Err(ReplayError::FieldCount {
                 line,
-                reason: format!("expected 5 fields, got {}", fields.len()),
+                got: fields.len(),
             });
         }
-        let parse_u64 = |s: &str, what: &str| -> Result<u64, ReplayError> {
-            s.parse().map_err(|_| ReplayError::Parse {
+        let parse_u64 = |s: &str, what: &'static str| -> Result<u64, ReplayError> {
+            s.parse().map_err(|_| ReplayError::InvalidNumber {
                 line,
-                reason: format!("invalid {what}: {s:?}"),
+                what,
+                text: s.to_string(),
             })
         };
         let arrival = Time::from_micros(parse_u64(fields[0], "arrival time")?);
@@ -162,10 +367,12 @@ pub fn parse_arrivals(text: &str) -> Result<Vec<(Time, TaskSpec)>, ReplayError> 
 
         let mut builder = TaskGraph::builder();
         for node in fields[3].split(';') {
-            let (stage_s, segs_s) = node.split_once(':').ok_or_else(|| ReplayError::Parse {
-                line,
-                reason: format!("node missing stage separator: {node:?}"),
-            })?;
+            let (stage_s, segs_s) =
+                node.split_once(':')
+                    .ok_or_else(|| ReplayError::MalformedNode {
+                        line,
+                        node: node.to_string(),
+                    })?;
             let stage = StageId::new(parse_u64(stage_s, "stage")? as usize);
             let mut segments = Vec::new();
             for seg in segs_s.split('|') {
@@ -185,29 +392,51 @@ pub fn parse_arrivals(text: &str) -> Result<Vec<(Time, TaskSpec)>, ReplayError> 
         }
         if fields[4] != "-" {
             for edge in fields[4].split(';') {
-                let (a, b) = edge.split_once("->").ok_or_else(|| ReplayError::Parse {
-                    line,
-                    reason: format!("malformed edge: {edge:?}"),
-                })?;
+                let (a, b) = edge
+                    .split_once("->")
+                    .ok_or_else(|| ReplayError::MalformedEdge {
+                        line,
+                        edge: edge.to_string(),
+                    })?;
                 builder.edge(
                     parse_u64(a, "edge source")? as usize,
                     parse_u64(b, "edge target")? as usize,
                 );
             }
         }
-        let graph = builder.build().map_err(|e| ReplayError::Parse {
+        let graph = builder.build().map_err(|e| ReplayError::InvalidGraph {
             line,
-            reason: format!("invalid task graph: {e}"),
+            reason: e.to_string(),
         })?;
-        out.push((
+        let tenant = match fields.get(5) {
+            Some(s) => parse_u64(s, "tenant")? as u32,
+            None => 0,
+        };
+        trace.push(
             arrival,
             TaskSpec::new(deadline, graph).with_importance(importance),
-        ));
+            tenant,
+        );
     }
-    Ok(out)
+    Ok(trace)
 }
 
-/// Writes an arrival sequence to `path` in the trace format.
+/// Parses either trace format back into a plain arrival sequence
+/// (tenants and scenario metadata dropped).
+///
+/// # Errors
+///
+/// Returns the [`ReplayError`] variant describing the first malformed
+/// line, with its 1-based line number.
+pub fn parse_arrivals(text: &str) -> Result<Vec<(Time, TaskSpec)>, ReplayError> {
+    Ok(parse_trace(text)?
+        .records
+        .into_iter()
+        .map(|r| (r.at, r.spec))
+        .collect())
+}
+
+/// Writes an arrival sequence to `path` in the v1 trace format.
 ///
 /// # Errors
 ///
@@ -220,14 +449,34 @@ pub fn save_arrivals(
     Ok(())
 }
 
-/// Loads an arrival sequence from `path`.
+/// Loads an arrival sequence from `path` (either format version).
 ///
 /// # Errors
 ///
-/// Returns [`ReplayError::Io`] on filesystem errors and
-/// [`ReplayError::Parse`] on malformed content.
+/// Returns [`ReplayError::Io`] on filesystem errors and a parse variant
+/// (with line number) on malformed content.
 pub fn load_arrivals(path: impl AsRef<Path>) -> Result<Vec<(Time, TaskSpec)>, ReplayError> {
     parse_arrivals(&std::fs::read_to_string(path)?)
+}
+
+/// Writes a tenant-attributed trace to `path` in the v2 format.
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Io`] on filesystem errors.
+pub fn save_trace(path: impl AsRef<Path>, trace: &ArrivalTrace) -> Result<(), ReplayError> {
+    std::fs::write(path, render_trace(trace))?;
+    Ok(())
+}
+
+/// Loads a tenant-attributed trace from `path` (either format version).
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Io`] on filesystem errors and a parse variant
+/// (with line number) on malformed content.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<ArrivalTrace, ReplayError> {
+    parse_trace(&std::fs::read_to_string(path)?)
 }
 
 #[cfg(test)]
@@ -282,6 +531,48 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_v2_trace_with_tenants_and_scenario() {
+        let specs: Vec<_> = PipelineWorkloadBuilder::new(2)
+            .seed(11)
+            .build()
+            .take(12)
+            .collect();
+        let mut trace = ArrivalTrace::new().with_scenario("unit seed=11 rate=5");
+        for (i, (t, spec)) in specs.into_iter().enumerate() {
+            trace.push(t, spec, (i % 3) as u32);
+        }
+        let text = render_trace(&trace);
+        assert!(text.starts_with("# frap-arrivals v2\n"));
+        let loaded = parse_trace(&text).unwrap();
+        assert_eq!(loaded.scenario.as_deref(), Some("unit seed=11 rate=5"));
+        assert_eq!(loaded.len(), trace.len());
+        for (a, b) in trace.records.iter().zip(&loaded.records) {
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.tenant, b.tenant);
+            assert_eq!(a.spec.graph, b.spec.graph);
+        }
+        // Re-render is byte-identical (canonical form).
+        assert_eq!(render_trace(&loaded), text);
+    }
+
+    #[test]
+    fn v1_files_parse_as_tenant_zero_traces() {
+        let text = "# frap-arrivals v1\n100,2000,3,0:500,-\n";
+        let trace = parse_trace(text).unwrap();
+        assert_eq!(trace.scenario, None);
+        assert_eq!(trace.records[0].tenant, 0);
+        assert_eq!(trace.records[0].spec.importance, Importance::new(3));
+    }
+
+    #[test]
+    fn legacy_parser_accepts_v2_input() {
+        let text = "# frap-arrivals v2\n# scenario: x\n100,2000,0,0:500,-,9\n";
+        let loaded = parse_arrivals(text).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0, Time::from_micros(100));
+    }
+
+    #[test]
     fn file_roundtrip() {
         let dir = std::env::temp_dir().join("frap_replay_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -298,6 +589,21 @@ mod tests {
     }
 
     #[test]
+    fn trace_file_roundtrip() {
+        let dir = std::env::temp_dir().join("frap_replay_test_v2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace_v2.txt");
+        let mut trace = ArrivalTrace::new().with_scenario("file roundtrip");
+        for (t, spec) in PipelineWorkloadBuilder::new(2).seed(4).build().take(6) {
+            trace.push(t, spec, 2);
+        }
+        save_trace(&path, &trace).unwrap();
+        let loaded = load_trace(&path).unwrap();
+        assert_eq!(loaded, trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn comments_and_blank_lines_skipped() {
         let text = "# frap-arrivals v1\n\n# comment\n100,2000,0,0:500,-\n";
         let loaded = parse_arrivals(text).unwrap();
@@ -306,22 +612,103 @@ mod tests {
     }
 
     #[test]
-    fn parse_errors_carry_line_numbers() {
-        let bad_fields = "# h\n1,2,3\n";
-        match parse_arrivals(bad_fields).unwrap_err() {
-            ReplayError::Parse { line, .. } => assert_eq!(line, 2),
+    fn scenario_newlines_are_sanitized() {
+        let trace = ArrivalTrace::new().with_scenario("a\nb\r\nc");
+        let text = render_trace(&trace);
+        let loaded = parse_trace(&text).unwrap();
+        assert_eq!(loaded.scenario.as_deref(), Some("a b  c"));
+    }
+
+    #[test]
+    fn field_count_error_carries_line() {
+        match parse_arrivals("# h\n1,2,3\n").unwrap_err() {
+            e @ ReplayError::FieldCount { line, got } => {
+                assert_eq!((line, got), (2, 3));
+                assert_eq!(e.line(), Some(2));
+            }
             other => panic!("unexpected: {other}"),
         }
-        let bad_number = "1,2,x,0:5,-\n";
-        assert!(matches!(
-            parse_arrivals(bad_number).unwrap_err(),
-            ReplayError::Parse { line: 1, .. }
-        ));
-        let bad_edge = "1,2,0,0:5;1:5,zzz\n";
-        assert!(parse_arrivals(bad_edge).is_err());
-        let cyclic = "1,2,0,0:5;1:5,0->1;1->0\n";
-        match parse_arrivals(cyclic).unwrap_err() {
-            ReplayError::Parse { reason, .. } => assert!(reason.contains("cycle")),
+    }
+
+    #[test]
+    fn invalid_number_error_carries_line() {
+        match parse_arrivals("1,2,x,0:5,-\n").unwrap_err() {
+            ReplayError::InvalidNumber { line, what, text } => {
+                assert_eq!(line, 1);
+                assert_eq!(what, "importance");
+                assert_eq!(text, "x");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+        // A malformed segment duration inside a node reports its position.
+        match parse_arrivals("1,2,0,0:bad|5,-\n").unwrap_err() {
+            ReplayError::InvalidNumber { line, what, .. } => {
+                assert_eq!(line, 1);
+                assert_eq!(what, "segment duration");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+        // … as does a malformed lock id after `@`.
+        match parse_arrivals("\n1,2,0,0:5@z,-\n").unwrap_err() {
+            ReplayError::InvalidNumber { line, what, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(what, "lock");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn malformed_node_error_carries_line() {
+        match parse_arrivals("# header\n\n1,2,0,500,-\n").unwrap_err() {
+            ReplayError::MalformedNode { line, node } => {
+                assert_eq!(line, 3);
+                assert_eq!(node, "500");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn malformed_edge_error_carries_line() {
+        match parse_arrivals("1,2,0,0:5;1:5,zzz\n").unwrap_err() {
+            e @ ReplayError::MalformedEdge { .. } => {
+                assert_eq!(e.line(), Some(1));
+                assert!(e.to_string().contains("line 1"));
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_graph_error_carries_line() {
+        match parse_arrivals("# x\n1,2,0,0:5;1:5,0->1;1->0\n").unwrap_err() {
+            ReplayError::InvalidGraph { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("cycle"), "reason={reason}");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_version_error_carries_line() {
+        match parse_arrivals("# frap-arrivals v9\n1,2,0,0:5,-\n").unwrap_err() {
+            ReplayError::UnsupportedVersion { line, version } => {
+                assert_eq!(line, 1);
+                assert_eq!(version, "v9");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_tenant_error_carries_line() {
+        match parse_trace("# frap-arrivals v2\n1,2,0,0:5,-,nope\n").unwrap_err() {
+            ReplayError::InvalidNumber { line, what, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(what, "tenant");
+            }
             other => panic!("unexpected: {other}"),
         }
     }
@@ -329,17 +716,19 @@ mod tests {
     #[test]
     fn load_missing_file_is_io_error() {
         match load_arrivals("/nonexistent/frap/trace.txt").unwrap_err() {
-            ReplayError::Io(_) => {}
+            e @ ReplayError::Io(_) => assert_eq!(e.line(), None),
             other => panic!("unexpected: {other}"),
         }
     }
 
     #[test]
     fn error_display_nonempty() {
-        let e = ReplayError::Parse {
+        let e = ReplayError::InvalidGraph {
             line: 3,
             reason: "boom".into(),
         };
         assert!(e.to_string().contains("line 3"));
+        let e = ReplayError::FieldCount { line: 7, got: 2 };
+        assert!(e.to_string().contains("line 7"));
     }
 }

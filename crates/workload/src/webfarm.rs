@@ -116,15 +116,47 @@ impl WebFarmConfig {
         catalog.build()
     }
 
-    /// Generates the arrival sequence up to `horizon`.
-    pub fn arrivals(&self, horizon: Time) -> Vec<(Time, TaskSpec)> {
-        let mut rng = Rng::new(self.seed);
-        let mut poisson = PoissonProcess::new(self.rate);
+    /// Draws one request — class, per-stage work, deadline — advancing
+    /// `rng` exactly as one iteration of [`WebFarmConfig::arrivals`] does
+    /// (arrival timing excluded), so callers can substitute their own
+    /// arrival process (e.g. NHPP thinning for diurnal curves) while
+    /// keeping the per-request draws identical.
+    pub fn sample_spec(&self, rng: &mut Rng) -> TaskSpec {
         let fe = Exponential::new(self.front_end_mean);
         let app = Exponential::new(self.app_mean);
         let db = Exponential::new(self.db_mean);
         let deadline = Uniform::new(self.deadline.0, self.deadline.1);
+        let class = rng.next_f64();
+        let graph = if class < self.static_fraction {
+            TaskGraph::chain(vec![SubtaskSpec::new(FRONT_END, fe.sample_delta(rng))])
+                .expect("valid")
+        } else if class < self.static_fraction + self.report_fraction {
+            TaskGraph::fork_join(
+                SubtaskSpec::new(FRONT_END, fe.sample_delta(rng)),
+                vec![
+                    SubtaskSpec::new(APP_A, app.sample_delta(rng)),
+                    SubtaskSpec::new(APP_B, app.sample_delta(rng)),
+                ],
+                SubtaskSpec::new(DATABASE, db.sample_delta(rng)),
+            )
+            .expect("valid")
+        } else {
+            // Dynamic request: balance across the two app servers.
+            let server = if rng.next_f64() < 0.5 { APP_A } else { APP_B };
+            TaskGraph::chain(vec![
+                SubtaskSpec::new(FRONT_END, fe.sample_delta(rng)),
+                SubtaskSpec::new(server, app.sample_delta(rng)),
+                SubtaskSpec::new(DATABASE, db.sample_delta(rng)),
+            ])
+            .expect("valid")
+        };
+        TaskSpec::new(deadline.sample_delta(rng), graph).with_importance(Importance::new(1))
+    }
 
+    /// Generates the arrival sequence up to `horizon`.
+    pub fn arrivals(&self, horizon: Time) -> Vec<(Time, TaskSpec)> {
+        let mut rng = Rng::new(self.seed);
+        let mut poisson = PoissonProcess::new(self.rate);
         let mut out = Vec::new();
         let mut t = Time::ZERO;
         loop {
@@ -132,33 +164,7 @@ impl WebFarmConfig {
             if t > horizon {
                 break;
             }
-            let class = rng.next_f64();
-            let graph = if class < self.static_fraction {
-                TaskGraph::chain(vec![SubtaskSpec::new(FRONT_END, fe.sample_delta(&mut rng))])
-                    .expect("valid")
-            } else if class < self.static_fraction + self.report_fraction {
-                TaskGraph::fork_join(
-                    SubtaskSpec::new(FRONT_END, fe.sample_delta(&mut rng)),
-                    vec![
-                        SubtaskSpec::new(APP_A, app.sample_delta(&mut rng)),
-                        SubtaskSpec::new(APP_B, app.sample_delta(&mut rng)),
-                    ],
-                    SubtaskSpec::new(DATABASE, db.sample_delta(&mut rng)),
-                )
-                .expect("valid")
-            } else {
-                // Dynamic request: balance across the two app servers.
-                let server = if rng.next_f64() < 0.5 { APP_A } else { APP_B };
-                TaskGraph::chain(vec![
-                    SubtaskSpec::new(FRONT_END, fe.sample_delta(&mut rng)),
-                    SubtaskSpec::new(server, app.sample_delta(&mut rng)),
-                    SubtaskSpec::new(DATABASE, db.sample_delta(&mut rng)),
-                ])
-                .expect("valid")
-            };
-            let spec = TaskSpec::new(deadline.sample_delta(&mut rng), graph)
-                .with_importance(Importance::new(1));
-            out.push((t, spec));
+            out.push((t, self.sample_spec(&mut rng)));
         }
         out
     }
