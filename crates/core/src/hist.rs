@@ -32,7 +32,22 @@ pub struct LatencyHistogram {
     total: u64,
     max: TimeDelta,
     min: TimeDelta,
+    /// A certain lower bound on the largest recorded value. Equals `max`
+    /// while every sample was recorded exactly; after merging bucket-only
+    /// sources it can sit one bucket below `max`.
+    max_lb: TimeDelta,
+    /// Whether `max` is the exact largest sample (vs. a bucket or
+    /// saturation bound inherited from an [`AtomicLatencyHistogram`]).
+    max_exact: bool,
+    /// Samples known only as `>= SATURATION_BOUND` (the atomic
+    /// histogram's overflow bucket).
+    saturated: u64,
 }
+
+/// Values at or above this bound (in the histogram's own unit) land in
+/// [`AtomicLatencyHistogram`]'s explicit overflow bucket and are reported
+/// only as `>= SATURATION_BOUND` — no upper bound is claimed for them.
+pub const SATURATION_BOUND: u64 = 1 << 35;
 
 fn bucket_of(micros: u64) -> usize {
     if micros < SUB as u64 {
@@ -70,6 +85,9 @@ impl LatencyHistogram {
             total: 0,
             max: TimeDelta::ZERO,
             min: TimeDelta::MAX,
+            max_lb: TimeDelta::ZERO,
+            max_exact: true,
+            saturated: 0,
         }
     }
 
@@ -77,7 +95,13 @@ impl LatencyHistogram {
     pub fn record(&mut self, value: TimeDelta) {
         self.counts[bucket_of(value.as_micros())] += 1;
         self.total += 1;
-        self.max = self.max.max(value);
+        self.max_lb = self.max_lb.max(value);
+        if value >= self.max {
+            // A sample at or above the previous max (exact or bound)
+            // makes the max exact again.
+            self.max = value;
+            self.max_exact = true;
+        }
         self.min = self.min.min(value);
     }
 
@@ -91,13 +115,40 @@ impl LatencyHistogram {
         self.total == 0
     }
 
-    /// The largest recorded value (exact).
+    /// The largest recorded value. Exact while every sample came through
+    /// [`LatencyHistogram::record`]; after merging an
+    /// [`AtomicLatencyHistogram`] it may be a bucket upper bound (see
+    /// [`LatencyHistogram::max_is_exact`]), and with saturated samples it
+    /// is only the saturation bound — the true max can exceed it.
     pub fn max(&self) -> TimeDelta {
         if self.is_empty() {
             TimeDelta::ZERO
         } else {
             self.max
         }
+    }
+
+    /// Whether [`LatencyHistogram::max`] is an exact sample rather than a
+    /// bucket / saturation bound inherited from a bucket-only source.
+    pub fn max_is_exact(&self) -> bool {
+        self.max_exact
+    }
+
+    /// A certain lower bound on the largest recorded value: the honest
+    /// `>= bound` figure to report when [`LatencyHistogram::max_is_exact`]
+    /// is false (it equals [`LatencyHistogram::max`] when exact).
+    pub fn max_lower_bound(&self) -> TimeDelta {
+        if self.is_empty() {
+            TimeDelta::ZERO
+        } else {
+            self.max_lb
+        }
+    }
+
+    /// Samples recorded only as `>= SATURATION_BOUND` via an atomic
+    /// source's overflow bucket.
+    pub fn saturated(&self) -> u64 {
+        self.saturated
     }
 
     /// The smallest recorded value (exact).
@@ -139,8 +190,13 @@ impl LatencyHistogram {
             *a += b;
         }
         self.total += other.total;
+        self.saturated += other.saturated;
         if other.total > 0 {
-            self.max = self.max.max(other.max);
+            if other.max > self.max {
+                self.max = other.max;
+                self.max_exact = other.max_exact;
+            }
+            self.max_lb = self.max_lb.max(other.max_lb);
             self.min = self.min.min(other.min);
         }
     }
@@ -165,6 +221,11 @@ impl Default for LatencyHistogram {
 #[derive(Debug)]
 pub struct AtomicLatencyHistogram {
     counts: Vec<std::sync::atomic::AtomicU64>,
+    /// Explicit saturation bucket: samples `>= SATURATION_BOUND`, for
+    /// which only that lower bound is claimed. Kept out of the log
+    /// buckets so reporting can say `>= bound` instead of inventing an
+    /// in-range value for a wildly out-of-range sample.
+    overflow: std::sync::atomic::AtomicU64,
 }
 
 impl AtomicLatencyHistogram {
@@ -172,20 +233,32 @@ impl AtomicLatencyHistogram {
     pub fn new() -> AtomicLatencyHistogram {
         AtomicLatencyHistogram {
             counts: (0..BUCKETS).map(|_| Default::default()).collect(),
+            overflow: Default::default(),
         }
     }
 
     /// Records one value (one relaxed `fetch_add`).
     pub fn record(&self, value: TimeDelta) {
         use std::sync::atomic::Ordering::Relaxed;
-        self.counts[bucket_of(value.as_micros())].fetch_add(1, Relaxed);
+        let v = value.as_micros();
+        if v >= SATURATION_BOUND {
+            self.overflow.fetch_add(1, Relaxed);
+        } else {
+            self.counts[bucket_of(v)].fetch_add(1, Relaxed);
+        }
     }
 
-    /// Number of recorded values (sums the buckets; intended for
-    /// snapshot/reporting paths, not per-sample hot loops).
+    /// Samples that landed in the explicit saturation bucket.
+    pub fn saturated(&self) -> u64 {
+        self.overflow.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of recorded values, the saturation bucket included (sums
+    /// the buckets; intended for snapshot/reporting paths, not per-sample
+    /// hot loops).
     pub fn count(&self) -> u64 {
         use std::sync::atomic::Ordering::Relaxed;
-        self.counts.iter().map(|c| c.load(Relaxed)).sum()
+        self.counts.iter().map(|c| c.load(Relaxed)).sum::<u64>() + self.saturated()
     }
 
     /// Adds this histogram's cumulative contents into `out`, like
@@ -196,7 +269,11 @@ impl AtomicLatencyHistogram {
     /// `out`'s min/max are widened to the *bucket bounds* of the lowest
     /// and highest non-empty buckets — within the histogram's ≤ 12.5 %
     /// relative error, but not exact the way `LatencyHistogram::record`'s
-    /// own extremes are.
+    /// own extremes are. `out` remembers that: its `max_is_exact` flips
+    /// off whenever the merged bound dominates, and `max_lower_bound`
+    /// carries the honest `>= bound` figure (the highest non-empty
+    /// bucket's lower edge, or `SATURATION_BOUND` once the overflow
+    /// bucket is populated).
     pub fn merge_into(&self, out: &mut LatencyHistogram) {
         use std::sync::atomic::Ordering::Relaxed;
         let mut total = 0u64;
@@ -214,8 +291,29 @@ impl AtomicLatencyHistogram {
         if total > 0 {
             out.total += total;
             let (lo, hi) = (lowest.expect("non-empty"), highest.expect("non-empty"));
-            out.max = out.max.max(TimeDelta::from_micros(bucket_upper_bound(hi)));
+            let ub = TimeDelta::from_micros(bucket_upper_bound(hi));
+            if ub > out.max {
+                out.max = ub;
+                out.max_exact = false;
+            }
+            out.max_lb = out
+                .max_lb
+                .max(TimeDelta::from_micros(bucket_lower_bound(hi)));
             out.min = out.min.min(TimeDelta::from_micros(bucket_lower_bound(lo)));
+        }
+        let saturated = self.saturated();
+        if saturated > 0 {
+            let bound = TimeDelta::from_micros(SATURATION_BOUND);
+            out.total += saturated;
+            out.saturated += saturated;
+            out.min = out.min.min(bound);
+            out.max_lb = out.max_lb.max(bound);
+            if bound >= out.max {
+                // No upper bound is known for saturated samples; `max`
+                // degrades to the saturation bound itself.
+                out.max = bound;
+                out.max_exact = false;
+            }
         }
     }
 }
@@ -379,6 +477,66 @@ mod tests {
         atomic.merge_into(&mut out);
         assert_eq!(out.count(), 1);
         assert_eq!(out.min(), us(5));
+    }
+
+    #[test]
+    fn merged_max_is_flagged_as_a_bound() {
+        let mut plain = LatencyHistogram::new();
+        plain.record(us(100));
+        assert!(plain.max_is_exact());
+        assert_eq!(plain.max_lower_bound(), us(100));
+
+        // An atomic source with a larger sample: the merged max comes
+        // from a bucket, so it must be flagged and bracketed.
+        let atomic = AtomicLatencyHistogram::new();
+        atomic.record(us(1_000_000));
+        atomic.merge_into(&mut plain);
+        assert!(!plain.max_is_exact());
+        assert!(plain.max_lower_bound() <= us(1_000_000));
+        assert!(plain.max() >= us(1_000_000));
+        assert!(plain.max_lower_bound() <= plain.max());
+
+        // A later exact sample at/above the bound restores exactness.
+        plain.record(plain.max());
+        assert!(plain.max_is_exact());
+    }
+
+    #[test]
+    fn merged_max_stays_exact_when_the_exact_side_dominates() {
+        let mut plain = LatencyHistogram::new();
+        plain.record(us(5_000_000));
+        let atomic = AtomicLatencyHistogram::new();
+        atomic.record(us(10));
+        atomic.merge_into(&mut plain);
+        assert!(plain.max_is_exact());
+        assert_eq!(plain.max(), us(5_000_000));
+        assert_eq!(plain.max_lower_bound(), us(5_000_000));
+    }
+
+    #[test]
+    fn saturation_bucket_reports_a_lower_bound_only() {
+        let atomic = AtomicLatencyHistogram::new();
+        atomic.record(us(SATURATION_BOUND));
+        atomic.record(us(u64::MAX));
+        atomic.record(us(7));
+        assert_eq!(atomic.saturated(), 2);
+        assert_eq!(atomic.count(), 3);
+
+        let mut out = LatencyHistogram::new();
+        atomic.merge_into(&mut out);
+        assert_eq!(out.count(), 3);
+        assert_eq!(out.saturated(), 2);
+        assert!(!out.max_is_exact());
+        assert_eq!(out.max(), us(SATURATION_BOUND));
+        assert_eq!(out.max_lower_bound(), us(SATURATION_BOUND));
+        // The saturated tail surfaces at the bound in the percentiles.
+        assert_eq!(out.percentile(1.0), us(SATURATION_BOUND));
+
+        // Plain merge carries the saturation accounting along.
+        let mut sum = LatencyHistogram::new();
+        sum.merge(&out);
+        assert_eq!(sum.saturated(), 2);
+        assert!(!sum.max_is_exact());
     }
 
     #[test]

@@ -49,10 +49,13 @@ pub const LANES: usize = 8;
 /// Vector length below which the exact scalar sum beats the `f32` lanes
 /// outright, so [`RegionKernel::feasible`] (and the region trait
 /// routing) skips the fast path entirely. Measured crossover on the
-/// reference container: the lane loop plus guard-band bookkeeping only
-/// pays for itself from about three vector widths up (scalar wins by
-/// ~25% at 16 stages, the kernel by ~5% at 24 and ~40% at 64).
-pub const SCALAR_CUTOVER: usize = 3 * LANES;
+/// reference container (sweep over 8–48 stages, both admission
+/// regimes): the lane loop plus guard-band bookkeeping loses by ~25%
+/// at 8–12 stages, breaks even in the noisy 24–28 band, and wins on
+/// every cell from four vector widths up (~20% at 32–48, ~1.3–2× at
+/// 64–1024). The cutover sits at the top of the break-even band so the
+/// vectorized arm only runs where it reliably pays.
+pub const SCALAR_CUTOVER: usize = 4 * LANES;
 
 /// What the vectorized fast path concluded about one utilization vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +131,7 @@ impl RegionKernel {
     // Non-short-circuiting `&` keeps the lane loop branch-free; the
     // range-contains form would reintroduce `&&`.
     #[allow(clippy::manual_range_contains)]
+    #[inline]
     pub fn classify(&self, utilizations: &[f64]) -> FastVerdict {
         if utilizations.len() != self.stages {
             return FastVerdict::Ineligible;
@@ -180,6 +184,15 @@ impl RegionKernel {
     /// Inherits [`stage_delay_factor`]'s input contract on the fallback:
     /// validate lengths and signs at the API boundary (as
     /// [`crate::region::FeasibleRegion`] does).
+    // `#[inline]` on this and the exact twins below: the workspace does
+    // not enable LTO, so without the hint every cross-crate caller —
+    // including the admission hot loops in `frap-service` and the bench
+    // cells — pays a call layer the in-crate scalar baseline does not,
+    // which alone showed up as a ~10% artifact on sub-cutover sizes.
+    // The vectorized arm stays outlined on purpose: folding the lane
+    // loop into every caller bloats the short-pipeline hot path it is
+    // explicitly bypassing, and above the cutover one call is noise.
+    #[inline]
     pub fn feasible(&self, utilizations: &[f64]) -> bool {
         // Trivially identical shortcut: below the measured crossover the
         // f32 evaluation plus guard-band check costs more than the exact
@@ -189,6 +202,12 @@ impl RegionKernel {
         if utilizations.len() < SCALAR_CUTOVER {
             return self.exact_feasible(utilizations);
         }
+        self.feasible_vectorized(utilizations)
+    }
+
+    /// The above-cutover arm of [`RegionKernel::feasible`]: fast verdict
+    /// with exact fallback, no length shortcut.
+    fn feasible_vectorized(&self, utilizations: &[f64]) -> bool {
         match self.classify(utilizations) {
             FastVerdict::Feasible => true,
             FastVerdict::Infeasible => false,
@@ -201,11 +220,13 @@ impl RegionKernel {
     /// The exact scalar left-hand side, in the same operation order as
     /// [`crate::region::FeasibleRegion::value`] (so the two agree
     /// bit-for-bit).
+    #[inline]
     pub fn exact_value(&self, utilizations: &[f64]) -> f64 {
         utilizations.iter().map(|&u| stage_delay_factor(u)).sum()
     }
 
     /// The exact scalar verdict `Σ f(U_j) ≤ budget`.
+    #[inline]
     pub fn exact_feasible(&self, utilizations: &[f64]) -> bool {
         self.exact_value(utilizations) <= self.budget
     }

@@ -69,6 +69,7 @@
 //! | [`admission`] | §4, §5 | exact/approximate/reservation/shedding controllers and baselines |
 //! | [`capacity`] | §3 | headroom queries, budget allocation, cost-of-depth tables |
 //! | [`hist`] | — | log-bucketed latency histogram shared by the simulator and service layers |
+//! | [`fixed`] | §4 | binary fixed-point utilization units for lock-free charge accounting |
 //! | [`wire`] | — | compact pipeline wire form ([`wire::WireTaskSpec`]) for transports and traces |
 //! | [`certify`] | §5 | offline certification / reservation planning for critical task sets |
 //! | [`rta`] | §1 (related work) | holistic response-time analysis — the classical periodic baseline |
@@ -88,6 +89,7 @@ pub mod capacity;
 pub mod certify;
 pub mod delay;
 pub mod error;
+pub mod fixed;
 pub mod graph;
 pub mod hist;
 pub mod kernel;

@@ -281,12 +281,25 @@ impl RegionTest for FeasibleRegion {
     /// costs more than the exact sum there.
     /// Decision-for-decision identical to calling `contains` alone
     /// (`tests/kernel_differential.rs`).
+    // Inline hint: this non-generic impl is called from monomorphized
+    // admission loops in other crates; without LTO the hint is what lets
+    // the cutover branch and kernel dispatch flatten into the caller.
+    #[inline]
     fn feasible(&self, utilizations: &[f64]) -> bool {
         if utilizations.len() < crate::kernel::SCALAR_CUTOVER {
             return self
                 .contains(utilizations)
                 .expect("well-formed utilization vector");
         }
+        self.feasible_vectorized(utilizations)
+    }
+}
+
+impl FeasibleRegion {
+    /// The above-cutover arm of the routed region test: kernel verdict
+    /// with exact fallback. Outlined so the short-pipeline fast path the
+    /// cutover protects stays small in callers.
+    fn feasible_vectorized(&self, utilizations: &[f64]) -> bool {
         match self.kernel().classify(utilizations) {
             FastVerdict::Feasible => true,
             FastVerdict::Infeasible => false,

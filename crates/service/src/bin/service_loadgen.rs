@@ -1,23 +1,35 @@
 //! Multi-threaded load generator for [`frap_service::AdmissionService`].
 //!
 //! Replays `frap-workload` Poisson pipeline streams (one independent
-//! stream per thread) against a single shared service and reports
-//! sustained admission decisions per second, the acceptance ratio, tail
-//! decision latency, and periodic utilization snapshots.
+//! stream per thread) against a shared service and reports sustained
+//! admission decisions per second, the acceptance ratio, tail decision
+//! latency, and periodic utilization snapshots — for **two** regimes,
+//! each on a fresh service:
+//!
+//! * **reject-heavy** — the original cell: 10 ms mean computations at
+//!   offered load `load`, every admitted ticket detached so charge lives
+//!   until the deadline decrement. Capacity fills within microseconds
+//!   and nearly every decision is a rejection, so this measures the
+//!   lock-free reject path plus the region test.
+//! * **admit-heavy** — 0.1 ms computations with short (resolution 20,
+//!   i.e. ~3–9 ms) deadlines, and tickets released immediately (every
+//!   4096th detached so the timer wheel still churns). Utilization stays
+//!   near the floor, nearly every decision admits, and the measurement
+//!   is dominated by the charge / release bookkeeping around the test —
+//!   the path the CAS-charged fixed-point admit protocol targets.
 //!
 //! ```text
 //! service-loadgen [threads] [seconds] [stages] [load]
 //! ```
 //!
-//! Defaults: 4 threads, 2 seconds, 3 stages, offered load 2.0 (i.e. 2×
-//! the per-stage capacity, so the region test is exercised on both
-//! sides of the boundary). Every admitted ticket is detached, leaving
-//! the paper's decrement-at-deadline rule to reclaim capacity.
+//! Defaults: 4 threads, 2 seconds **per regime**, 3 stages, offered
+//! load 2.0 (i.e. 2× the per-stage capacity, so the region test is
+//! exercised on both sides of the boundary).
 
 use frap_core::admission::ExactContributions;
 use frap_core::graph::TaskSpec;
 use frap_core::region::FeasibleRegion;
-use frap_service::metrics::UtilizationSeries;
+use frap_service::metrics::{MetricsSnapshot, UtilizationSeries};
 use frap_service::{AdmissionService, Clock};
 use frap_workload::PipelineWorkloadBuilder;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -31,17 +43,40 @@ fn parse_arg<T: std::str::FromStr>(idx: usize, default: T) -> T {
         .unwrap_or(default)
 }
 
-fn main() {
-    let threads: usize = parse_arg(1, 4);
-    let seconds: f64 = parse_arg(2, 2.0);
-    let stages: usize = parse_arg(3, 3);
-    let load: f64 = parse_arg(4, 2.0);
+/// How each worker disposes of an admitted ticket.
+#[derive(Clone, Copy, PartialEq)]
+enum Disposal {
+    /// Detach: charge stays until the deadline decrement (reject-heavy).
+    Detach,
+    /// Release immediately, detaching every 4096th so the wheel still
+    /// sees traffic (admit-heavy). A detached task holds `C` worth of
+    /// stage utilization until its deadline regardless of the deadline's
+    /// length, so the detach fraction bounds sustainable admit rate at
+    /// `4096 × bound / C` — far above what one node can decide.
+    MostlyRelease,
+}
 
-    println!(
-        "service-loadgen: {threads} thread(s), {seconds:.1}s, \
-         {stages}-stage pipeline, offered load {load:.2}"
-    );
+struct RegimeResult {
+    decisions: u64,
+    elapsed: f64,
+    snap: MetricsSnapshot,
+    series: UtilizationSeries,
+}
 
+impl RegimeResult {
+    fn decisions_per_sec(&self) -> f64 {
+        self.decisions as f64 / self.elapsed
+    }
+}
+
+fn run_regime(
+    label: &str,
+    stages: usize,
+    threads: usize,
+    deadline: Duration,
+    streams: Vec<Vec<TaskSpec>>,
+    disposal: Disposal,
+) -> RegimeResult {
     let service = AdmissionService::builder(
         FeasibleRegion::deadline_monotonic(stages),
         ExactContributions,
@@ -49,27 +84,7 @@ fn main() {
     .shards(threads.max(1))
     .build();
 
-    // Pre-generate each thread's task stream so the hot loop measures the
-    // service, not the generator. 10 ms mean computation with resolution
-    // 10 gives ~150–450 ms deadlines, so contributions churn through the
-    // timer wheel several times within even a short run.
-    let specs_per_thread = 2_000usize;
-    let streams: Vec<Vec<TaskSpec>> = (0..threads)
-        .map(|t| {
-            PipelineWorkloadBuilder::new(stages)
-                .mean_computation_ms(10.0)
-                .resolution(10.0)
-                .load(load)
-                .seed(0xC0FFEE ^ (t as u64) << 8)
-                .build()
-                .specs()
-                .take(specs_per_thread)
-                .collect()
-        })
-        .collect();
-
     let stop = Arc::new(AtomicBool::new(false));
-    let deadline = Duration::from_secs_f64(seconds);
     let started = Instant::now();
 
     let workers: Vec<_> = streams
@@ -85,7 +100,16 @@ fn main() {
                             break 'outer;
                         }
                         if let Some(ticket) = service.try_admit(spec) {
-                            ticket.detach();
+                            match disposal {
+                                Disposal::Detach => drop(ticket.detach()),
+                                Disposal::MostlyRelease => {
+                                    if decisions.is_multiple_of(4096) {
+                                        ticket.detach();
+                                    } else {
+                                        ticket.release();
+                                    }
+                                }
+                            }
                         }
                         decisions += 1;
                     }
@@ -104,69 +128,167 @@ fn main() {
     }
     stop.store(true, Ordering::Relaxed);
 
-    let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let decisions: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
     let elapsed = started.elapsed().as_secs_f64();
     let snap = service.snapshot();
 
     println!();
     println!(
-        "decisions      {total} in {elapsed:.3}s  =>  {:.2}M decisions/sec aggregate",
-        total as f64 / elapsed / 1e6
+        "[{label}] decisions   {decisions} in {elapsed:.3}s  =>  {:.2}M decisions/sec aggregate",
+        decisions as f64 / elapsed / 1e6
     );
     println!(
-        "outcomes       admitted={} rejected={} expired={} (acceptance {:.1}%)",
+        "[{label}] outcomes    admitted={} rejected={} released={} expired={} (acceptance {:.1}%)",
         snap.counters.admitted,
         snap.counters.rejected,
+        snap.counters.released,
         snap.counters.expired,
         snap.counters.acceptance_ratio() * 100.0
     );
     println!(
-        "latency        p50={}ns p99={}ns p999={}ns max={}ns",
+        "[{label}] fastpath    cas_retries={} seqlock_fallbacks={}",
+        snap.counters.cas_retries, snap.counters.seqlock_fallbacks,
+    );
+    println!(
+        "[{label}] latency     p50={}ns p99={}ns p999={}ns max={}",
         snap.decision_latency_ns(0.50),
         snap.decision_latency_ns(0.99),
         snap.decision_latency_ns(0.999),
-        snap.decision_max_ns()
+        snap.decision_max_display(),
     );
     let peaks: Vec<String> = (0..stages)
         .map(|j| format!("{:.3}", series.peak(j)))
         .collect();
     println!(
-        "utilization    live_tasks={} peak_by_stage=[{}] ({} samples)",
+        "[{label}] utilization live_tasks={} peak_by_stage=[{}] ({} samples)",
         snap.live_tasks,
         peaks.join(", "),
         series.len()
     );
 
     service.debug_validate();
-    println!("invariants     debug_validate passed");
+    println!("[{label}] invariants  debug_validate passed");
+
+    RegimeResult {
+        decisions,
+        elapsed,
+        snap,
+        series,
+    }
+}
+
+fn main() {
+    let threads: usize = parse_arg(1, 4);
+    let seconds: f64 = parse_arg(2, 2.0);
+    let stages: usize = parse_arg(3, 3);
+    let load: f64 = parse_arg(4, 2.0);
+
+    println!(
+        "service-loadgen: {threads} thread(s), {seconds:.1}s per regime, \
+         {stages}-stage pipeline, offered load {load:.2}"
+    );
+
+    // Pre-generate each thread's task stream so the hot loop measures the
+    // service, not the generator.
+    let specs_per_thread = 2_000usize;
+    let deadline = Duration::from_secs_f64(seconds);
+
+    // Reject-heavy: 10 ms mean computation with resolution 10 gives
+    // ~150–450 ms deadlines, so detached contributions churn through the
+    // timer wheel several times within even a short run.
+    let reject_streams: Vec<Vec<TaskSpec>> = (0..threads)
+        .map(|t| {
+            PipelineWorkloadBuilder::new(stages)
+                .mean_computation_ms(10.0)
+                .resolution(10.0)
+                .load(load)
+                .seed(0xC0FFEE ^ (t as u64) << 8)
+                .build()
+                .specs()
+                .take(specs_per_thread)
+                .collect()
+        })
+        .collect();
+    let reject = run_regime(
+        "reject-heavy",
+        stages,
+        threads,
+        deadline,
+        reject_streams,
+        Disposal::Detach,
+    );
+
+    // Admit-heavy: small computations against short deadlines, released
+    // on the spot, so utilization hugs the floor and the charge/rollback/
+    // decrement machinery — not the reject read path — is what's timed.
+    let admit_streams: Vec<Vec<TaskSpec>> = (0..threads)
+        .map(|t| {
+            PipelineWorkloadBuilder::new(stages)
+                .mean_computation_ms(0.1)
+                .resolution(20.0)
+                .load(0.25)
+                .seed(0xADA ^ (t as u64) << 8)
+                .build()
+                .specs()
+                .take(specs_per_thread)
+                .collect()
+        })
+        .collect();
+    let admit = run_regime(
+        "admit-heavy",
+        stages,
+        threads,
+        deadline,
+        admit_streams,
+        Disposal::MostlyRelease,
+    );
 
     // Machine-readable summary for CI artifacts and cross-run comparison
-    // (same hand-built JSON convention as `bench_experiments`).
+    // (same hand-built JSON convention as `bench_experiments`). The
+    // unprefixed decision keys are the reject-heavy regime's, so older
+    // baselines compare against the same cell.
     let out = std::env::var("BENCH_SERVICE_OUT").unwrap_or_else(|_| "BENCH_service.json".into());
     let peak_json: Vec<String> = (0..stages)
-        .map(|j| format!("{:.6}", series.peak(j)))
+        .map(|j| format!("{:.6}", reject.series.peak(j)))
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"service_loadgen\",\n  \"threads\": {threads},\n  \
          \"seconds\": {seconds},\n  \"stages\": {stages},\n  \"load\": {load},\n  \
-         \"decisions\": {total},\n  \"decisions_per_sec\": {:.1},\n  \
+         \"decisions\": {},\n  \"decisions_per_sec\": {:.1},\n  \
          \"admitted\": {},\n  \"rejected\": {},\n  \"expired\": {},\n  \
          \"acceptance_ratio\": {:.6},\n  \"live_tasks\": {},\n  \
          \"decision_p50_ns\": {},\n  \"decision_p99_ns\": {},\n  \
          \"decision_p999_ns\": {},\n  \"decision_max_ns\": {},\n  \
-         \"utilization_samples\": {},\n  \"peak_utilization_by_stage\": [{}]\n}}\n",
-        total as f64 / elapsed,
-        snap.counters.admitted,
-        snap.counters.rejected,
-        snap.counters.expired,
-        snap.counters.acceptance_ratio(),
-        snap.live_tasks,
-        snap.decision_latency_ns(0.50),
-        snap.decision_latency_ns(0.99),
-        snap.decision_latency_ns(0.999),
-        snap.decision_max_ns(),
-        series.len(),
+         \"decision_max_is_bound\": {},\n  \
+         \"utilization_samples\": {},\n  \"peak_utilization_by_stage\": [{}],\n  \
+         \"admit_decisions\": {},\n  \"admit_decisions_per_sec\": {:.1},\n  \
+         \"admit_acceptance_ratio\": {:.6},\n  \"admit_released\": {},\n  \
+         \"admit_expired\": {},\n  \"admit_decision_p50_ns\": {},\n  \
+         \"admit_decision_p99_ns\": {},\n  \"admit_decision_max_ns\": {},\n  \
+         \"admit_decision_max_is_bound\": {}\n}}\n",
+        reject.decisions,
+        reject.decisions_per_sec(),
+        reject.snap.counters.admitted,
+        reject.snap.counters.rejected,
+        reject.snap.counters.expired,
+        reject.snap.counters.acceptance_ratio(),
+        reject.snap.live_tasks,
+        reject.snap.decision_latency_ns(0.50),
+        reject.snap.decision_latency_ns(0.99),
+        reject.snap.decision_latency_ns(0.999),
+        reject.snap.decision_max_ns(),
+        reject.snap.decision_max_is_bound(),
+        reject.series.len(),
         peak_json.join(", "),
+        admit.decisions,
+        admit.decisions_per_sec(),
+        admit.snap.counters.acceptance_ratio(),
+        admit.snap.counters.released,
+        admit.snap.counters.expired,
+        admit.snap.decision_latency_ns(0.50),
+        admit.snap.decision_latency_ns(0.99),
+        admit.snap.decision_max_ns(),
+        admit.snap.decision_max_is_bound(),
     );
     std::fs::write(&out, json).expect("write bench summary");
     println!("wrote          {out}");

@@ -12,8 +12,11 @@
 //! * [`wheel`] — a hierarchical timer wheel that schedules the paper's
 //!   decrement-at-deadline events in amortized `O(1)` per shard;
 //! * [`shard`] — [`ShardedUtilization`], per-stage synthetic-utilization
-//!   counters sharded across worker threads with a cheap aggregate read
-//!   path and the full charge / decrement / idle-reset lifecycle;
+//!   counters in lock-free fixed-point atomics ([`frap_core::fixed`]),
+//!   sharded bookkeeping, and the full charge / decrement / idle-reset
+//!   lifecycle;
+//! * [`ring`] — the bounded MPSC ring that defers an admitted entry's
+//!   structural bookkeeping off the lock-free decision path;
 //! * [`metrics`] — admit/reject/shed counters, a nanosecond
 //!   decision-latency histogram (reusing
 //!   [`frap_core::hist::LatencyHistogram`]), and utilization snapshots;
@@ -28,10 +31,15 @@
 //! interleaving for scalability while *never* admitting a task the
 //! region test would reject — concurrent decrements only make it
 //! conservative. See DESIGN.md ("Service layer") for the sharding
-//! scheme and locking proofs.
+//! scheme and locking proofs, and §16 for the lock-free admit protocol.
+
+// `unsafe` is confined to the pending ring; every other module must stay
+// safe code (the ring module opts out locally with a reviewed argument).
+#![deny(unsafe_code)]
 
 pub mod clock;
 pub mod metrics;
+pub mod ring;
 pub mod service;
 pub mod shard;
 pub mod wheel;

@@ -24,6 +24,7 @@ pub struct ServiceCounters {
     expired_on_arrival: AtomicU64,
     fast_rejected: AtomicU64,
     seqlock_fallbacks: AtomicU64,
+    cas_retries: AtomicU64,
 }
 
 impl ServiceCounters {
@@ -67,6 +68,10 @@ impl ServiceCounters {
         self.seqlock_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_cas_retry(&self) {
+        self.cas_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> CounterSnapshot {
         let fast_rejected = self.fast_rejected.load(Ordering::Relaxed);
@@ -81,6 +86,7 @@ impl ServiceCounters {
             expired_on_arrival: self.expired_on_arrival.load(Ordering::Relaxed),
             fast_rejected,
             seqlock_fallbacks: self.seqlock_fallbacks.load(Ordering::Relaxed),
+            cas_retries: self.cas_retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -107,10 +113,15 @@ pub struct CounterSnapshot {
     /// The subset of `rejected` concluded by the lock-free reject fast
     /// path (DESIGN.md §14) without taking a shard mutex or the gate.
     pub fast_rejected: u64,
-    /// Fast-path attempts that observed a torn seqlock snapshot and fell
-    /// back to the locked decision path. Diagnostic only — fallbacks cost
-    /// a retry through the slow path, never a wrong verdict.
+    /// Fast-path attempts that observed a torn seqlock snapshot (a
+    /// concurrent charge was mid-flight). Diagnostic only — the verdict
+    /// stays safe either way: a torn read can only conclude a
+    /// conservative rejection, and admissions revalidate after charging.
     pub seqlock_fallbacks: u64,
+    /// Optimistic CAS-charge attempts that failed post-charge
+    /// revalidation, rolled back exactly, and retried. Diagnostic only —
+    /// contention cost, never a wrong verdict.
+    pub cas_retries: u64,
 }
 
 impl CounterSnapshot {
@@ -151,9 +162,30 @@ impl MetricsSnapshot {
         ns_of(self.decision_latency.percentile(q))
     }
 
-    /// Worst observed decision latency, in nanoseconds.
+    /// Worst observed decision latency, in nanoseconds. When
+    /// [`MetricsSnapshot::decision_max_is_bound`] is true this is a
+    /// certain **lower** bound (`true max >= this`), not a sample: the
+    /// lock-free paths record into a bucket-only atomic histogram, which
+    /// knows extremes to bucket resolution, and its saturation bucket
+    /// claims no upper bound at all.
     pub fn decision_max_ns(&self) -> u64 {
-        ns_of(self.decision_latency.max())
+        ns_of(self.decision_latency.max_lower_bound())
+    }
+
+    /// Whether [`MetricsSnapshot::decision_max_ns`] is a bucket bound
+    /// rather than an exact sample.
+    pub fn decision_max_is_bound(&self) -> bool {
+        !self.decision_latency.max_is_exact()
+    }
+
+    /// Human-readable max: `"812"` for an exact sample, `">=25165824"`
+    /// for a bucket bound.
+    pub fn decision_max_display(&self) -> String {
+        if self.decision_max_is_bound() {
+            format!(">={}", self.decision_max_ns())
+        } else {
+            format!("{}", self.decision_max_ns())
+        }
     }
 }
 
@@ -234,6 +266,7 @@ mod tests {
         c.add_expired_on_arrival();
         c.add_fast_rejected();
         c.add_seqlock_fallback();
+        c.add_cas_retry();
         let s = c.snapshot();
         assert_eq!(s.admitted, 2);
         // One locked rejection plus one fast-path rejection: `rejected`
@@ -245,6 +278,7 @@ mod tests {
         assert_eq!(s.expired_on_arrival, 1);
         assert_eq!(s.fast_rejected, 1);
         assert_eq!(s.seqlock_fallbacks, 1);
+        assert_eq!(s.cas_retries, 1);
         assert_eq!(s.decisions(), 4);
         assert!((s.acceptance_ratio() - 2.0 / 4.0).abs() < 1e-12);
     }

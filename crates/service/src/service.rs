@@ -1,33 +1,55 @@
 //! The concurrent admission service: a `Send + Sync` handle over the
 //! feasible-region test.
 //!
-//! # Locking discipline
+//! # Decision paths
 //!
-//! Two kinds of locks exist, acquired in a fixed global order — **shard
-//! mutexes in ascending index order first, the admission gate last**:
+//! With the fast path enabled (the default), **every** `try_admit`
+//! decision — admit or reject — resolves without blocking on a mutex
+//! (DESIGN.md §16):
 //!
-//! * each [`Shard`](crate::shard::Shard) mutex protects that shard's
-//!   bookkeeping (live entries, timer wheel, shedding index, latency
-//!   histogram); a fast-path admission touches exactly one;
-//! * the **admission gate** serializes the nonlinear check-and-charge:
-//!   read the aggregate utilization vector, evaluate the region, and
-//!   charge the contributions. The gate is held for a few hundred
-//!   nanoseconds; everything slow (bookkeeping inserts, wheel drains,
-//!   latency recording) happens outside it.
+//! 1. **Snapshot.** Read the fixed-point utilization vector (one atomic
+//!    load per stage) under the multi-writer seqlock. The region test is
+//!    monotone in every stage and the snapshot can only be stale-*high*
+//!    (reductions do not bump the write counters), so a failing overlay
+//!    is a final, conservative rejection — one RMW, no locks.
+//! 2. **CAS-charge.** A passing overlay is only a hint: the thread opens
+//!    a write section, `fetch_add`s each stage's units, re-reads the
+//!    post-charge vector (which includes its own adds), and keeps the
+//!    charge only if that vector revalidates inside the region;
+//!    otherwise it rolls the exact units back and retries a bounded
+//!    number of times before rejecting conservatively.
+//! 3. **Deferred bookkeeping.** A committed admission's structural
+//!    bookkeeping (entry map, timer wheel, shedding index) is pushed to
+//!    the home shard's MPSC pending ring *inside* the write section; the
+//!    next thread to hold that shard's mutex drains the ring first, so
+//!    deferred inserts are visible to any operation that could observe
+//!    their absence. Decrement-at-deadline semantics are preserved by
+//!    the per-shard next-due hint: a decision at `now ≥ hint` first
+//!    drains the shard under its lock, exactly as the locked path would.
 //!
-//! Reductions (deadline expiry, release, shed, idle reset) run **without**
-//! the gate: the region test is monotone in every stage utilization, so a
-//! decision made against a vector that concurrent reductions have since
-//! decreased is merely conservative — it can only reject an arrival that
-//! would now fit, never admit one that does not (the property the
-//! concurrency tests hammer on).
+//! Shard mutexes still exist — for *structural* operations only (wheel
+//! drains, releases, idle resets, shedding, validation), never on the
+//! decision path. The **admission gate** survives solely for the locked
+//! twin (`fast_path(false)`, which the oracle-replay and equivalence
+//! suites diff against) and the cross-shard shedding path; lock order
+//! remains shards ascending, gate last.
+//!
+//! Reductions (deadline expiry, release, shed, idle reset) run without
+//! any of this: the region test is monotone in every stage utilization,
+//! so a decision made against a vector that concurrent reductions have
+//! since decreased is merely conservative — it can only reject an
+//! arrival that would now fit, never admit one that does not (the
+//! property the concurrency tests hammer on).
 
 use crate::clock::{Clock, MonotonicClock};
 use crate::metrics::{
     record_ns, record_ns_atomic, CounterSnapshot, MetricsSnapshot, ServiceCounters,
 };
-use crate::shard::{LiveEntry, Shard, ShardedUtilization};
-use frap_core::admission::{tentative_feasible, ContributionModel};
+use crate::shard::{LiveEntry, PendingAdmission, Shard, ShardedUtilization};
+use frap_core::admission::ContributionModel;
+use frap_core::fixed::{
+    feasible_fp, fp_contributions_into, tentative_feasible_fp, tentative_feasible_fp_overlay,
+};
 use frap_core::graph::TaskSpec;
 use frap_core::hist::{AtomicLatencyHistogram, LatencyHistogram};
 use frap_core::region::RegionTest;
@@ -42,14 +64,41 @@ use std::time::Instant;
 /// first use, reduced modulo the service's shard count.
 static THREAD_SEQ: AtomicUsize = AtomicUsize::new(0);
 
-/// Reusable per-thread buffers: (contributions, current vector,
-/// tentative vector).
-type Scratch = (Vec<(StageId, f64)>, Vec<f64>, Vec<f64>);
+/// How many times an optimistic charge re-attempts after a failed
+/// revalidation before rejecting conservatively. Each retry re-examines
+/// a fresh snapshot first, so persistent failures mean genuine
+/// contention at the region boundary — where rejecting is the likely
+/// correct answer anyway.
+const CAS_ADMIT_RETRIES: usize = 4;
+
+/// Reusable per-thread buffers for the decision paths.
+struct Scratch {
+    /// Float contributions from the [`ContributionModel`].
+    contrib: Vec<(StageId, f64)>,
+    /// The same contributions merged into fixed-point units.
+    contrib_fp: Vec<(StageId, u64)>,
+    /// Unit snapshot of the utilization vector.
+    current_fp: Vec<u64>,
+    /// Batch path: base snapshot + the run's own accumulated charges.
+    combined_fp: Vec<u64>,
+    /// Batch path: dense per-stage units this run has tentatively charged.
+    acc_fp: Vec<u64>,
+    /// Transient `f64` view handed to the region test.
+    floats: Vec<f64>,
+}
 
 thread_local! {
     static THREAD_INDEX: usize = THREAD_SEQ.fetch_add(1, Ordering::Relaxed);
-    static SCRATCH: RefCell<Scratch> =
-        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+    static SCRATCH: RefCell<Scratch> = const {
+        RefCell::new(Scratch {
+            contrib: Vec::new(),
+            contrib_fp: Vec::new(),
+            current_fp: Vec::new(),
+            combined_fp: Vec::new(),
+            acc_fp: Vec::new(),
+            floats: Vec::new(),
+        })
+    };
 }
 
 /// One arrival inside an [`AdmissionService::admit_batch`] call.
@@ -63,8 +112,8 @@ pub struct BatchRequest<'a> {
     pub allow_shed: bool,
     /// Shard to book an admission on (reduced modulo the service's shard
     /// count); `None` routes to the calling thread's home shard. Callers
-    /// that presort a batch by shard let a run lock each distinct shard
-    /// once instead of once per decision.
+    /// that presort a batch by shard let a run drain each distinct shard
+    /// at most once instead of once per decision.
     pub shard: Option<usize>,
 }
 
@@ -206,11 +255,12 @@ struct Inner<R, M, C> {
     counters: ServiceCounters,
     next_id: AtomicU64,
     draining: AtomicBool,
-    /// Latency samples for decisions concluded on the lock-free reject
-    /// fast path (which holds no shard mutex to record through).
+    /// Latency samples for decisions concluded on the lock-free path
+    /// (which holds no shard mutex to record through).
     fast_latency: AtomicLatencyHistogram,
-    /// Whether the lock-free reject fast path is enabled (builder knob;
-    /// the oracle-replay tests disable it to get the pure locked path).
+    /// Whether the lock-free decision path is enabled (builder knob; the
+    /// oracle-replay and twin-equivalence tests disable it to get the
+    /// pure locked path).
     fast_path: bool,
 }
 
@@ -271,7 +321,7 @@ impl<R: RegionTest, M: ContributionModel, C: Clock> AdmissionServiceBuilder<R, M
         }
     }
 
-    /// Enables or disables the lock-free reject fast path (default:
+    /// Enables or disables the lock-free decision path (default:
     /// enabled). Disabling forces every decision through the locked path
     /// — the serial-oracle replay tests build one twin each way and
     /// assert decision-for-decision identical outcomes.
@@ -407,13 +457,15 @@ where
     /// admission or `None` (counting a rejection) if charging the task
     /// would leave the feasible region.
     ///
-    /// Pure rejections usually resolve on a **lock-free fast path**
-    /// (DESIGN.md §14): when the home shard's timer wheel has nothing due
-    /// and an untorn seqlock snapshot of the utilization vector already
-    /// proves the arrival infeasible, the decision needs no shard mutex
-    /// and no gate. The fast path never admits — any possibly-feasible
-    /// reading falls through to the locked path below, so its verdicts
-    /// are decision-for-decision identical to the locked ones.
+    /// With the fast path enabled this never blocks on a mutex: rejects
+    /// conclude from a lock-free snapshot, admits CAS-charge the
+    /// fixed-point counters and revalidate, and the admitted entry's
+    /// structural bookkeeping is deferred to the home shard's pending
+    /// ring (see the module docs and DESIGN.md §16). The only lock it can
+    /// take is a *non-contended-in-steady-state* drain of the home shard
+    /// when a deadline decrement is actually due there — exactly when the
+    /// locked path would drain too, keeping verdicts
+    /// decision-for-decision identical to the locked twin.
     pub fn try_admit(&self, spec: &TaskSpec) -> Option<AdmissionTicket> {
         let started = Instant::now();
         let inner = &*self.inner;
@@ -421,13 +473,28 @@ where
             inner.counters.add_rejected();
             return None;
         }
-        if inner.fast_path {
-            let now = inner.clock.now_with_hint(started);
-            if self.fast_reject_at(now, spec, self.home_shard()) {
-                record_ns_atomic(&inner.fast_latency, started.elapsed());
-                return None;
-            }
+        if !inner.fast_path {
+            return self.try_admit_locked(started, spec);
         }
+        let home = self.home_shard();
+        let now = inner.clock.now_with_hint(started);
+        self.expire_guard(now, home);
+        let result = SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            s.contrib.clear();
+            inner.model.contributions_into(spec, &mut s.contrib);
+            self.decide_lockfree(now, home, spec, s)
+        });
+        record_ns_atomic(&inner.fast_latency, started.elapsed());
+        result
+    }
+
+    /// The locked twin of [`AdmissionService::try_admit`]
+    /// (`fast_path(false)`): one shard lock, the admission gate, direct
+    /// bookkeeping inserts. The differential suites diff the lock-free
+    /// path against this one.
+    fn try_admit_locked(&self, started: Instant, spec: &TaskSpec) -> Option<AdmissionTicket> {
+        let inner = &*self.inner;
         let shard_idx = self.home_shard();
         let mut shard = self.lock_shard(shard_idx);
         // Read the clock AFTER taking the lock: any earlier wheel advance
@@ -439,22 +506,28 @@ where
         }
 
         let result = SCRATCH.with(|scratch| {
-            let (contrib, current, tentative) = &mut *scratch.borrow_mut();
-            contrib.clear();
-            inner.model.contributions_into(spec, contrib);
+            let s = &mut *scratch.borrow_mut();
+            s.contrib.clear();
+            inner.model.contributions_into(spec, &mut s.contrib);
+            fp_contributions_into(&s.contrib, &mut s.contrib_fp);
 
             let admitted = {
                 let _gate = inner.gate.lock().expect("gate poisoned");
-                inner.state.pin_and_read_into(current);
-                let ok = tentative_feasible(&inner.region, current, contrib, tentative);
+                inner.state.read_fp_into(&mut s.current_fp);
+                let ok = tentative_feasible_fp(
+                    &inner.region,
+                    &s.current_fp,
+                    &s.contrib_fp,
+                    &mut s.floats,
+                );
                 if ok {
-                    inner.state.charge(contrib);
+                    inner.state.charge(&s.contrib_fp);
                 }
                 ok
             };
 
             if admitted {
-                Some(self.commit(&mut shard, shard_idx, now, spec, contrib))
+                Some(self.commit(&mut shard, shard_idx, now, spec, &s.contrib_fp))
             } else {
                 inner.counters.add_rejected();
                 None
@@ -464,11 +537,174 @@ where
         result
     }
 
+    /// Decides one arrival entirely lock-free: conservative snapshot
+    /// reject, or optimistic CAS-charge with bounded-retry revalidation
+    /// and ring-deferred bookkeeping. Expects the float contributions in
+    /// `s.contrib`; quantization to units happens only on the admit
+    /// branch (the overlay test quantizes piecewise to the identical
+    /// verdict, so the reject path — the hot one at overload — never
+    /// materializes them). The expire guard for `target` must already
+    /// have run at `now`.
+    fn decide_lockfree(
+        &self,
+        now: Time,
+        target: usize,
+        spec: &TaskSpec,
+        s: &mut Scratch,
+    ) -> Option<AdmissionTicket> {
+        let inner = &*self.inner;
+        // A plain (non-seqlock) read suffices here: each component is a
+        // value the counters genuinely held at its load instant, and the
+        // region test is monotone, so any reject it concludes is safe —
+        // rejecting cannot violate the region. The read may include
+        // another thread's in-flight charge that later rolls back, making
+        // the reject conservative; that is the documented contention
+        // trade, and single-threaded reads are never torn. In the admit
+        // direction the read is only a hint — the write-section
+        // revalidation below is what actually decides.
+        inner.state.read_fp_into(&mut s.current_fp);
+        if !tentative_feasible_fp_overlay(
+            &inner.region,
+            &s.current_fp,
+            &s.contrib,
+            &mut s.combined_fp,
+            &mut s.floats,
+        ) {
+            // One RMW covers the decision: `fast_rejected` is folded into
+            // the reported `rejected` total at snapshot time.
+            inner.counters.add_fast_rejected();
+            return None;
+        }
+        fp_contributions_into(&s.contrib, &mut s.contrib_fp);
+        let (contrib_fp, current_fp, floats) = (&s.contrib_fp, &mut s.current_fp, &mut s.floats);
+        for _ in 0..CAS_ADMIT_RETRIES {
+            inner.state.begin_write();
+            inner.state.add_units(contrib_fp);
+            // Revalidate the post-charge vector (the SeqCst read sees our
+            // own adds): if every committed charge revalidated against a
+            // vector that included it, induction over commits keeps the
+            // live vector feasible — see DESIGN.md §16 for the proof.
+            inner.state.read_fp_into(current_fp);
+            if feasible_fp(&inner.region, current_fp, floats) {
+                let ticket = self.commit_lockfree(target, now, spec, contrib_fp);
+                inner.state.end_write();
+                return Some(ticket);
+            }
+            // Concurrent charges raced past our snapshot: roll back the
+            // exact units and re-examine from a fresh read.
+            inner.state.sub_units(contrib_fp);
+            inner.state.end_write();
+            inner.counters.add_cas_retry();
+            inner.state.read_fp_into(current_fp);
+            if !tentative_feasible_fp(&inner.region, current_fp, contrib_fp, floats) {
+                inner.counters.add_fast_rejected();
+                return None;
+            }
+        }
+        // Still contended after bounded retries: reject conservatively
+        // rather than ever blocking a decision.
+        inner.counters.add_rejected();
+        None
+    }
+
+    /// Books an admission decided inside an open write section: assigns
+    /// the id, queues the entry on shard `target`'s pending ring, and
+    /// publishes the deadline hint. Must run before the section's
+    /// `end_write`, so a write-quiescent observer never sees charged
+    /// units whose entry is neither ringed nor inserted.
+    fn commit_lockfree(
+        &self,
+        target: usize,
+        now: Time,
+        spec: &TaskSpec,
+        contributions: &[(StageId, u64)],
+    ) -> AdmissionTicket {
+        let inner = &*self.inner;
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let expiry = now.saturating_add(spec.deadline);
+        inner.state.push_pending(
+            target,
+            PendingAdmission {
+                id,
+                entry: LiveEntry {
+                    contributions: contributions.to_vec(),
+                    departed: Vec::new(),
+                    expiry,
+                    importance: spec.importance,
+                },
+            },
+        );
+        inner.state.note_deadline(target, expiry);
+        inner.counters.add_admitted();
+        AdmissionTicket {
+            sink: Some(Arc::clone(&self.inner) as Arc<dyn TicketSink>),
+            id,
+            shard: target,
+            deadline: expiry,
+        }
+    }
+
+    /// Parity guard for snapshot decisions: if shard `target` may have a
+    /// deadline decrement due at `now` (its next-due hint has come due),
+    /// apply it under the shard lock first — the locked twin drains
+    /// before every decision, and expired counts must match it
+    /// decision-for-decision. The hint is a lower bound on the earliest
+    /// due decrement, so `now < hint` proves the locked drain would be a
+    /// no-op.
+    fn expire_guard(&self, now: Time, target: usize) {
+        let inner = &*self.inner;
+        if now.as_micros() < inner.state.shard_next_due(target) {
+            return;
+        }
+        let mut shard = self.lock_shard(target);
+        let expired = inner.state.expire_due(&mut shard, now);
+        if expired > 0 {
+            inner.counters.add_expired(expired);
+        }
+    }
+
+    /// Optimistically charges `contrib_fp` inside a write section and
+    /// keeps it only if the post-charge vector revalidates inside the
+    /// region; otherwise rolls the exact units back and retries, giving
+    /// up (`false`) after bounded attempts or as soon as a fresh read
+    /// proves the arrival infeasible. Used by the shedding path, whose
+    /// bookkeeping inserts happen under shard locks it already holds (so
+    /// nothing here takes a lock or blocks).
+    fn charge_revalidated(
+        &self,
+        contrib_fp: &[(StageId, u64)],
+        current_fp: &mut Vec<u64>,
+        floats: &mut Vec<f64>,
+    ) -> bool {
+        let inner = &*self.inner;
+        for attempt in 0..CAS_ADMIT_RETRIES {
+            inner.state.begin_write();
+            inner.state.add_units(contrib_fp);
+            inner.state.read_fp_into(current_fp);
+            if feasible_fp(&inner.region, current_fp, floats) {
+                inner.state.end_write();
+                return true;
+            }
+            inner.state.sub_units(contrib_fp);
+            inner.state.end_write();
+            inner.counters.add_cas_retry();
+            if attempt + 1 < CAS_ADMIT_RETRIES {
+                inner.state.read_fp_into(current_fp);
+                if !tentative_feasible_fp(&inner.region, current_fp, contrib_fp, floats) {
+                    break;
+                }
+            }
+        }
+        false
+    }
+
     /// Attempts to admit `spec`; when infeasible, sheds live tasks that
     /// are strictly less important than `spec` (least important first,
     /// across every shard) until the arrival fits or no candidates remain
     /// (Section 5's overload architecture). Shed tasks stay shed even if
-    /// the arrival is ultimately rejected.
+    /// the arrival is ultimately rejected — including the (contended-only)
+    /// case where concurrent lock-free admits outrace the final charge's
+    /// revalidation.
     pub fn try_admit_or_shed(&self, spec: &TaskSpec) -> ServiceOutcome {
         let started = Instant::now();
         let inner = &*self.inner;
@@ -494,16 +730,18 @@ where
         }
 
         let outcome = SCRATCH.with(|scratch| {
-            let (contrib, current, tentative) = &mut *scratch.borrow_mut();
-            contrib.clear();
-            inner.model.contributions_into(spec, contrib);
+            let s = &mut *scratch.borrow_mut();
+            s.contrib.clear();
+            inner.model.contributions_into(spec, &mut s.contrib);
+            fp_contributions_into(&s.contrib, &mut s.contrib_fp);
 
             let _gate = inner.gate.lock().expect("gate poisoned");
-            inner.state.pin_and_read_into(current);
-            if tentative_feasible(&inner.region, current, contrib, tentative) {
-                inner.state.charge(contrib);
+            inner.state.read_fp_into(&mut s.current_fp);
+            if tentative_feasible_fp(&inner.region, &s.current_fp, &s.contrib_fp, &mut s.floats)
+                && self.charge_revalidated(&s.contrib_fp, &mut s.current_fp, &mut s.floats)
+            {
                 drop(_gate);
-                let ticket = self.commit(&mut guards[home], home, now, spec, contrib);
+                let ticket = self.commit(&mut guards[home], home, now, spec, &s.contrib_fp);
                 return ServiceOutcome::Admitted(ticket);
             }
 
@@ -528,18 +766,18 @@ where
                     .expect("shedding index points at a live entry");
                 inner.state.subtract_entry(&entry.contributions);
                 shed.push(victim);
-                inner.state.pin_and_read_into(current);
-                if tentative_feasible(&inner.region, current, contrib, tentative) {
+                inner.state.read_fp_into(&mut s.current_fp);
+                if tentative_feasible_fp(&inner.region, &s.current_fp, &s.contrib_fp, &mut s.floats)
+                {
                     fits = true;
                     break;
                 }
             }
             inner.counters.add_shed(shed.len() as u64);
 
-            if fits {
-                inner.state.charge(contrib);
+            if fits && self.charge_revalidated(&s.contrib_fp, &mut s.current_fp, &mut s.floats) {
                 drop(_gate);
-                let ticket = self.commit(&mut guards[home], home, now, spec, contrib);
+                let ticket = self.commit(&mut guards[home], home, now, spec, &s.contrib_fp);
                 ServiceOutcome::AdmittedAfterShedding { ticket, shed }
             } else {
                 inner.counters.add_rejected();
@@ -554,11 +792,11 @@ where
     /// equivalent to calling [`AdmissionService::try_admit`] /
     /// [`AdmissionService::try_admit_or_shed`] once per request from the
     /// same thread — but a contiguous run of non-shedding requests costs
-    /// **one** clock read, **one** shard-lock acquisition, and **one**
-    /// admission-gate acquisition for the whole run instead of one each
-    /// per decision. This is the networked fast path: a gateway worker
-    /// hands every `AdmitRequest` drained from one socket read to a
-    /// single `admit_batch` call.
+    /// **one** clock read, **one** utilization snapshot, and **one**
+    /// write section (one CAS sequence) for the whole run instead of one
+    /// each per decision. This is the networked fast path: a gateway
+    /// worker hands every `AdmitRequest` drained from one socket read to
+    /// a single `admit_batch` call.
     ///
     /// Requests with [`BatchRequest::allow_shed`] set break the run and go
     /// through the cross-shard shedding path individually (shedding needs
@@ -570,9 +808,9 @@ where
     ///   same instant" — identical to back-to-back singles under any fixed
     ///   clock, and merely a nanoseconds-coarser arrival stamp under a
     ///   wall clock;
-    /// * expired-entry drains (`expire_due`) run once per run instead of
-    ///   once per decision; with the clock fixed the second drain of a
-    ///   single-call sequence is a no-op, so the decisions are identical;
+    /// * the run's base snapshot is re-taken after any expire-guard drain
+    ///   fires, so each verdict is computed against exactly the vector a
+    ///   serial sequence of singles would have read;
     /// * per-decision latency is recorded as the run's wall time divided
     ///   evenly across its decisions, keeping histogram counts equal to
     ///   decision counts.
@@ -583,9 +821,8 @@ where
     }
 
     /// [`AdmissionService::admit_batch`] into a caller-owned buffer, so a
-    /// steady-state caller (the gateway worker loop) allocates nothing per
-    /// batch beyond shard-guard bookkeeping. Outcomes are appended in
-    /// request order.
+    /// steady-state caller (the gateway worker loop) allocates little per
+    /// batch. Outcomes are appended in request order.
     ///
     /// The clock is read **once per batch**, before any lock (the
     /// one-clock-read regression test pins this): every non-shedding run
@@ -615,10 +852,24 @@ where
         }
     }
 
-    /// One contiguous non-shedding run at one instant: a lock-free prefix
-    /// of pure rejections, then one lock acquisition per *distinct*
-    /// target shard (ascending) and one gate hold for every remaining
-    /// decision.
+    /// One contiguous non-shedding run at one instant, amortized over a
+    /// single snapshot and a single CAS-charge sequence:
+    ///
+    /// 1. snapshot the base vector once (re-taken after any expire-guard
+    ///    drain, which can decrement it);
+    /// 2. walk the run greedily, testing each request against
+    ///    `base + run's own accumulated charges` — exactly the vector a
+    ///    serial sequence of singles would read;
+    /// 3. charge the accumulated total in **one** write section and
+    ///    revalidate; on success mint every ticket (ring-pushed inside
+    ///    the section), on failure roll back the exact units and decide
+    ///    the run request-by-request on the single-decision protocol
+    ///    (nothing was committed, so the fallback is equivalence-clean).
+    ///
+    /// Single-threaded, step 3's revalidation reads exactly the last
+    /// vector step 2 verified, so it cannot fail and the verdicts are
+    /// identical to serial singles — the batch-equivalence suite holds
+    /// the two to that, decision for decision.
     fn admit_run(&self, now: Time, run: &[BatchRequest<'_>], out: &mut Vec<ServiceOutcome>) {
         let started = Instant::now();
         let inner = &*self.inner;
@@ -629,60 +880,170 @@ where
             }
             return;
         }
+        if !inner.fast_path {
+            return self.admit_run_locked(started, now, run, out);
+        }
         let home = self.home_shard();
         let count = inner.state.shard_count();
         let target_of = |req: &BatchRequest<'_>| req.shard.map_or(home, |s| s % count);
 
-        // Lock-free prefix: leading requests the seqlock snapshot already
-        // proves infeasible reject without any lock, exactly as
-        // `try_admit`'s fast path would decide them one by one. The first
-        // request that *might* fit (or a torn snapshot) ends the prefix;
-        // everything after it is decided under locks, because an admit
-        // changes the vector the snapshot was taken against.
-        let mut fast = 0;
-        if inner.fast_path {
-            while fast < run.len() {
-                let req = &run[fast];
-                if !self.fast_reject_at(now, req.spec, target_of(req)) {
-                    break;
+        SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            let stages = inner.state.stages();
+            // A plain read, as in `decide_lockfree`: the base is only a
+            // hint, the one-section commit below revalidates.
+            inner.state.read_fp_into(&mut s.current_fp);
+            s.acc_fp.clear();
+            s.acc_fp.resize(stages, 0);
+
+            // Greedy walk: verdicts against base + own accumulated
+            // charges. Admit-candidates' contributions are kept for the
+            // commit step.
+            let mut verdicts: Vec<bool> = Vec::with_capacity(run.len());
+            // (run index, target shard, merged unit demands) per
+            // admit-candidate, kept for the commit step.
+            type AdmitCandidate = (usize, usize, Vec<(StageId, u64)>);
+            let mut admits: Vec<AdmitCandidate> = Vec::new();
+            for (i, req) in run.iter().enumerate() {
+                let target = target_of(req);
+                if now.as_micros() >= inner.state.shard_next_due(target) {
+                    self.expire_guard(now, target);
+                    // The drain may have decremented counters; re-take the
+                    // base or this run would conservatively reject where
+                    // serial singles (which read after draining) admit.
+                    // The refreshed hint is > now, so each shard drains at
+                    // most once per run — same as the locked path.
+                    inner.state.read_fp_into(&mut s.current_fp);
                 }
-                out.push(ServiceOutcome::Rejected);
-                fast += 1;
+                s.contrib.clear();
+                inner.model.contributions_into(req.spec, &mut s.contrib);
+                fp_contributions_into(&s.contrib, &mut s.contrib_fp);
+                s.combined_fp.clear();
+                s.combined_fp.extend(
+                    s.current_fp
+                        .iter()
+                        .zip(&s.acc_fp)
+                        .map(|(&base, &acc)| base.saturating_add(acc)),
+                );
+                let ok = tentative_feasible_fp(
+                    &inner.region,
+                    &s.combined_fp,
+                    &s.contrib_fp,
+                    &mut s.floats,
+                );
+                verdicts.push(ok);
+                if ok {
+                    for &(stage, units) in &s.contrib_fp {
+                        s.acc_fp[stage.index()] += units;
+                    }
+                    admits.push((i, target, s.contrib_fp.clone()));
+                }
             }
-        }
-        let locked_run = &run[fast..];
-        if locked_run.is_empty() {
-            let per = started.elapsed() / fast as u32;
-            for _ in 0..fast {
-                record_ns_atomic(&inner.fast_latency, per);
+
+            // Commit the whole run's admissions in one write section.
+            let mut tickets: Vec<AdmissionTicket> = Vec::with_capacity(admits.len());
+            let committed = if admits.is_empty() {
+                true
+            } else {
+                inner.state.begin_write();
+                inner.state.add_unit_vector(&s.acc_fp);
+                inner.state.read_fp_into(&mut s.combined_fp);
+                if feasible_fp(&inner.region, &s.combined_fp, &mut s.floats) {
+                    for &(i, target, ref contrib) in &admits {
+                        tickets.push(self.commit_lockfree(target, now, run[i].spec, contrib));
+                    }
+                    inner.state.end_write();
+                    true
+                } else {
+                    inner.state.sub_unit_vector(&s.acc_fp);
+                    inner.state.end_write();
+                    inner.counters.add_cas_retry();
+                    false
+                }
+            };
+
+            if committed {
+                let mut tickets = tickets.into_iter();
+                for &ok in &verdicts {
+                    if ok {
+                        out.push(ServiceOutcome::Admitted(
+                            tickets.next().expect("one ticket per admit verdict"),
+                        ));
+                    } else {
+                        inner.counters.add_fast_rejected();
+                        out.push(ServiceOutcome::Rejected);
+                    }
+                }
+            } else {
+                // Contention outran the run's snapshot. Nothing was
+                // committed, so fall back to the single-decision protocol
+                // for the whole run.
+                for req in run {
+                    let target = target_of(req);
+                    self.expire_guard(now, target);
+                    s.contrib.clear();
+                    inner.model.contributions_into(req.spec, &mut s.contrib);
+                    match self.decide_lockfree(now, target, req.spec, s) {
+                        Some(t) => out.push(ServiceOutcome::Admitted(t)),
+                        None => out.push(ServiceOutcome::Rejected),
+                    }
+                }
             }
-            return;
+        });
+
+        // One wall-clock measurement spread across the run so the
+        // histogram still holds one sample per decision.
+        let per = started.elapsed() / run.len() as u32;
+        for _ in run {
+            record_ns_atomic(&inner.fast_latency, per);
         }
+    }
+
+    /// The locked twin of [`AdmissionService::admit_run`]
+    /// (`fast_path(false)`): one lock acquisition per *distinct* target
+    /// shard (ascending) and one gate hold for every decision in the run.
+    fn admit_run_locked(
+        &self,
+        started: Instant,
+        now: Time,
+        run: &[BatchRequest<'_>],
+        out: &mut Vec<ServiceOutcome>,
+    ) {
+        let inner = &*self.inner;
+        let home = self.home_shard();
+        let count = inner.state.shard_count();
+        let target_of = |req: &BatchRequest<'_>| req.shard.map_or(home, |s| s % count);
 
         // Uniform-target runs — untargeted batches, i.e. almost every
-        // real caller — skip the distinct-set bookkeeping (three heap
+        // real caller — skip the distinct-set bookkeeping (heap
         // allocations, a sort, and two binary searches per decision) and
         // run the single-shard loop directly.
-        let first_target = target_of(&locked_run[0]);
-        if locked_run.iter().all(|r| target_of(r) == first_target) {
+        let first_target = target_of(&run[0]);
+        if run.iter().all(|r| target_of(r) == first_target) {
             let mut shard = self.lock_shard(first_target);
             let expired = inner.state.expire_due(&mut shard, now);
             if expired > 0 {
                 inner.counters.add_expired(expired);
             }
             SCRATCH.with(|scratch| {
-                let (contrib, current, tentative) = &mut *scratch.borrow_mut();
+                let s = &mut *scratch.borrow_mut();
                 let _gate = inner.gate.lock().expect("gate poisoned");
-                for req in locked_run {
-                    contrib.clear();
-                    inner.model.contributions_into(req.spec, contrib);
-                    // Floors were pinned by the first iteration's read;
-                    // later iterations re-read because this run's own
-                    // charges moved the vector.
-                    inner.state.pin_and_read_into(current);
-                    if tentative_feasible(&inner.region, current, contrib, tentative) {
-                        inner.state.charge(contrib);
-                        let ticket = self.commit(&mut shard, first_target, now, req.spec, contrib);
+                for req in run {
+                    s.contrib.clear();
+                    inner.model.contributions_into(req.spec, &mut s.contrib);
+                    fp_contributions_into(&s.contrib, &mut s.contrib_fp);
+                    // Re-read every iteration: this run's own charges
+                    // moved the vector.
+                    inner.state.read_fp_into(&mut s.current_fp);
+                    if tentative_feasible_fp(
+                        &inner.region,
+                        &s.current_fp,
+                        &s.contrib_fp,
+                        &mut s.floats,
+                    ) {
+                        inner.state.charge(&s.contrib_fp);
+                        let ticket =
+                            self.commit(&mut shard, first_target, now, req.spec, &s.contrib_fp);
                         out.push(ServiceOutcome::Admitted(ticket));
                     } else {
                         inner.counters.add_rejected();
@@ -691,10 +1052,7 @@ where
                 }
             });
             let per = started.elapsed() / run.len() as u32;
-            for _ in 0..fast {
-                record_ns_atomic(&inner.fast_latency, per);
-            }
-            for _ in locked_run {
+            for _ in run {
                 record_ns(&mut shard.latency, per);
             }
             return;
@@ -702,7 +1060,7 @@ where
 
         // Distinct target shards, locked in ascending order; the gate
         // still comes last, preserving the global lock order.
-        let mut distinct: Vec<usize> = locked_run.iter().map(&target_of).collect();
+        let mut distinct: Vec<usize> = run.iter().map(&target_of).collect();
         distinct.sort_unstable();
         distinct.dedup();
         let mut guards: Vec<MutexGuard<'_, Shard>> =
@@ -714,9 +1072,9 @@ where
         let mut drained = vec![false; distinct.len()];
         let mut expired = 0;
         SCRATCH.with(|scratch| {
-            let (contrib, current, tentative) = &mut *scratch.borrow_mut();
+            let s = &mut *scratch.borrow_mut();
             let _gate = inner.gate.lock().expect("gate poisoned");
-            for req in locked_run {
+            for req in run {
                 let target = target_of(req);
                 let g = distinct
                     .binary_search(&target)
@@ -725,15 +1083,14 @@ where
                     drained[g] = true;
                     expired += inner.state.expire_due(&mut guards[g], now);
                 }
-                contrib.clear();
-                inner.model.contributions_into(req.spec, contrib);
-                // Floors were pinned by the first iteration's read; later
-                // iterations re-read because this run's own charges moved
-                // the vector.
-                inner.state.pin_and_read_into(current);
-                if tentative_feasible(&inner.region, current, contrib, tentative) {
-                    inner.state.charge(contrib);
-                    let ticket = self.commit(&mut guards[g], target, now, req.spec, contrib);
+                s.contrib.clear();
+                inner.model.contributions_into(req.spec, &mut s.contrib);
+                fp_contributions_into(&s.contrib, &mut s.contrib_fp);
+                inner.state.read_fp_into(&mut s.current_fp);
+                if tentative_feasible_fp(&inner.region, &s.current_fp, &s.contrib_fp, &mut s.floats)
+                {
+                    inner.state.charge(&s.contrib_fp);
+                    let ticket = self.commit(&mut guards[g], target, now, req.spec, &s.contrib_fp);
                     out.push(ServiceOutcome::Admitted(ticket));
                 } else {
                     inner.counters.add_rejected();
@@ -745,14 +1102,10 @@ where
             inner.counters.add_expired(expired);
         }
 
-        // One wall-clock measurement spread across the run so the latency
-        // histograms still hold one sample per decision, each recorded
-        // against the path (and shard) that decided it.
+        // One wall-clock measurement spread across the run, each sample
+        // recorded against the shard that decided it.
         let per = started.elapsed() / run.len() as u32;
-        for _ in 0..fast {
-            record_ns_atomic(&inner.fast_latency, per);
-        }
-        for req in locked_run {
+        for req in run {
             let g = distinct.binary_search(&target_of(req)).expect("collected");
             record_ns(&mut guards[g].latency, per);
         }
@@ -785,6 +1138,7 @@ where
         let inner = &*self.inner;
         for i in 0..inner.state.shard_count() {
             let mut guard = self.lock_shard(i);
+            inner.state.drain_pending(&mut guard);
             if let Some(entry) = guard.entries.remove(&id) {
                 inner.state.subtract_entry(&entry.contributions);
                 guard.by_importance.remove(&(entry.importance, id));
@@ -803,8 +1157,8 @@ where
         self.inner.counters.add_expired_on_arrival();
     }
 
-    /// Applies every due deadline decrement on every shard. The fast path
-    /// already drains the calling thread's shard on each decision; call
+    /// Applies every due deadline decrement on every shard. The decision
+    /// paths already drain a shard whose next-due hint comes due; call
     /// this periodically (or from a maintenance thread) so shards no
     /// thread is posting to also decrement on time.
     pub fn maintain(&self) -> u64 {
@@ -840,10 +1194,10 @@ where
             for (&id, entry) in shard.entries.iter_mut() {
                 let mut k = 0;
                 while k < entry.contributions.len() {
-                    if entry.contributions[k].0 == stage && entry.departed[k] {
-                        let (s, amount) = entry.contributions.swap_remove(k);
+                    if entry.contributions[k].0 == stage && entry.departed.get(k) == Some(&true) {
+                        let (s, units) = entry.contributions.swap_remove(k);
                         entry.departed.swap_remove(k);
-                        inner.state.subtract_stage(s, amount);
+                        inner.state.subtract_stage(s, units);
                     } else {
                         k += 1;
                     }
@@ -871,23 +1225,42 @@ where
         out
     }
 
-    /// The aggregate utilization vector read **under the admission
-    /// gate**: no decision can interleave with the read, so the returned
-    /// vector is a consistent cut of the counters. The cluster layer
-    /// uses this to shrink a node's caps safely — lower the caps first,
-    /// then read gated; anything at or below the reading is provably
-    /// still being enforced by the new, smaller caps.
+    /// The aggregate utilization vector from a **write-stable snapshot**:
+    /// the read is retried until no charge's write section overlaps it,
+    /// so the returned vector contains every committed charge and no
+    /// in-flight (possibly rolled-back) one. It can only be stale-*high*
+    /// versus concurrent reductions. The cluster layer uses this to
+    /// shrink a node's caps safely — lower the caps first, then read
+    /// here; anything at or below the reading is provably still being
+    /// enforced by the new, smaller caps.
     pub fn gated_utilizations(&self) -> Vec<f64> {
-        let _gate = self.inner.gate.lock().expect("gate poisoned");
         let mut out = Vec::with_capacity(self.inner.state.stages());
-        self.inner.state.read_into(&mut out);
+        let mut spins = 0u32;
+        while !self.inner.state.snapshot_into(&mut out) {
+            // Each failed attempt raced a write section; the counter
+            // shows how often stable readers actually contend with the
+            // CAS-admit path (decision paths use plain reads and never
+            // spin here).
+            self.inner.counters.add_seqlock_fallback();
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
         out
     }
 
     /// Number of admitted tasks whose deadlines have not yet expired.
     pub fn live_tasks(&self) -> usize {
-        (0..self.inner.state.shard_count())
-            .map(|i| self.lock_shard(i).entries.len())
+        let inner = &*self.inner;
+        (0..inner.state.shard_count())
+            .map(|i| {
+                let mut guard = self.lock_shard(i);
+                inner.state.drain_pending(&mut guard);
+                guard.entries.len()
+            })
             .sum()
     }
 
@@ -902,7 +1275,8 @@ where
         let mut latency = LatencyHistogram::new();
         let mut live = 0;
         for i in 0..self.inner.state.shard_count() {
-            let shard = self.lock_shard(i);
+            let mut shard = self.lock_shard(i);
+            self.inner.state.drain_pending(&mut shard);
             latency.merge(&shard.latency);
             live += shard.entries.len();
         }
@@ -918,65 +1292,37 @@ where
         }
     }
 
-    /// Locks the world (shards ascending, then the gate) and checks every
-    /// cross-shard invariant: atomic totals match the entry maps, live
-    /// counts are exact, and the aggregate vector is inside the region.
+    /// Locks every shard (ascending), drains the pending rings, and
+    /// checks every cross-shard invariant inside a write-quiescent
+    /// window: atomic totals equal the entry-map sums **exactly**
+    /// (integer units, no tolerance) and the stable aggregate vector is
+    /// inside the region. If charging writers keep interfering — e.g. one
+    /// stalled on a refilled ring while we hold its shard — the locks are
+    /// released and the whole observation retries.
     ///
     /// # Panics
     ///
     /// Panics on any divergence. Used by the concurrency tests.
     pub fn debug_validate(&self) {
         let inner = &*self.inner;
-        let guards: Vec<MutexGuard<'_, Shard>> = (0..inner.state.shard_count())
-            .map(|i| self.lock_shard(i))
-            .collect();
-        let _gate = inner.gate.lock().expect("gate poisoned");
-        let refs: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
-        inner.state.validate_locked(&refs);
-        let mut current = Vec::new();
-        inner.state.read_into(&mut current);
-        assert!(
-            inner.region.feasible(&current),
-            "aggregate utilization {current:?} left the feasible region"
-        );
-    }
-
-    /// Tries to conclude "reject" for `spec` without any lock. Returns
-    /// `true` (after counting the rejection) only when both hold:
-    ///
-    /// * shard `target`'s next-due hint is after `now`, so the drain a
-    ///   locked decision would perform first is provably a no-op — the
-    ///   snapshot cannot be missing a deadline decrement the locked path
-    ///   would have applied;
-    /// * an untorn seqlock snapshot of the utilization vector (the same
-    ///   values `pin_and_read_into` yields, read-only) proves `spec`
-    ///   infeasible.
-    ///
-    /// Anything else — hint expired, torn snapshot, or a feasible-looking
-    /// vector — returns `false` and the caller takes the locked path, so
-    /// this path can only ever produce rejections the locked path would
-    /// also produce, never an admit and never a divergent reject.
-    fn fast_reject_at(&self, now: Time, spec: &TaskSpec, target: usize) -> bool {
-        let inner = &*self.inner;
-        if now.as_micros() >= inner.state.shard_next_due(target) {
-            return false;
+        loop {
+            let mut guards: Vec<MutexGuard<'_, Shard>> = (0..inner.state.shard_count())
+                .map(|i| self.lock_shard(i))
+                .collect();
+            for g in guards.iter_mut() {
+                inner.state.drain_pending(g);
+            }
+            let refs: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
+            if let Some(current) = inner.state.try_validate_locked(&refs) {
+                assert!(
+                    inner.region.feasible(&current),
+                    "aggregate utilization {current:?} left the feasible region"
+                );
+                return;
+            }
+            drop(guards);
+            std::thread::yield_now();
         }
-        SCRATCH.with(|scratch| {
-            let (contrib, current, tentative) = &mut *scratch.borrow_mut();
-            contrib.clear();
-            inner.model.contributions_into(spec, contrib);
-            if !inner.state.snapshot_into(current) {
-                inner.counters.add_seqlock_fallback();
-                return false;
-            }
-            if tentative_feasible(&inner.region, current, contrib, tentative) {
-                return false;
-            }
-            // One RMW covers the decision: `fast_rejected` is folded into
-            // the reported `rejected` total at snapshot time.
-            inner.counters.add_fast_rejected();
-            true
-        })
     }
 
     fn home_shard(&self) -> usize {
@@ -991,15 +1337,19 @@ where
             .expect("shard poisoned")
     }
 
-    /// Inserts bookkeeping for an already-charged admission and mints the
-    /// ticket. The shard lock is held; the gate must NOT be.
+    /// Inserts bookkeeping for an already-charged admission directly into
+    /// a held shard and mints the ticket (the locked paths' commit). The
+    /// shard lock is held; the gate must NOT be. The pending ring is
+    /// deliberately bypassed — no lock may be (blockingly) acquired here,
+    /// and entry-map inserts commute with ring drains, so ordering
+    /// against any queued entries is irrelevant.
     fn commit(
         &self,
         shard: &mut Shard,
         shard_idx: usize,
         now: Time,
         spec: &TaskSpec,
-        contributions: &[(StageId, f64)],
+        contributions: &[(StageId, u64)],
     ) -> AdmissionTicket {
         let inner = &*self.inner;
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
@@ -1016,7 +1366,7 @@ where
         shard.wheel.insert(expiry, id);
         shard.by_importance.insert((spec.importance, id));
         // Publish the deadline to the lock-free path's next-due hint so
-        // fast rejects stop as soon as this entry's decrement comes due.
+        // snapshot decisions stop as soon as this entry's decrement is due.
         inner.state.note_deadline(shard_idx, expiry);
         inner.counters.add_admitted();
         AdmissionTicket {
@@ -1036,6 +1386,15 @@ where
 {
     fn release_ticket(&self, shard: usize, id: u64) {
         let mut guard = self.state.shard(shard).lock().expect("shard poisoned");
+        // The released entry may still sit on the pending ring; if the
+        // drain catches it there, release it directly — its structural
+        // bookkeeping never needs to exist (the admit-then-release hot
+        // path).
+        if let Some(entry) = self.state.drain_pending_intercept(&mut guard, id) {
+            self.state.subtract_entry(&entry.contributions);
+            self.counters.add_released();
+            return;
+        }
         // Exactly-once versus deadline expiry and shedding: whoever
         // removes the map entry owns the subtraction.
         if let Some(entry) = guard.entries.remove(&id) {
@@ -1047,7 +1406,12 @@ where
 
     fn depart_ticket(&self, shard: usize, id: u64, stage: StageId) {
         let mut guard = self.state.shard(shard).lock().expect("shard poisoned");
+        self.state.drain_pending(&mut guard);
         if let Some(entry) = guard.entries.get_mut(&id) {
+            // The flags allocate lazily: empty means all-false.
+            if entry.departed.is_empty() {
+                entry.departed.resize(entry.contributions.len(), false);
+            }
             for (k, &(s, _)) in entry.contributions.iter().enumerate() {
                 if s == stage {
                     entry.departed[k] = true;

@@ -2,57 +2,59 @@
 //!
 //! Layout:
 //!
-//! * **Global per-stage totals** — one cache-padded [`AtomicF64`] per
-//!   stage holding the live contribution sum *above* the reservation
-//!   floor, plus an atomic count of live contributions. Reading the full
-//!   utilization vector is `N` relaxed loads: the cheap aggregate path.
+//! * **Global per-stage totals** — one cache-padded `AtomicU64` per stage
+//!   holding the live contribution sum *above* the reservation floor, in
+//!   [`frap_core::fixed`] binary units (1 unit = 2⁻⁵³ utilization).
+//!   Integer units make every add/subtract exact in any interleaving:
+//!   optimistic charges roll back bit-identically, and a fully released
+//!   stage reads exactly the floor with no pinning pass.
 //! * **Per-shard bookkeeping** — a mutex-protected [`Shard`] holding the
 //!   live-entry map (which task charged what, where), the shard's
 //!   [`TimerWheel`] of deadline decrements, an importance-ordered shedding
-//!   index, and the shard's slice of the decision-latency histogram.
-//!   Threads are spread across shards round-robin, so shard mutexes are
-//!   effectively uncontended.
+//!   index, and the shard's slice of the decision-latency histogram —
+//!   plus a lock-free [`MpscRing`] of admissions whose bookkeeping has
+//!   been decided but not yet inserted (DESIGN.md §16). Threads are
+//!   spread across shards round-robin, so shard mutexes are effectively
+//!   uncontended.
 //!
-//! Consistency rules (proved out by the concurrency tests):
+//! Consistency rules (proved out by the concurrency and CAS-stress
+//! tests):
 //!
-//! * Charges (additions) happen only while the service's admission gate is
-//!   held, so the gate holder composes a vector that concurrent mutations
-//!   can only *decrease* — and the region test is monotone in every
-//!   `U_j`, so a decision made on a stale-high vector is conservative.
-//! * Reductions (deadline expiry, release, shed, idle reset) subtract the
-//!   per-stage amount **before** decrementing the stage's live count.
-//!   When the gate holder observes a live count of zero it may therefore
-//!   pin the stage total to exactly `0.0` (the floor), mirroring
-//!   `StageTracker`'s empty-tracker normalization, without racing any
-//!   in-flight subtraction.
+//! * **Charges are bracketed write sections.** A charging thread bumps
+//!   `writers_begin`, performs its per-stage `fetch_add`s (and, when
+//!   admitting, its revalidation read and pending-ring push), then bumps
+//!   `writers_end`. Multiple charges may overlap — there is no gate or
+//!   mutex on the add side. [`ShardedUtilization::snapshot_fp_into`]
+//!   reads the vector without any lock and reports whether any write
+//!   section overlapped the read.
+//! * **Reductions (deadline expiry, release, shed, idle reset) happen
+//!   under the owning shard's mutex** and do *not* bump the write
+//!   counters: a snapshot missing a concurrent reduction is merely
+//!   stale-high, which the monotone region test turns into a
+//!   conservative (reject-only) answer. Holding every shard lock while
+//!   observing a write-quiescent window therefore freezes the totals
+//!   entirely — the validator's consistency cut.
 //! * Exactly-once removal is enforced by `HashMap::remove` on the entry
 //!   map: whichever of {deadline expiry, release, shed} wins removes the
-//!   entry; the others observe its absence and do nothing.
-//!
-//! On top of the rules above, two lock-free aids power the service's
-//! reject fast path (DESIGN.md §14):
-//!
-//! * **Seqlock over additions.** A global sequence counter is bumped to
-//!   odd before a charge's first add and to even after its last.
-//!   [`ShardedUtilization::snapshot_into`] reads the utilization vector
-//!   without any lock and reports whether the read was torn (the counter
-//!   was odd, or changed across the read). Reductions deliberately do
-//!   *not* bump the counter: a snapshot missing a concurrent reduction is
-//!   merely stale-high, which the monotone region test turns into a
-//!   conservative (reject-only) answer.
+//!   entry; the others observe its absence and do nothing. Every
+//!   shard-locked entry operation drains the pending ring first, so a
+//!   ring-deferred admission is always visible to the release/expiry
+//!   that targets it.
 //! * **Per-shard next-due hints.** Each shard publishes a lower bound on
-//!   its earliest pending deadline decrement. A reader that observes
-//!   `now < hint` knows a locked decision on that shard would drain
-//!   nothing from its wheel, so skipping the drain cannot change the
-//!   verdict. Commits lower the hint with `fetch_min`; drains refresh it
-//!   from the wheel under the shard lock.
+//!   its earliest pending deadline decrement. A decision thread that
+//!   observes `now < hint` knows a locked drain of that shard would
+//!   apply nothing, so deciding from a snapshot cannot miss a decrement
+//!   the locked path would have applied. Commits lower the hint with
+//!   `fetch_min`; drains refresh it from the wheel under the shard lock.
 
+use crate::ring::{MpscRing, PENDING_RING_CAPACITY};
 use crate::wheel::TimerWheel;
+use frap_core::fixed::{fp_from_utilization, utilization_from_fp};
 use frap_core::hist::LatencyHistogram;
 use frap_core::task::{Importance, StageId};
 use frap_core::time::Time;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Largest wheel population for which a consumed next-due hint is
@@ -64,49 +66,9 @@ use std::sync::Mutex;
 /// the lock-free reject path needs a far-future hint.
 const HINT_SCAN_LIMIT: usize = 512;
 
-/// An `f64` stored in an `AtomicU64` by bit pattern, with CAS-loop add.
-#[derive(Debug, Default)]
-pub struct AtomicF64 {
-    bits: AtomicU64,
-}
-
-impl AtomicF64 {
-    /// A new atomic holding `value`.
-    pub fn new(value: f64) -> AtomicF64 {
-        AtomicF64 {
-            bits: AtomicU64::new(value.to_bits()),
-        }
-    }
-
-    /// The current value.
-    #[inline]
-    pub fn load(&self) -> f64 {
-        f64::from_bits(self.bits.load(Ordering::SeqCst))
-    }
-
-    /// Overwrites the value.
-    #[inline]
-    pub fn store(&self, value: f64) {
-        self.bits.store(value.to_bits(), Ordering::SeqCst);
-    }
-
-    /// Atomically adds `delta` (compare-exchange loop) and returns the new
-    /// value.
-    #[inline]
-    pub fn fetch_add(&self, delta: f64) -> f64 {
-        let mut current = self.bits.load(Ordering::SeqCst);
-        loop {
-            let next = (f64::from_bits(current) + delta).to_bits();
-            match self
-                .bits
-                .compare_exchange_weak(current, next, Ordering::SeqCst, Ordering::SeqCst)
-            {
-                Ok(_) => return f64::from_bits(next),
-                Err(actual) => current = actual,
-            }
-        }
-    }
-}
+/// How many times a write-quiescence validation re-attempts before
+/// reporting interference to the caller (who re-drains and retries).
+const VALIDATE_ATTEMPTS: usize = 64;
 
 /// Pads (and aligns) a value to a cache line so per-stage atomics on
 /// adjacent stages do not false-share.
@@ -115,16 +77,33 @@ impl AtomicF64 {
 pub struct CachePadded<T>(pub T);
 
 /// One live admitted task's bookkeeping, owned by exactly one shard.
+/// Contribution amounts are fixed-point units ([`frap_core::fixed`]),
+/// merged to at most one slot per stage, so releasing subtracts exactly
+/// what admission added.
 #[derive(Debug)]
 pub struct LiveEntry {
-    /// `(stage, amount)` still charged; amounts are zeroed by idle resets.
-    pub contributions: Vec<(StageId, f64)>,
+    /// `(stage, units)` still charged; slots are removed by idle resets.
+    pub contributions: Vec<(StageId, u64)>,
     /// Parallel to `contributions`: stage-departure flags for idle reset.
+    /// **Empty means all-false** — the flags allocate lazily on the first
+    /// `mark_departed`, so the admit hot path pays one heap allocation
+    /// per admission, not two.
     pub departed: Vec<bool>,
     /// Absolute deadline (decrement instant).
     pub expiry: Time,
     /// Shedding priority.
     pub importance: Importance,
+}
+
+/// An admission decided on the lock-free path whose structural
+/// bookkeeping (entry map, timer wheel, shedding index) has not yet been
+/// applied; queued on the owning shard's pending ring.
+#[derive(Debug)]
+pub struct PendingAdmission {
+    /// The service-assigned ticket id.
+    pub id: u64,
+    /// The entry to insert.
+    pub entry: LiveEntry,
 }
 
 /// The mutex-protected slice of state owned by one worker-thread shard.
@@ -142,23 +121,30 @@ pub struct Shard {
     /// Scratch buffer for wheel drains.
     drained: Vec<(Time, u64)>,
     /// This shard's index in the owning [`ShardedUtilization`], so a
-    /// locked drain can refresh the matching next-due hint.
+    /// locked drain can refresh the matching next-due hint and drain the
+    /// matching pending ring.
     index: usize,
 }
 
 /// Per-stage synthetic-utilization counters sharded across worker threads.
 #[derive(Debug)]
 pub struct ShardedUtilization {
+    /// Floors as configured (`f64`, for reporting).
     floors: Vec<f64>,
-    /// Live contribution sum above the floor, one per stage.
-    totals: Vec<CachePadded<AtomicF64>>,
-    /// Number of live contributions per stage.
-    live: Vec<CachePadded<AtomicUsize>>,
-    /// Seqlock over additions: odd while a charge is in flight.
-    seq: CachePadded<AtomicU64>,
+    /// Floors in fixed-point units (conversion rounds up: conservative).
+    floors_fp: Vec<u64>,
+    /// Live contribution units above the floor, one per stage.
+    totals: Vec<CachePadded<AtomicU64>>,
+    /// Write sections opened (bumped before a charge's first add).
+    writers_begin: CachePadded<AtomicU64>,
+    /// Write sections closed (bumped after the charge is fully applied,
+    /// revalidated, and — for lock-free admits — ring-pushed).
+    writers_end: CachePadded<AtomicU64>,
     /// Per-shard lower bound (µs) on the earliest pending deadline
     /// decrement; `u64::MAX` when the shard's wheel is known empty.
     next_due: Vec<CachePadded<AtomicU64>>,
+    /// Per-shard rings of decided-but-uninserted admissions.
+    pending: Vec<MpscRing<PendingAdmission>>,
     shards: Vec<Mutex<Shard>>,
 }
 
@@ -182,14 +168,15 @@ impl ShardedUtilization {
         }
         ShardedUtilization {
             floors: floors.to_vec(),
-            totals: floors
-                .iter()
-                .map(|_| CachePadded(AtomicF64::new(0.0)))
-                .collect(),
-            live: floors.iter().map(|_| CachePadded::default()).collect(),
-            seq: CachePadded(AtomicU64::new(0)),
+            floors_fp: floors.iter().map(|&f| fp_from_utilization(f)).collect(),
+            totals: floors.iter().map(|_| CachePadded::default()).collect(),
+            writers_begin: CachePadded::default(),
+            writers_end: CachePadded::default(),
             next_due: (0..shards)
                 .map(|_| CachePadded(AtomicU64::new(u64::MAX)))
+                .collect(),
+            pending: (0..shards)
+                .map(|_| MpscRing::with_capacity(PENDING_RING_CAPACITY))
                 .collect(),
             shards: (0..shards)
                 .map(|index| {
@@ -227,99 +214,205 @@ impl ShardedUtilization {
         &self.shards[index]
     }
 
-    /// Reads the aggregate utilization vector into `out`: floor plus live
-    /// total per stage, clamped to the floor so float drift from unordered
-    /// subtraction can never produce a (panic-inducing) negative
-    /// utilization.
+    /// Reads the aggregate utilization vector into `out` as `f64`: floor
+    /// plus live units per stage. Plain atomic loads — the components may
+    /// interleave with concurrent decisions.
     pub fn read_into(&self, out: &mut Vec<f64>) {
         out.clear();
-        for (total, &floor) in self.totals.iter().zip(&self.floors) {
-            out.push(floor + total.0.load().max(0.0));
+        for (total, &floor_fp) in self.totals.iter().zip(&self.floors_fp) {
+            out.push(utilization_from_fp(
+                floor_fp.saturating_add(total.0.load(Ordering::SeqCst)),
+            ));
         }
     }
 
-    /// Fused [`ShardedUtilization::pin_idle_floors`] +
-    /// [`ShardedUtilization::read_into`]: one pass over the stages instead
-    /// of two, for decision paths that always do both back to back.
-    /// **Caller must hold the admission gate** (pinning is an addition-side
-    /// operation).
-    pub fn pin_and_read_into(&self, out: &mut Vec<f64>) {
+    /// Reads the aggregate vector in fixed-point units (floor included),
+    /// one plain atomic load per stage.
+    pub fn read_fp_into(&self, out: &mut Vec<u64>) {
         out.clear();
-        for ((total, live), &floor) in self.totals.iter().zip(&self.live).zip(&self.floors) {
-            if live.0.load(Ordering::SeqCst) == 0 {
-                total.0.store(0.0);
-                out.push(floor);
-            } else {
-                out.push(floor + total.0.load().max(0.0));
+        for (total, &floor_fp) in self.totals.iter().zip(&self.floors_fp) {
+            out.push(floor_fp.saturating_add(total.0.load(Ordering::SeqCst)));
+        }
+    }
+
+    /// Attempts a **write-stable** unit snapshot: fills `out` like
+    /// [`ShardedUtilization::read_fp_into`] and returns whether no write
+    /// section overlapped the read. A stable snapshot contains no
+    /// in-flight (possibly-rolled-back) optimistic charge. An unstable
+    /// ("torn") snapshot is still a vector of genuinely-held counter
+    /// values — usable for a conservative rejection, never for an
+    /// unrevalidated admit.
+    ///
+    /// Reductions do not participate in the write counters, so even a
+    /// stable snapshot may be missing concurrent subtractions — i.e. it
+    /// is stale-*high*, which the monotone region test renders
+    /// conservative.
+    pub fn snapshot_fp_into(&self, out: &mut Vec<u64>) -> bool {
+        let end = self.writers_end.0.load(Ordering::SeqCst);
+        let begin = self.writers_begin.0.load(Ordering::SeqCst);
+        self.read_fp_into(out);
+        begin == end && self.writers_begin.0.load(Ordering::SeqCst) == begin
+    }
+
+    /// [`ShardedUtilization::snapshot_fp_into`] converted to `f64`.
+    pub fn snapshot_into(&self, out: &mut Vec<f64>) -> bool {
+        let end = self.writers_end.0.load(Ordering::SeqCst);
+        let begin = self.writers_begin.0.load(Ordering::SeqCst);
+        self.read_into(out);
+        begin == end && self.writers_begin.0.load(Ordering::SeqCst) == begin
+    }
+
+    /// Opens a write section: concurrent snapshot attempts report torn
+    /// until the matching [`ShardedUtilization::end_write`].
+    #[inline]
+    pub fn begin_write(&self) {
+        self.writers_begin.0.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Closes a write section. Every unit added inside the section must
+    /// either stay (the charge committed — and for lock-free admits, the
+    /// pending-ring push completed) or have been subtracted back (exact
+    /// rollback) before this call.
+    #[inline]
+    pub fn end_write(&self) {
+        self.writers_end.0.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Adds merged per-stage unit demands. Must be called inside a write
+    /// section.
+    #[inline]
+    pub fn add_units(&self, contributions: &[(StageId, u64)]) {
+        for &(stage, units) in contributions {
+            self.totals[stage.index()]
+                .0
+                .fetch_add(units, Ordering::SeqCst);
+        }
+    }
+
+    /// Exactly rolls back [`ShardedUtilization::add_units`]. Must be
+    /// called inside the same write section that added them.
+    #[inline]
+    pub fn sub_units(&self, contributions: &[(StageId, u64)]) {
+        for &(stage, units) in contributions {
+            self.totals[stage.index()]
+                .0
+                .fetch_sub(units, Ordering::SeqCst);
+        }
+    }
+
+    /// Adds a dense per-stage unit vector (the batch path's accumulated
+    /// run total). Must be called inside a write section.
+    pub fn add_unit_vector(&self, units: &[u64]) {
+        for (total, &u) in self.totals.iter().zip(units) {
+            if u > 0 {
+                total.0.fetch_add(u, Ordering::SeqCst);
             }
         }
     }
 
-    /// Number of live contributions currently charged on `stage`.
-    pub fn stage_live(&self, stage: usize) -> usize {
-        self.live[stage].0.load(Ordering::SeqCst)
+    /// Exactly rolls back [`ShardedUtilization::add_unit_vector`].
+    pub fn sub_unit_vector(&self, units: &[u64]) {
+        for (total, &u) in self.totals.iter().zip(units) {
+            if u > 0 {
+                total.0.fetch_sub(u, Ordering::SeqCst);
+            }
+        }
     }
 
-    /// Charges an arrival's contributions. **Caller must hold the
-    /// admission gate** — additions are only legal under the gate, which
-    /// is also what makes the single seqlock writer-side safe (no two
-    /// charges are ever concurrent).
-    pub fn charge(&self, contributions: &[(StageId, f64)]) {
-        self.seq.0.fetch_add(1, Ordering::SeqCst); // odd: charge in flight
-        for &(stage, amount) in contributions {
-            self.totals[stage.index()].0.fetch_add(amount);
-            self.live[stage.index()].0.fetch_add(1, Ordering::SeqCst);
-        }
-        self.seq.0.fetch_add(1, Ordering::SeqCst); // even: charge visible
+    /// A gate-held charge for the fully locked decision path: one whole
+    /// write section around the adds. The caller guarantees (by holding
+    /// the admission gate on a locked-path service) that the post-charge
+    /// vector was validated before calling.
+    pub fn charge(&self, contributions: &[(StageId, u64)]) {
+        self.begin_write();
+        self.add_units(contributions);
+        self.end_write();
     }
 
     /// A charge that pauses between the first stage's add and the rest,
     /// so the torn-read test can deterministically catch a reader mid
-    /// charge. Same seqlock protocol as [`ShardedUtilization::charge`].
+    /// charge. Same write-section protocol as
+    /// [`ShardedUtilization::charge`].
     #[cfg(test)]
-    pub fn torn_charge_for_test(&self, contributions: &[(StageId, f64)], pause: impl FnOnce()) {
-        self.seq.0.fetch_add(1, Ordering::SeqCst);
+    pub fn torn_charge_for_test(&self, contributions: &[(StageId, u64)], pause: impl FnOnce()) {
+        self.begin_write();
         let (first, rest) = contributions.split_first().expect("non-empty charge");
-        self.totals[first.0.index()].0.fetch_add(first.1);
-        self.live[first.0.index()].0.fetch_add(1, Ordering::SeqCst);
+        self.totals[first.0.index()]
+            .0
+            .fetch_add(first.1, Ordering::SeqCst);
         pause();
-        for &(stage, amount) in rest {
-            self.totals[stage.index()].0.fetch_add(amount);
-            self.live[stage.index()].0.fetch_add(1, Ordering::SeqCst);
+        for &(stage, units) in rest {
+            self.totals[stage.index()]
+                .0
+                .fetch_add(units, Ordering::SeqCst);
         }
-        self.seq.0.fetch_add(1, Ordering::SeqCst);
+        self.end_write();
     }
 
-    /// Lock-free utilization snapshot for the reject fast path. Reads the
-    /// same per-stage values [`ShardedUtilization::pin_and_read_into`]
-    /// would produce — stages with no live contributions read as exactly
-    /// the floor — but **without writing** the pin back and without any
-    /// lock. Returns `false` (leaving `out` unspecified) when the seqlock
-    /// shows a charge in flight or completed mid-read; the caller must
-    /// then fall back to the locked path.
-    ///
-    /// Reductions do not participate in the seqlock, so a "clean" snapshot
-    /// may still be missing concurrent subtractions — i.e. it is
-    /// stale-*high*, which the monotone region test renders conservative:
-    /// only safe-to-make rejections may be concluded from it.
-    pub fn snapshot_into(&self, out: &mut Vec<f64>) -> bool {
-        let s1 = self.seq.0.load(Ordering::SeqCst);
-        if s1 & 1 == 1 {
-            return false;
+    /// Queues a decided admission for insertion into shard `index`'s
+    /// bookkeeping. Lock-free in the common case (a bounded MPSC ring
+    /// push); when the ring is full, falls back to a `try_lock` drain —
+    /// never a blocking lock, so no decision path can block here. Must be
+    /// called inside the admitting write section, so a write-quiescent
+    /// observer never sees charged units whose entry is neither ringed
+    /// nor inserted.
+    pub fn push_pending(&self, index: usize, pending: PendingAdmission) {
+        let mut pending = pending;
+        loop {
+            match self.pending[index].try_push(pending) {
+                Ok(()) => return,
+                Err(back) => pending = back,
+            }
+            // Ring full: try to become the drainer. `try_lock` keeps this
+            // non-blocking — if another thread holds the shard it is
+            // already draining (every locked entry op drains first), so
+            // spinning on the push is productive.
+            if let Ok(mut shard) = self.shards[index].try_lock() {
+                self.drain_pending(&mut shard);
+                Self::insert_entry_locked(&mut shard, pending);
+                return;
+            }
+            std::hint::spin_loop();
         }
-        out.clear();
-        for ((total, live), &floor) in self.totals.iter().zip(&self.live).zip(&self.floors) {
-            if live.0.load(Ordering::SeqCst) == 0 {
-                out.push(floor);
+    }
+
+    /// Applies every queued pending admission on a locked shard. Called
+    /// first by every shard-locked entry operation.
+    pub fn drain_pending(&self, shard: &mut Shard) {
+        while let Some(p) = self.pending[shard.index].try_pop() {
+            Self::insert_entry_locked(shard, p);
+        }
+    }
+
+    /// [`ShardedUtilization::drain_pending`], but intercepts the entry
+    /// with id `target` — returning it instead of inserting it. A release
+    /// that catches its own admission still sitting on the ring (the
+    /// admit-then-release-immediately hot path) skips the whole
+    /// insert-then-remove round trip through the entry map, timer wheel,
+    /// and shedding index; the wheel never learns the id, so no stale
+    /// wheel slot is left behind either.
+    pub fn drain_pending_intercept(&self, shard: &mut Shard, target: u64) -> Option<LiveEntry> {
+        let mut intercepted = None;
+        while let Some(p) = self.pending[shard.index].try_pop() {
+            if p.id == target {
+                intercepted = Some(p.entry);
             } else {
-                out.push(floor + total.0.load().max(0.0));
+                Self::insert_entry_locked(shard, p);
             }
         }
-        self.seq.0.load(Ordering::SeqCst) == s1
+        intercepted
+    }
+
+    fn insert_entry_locked(shard: &mut Shard, pending: PendingAdmission) {
+        let PendingAdmission { id, entry } = pending;
+        shard.wheel.insert(entry.expiry, id);
+        shard.by_importance.insert((entry.importance, id));
+        shard.entries.insert(id, entry);
     }
 
     /// Lowers shard `index`'s next-due hint to `expiry` if it is earlier.
-    /// Called on every commit, after the entry is inserted in the wheel.
+    /// Called on every commit, at decision time (not ring-drain time), so
+    /// snapshot decisions stop as soon as a pending decrement comes due.
     pub fn note_deadline(&self, index: usize, expiry: Time) {
         self.next_due[index]
             .0
@@ -333,43 +426,35 @@ impl ShardedUtilization {
         self.next_due[index].0.load(Ordering::SeqCst)
     }
 
-    /// Pins every stage with no live contributions to exactly the floor,
-    /// mirroring `StageTracker`'s empty-tracker normalization. **Caller
-    /// must hold the admission gate** (see module docs for why this cannot
-    /// race an in-flight subtraction).
-    pub fn pin_idle_floors(&self) {
-        for (total, live) in self.totals.iter().zip(&self.live) {
-            if live.0.load(Ordering::SeqCst) == 0 {
-                total.0.store(0.0);
-            }
-        }
-    }
-
-    /// Subtracts one entry's remaining contributions (total first, then
-    /// live count — the ordering [`ShardedUtilization::pin_idle_floors`]
-    /// relies on). Lock-free; safe without the gate because reductions
-    /// only shrink the vector. Returns the summed amount removed.
-    pub fn subtract_entry(&self, contributions: &[(StageId, f64)]) -> f64 {
-        let mut removed = 0.0;
-        for &(stage, amount) in contributions {
-            self.totals[stage.index()].0.fetch_add(-amount);
-            self.live[stage.index()].0.fetch_sub(1, Ordering::SeqCst);
-            removed += amount;
+    /// Subtracts one entry's remaining contributions. Safe without any
+    /// write section because integer reductions are exact and only shrink
+    /// the vector; the caller must hold the owning shard's lock (which is
+    /// what makes removal exactly-once). Returns the summed units
+    /// removed.
+    pub fn subtract_entry(&self, contributions: &[(StageId, u64)]) -> u64 {
+        let mut removed = 0u64;
+        for &(stage, units) in contributions {
+            self.totals[stage.index()]
+                .0
+                .fetch_sub(units, Ordering::SeqCst);
+            removed += units;
         }
         removed
     }
 
     /// Subtracts a single stage's slice of an entry (idle reset path).
-    pub fn subtract_stage(&self, stage: StageId, amount: f64) {
-        self.totals[stage.index()].0.fetch_add(-amount);
-        self.live[stage.index()].0.fetch_sub(1, Ordering::SeqCst);
+    pub fn subtract_stage(&self, stage: StageId, units: u64) {
+        self.totals[stage.index()]
+            .0
+            .fetch_sub(units, Ordering::SeqCst);
     }
 
     /// Applies every deadline decrement due at or before `now` on a locked
-    /// shard: expired entries leave the map, the shedding index, and the
-    /// global totals, in deterministic `(expiry, ticket)` order. Returns
-    /// the number of entries expired.
+    /// shard (after draining its pending ring): expired entries leave the
+    /// map, the shedding index, and the global totals, in deterministic
+    /// `(expiry, ticket)` order. Returns the number of entries expired.
     pub fn expire_due(&self, shard: &mut Shard, now: Time) -> u64 {
+        self.drain_pending(shard);
         // Batch decisions hoist one clock read per batch, so `now` may
         // predate advances applied by interleaved per-request decisions;
         // a zero-width advance is legal and still surfaces due entries.
@@ -400,13 +485,10 @@ impl ShardedUtilization {
         // Refresh the next-due hint once the drain has consumed it. The
         // exact scan is O(slots + entries), so it is only worth paying on
         // a lightly loaded wheel — precisely the regime where rejections
-        // dominate and the fast path earns its keep. A crowded wheel
+        // dominate and the snapshot path earns its keep. A crowded wheel
         // (admission-heavy churn, where lazy-deleted released entries
         // also pile up) gets `now + 1` instead: the cheapest valid lower
-        // bound, since everything due ≤ `now` was drained above. That
-        // leaves the fast path mostly disabled there, which costs nothing
-        // — admission-heavy runs leave the lock-free reject prefix after
-        // a request or two anyway.
+        // bound, since everything due ≤ `now` was drained above.
         if self.next_due[shard.index].0.load(Ordering::SeqCst) <= now.as_micros() {
             let refreshed = if shard.wheel.len() <= HINT_SCAN_LIMIT {
                 shard
@@ -424,103 +506,163 @@ impl ShardedUtilization {
         expired
     }
 
-    /// Recomputes per-stage live sums from the (already locked) shards'
-    /// entry maps and checks them against the atomic totals (within float
-    /// tolerance) and the live counts (exactly). The caller must hold
-    /// every shard lock *and* the admission gate — in that order, matching
-    /// the service's lock discipline (shards ascending, gate last).
-    /// Panics on divergence; used by the concurrency tests.
-    pub fn validate_locked(&self, shards: &[&Shard]) {
+    /// Validates the counters against the (already locked, already
+    /// ring-drained) shards' entry maps inside a **write-quiescent
+    /// window**: waits for `writers_begin == writers_end`, captures the
+    /// totals, recomputes per-stage sums from the entries, and confirms
+    /// no write section opened meanwhile. With every shard lock held by
+    /// the caller, reductions are also excluded, so the captured cut is
+    /// frozen and the comparison is **exact** (integer equality, no
+    /// tolerance).
+    ///
+    /// Returns the stable aggregate utilization vector on success, or
+    /// `None` if concurrent write sections interfered for
+    /// `VALIDATE_ATTEMPTS` straight attempts (the caller re-drains rings
+    /// — a full ring can stall a writer mid-section — and retries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stable capture diverges from the entry sums, or if a
+    /// pending ring is non-empty inside the stable window (the caller
+    /// drained them, and no writer ran since).
+    pub fn try_validate_locked(&self, shards: &[&Shard]) -> Option<Vec<f64>> {
         assert_eq!(shards.len(), self.shard_count(), "all shards required");
-        let mut sums = vec![0.0f64; self.stages()];
-        let mut counts = vec![0usize; self.stages()];
+        let mut sums = vec![0u64; self.stages()];
         for shard in shards {
             for entry in shard.entries.values() {
-                for &(stage, amount) in &entry.contributions {
-                    sums[stage.index()] += amount;
-                    counts[stage.index()] += 1;
+                for &(stage, units) in &entry.contributions {
+                    sums[stage.index()] += units;
                 }
             }
         }
-        for j in 0..self.stages() {
-            let total = self.totals[j].0.load();
-            let live = self.live[j].0.load(Ordering::SeqCst);
-            assert_eq!(live, counts[j], "stage {j}: live count diverged");
-            assert!(
-                (total - sums[j]).abs() < 1e-6,
-                "stage {j}: atomic total {total} diverged from entry sum {}",
-                sums[j]
+        for _ in 0..VALIDATE_ATTEMPTS {
+            let end = self.writers_end.0.load(Ordering::SeqCst);
+            let begin = self.writers_begin.0.load(Ordering::SeqCst);
+            if begin != end {
+                std::thread::yield_now();
+                continue;
+            }
+            let observed: Vec<u64> = self
+                .totals
+                .iter()
+                .map(|t| t.0.load(Ordering::SeqCst))
+                .collect();
+            let rings_empty = self.pending.iter().all(|r| r.is_empty());
+            if self.writers_begin.0.load(Ordering::SeqCst) != begin {
+                std::thread::yield_now();
+                continue;
+            }
+            // The window was write-quiescent and every reduction site
+            // needs a shard lock we hold: `observed` is a frozen cut.
+            for j in 0..self.stages() {
+                assert_eq!(
+                    observed[j], sums[j],
+                    "stage {j}: atomic total diverged from entry sum"
+                );
+            }
+            assert!(rings_empty, "pending ring non-empty in a stable window");
+            return Some(
+                observed
+                    .iter()
+                    .zip(&self.floors_fp)
+                    .map(|(&t, &f)| utilization_from_fp(f.saturating_add(t)))
+                    .collect(),
             );
         }
+        None
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use frap_core::fixed::FP_ONE;
 
     fn stage(j: usize) -> StageId {
         StageId::new(j)
     }
 
-    #[test]
-    fn atomic_f64_add_and_load() {
-        let a = AtomicF64::new(1.5);
-        assert_eq!(a.fetch_add(0.25), 1.75);
-        assert_eq!(a.load(), 1.75);
-        a.store(0.0);
-        assert_eq!(a.load(), 0.0);
+    /// Utilization → units, exact for the dyadic values used below.
+    fn fp(u: f64) -> u64 {
+        fp_from_utilization(u)
+    }
+
+    fn validate(su: &ShardedUtilization) -> Vec<f64> {
+        let mut guards: Vec<_> = (0..su.shard_count())
+            .map(|i| su.shard(i).lock().unwrap())
+            .collect();
+        for g in guards.iter_mut() {
+            su.drain_pending(g);
+        }
+        let refs: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
+        su.try_validate_locked(&refs).expect("quiescent in tests")
+    }
+
+    fn entry(contributions: Vec<(StageId, u64)>, expiry: Time) -> LiveEntry {
+        let departed = vec![false; contributions.len()];
+        LiveEntry {
+            contributions,
+            departed,
+            expiry,
+            importance: Importance::LOWEST,
+        }
     }
 
     #[test]
-    fn charge_and_subtract_roundtrip() {
+    fn charge_and_subtract_roundtrip_is_exact() {
         let su = ShardedUtilization::new(&[0.1, 0.0], 2, Time::ZERO);
-        let contrib = vec![(stage(0), 0.2), (stage(1), 0.3)];
+        let contrib = vec![(stage(0), fp(0.2)), (stage(1), fp(0.3))];
         su.charge(&contrib);
         let mut v = Vec::new();
         su.read_into(&mut v);
         assert!((v[0] - 0.3).abs() < 1e-12);
         assert!((v[1] - 0.3).abs() < 1e-12);
-        assert_eq!(su.stage_live(0), 1);
-        su.subtract_entry(&contrib);
-        su.pin_idle_floors();
+        assert_eq!(su.subtract_entry(&contrib), fp(0.2) + fp(0.3));
         su.read_into(&mut v);
-        assert_eq!(v, vec![0.1, 0.0]);
+        // Integer units return to exactly the floor — no pinning pass.
+        let mut units = Vec::new();
+        su.read_fp_into(&mut units);
+        assert_eq!(units, vec![fp(0.1), 0]);
+        assert_eq!(v[1], 0.0);
         validate(&su);
     }
 
-    fn validate(su: &ShardedUtilization) {
-        let guards: Vec<_> = (0..su.shard_count())
-            .map(|i| su.shard(i).lock().unwrap())
-            .collect();
-        let refs: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
-        su.validate_locked(&refs);
+    #[test]
+    fn rollback_is_bit_identical() {
+        let su = ShardedUtilization::new(&[0.05, 0.0, 0.25], 1, Time::ZERO);
+        let mut before = Vec::new();
+        su.charge(&[(stage(0), fp(0.125)), (stage(2), 3)]);
+        su.read_fp_into(&mut before);
+        let contrib = vec![(stage(0), fp(0.3)), (stage(1), 7), (stage(2), fp(0.01))];
+        su.begin_write();
+        su.add_units(&contrib);
+        su.sub_units(&contrib);
+        su.end_write();
+        let mut after = Vec::new();
+        su.read_fp_into(&mut after);
+        assert_eq!(before, after, "rollback must restore the exact units");
+        // Release the background charge (it has no entry backing it) so
+        // the validator's totals-vs-entries cross-check applies.
+        su.subtract_entry(&[(stage(0), fp(0.125)), (stage(2), 3)]);
+        validate(&su);
     }
 
     #[test]
     fn expiry_removes_entries_deterministically() {
         let su = ShardedUtilization::new(&[0.0], 1, Time::ZERO);
-        let c = vec![(stage(0), 0.25)];
+        let c = vec![(stage(0), FP_ONE / 4)];
         {
             let mut sh = su.shard(0).lock().unwrap();
             for id in 0..4u64 {
                 su.charge(&c);
-                sh.entries.insert(
-                    id,
-                    LiveEntry {
-                        contributions: c.clone(),
-                        departed: vec![false],
-                        expiry: Time::from_micros(10 + id),
-                        importance: Importance::LOWEST,
-                    },
-                );
+                sh.entries
+                    .insert(id, entry(c.clone(), Time::from_micros(10 + id)));
                 sh.wheel.insert(Time::from_micros(10 + id), id);
                 sh.by_importance.insert((Importance::LOWEST, id));
             }
             assert_eq!(su.expire_due(&mut sh, Time::from_micros(11)), 2);
             assert_eq!(sh.entries.len(), 2);
         }
-        su.pin_idle_floors();
         let mut v = Vec::new();
         su.read_into(&mut v);
         assert!((v[0] - 0.5).abs() < 1e-12);
@@ -534,23 +676,22 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_matches_pin_and_read_when_quiescent() {
+    fn snapshot_matches_read_when_quiescent() {
         let su = ShardedUtilization::new(&[0.05, 0.0, 0.1], 2, Time::ZERO);
-        su.charge(&[(stage(0), 0.2), (stage(2), 0.3)]);
-        let mut locked = Vec::new();
-        su.pin_and_read_into(&mut locked);
+        su.charge(&[(stage(0), fp(0.2)), (stage(2), fp(0.3))]);
+        let mut read = Vec::new();
+        su.read_fp_into(&mut read);
         let mut snap = Vec::new();
-        assert!(su.snapshot_into(&mut snap));
-        assert_eq!(snap, locked);
-        // Idle stages read as the floor without the snapshot writing pins.
-        assert_eq!(snap[1], 0.0);
-        su.subtract_entry(&[(stage(0), 0.2), (stage(2), 0.3)]);
-        assert!(su.snapshot_into(&mut snap));
-        assert_eq!(snap, vec![0.05, 0.0, 0.1]);
+        assert!(su.snapshot_fp_into(&mut snap));
+        assert_eq!(snap, read);
+        assert_eq!(snap[1], 0, "idle stage reads exactly the floor");
+        su.subtract_entry(&[(stage(0), fp(0.2)), (stage(2), fp(0.3))]);
+        assert!(su.snapshot_fp_into(&mut snap));
+        assert_eq!(snap, vec![fp(0.05), 0, fp(0.1)]);
     }
 
     #[test]
-    fn torn_charge_is_detected_by_the_seqlock() {
+    fn torn_charge_is_detected_by_the_write_counters() {
         use std::sync::mpsc;
         let su = std::sync::Arc::new(ShardedUtilization::new(&[0.0, 0.0], 1, Time::ZERO));
         let (in_pause_tx, in_pause_rx) = mpsc::channel::<()>();
@@ -558,7 +699,7 @@ mod tests {
         let writer = {
             let su = std::sync::Arc::clone(&su);
             std::thread::spawn(move || {
-                su.torn_charge_for_test(&[(stage(0), 0.25), (stage(1), 0.5)], || {
+                su.torn_charge_for_test(&[(stage(0), fp(0.25)), (stage(1), fp(0.5))], || {
                     in_pause_tx.send(()).unwrap();
                     resume_rx.recv().unwrap();
                 });
@@ -566,61 +707,111 @@ mod tests {
         };
         // The writer is parked mid-charge: the first stage's add is
         // published, the second's is not. A lock-free reader must see the
-        // odd sequence and refuse the snapshot — this is the "seqlock
-        // retry engaged" observation, made deterministic.
+        // open write section and report the snapshot torn.
         in_pause_rx.recv().unwrap();
         let mut snap = Vec::new();
-        assert!(!su.snapshot_into(&mut snap), "torn read went undetected");
+        assert!(!su.snapshot_fp_into(&mut snap), "torn read went undetected");
         resume_tx.send(()).unwrap();
         writer.join().unwrap();
-        assert!(su.snapshot_into(&mut snap));
-        assert_eq!(snap, vec![0.25, 0.5]);
+        assert!(su.snapshot_fp_into(&mut snap));
+        assert_eq!(snap, vec![fp(0.25), fp(0.5)]);
     }
 
     #[test]
-    fn snapshot_detects_a_charge_completing_mid_read() {
-        // A full charge between the two sequence reads also invalidates;
-        // simulate by bumping the counter twice via a real charge after
-        // priming s1... not reachable without threads, so instead check
-        // the monotone property the protocol relies on: a clean snapshot
-        // taken after a charge reflects it entirely, never partially.
+    fn stable_snapshots_never_see_partial_charges() {
         let su = ShardedUtilization::new(&[0.0; 4], 1, Time::ZERO);
         for i in 1..=16u64 {
-            let amount = i as f64 * 0.001;
+            let units = i * 1024;
             su.charge(&[
-                (stage(0), amount),
-                (stage(1), 2.0 * amount),
-                (stage(2), 3.0 * amount),
-                (stage(3), 4.0 * amount),
+                (stage(0), units),
+                (stage(1), 2 * units),
+                (stage(2), 3 * units),
+                (stage(3), 4 * units),
             ]);
             let mut snap = Vec::new();
-            assert!(su.snapshot_into(&mut snap));
+            assert!(su.snapshot_fp_into(&mut snap));
             // Proportions prove no partial charge is ever visible to a
-            // clean snapshot.
-            assert!((snap[1] - 2.0 * snap[0]).abs() < 1e-12);
-            assert!((snap[2] - 3.0 * snap[0]).abs() < 1e-12);
-            assert!((snap[3] - 4.0 * snap[0]).abs() < 1e-12);
+            // stable snapshot — and integer units make this exact.
+            assert_eq!(snap[1], 2 * snap[0]);
+            assert_eq!(snap[2], 3 * snap[0]);
+            assert_eq!(snap[3], 4 * snap[0]);
         }
+    }
+
+    #[test]
+    fn pending_ring_defers_inserts_until_a_locked_drain() {
+        let su = ShardedUtilization::new(&[0.0], 1, Time::ZERO);
+        let c = vec![(stage(0), fp(0.25))];
+        su.begin_write();
+        su.add_units(&c);
+        su.push_pending(
+            0,
+            PendingAdmission {
+                id: 7,
+                entry: entry(c.clone(), Time::from_micros(100)),
+            },
+        );
+        su.end_write();
+        su.note_deadline(0, Time::from_micros(100));
+        {
+            let sh = su.shard(0).lock().unwrap();
+            assert!(sh.entries.is_empty(), "insert is deferred");
+        }
+        // Any locked entry operation drains first; expire_due at a time
+        // before the deadline inserts but does not expire.
+        {
+            let mut sh = su.shard(0).lock().unwrap();
+            assert_eq!(su.expire_due(&mut sh, Time::from_micros(50)), 0);
+            assert!(sh.entries.contains_key(&7));
+            assert_eq!(sh.wheel.len(), 1);
+        }
+        let v = validate(&su);
+        assert!((v[0] - 0.25).abs() < 1e-12);
+        // And the deferred decrement still fires on time.
+        let mut sh = su.shard(0).lock().unwrap();
+        assert_eq!(su.expire_due(&mut sh, Time::from_micros(100)), 1);
+        drop(sh);
+        let mut units = Vec::new();
+        su.read_fp_into(&mut units);
+        assert_eq!(units, vec![0]);
+    }
+
+    #[test]
+    fn full_pending_ring_falls_back_to_a_locked_insert() {
+        let su = ShardedUtilization::new(&[0.0], 1, Time::ZERO);
+        let c = vec![(stage(0), 1u64)];
+        // Overfill: every push must land regardless of ring capacity.
+        let n = (PENDING_RING_CAPACITY + 10) as u64;
+        for id in 0..n {
+            su.begin_write();
+            su.add_units(&c);
+            su.push_pending(
+                0,
+                PendingAdmission {
+                    id,
+                    entry: entry(c.clone(), Time::from_micros(1_000 + id)),
+                },
+            );
+            su.end_write();
+        }
+        let mut sh = su.shard(0).lock().unwrap();
+        su.drain_pending(&mut sh);
+        assert_eq!(sh.entries.len(), n as usize);
+        drop(sh);
+        validate(&su);
     }
 
     #[test]
     fn next_due_hints_follow_commits_and_drains() {
         let su = ShardedUtilization::new(&[0.0], 1, Time::ZERO);
         assert_eq!(su.shard_next_due(0), u64::MAX);
-        let c = vec![(stage(0), 0.1)];
+        let c = vec![(stage(0), fp(0.1))];
         {
             let mut sh = su.shard(0).lock().unwrap();
             for (id, expiry) in [(1u64, 500u64), (2, 300), (3, 900)] {
                 su.charge(&c);
-                sh.entries.insert(
-                    id,
-                    LiveEntry {
-                        contributions: c.clone(),
-                        departed: vec![false],
-                        expiry: Time::from_micros(expiry),
-                        importance: Importance::LOWEST,
-                    },
-                );
+                sh.entries
+                    .insert(id, entry(c.clone(), Time::from_micros(expiry)));
                 sh.wheel.insert(Time::from_micros(expiry), id);
                 sh.by_importance.insert((Importance::LOWEST, id));
                 su.note_deadline(0, Time::from_micros(expiry));
@@ -643,8 +834,8 @@ mod tests {
         su.note_deadline(0, Time::from_micros(100));
         let mut sh = su.shard(0).lock().unwrap();
         // Wheel is empty (the entry was never actually inserted); a drain
-        // attempt at now ≥ hint must still reset the hint so the fast
-        // path is not permanently disabled.
+        // attempt at now ≥ hint must still reset the hint so snapshot
+        // decisions are not permanently disabled for this shard.
         assert_eq!(su.expire_due(&mut sh, Time::from_micros(150)), 0);
         assert_eq!(su.shard_next_due(0), u64::MAX);
     }
@@ -654,16 +845,9 @@ mod tests {
         let su = ShardedUtilization::new(&[0.0], 1, Time::ZERO);
         let mut sh = su.shard(0).lock().unwrap();
         sh.wheel.insert(Time::from_micros(50), 1);
-        sh.entries.insert(
-            1,
-            LiveEntry {
-                contributions: vec![(stage(0), 0.1)],
-                departed: vec![false],
-                expiry: Time::from_micros(50),
-                importance: Importance::LOWEST,
-            },
-        );
-        su.charge(&[(stage(0), 0.1)]);
+        sh.entries
+            .insert(1, entry(vec![(stage(0), fp(0.1))], Time::from_micros(50)));
+        su.charge(&[(stage(0), fp(0.1))]);
         sh.by_importance.insert((Importance::LOWEST, 1));
         let mut out = Vec::new();
         sh.wheel.advance(Time::from_micros(200), &mut out);
