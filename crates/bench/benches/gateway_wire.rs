@@ -1,0 +1,175 @@
+//! Gateway zero-copy datapath: interned-template encode and segmented
+//! ring flush versus their serialize-and-coalesce predecessors.
+//!
+//! Two pairs, each at batch sizes 1 / 16 / 256 (one wake's worth of
+//! replies at idle, typical, and burst depth):
+//!
+//! * **encode**: [`encode_admit_response`] (masked writes into a
+//!   compile-time template) against `Frame::encode_into` (field-by-field
+//!   serialization) for the same verdicts; plus the request-side twin,
+//!   [`PreparedAdmit`]-style stamping against
+//!   `Frame::encode_admit_request_into`.
+//! * **flush**: [`OutRing`] segment append + vectored flush against the
+//!   coalescing alternative (copy every reply into one contiguous buffer,
+//!   then write it), both against the same in-memory sink, so the delta
+//!   is exactly the copy the ring avoids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use frap_core::wire::WireTaskSpec;
+use frap_gateway::client::PreparedAdmit;
+use frap_gateway::outring::{OutRing, SegPool};
+use frap_gateway::proto::{encode_admit_response, Frame, Verdict};
+use std::hint::black_box;
+use std::io::{IoSlice, Write};
+
+/// A representative 3-stage task spec, matching the loadgen's shape.
+fn spec() -> WireTaskSpec {
+    WireTaskSpec {
+        deadline_us: 30_000,
+        stage_demands_us: vec![9_400, 11_200, 8_700],
+        importance: 3,
+    }
+}
+
+/// The loadgen's verdict mix: mostly rejections, some admissions.
+fn verdict(i: usize) -> Verdict {
+    if i.is_multiple_of(8) {
+        Verdict::Admitted {
+            ticket_id: i as u64 + 7,
+        }
+    } else {
+        Verdict::Rejected
+    }
+}
+
+/// A sink that accepts vectored writes in full, so the benches measure
+/// encoding and copying rather than a transport.
+#[derive(Default)]
+struct NullSink {
+    written: u64,
+}
+
+impl Write for NullSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.written += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+        let n: usize = bufs.iter().map(|b| b.len()).sum();
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn bench_response_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway_wire_encode");
+    for &n in &[1usize, 16, 256] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("response_template", n), |b| {
+            let mut out = Vec::with_capacity(32 * n);
+            b.iter(|| {
+                out.clear();
+                for i in 0..n {
+                    let (buf, len) = encode_admit_response(i as u64 + 1, black_box(verdict(i)));
+                    out.extend_from_slice(&buf[..len]);
+                }
+                black_box(out.len())
+            });
+        });
+        group.bench_function(BenchmarkId::new("response_fields", n), |b| {
+            let mut out = Vec::with_capacity(32 * n);
+            b.iter(|| {
+                out.clear();
+                for i in 0..n {
+                    Frame::AdmitResponse {
+                        req_id: i as u64 + 1,
+                        verdict: black_box(verdict(i)),
+                    }
+                    .encode_into(&mut out);
+                }
+                black_box(out.len())
+            });
+        });
+        group.bench_function(BenchmarkId::new("request_template", n), |b| {
+            let prepared = PreparedAdmit::new(&spec(), false);
+            let mut client_outbox = Vec::with_capacity(64 * n);
+            b.iter(|| {
+                client_outbox.clear();
+                for i in 0..n {
+                    // The stamp `queue_admit_prepared` performs: one
+                    // memcpy of the interned frame, two field writes.
+                    let at = client_outbox.len();
+                    client_outbox.extend_from_slice(black_box(&prepared).bytes());
+                    client_outbox[at + 5..at + 13].copy_from_slice(&(i as u64 + 1).to_le_bytes());
+                    client_outbox[at + 13..at + 21].copy_from_slice(&1_000_000u64.to_le_bytes());
+                }
+                black_box(client_outbox.len())
+            });
+        });
+        group.bench_function(BenchmarkId::new("request_fields", n), |b| {
+            let task = spec();
+            let mut client_outbox = Vec::with_capacity(64 * n);
+            b.iter(|| {
+                client_outbox.clear();
+                for i in 0..n {
+                    Frame::encode_admit_request_into(
+                        i as u64 + 1,
+                        1_000_000,
+                        false,
+                        black_box(&task),
+                        &mut client_outbox,
+                    );
+                }
+                black_box(client_outbox.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_flush(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway_wire_flush");
+    for &n in &[1usize, 16, 256] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("ring_writev", n), |b| {
+            let mut pool = SegPool::default();
+            let mut ring = OutRing::default();
+            let mut sink = NullSink::default();
+            b.iter(|| {
+                for i in 0..n {
+                    let (buf, len) = encode_admit_response(i as u64 + 1, verdict(i));
+                    ring.append(&buf[..len], &mut pool);
+                }
+                let (bytes, calls) = ring.flush_to(&mut sink, &mut pool).expect("sink");
+                black_box((bytes, calls, sink.written))
+            });
+        });
+        group.bench_function(BenchmarkId::new("coalesce_write", n), |b| {
+            let mut staging: Vec<u8> = Vec::with_capacity(32 * n);
+            let mut coalesced: Vec<u8> = Vec::with_capacity(32 * n);
+            let mut sink = NullSink::default();
+            b.iter(|| {
+                staging.clear();
+                for i in 0..n {
+                    let (buf, len) = encode_admit_response(i as u64 + 1, verdict(i));
+                    staging.extend_from_slice(&buf[..len]);
+                }
+                // The copy the ring design eliminates: gather replies
+                // into one contiguous outbox before the write.
+                coalesced.clear();
+                coalesced.extend_from_slice(&staging);
+                sink.write_all(&coalesced).expect("sink");
+                black_box(sink.written)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_response_encode, bench_ring_flush);
+criterion_main!(benches);

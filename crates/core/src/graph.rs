@@ -61,6 +61,25 @@ struct GraphInner {
     preds: Vec<Vec<usize>>,
     succs: Vec<Vec<usize>>,
     topo: Vec<usize>,
+    /// Per-stage demand `C_ij` summed over subtasks, ascending by stage —
+    /// precomputed once so the admission hot path (contributions per
+    /// arrival) is a plain walk instead of a merge + sort per request.
+    stage_demand: Vec<(StageId, TimeDelta)>,
+}
+
+/// Merges per-subtask computation into per-stage totals, ascending by
+/// stage. Summed in `TimeDelta` (integer microseconds), exactly as the
+/// on-demand merge used to.
+fn merged_stage_demand(subtasks: &[SubtaskSpec]) -> Vec<(StageId, TimeDelta)> {
+    let mut v: Vec<(StageId, TimeDelta)> = Vec::new();
+    for s in subtasks {
+        match v.iter_mut().find(|(stage, _)| *stage == s.stage) {
+            Some(slot) => slot.1 += s.computation(),
+            None => v.push((s.stage, s.computation())),
+        }
+    }
+    v.sort_unstable_by_key(|&(stage, _)| stage);
+    v
 }
 
 impl PartialEq for TaskGraph {
@@ -112,12 +131,14 @@ impl TaskGraph {
         }
         let preds = (0..n).map(|i| if i == 0 { Vec::new() } else { vec![i - 1] });
         let succs = (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { Vec::new() });
+        let stage_demand = merged_stage_demand(&subtasks);
         Ok(TaskGraph {
             inner: std::sync::Arc::new(GraphInner {
                 subtasks,
                 preds: preds.collect(),
                 succs: succs.collect(),
                 topo: (0..n).collect(),
+                stage_demand,
             }),
         })
     }
@@ -219,11 +240,13 @@ impl TaskGraph {
     /// Total computation time demanded from each stage (`C_ij` summed over
     /// all subtasks of this task on stage `j`).
     pub fn stage_demand(&self) -> BTreeMap<StageId, TimeDelta> {
-        let mut m = BTreeMap::new();
-        for s in &self.inner.subtasks {
-            *m.entry(s.stage).or_insert(TimeDelta::ZERO) += s.computation();
-        }
-        m
+        self.inner.stage_demand.iter().copied().collect()
+    }
+
+    /// [`TaskGraph::stage_demand`] without building a map: the per-stage
+    /// totals, ascending by stage, as precomputed at construction.
+    pub fn stage_demands(&self) -> &[(StageId, TimeDelta)] {
+        &self.inner.stage_demand
     }
 
     /// Total computation time over all subtasks.
@@ -268,10 +291,12 @@ impl TaskGraph {
             preds: self.inner.preds.clone(),
             succs: self.inner.succs.clone(),
             topo: self.inner.topo.clone(),
+            stage_demand: Vec::new(),
         };
         for sub in &mut inner.subtasks {
             sub.stage = f(sub.stage);
         }
+        inner.stage_demand = merged_stage_demand(&inner.subtasks);
         TaskGraph {
             inner: std::sync::Arc::new(inner),
         }
@@ -447,12 +472,15 @@ impl TaskGraphBuilder {
             return Err(GraphError::Cycle);
         }
 
+        let subtasks = std::mem::take(&mut self.subtasks);
+        let stage_demand = merged_stage_demand(&subtasks);
         Ok(TaskGraph {
             inner: std::sync::Arc::new(GraphInner {
-                subtasks: std::mem::take(&mut self.subtasks),
+                subtasks,
                 preds,
                 succs,
                 topo,
+                stage_demand,
             }),
         })
     }
@@ -535,9 +563,9 @@ impl TaskSpec {
     pub fn contributions(&self) -> impl Iterator<Item = (StageId, f64)> + '_ {
         let deadline = self.deadline;
         self.graph
-            .stage_demand()
-            .into_iter()
-            .map(move |(stage, c)| (stage, c.ratio(deadline)))
+            .stage_demands()
+            .iter()
+            .map(move |&(stage, c)| (stage, c.ratio(deadline)))
     }
 
     /// Appends the contributions of [`Self::contributions`] to `out`
@@ -549,26 +577,21 @@ impl TaskSpec {
     /// [`TimeDelta`] addition exactly) and divided by the deadline once at
     /// the end, just as `stage_demand` + `ratio` would.
     pub fn contributions_into(&self, out: &mut Vec<(StageId, f64)>) {
-        for sub in self.graph.subtasks() {
-            let c = sub.computation().as_micros();
-            match out.iter_mut().find(|(s, _)| *s == sub.stage) {
-                Some(slot) => slot.1 = f64::from_bits(slot.1.to_bits() + c),
-                None => out.push((sub.stage, f64::from_bits(c))),
-            }
-        }
-        out.sort_unstable_by_key(|&(stage, _)| stage);
-        for (_, v) in out.iter_mut() {
-            *v = TimeDelta::from_micros(v.to_bits()).ratio(self.deadline);
-        }
+        out.extend(
+            self.graph
+                .stage_demands()
+                .iter()
+                .map(|&(stage, c)| (stage, c.ratio(self.deadline))),
+        );
     }
 
     /// The contribution `C_ij / D_i` at one stage (zero if unused).
     pub fn contribution_at(&self, stage: StageId) -> f64 {
-        self.graph
-            .stage_demand()
-            .get(&stage)
-            .map(|c| c.ratio(self.deadline))
-            .unwrap_or(0.0)
+        let demands = self.graph.stage_demands();
+        match demands.binary_search_by_key(&stage, |&(s, _)| s) {
+            Ok(i) => demands[i].1.ratio(self.deadline),
+            Err(_) => 0.0,
+        }
     }
 
     /// Task resolution: end-to-end deadline divided by total computation

@@ -17,7 +17,8 @@
 //! share only a rate (both sides are monotonic microsecond counters).
 
 use crate::proto::{
-    Frame, FrameBuffer, Hello, HelloAck, ProtoError, StatsReport, Verdict, HELLO_ACK_LEN, VERSION,
+    DrainedAdmit, Frame, FrameBuffer, Hello, HelloAck, ProtoError, StatsReport, Verdict,
+    HELLO_ACK_LEN, VERSION,
 };
 use frap_core::time::TimeDelta;
 use frap_core::wire::WireTaskSpec;
@@ -27,6 +28,32 @@ use std::time::Instant;
 
 fn proto_err(e: ProtoError) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+}
+
+/// An admission request pre-encoded to its full wire form, with the
+/// request id and expiry left as placeholders for
+/// [`GatewayClient::queue_admit_prepared`] to stamp. Build one per
+/// distinct task shape and reuse it for every request of that shape.
+#[derive(Debug, Clone)]
+pub struct PreparedAdmit {
+    bytes: Vec<u8>,
+}
+
+impl PreparedAdmit {
+    /// Pre-encodes `task` (with `allow_shed`) as a complete admit
+    /// request frame. Byte-for-byte identical to what
+    /// [`GatewayClient::queue_admit_at`] appends once the id and expiry
+    /// are stamped — a unit test pins the identity.
+    pub fn new(task: &WireTaskSpec, allow_shed: bool) -> PreparedAdmit {
+        let mut bytes = Vec::new();
+        Frame::encode_admit_request_into(0, 0, allow_shed, task, &mut bytes);
+        PreparedAdmit { bytes }
+    }
+
+    /// The interned frame bytes (request id and expiry zeroed).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
 }
 
 /// A connected gateway client.
@@ -44,7 +71,6 @@ pub struct GatewayClient {
     server_epoch_us: u64,
     window: u16,
     next_req_id: u64,
-    scratch: Vec<u8>,
 }
 
 impl GatewayClient {
@@ -75,7 +101,6 @@ impl GatewayClient {
             server_epoch_us: ack.server_now_us.saturating_add(half_rtt_us),
             window: ack.window,
             next_req_id: 1,
-            scratch: vec![0u8; 64 * 1024],
         })
     }
 
@@ -103,12 +128,44 @@ impl GatewayClient {
         transport_budget: TimeDelta,
         allow_shed: bool,
     ) -> u64 {
-        let req_id = self.next_req_id;
-        self.next_req_id += 1;
         let expires_at_us = self
             .server_now_us()
             .saturating_add(transport_budget.as_micros());
+        self.queue_admit_at(task, expires_at_us, allow_shed)
+    }
+
+    /// [`queue_admit`](GatewayClient::queue_admit) with the expiry
+    /// already translated to a server-clock instant. A pipelining caller
+    /// filling a whole window reads
+    /// [`server_now_us`](GatewayClient::server_now_us) once and derives
+    /// every expiry from it, instead of paying a clock read per queued
+    /// request — the requests leave in one flush, so one timestamp is
+    /// also the more honest arrival model.
+    pub fn queue_admit_at(
+        &mut self,
+        task: &WireTaskSpec,
+        expires_at_us: u64,
+        allow_shed: bool,
+    ) -> u64 {
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
         Frame::encode_admit_request_into(req_id, expires_at_us, allow_shed, task, &mut self.outbox);
+        req_id
+    }
+
+    /// Queues a pre-encoded admission request: one `memcpy` of the
+    /// interned frame plus two masked field writes (request id, expiry),
+    /// instead of serializing the task field by field. The send-side
+    /// twin of the server's interned response templates — a pipelining
+    /// caller that cycles through a fixed catalog of task shapes touches
+    /// each request's bytes exactly once.
+    pub fn queue_admit_prepared(&mut self, prepared: &PreparedAdmit, expires_at_us: u64) -> u64 {
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        let at = self.outbox.len();
+        self.outbox.extend_from_slice(&prepared.bytes);
+        self.outbox[at + 5..at + 13].copy_from_slice(&req_id.to_le_bytes());
+        self.outbox[at + 13..at + 21].copy_from_slice(&expires_at_us.to_le_bytes());
         req_id
     }
 
@@ -140,14 +197,12 @@ impl GatewayClient {
             if let Some(frame) = self.inbox.next_frame().map_err(proto_err)? {
                 return Ok(frame);
             }
-            let n = self.stream.read(&mut self.scratch)?;
-            if n == 0 {
+            if self.inbox.read_from(&mut self.stream)? == 0 {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
                     "gateway closed the connection",
                 ));
             }
-            self.inbox.extend(&self.scratch[..n]);
         }
     }
 
@@ -184,10 +239,11 @@ impl GatewayClient {
     pub fn recv_admits_into(&mut self, out: &mut Vec<(u64, Verdict)>) -> std::io::Result<usize> {
         let before = out.len();
         loop {
-            while let Some(frame) = self.inbox.next_frame().map_err(proto_err)? {
-                match frame {
-                    Frame::AdmitResponse { req_id, verdict } => out.push((req_id, verdict)),
-                    other => {
+            loop {
+                match self.inbox.next_admit_response().map_err(proto_err)? {
+                    DrainedAdmit::Admit { req_id, verdict } => out.push((req_id, verdict)),
+                    DrainedAdmit::Pending => break,
+                    DrainedAdmit::Other(other) => {
                         return Err(std::io::Error::new(
                             std::io::ErrorKind::InvalidData,
                             format!("expected an admit response, got {other:?}"),
@@ -198,14 +254,12 @@ impl GatewayClient {
             if out.len() > before {
                 return Ok(out.len() - before);
             }
-            let n = self.stream.read(&mut self.scratch)?;
-            if n == 0 {
+            if self.inbox.read_from(&mut self.stream)? == 0 {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
                     "gateway closed the connection",
                 ));
             }
-            self.inbox.extend(&self.scratch[..n]);
         }
     }
 
@@ -276,6 +330,42 @@ impl GatewayClient {
                 std::io::ErrorKind::InvalidData,
                 format!("expected a stats response, got {other:?}"),
             )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_admit_stamp_matches_field_serialization() {
+        // `queue_admit_prepared` copies the interned frame and overwrites
+        // the req_id (frame offset 5..13) and expiry (13..21) in place;
+        // the result must be byte-for-byte what `queue_admit_at` would
+        // have serialized field by field.
+        for allow_shed in [false, true] {
+            let task = WireTaskSpec {
+                deadline_us: 30_000,
+                stage_demands_us: vec![9_400, 11_200, 8_700],
+                importance: 3,
+            };
+            let prepared = PreparedAdmit::new(&task, allow_shed);
+            for (req_id, expires_at_us) in [(0u64, 0u64), (1, u64::MAX), (0xDEAD_BEEF, 123_456_789)]
+            {
+                let mut direct = Vec::new();
+                Frame::encode_admit_request_into(
+                    req_id,
+                    expires_at_us,
+                    allow_shed,
+                    &task,
+                    &mut direct,
+                );
+                let mut stamped = prepared.bytes().to_vec();
+                stamped[5..13].copy_from_slice(&req_id.to_le_bytes());
+                stamped[13..21].copy_from_slice(&expires_at_us.to_le_bytes());
+                assert_eq!(stamped, direct, "allow_shed={allow_shed}");
+            }
         }
     }
 }

@@ -11,12 +11,15 @@
 //!
 //! | module | role |
 //! |---|---|
-//! | [`proto`] | versioned, length-prefixed little-endian wire protocol: frames, handshake, incremental decoder |
+//! | [`proto`] | versioned, length-prefixed little-endian wire protocol: frames, handshake, incremental decoder, interned reply templates |
 //! | [`reactor`] | per-worker readiness reactor: epoll on Linux, `poll(2)` on other Unix, with a cross-thread waker |
-//! | [`server`] | reactor-driven worker pool, batched shard admission, bounded in-flight windows, graceful drain |
+//! | [`outring`] | per-connection segmented output rings flushed with vectored `writev` — reply bytes are touched once |
+//! | [`server`] | reactor-driven worker pool, shard-bucketed wake batching, bounded in-flight windows, graceful drain |
 //! | [`client`] | blocking pipelining client used by tests and the `gateway-loadgen` binary |
 //!
-//! The protocol and threading model are documented in DESIGN.md §10.
+//! The protocol and threading model are documented in DESIGN.md §10; the
+//! zero-copy datapath (byte lifecycle, shard-bucketed resolve ordering)
+//! in DESIGN.md §17.
 //!
 //! ## Quick start
 //!
@@ -58,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod outring;
 pub mod proto;
 pub mod reactor;
 pub mod server;

@@ -71,6 +71,7 @@
 
 use frap_core::wire::WireTaskSpec;
 use std::fmt;
+use std::io::Read;
 
 /// `"FRAP"` when the four magic bytes are read little-endian.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"FRAP");
@@ -289,6 +290,24 @@ impl AdmitHead {
     }
 }
 
+/// One step of [`FrameBuffer::next_admit_response`]: the client-side
+/// fast drain for pipelined admit verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DrainedAdmit {
+    /// The buffer holds no complete frame; read more bytes and retry.
+    Pending,
+    /// One admit response, decoded without constructing a [`Frame`].
+    Admit {
+        /// Echo of [`AdmitRequest::req_id`].
+        req_id: u64,
+        /// The admission verdict.
+        verdict: Verdict,
+    },
+    /// The next frame is not an admit response (heartbeat ack, stats,
+    /// lease traffic, …), decoded in full for the caller to dispatch.
+    Other(Frame),
+}
+
 /// One frame pulled by [`FrameBuffer::next_frame_into`]: admit requests
 /// come back flat, everything else owned.
 #[derive(Debug)]
@@ -318,6 +337,35 @@ fn encode_lease_vec(out: &mut Vec<u8>, ty: u8, node: u32, epoch: u32, units: &[u
 /// stage demands to `demands`. On error the arena is left untouched.
 fn decode_admit_body(body: &[u8], demands: &mut Vec<u64>) -> Result<AdmitHead, ProtoError> {
     debug_assert_eq!(body[0], TYPE_ADMIT_REQUEST);
+    // Fast path: the head is fixed-shape (type u8, req_id u64, expires
+    // u64, deadline u64, importance u32, flags u8, count u16 = 32 bytes),
+    // so one exact-length comparison against the declared demand count
+    // validates the whole frame and every field reads at a fixed offset —
+    // no per-field bounds checks, and the demand vector lands via one
+    // vectorizable `extend`. Anything that fails the shape check falls
+    // through to the field-by-field `Reader` below, whose errors name the
+    // offending field; the two paths accept exactly the same bytes (the
+    // proto test battery pins them to each other).
+    if body.len() >= 33 {
+        let n = u16::from_le_bytes([body[30], body[31]]) as usize;
+        let flags = body[29];
+        if n > 0 && body.len() == 32 + 8 * n && flags & !FLAG_ALLOW_SHED == 0 {
+            let mark = demands.len();
+            demands.extend(
+                body[32..]
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+            );
+            return Ok(AdmitHead {
+                req_id: u64::from_le_bytes(body[1..9].try_into().expect("fixed head")),
+                expires_at_us: u64::from_le_bytes(body[9..17].try_into().expect("fixed head")),
+                allow_shed: flags & FLAG_ALLOW_SHED != 0,
+                deadline_us: u64::from_le_bytes(body[17..25].try_into().expect("fixed head")),
+                importance: u32::from_le_bytes(body[25..29].try_into().expect("fixed head")),
+                demands: (mark, mark + n),
+            });
+        }
+    }
     let mut r = Reader {
         buf: body,
         pos: 1,
@@ -886,6 +934,61 @@ impl Frame {
     }
 }
 
+/// Upper bound on one encoded [`Frame::AdmitResponse`], reached by the
+/// shedding variant (`len:u32 type req_id:u64 verdict ticket:u64
+/// shed:u32`). The templates in [`encode_admit_response`] are this size.
+pub const ADMIT_RESPONSE_MAX: usize = 26;
+
+/// One interned response template: length prefix, frame type, and
+/// verdict code prebaked; the per-response fields stay zero until the
+/// masked write fills them in.
+const fn admit_response_template(payload_len: u8, code: u8) -> [u8; ADMIT_RESPONSE_MAX] {
+    let mut t = [0u8; ADMIT_RESPONSE_MAX];
+    // Low byte of the little-endian u32 length prefix; admit-response
+    // payloads never exceed 22 bytes.
+    t[0] = payload_len;
+    t[4] = TYPE_ADMIT_RESPONSE;
+    t[13] = code;
+    t
+}
+
+/// Encodes one admit response as a **masked write into an interned
+/// template**: the four fixed-size response shapes (one per verdict
+/// kind) are baked at compile time with their length prefix, type byte,
+/// and verdict code already in place, so encoding writes only the 1–3
+/// fields that differ per response (`req_id`, and for admissions the
+/// ticket id / shed count) instead of serializing field by field.
+///
+/// Returns the backing array and the encoded length; `&array[..len]` is
+/// byte-for-byte what [`Frame::encode_into`] appends for the same
+/// `Frame::AdmitResponse` (a unit test pins the identity).
+#[inline]
+pub fn encode_admit_response(req_id: u64, verdict: Verdict) -> ([u8; ADMIT_RESPONSE_MAX], usize) {
+    const REJECTED: [u8; ADMIT_RESPONSE_MAX] = admit_response_template(10, VERDICT_REJECTED);
+    const EXPIRED: [u8; ADMIT_RESPONSE_MAX] = admit_response_template(10, VERDICT_EXPIRED);
+    const ADMITTED: [u8; ADMIT_RESPONSE_MAX] = admit_response_template(18, VERDICT_ADMITTED);
+    const SHED: [u8; ADMIT_RESPONSE_MAX] =
+        admit_response_template(22, VERDICT_ADMITTED_AFTER_SHEDDING);
+    let (mut out, len) = match verdict {
+        Verdict::Rejected => (REJECTED, 14),
+        Verdict::Expired => (EXPIRED, 14),
+        Verdict::Admitted { .. } => (ADMITTED, 22),
+        Verdict::AdmittedAfterShedding { .. } => (SHED, 26),
+    };
+    out[5..13].copy_from_slice(&req_id.to_le_bytes());
+    match verdict {
+        Verdict::Admitted { ticket_id } => {
+            out[14..22].copy_from_slice(&ticket_id.to_le_bytes());
+        }
+        Verdict::AdmittedAfterShedding { ticket_id, shed } => {
+            out[14..22].copy_from_slice(&ticket_id.to_le_bytes());
+            out[22..26].copy_from_slice(&shed.to_le_bytes());
+        }
+        Verdict::Rejected | Verdict::Expired => {}
+    }
+    (out, len)
+}
+
 /// A little-endian payload cursor; every read is bounds-checked.
 struct Reader<'a> {
     buf: &'a [u8],
@@ -959,13 +1062,31 @@ impl Reader<'_> {
     }
 }
 
-/// An incremental frame reassembly buffer: feed it raw socket bytes,
-/// pull out complete frames. Consumed bytes are compacted away lazily so
-/// steady-state reads append into already-allocated space.
+/// Initial backing allocation, and the backing retained after a
+/// high-water buffer shrinks back on full drain.
+const BUF_RETAIN: usize = 4 * 1024;
+/// A fully-drained buffer whose backing grew past this (a burst, or a
+/// partial frame straddling reads near the [`MAX_FRAME`] limit) shrinks
+/// back to [`BUF_RETAIN`] so idle connections do not retain their
+/// high-water capacity.
+const BUF_SHRINK_ABOVE: usize = 32 * 1024;
+/// Spare space guaranteed to each [`FrameBuffer::read_from`] call.
+const READ_CHUNK: usize = 4 * 1024;
+
+/// An incremental frame reassembly buffer: land raw socket bytes in it
+/// (ideally directly, via [`FrameBuffer::read_from`]), pull out complete
+/// frames. The backing store is a flat window — `data[start..end]` holds
+/// the unconsumed bytes — compacted by `memmove` only when a partial
+/// frame blocks the tail, grown by doubling only when a frame cannot fit
+/// the spare space, and shrunk back to a small retained size when a
+/// drained buffer is left holding high-water capacity.
 #[derive(Debug, Default)]
 pub struct FrameBuffer {
+    /// Backing store; always fully initialized, so reads can land in
+    /// `data[end..]` without unsafe length games.
     data: Vec<u8>,
     start: usize,
+    end: usize,
 }
 
 impl FrameBuffer {
@@ -974,16 +1095,96 @@ impl FrameBuffer {
         FrameBuffer::default()
     }
 
-    /// Appends raw bytes read from the transport.
-    pub fn extend(&mut self, bytes: &[u8]) {
-        if self.start == self.data.len() {
-            self.data.clear();
-            self.start = 0;
-        } else if self.start >= MAX_FRAME {
-            self.data.drain(..self.start);
+    /// Makes `data[end..]` at least `min` bytes, compacting the window to
+    /// the front first and doubling the backing only if still short.
+    fn ensure_spare(&mut self, min: usize) {
+        if self.data.len() - self.end >= min {
+            return;
+        }
+        if self.start > 0 {
+            self.data.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
             self.start = 0;
         }
-        self.data.extend_from_slice(bytes);
+        if self.data.len() - self.end < min {
+            let target = (self.end + min).next_power_of_two().max(BUF_RETAIN);
+            self.data.resize(target, 0);
+        }
+    }
+
+    /// Resets the window after the last buffered byte was consumed, and
+    /// returns a high-water backing to [`BUF_RETAIN`]: a burst (or a
+    /// partial frame straddling reads up to the [`MAX_FRAME`] limit) can
+    /// grow the backing well past steady state, and without this an idle
+    /// connection would retain that capacity forever.
+    fn reset_drained(&mut self) {
+        self.start = 0;
+        self.end = 0;
+        if self.data.len() > BUF_SHRINK_ABOVE {
+            self.data.truncate(BUF_RETAIN);
+            self.data.shrink_to_fit();
+        }
+    }
+
+    /// Appends raw bytes read from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.ensure_spare(bytes.len());
+        self.data[self.end..self.end + bytes.len()].copy_from_slice(bytes);
+        self.end += bytes.len();
+    }
+
+    /// Reads once from `src` **directly into the buffer's spare space**
+    /// (at least [`READ_CHUNK`] bytes of it), so transport bytes land in
+    /// their reassembly position without an intermediate scratch copy.
+    /// Returns the byte count from the underlying `read` (0 means EOF).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport's `read` error (including `WouldBlock`
+    /// from a non-blocking socket).
+    pub fn read_from<S: Read + ?Sized>(&mut self, src: &mut S) -> std::io::Result<usize> {
+        Ok(self.read_from_with_spare(src)?.0)
+    }
+
+    /// [`FrameBuffer::read_from`], also reporting how many bytes the read
+    /// *could* have delivered. A short read (`n < spare`) proves the
+    /// transport had nothing more buffered at syscall time, so an
+    /// event-driven caller can skip the confirming `read` that would only
+    /// return `WouldBlock` — with level-triggered readiness, bytes that
+    /// arrive later re-arm the event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport's `read` error (including `WouldBlock`
+    /// from a non-blocking socket).
+    pub fn read_from_with_spare<S: Read + ?Sized>(
+        &mut self,
+        src: &mut S,
+    ) -> std::io::Result<(usize, usize)> {
+        self.ensure_spare(READ_CHUNK);
+        let spare = self.data.len() - self.end;
+        let n = src.read(&mut self.data[self.end..])?;
+        self.end += n;
+        Ok((n, spare))
+    }
+
+    /// The unconsumed bytes, without decoding anything.
+    pub fn peek(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Consumes `n` raw bytes (the connection-preamble path, which is not
+    /// framed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`FrameBuffer::pending`].
+    pub fn consume(&mut self, n: usize) {
+        assert!(n <= self.end - self.start, "consume past pending bytes");
+        self.start += n;
+        if self.start == self.end {
+            self.reset_drained();
+        }
     }
 
     /// Decodes the next complete frame, if one is buffered.
@@ -994,13 +1195,65 @@ impl FrameBuffer {
     /// poisoned from the caller's perspective and the connection should
     /// be closed.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
-        match Frame::decode(&self.data[self.start..])? {
+        match Frame::decode(&self.data[self.start..self.end])? {
             Some((frame, consumed)) => {
-                self.start += consumed;
+                self.consume(consumed);
                 Ok(Some(frame))
             }
             None => Ok(None),
         }
+    }
+
+    /// Decodes the next complete frame when it is an admit response,
+    /// via a fixed-shape fast path (the four verdict shapes read at
+    /// fixed offsets — no generic frame dispatch). This is the
+    /// receive-side twin of the server's interned response templates: a
+    /// pipelining client drains a window of verdicts without
+    /// constructing a [`Frame`] per response.
+    ///
+    /// Returns [`DrainedAdmit::Pending`] when the buffer holds only an
+    /// incomplete frame (read more and retry), or
+    /// [`DrainedAdmit::Other`] with the fully decoded frame when the
+    /// next frame is not an admit response.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProtoError`]; exactly the bytes [`FrameBuffer::next_frame`]
+    /// rejects are rejected here (the proto tests pin the equivalence).
+    pub fn next_admit_response(&mut self) -> Result<DrainedAdmit, ProtoError> {
+        let buf = &self.data[self.start..self.end];
+        if buf.len() >= 4 + 10 && buf[4] == TYPE_ADMIT_RESPONSE {
+            let len = u32::from_le_bytes(buf[0..4].try_into().expect("4-byte prefix")) as usize;
+            // `len < 10` cannot be a valid admit response; let the
+            // generic decoder produce its exact error.
+            if len >= 10 && buf.len() >= 4 + len {
+                let body = &buf[4..4 + len];
+                let req_id = u64::from_le_bytes(body[1..9].try_into().expect("fixed head"));
+                let verdict = match (body[9], len) {
+                    (VERDICT_REJECTED, 10) => Verdict::Rejected,
+                    (VERDICT_EXPIRED, 10) => Verdict::Expired,
+                    (VERDICT_ADMITTED, 18) => Verdict::Admitted {
+                        ticket_id: u64::from_le_bytes(body[10..18].try_into().expect("fixed tail")),
+                    },
+                    (VERDICT_ADMITTED_AFTER_SHEDDING, 22) => Verdict::AdmittedAfterShedding {
+                        ticket_id: u64::from_le_bytes(body[10..18].try_into().expect("fixed tail")),
+                        shed: u32::from_le_bytes(body[18..22].try_into().expect("fixed tail")),
+                    },
+                    // Unknown code or a length that disagrees with the
+                    // verdict shape: let the generic decoder name the
+                    // error precisely.
+                    _ => {
+                        return self
+                            .next_frame()
+                            .map(|f| f.map_or(DrainedAdmit::Pending, DrainedAdmit::Other))
+                    }
+                };
+                self.consume(4 + len);
+                return Ok(DrainedAdmit::Admit { req_id, verdict });
+            }
+        }
+        self.next_frame()
+            .map(|f| f.map_or(DrainedAdmit::Pending, DrainedAdmit::Other))
     }
 
     /// Decodes the next complete frame, landing admit-request stage
@@ -1022,7 +1275,7 @@ impl FrameBuffer {
         &mut self,
         demands: &mut Vec<u64>,
     ) -> Result<Option<BatchedFrame>, ProtoError> {
-        let buf = &self.data[self.start..];
+        let buf = &self.data[self.start..self.end];
         if buf.len() < 4 {
             return Ok(None);
         }
@@ -1042,13 +1295,19 @@ impl FrameBuffer {
         } else {
             BatchedFrame::Other(Frame::decode_body(body)?)
         };
-        self.start += 4 + len;
+        self.consume(4 + len);
         Ok(Some(frame))
     }
 
     /// Bytes buffered but not yet consumed by [`FrameBuffer::next_frame`].
     pub fn pending(&self) -> usize {
-        self.data.len() - self.start
+        self.end - self.start
+    }
+
+    /// Current backing allocation in bytes (regression hook for the
+    /// shrink-back-after-drain behavior; see the e2e RSS assertion).
+    pub fn capacity(&self) -> usize {
+        self.data.len()
     }
 }
 
@@ -1221,6 +1480,237 @@ mod tests {
         assert_eq!(
             Frame::decode(&buf),
             Err(ProtoError::TooManyStages(u16::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn interned_response_templates_match_field_serialization_byte_for_byte() {
+        let verdicts = [
+            Verdict::Rejected,
+            Verdict::Expired,
+            Verdict::Admitted { ticket_id: 0 },
+            Verdict::Admitted {
+                ticket_id: u64::MAX,
+            },
+            Verdict::Admitted {
+                ticket_id: 0x0102_0304_0506_0708,
+            },
+            Verdict::AdmittedAfterShedding {
+                ticket_id: 99,
+                shed: 0,
+            },
+            Verdict::AdmittedAfterShedding {
+                ticket_id: u64::MAX,
+                shed: u32::MAX,
+            },
+        ];
+        for (i, &verdict) in verdicts.iter().enumerate() {
+            for req_id in [0, 1, u64::MAX, 0xDEAD_BEEF_CAFE_F00D ^ i as u64] {
+                let mut field_by_field = Vec::new();
+                Frame::AdmitResponse { req_id, verdict }.encode_into(&mut field_by_field);
+                let (template, len) = encode_admit_response(req_id, verdict);
+                assert_eq!(&template[..len], &field_by_field[..], "{verdict:?}");
+                // And everything past the encoded length is template
+                // padding the caller must not send.
+                assert!(len <= ADMIT_RESPONSE_MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn read_from_lands_bytes_without_scratch_and_decodes_identically() {
+        let mut wire = Vec::new();
+        for nonce in 0..100u64 {
+            Frame::Heartbeat { nonce }.encode_into(&mut wire);
+        }
+        let mut fb = FrameBuffer::new();
+        let mut src: &[u8] = &wire;
+        let mut seen = 0u64;
+        loop {
+            match fb.next_frame().unwrap() {
+                Some(Frame::Heartbeat { nonce }) => {
+                    assert_eq!(nonce, seen);
+                    seen += 1;
+                }
+                Some(other) => panic!("unexpected {other:?}"),
+                None => {
+                    if fb.read_from(&mut src).unwrap() == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(seen, 100);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_shrinks_back_after_draining_a_high_water_burst() {
+        // A burst well past the shrink threshold, fed without draining in
+        // between, forces the backing to its high-water mark.
+        let mut wire = Vec::new();
+        let mut nonce = 0u64;
+        while wire.len() < 3 * BUF_SHRINK_ABOVE {
+            Frame::Heartbeat { nonce }.encode_into(&mut wire);
+            nonce += 1;
+        }
+        let mut fb = FrameBuffer::new();
+        let mut src: &[u8] = &wire;
+        while fb.pending() < wire.len() {
+            assert!(fb.read_from(&mut src).unwrap() > 0);
+        }
+        assert!(fb.capacity() >= wire.len(), "backing reached high water");
+        while fb.next_frame().unwrap().is_some() {}
+        assert_eq!(fb.pending(), 0);
+        // The drained buffer released its high-water capacity instead of
+        // pinning it to the connection for life.
+        assert_eq!(fb.capacity(), BUF_RETAIN);
+
+        // A buffer that never exceeded the threshold keeps its backing
+        // (no churn in steady state).
+        let mut small = FrameBuffer::new();
+        let mut one = Vec::new();
+        Frame::Heartbeat { nonce: 7 }.encode_into(&mut one);
+        small.extend(&one);
+        let before = small.capacity();
+        assert!(small.next_frame().unwrap().is_some());
+        assert_eq!(small.capacity(), before);
+    }
+
+    #[test]
+    fn fast_admit_body_decode_agrees_with_the_generic_decoder() {
+        // Well-formed requests of every shape the fast path claims: the
+        // fixed-offset decode and the field-by-field Reader must yield
+        // identical heads and demand vectors.
+        let mut arena = Vec::new();
+        for n in 1..=9usize {
+            for allow_shed in [false, true] {
+                let task = WireTaskSpec {
+                    deadline_us: 30_000 + n as u64,
+                    stage_demands_us: (0..n as u64).map(|j| j * 1_000 + 17).collect(),
+                    importance: n as u32,
+                };
+                let mut wire = Vec::new();
+                Frame::encode_admit_request_into(
+                    0xAB00 + n as u64,
+                    77_000,
+                    allow_shed,
+                    &task,
+                    &mut wire,
+                );
+                let body = &wire[4..];
+                arena.clear();
+                let head = decode_admit_body(body, &mut arena).expect("fast path decodes");
+                let generic = match Frame::decode_body(body).expect("generic decodes") {
+                    Frame::AdmitRequest(req) => req,
+                    other => panic!("unexpected {other:?}"),
+                };
+                assert_eq!(head.req_id, generic.req_id);
+                assert_eq!(head.expires_at_us, generic.expires_at_us);
+                assert_eq!(head.allow_shed, generic.allow_shed);
+                assert_eq!(head.deadline_us, generic.task.deadline_us);
+                assert_eq!(head.importance, generic.task.importance);
+                assert_eq!(head.demands_in(&arena), &generic.task.stage_demands_us[..]);
+            }
+        }
+
+        // Malformed shapes must be rejected by both: zero stages, unknown
+        // flag bits, truncated and over-long demand arrays.
+        let mut good = Vec::new();
+        Frame::encode_admit_request_into(
+            1,
+            2,
+            false,
+            &WireTaskSpec {
+                deadline_us: 10,
+                stage_demands_us: vec![3, 4],
+                importance: 0,
+            },
+            &mut good,
+        );
+        let body = good[4..].to_vec();
+        let mut zero_stages = body.clone();
+        zero_stages[30] = 0;
+        zero_stages[31] = 0;
+        zero_stages.truncate(32);
+        let mut bad_flags = body.clone();
+        bad_flags[29] = 0b10;
+        let mut truncated = body.clone();
+        truncated.pop();
+        let mut padded = body.clone();
+        padded.push(0);
+        for bad in [&zero_stages, &bad_flags, &truncated, &padded] {
+            arena.clear();
+            assert!(decode_admit_body(bad, &mut arena).is_err());
+            assert!(arena.is_empty(), "failed decode must not leak demands");
+            assert!(Frame::decode_body(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn fixed_shape_admit_response_drain_agrees_with_the_generic_decoder() {
+        // A stream mixing every verdict shape: the client's fixed-shape
+        // drain must hand back exactly what the generic frame decoder
+        // sees, in the same order, and park on a non-admit frame.
+        let verdicts = [
+            Verdict::Rejected,
+            Verdict::Expired,
+            Verdict::Admitted { ticket_id: 42 },
+            Verdict::AdmittedAfterShedding {
+                ticket_id: u64::MAX,
+                shed: 3,
+            },
+            Verdict::Admitted { ticket_id: 0 },
+        ];
+        let mut wire = Vec::new();
+        for (i, &verdict) in verdicts.iter().enumerate() {
+            Frame::AdmitResponse {
+                req_id: i as u64 + 1,
+                verdict,
+            }
+            .encode_into(&mut wire);
+        }
+        Frame::Heartbeat { nonce: 9 }.encode_into(&mut wire);
+
+        // Feed in 3-byte slivers so the fast path also proves it never
+        // reads past a partial frame.
+        let mut fast = FrameBuffer::new();
+        let mut drained = Vec::new();
+        let mut tail = None;
+        for chunk in wire.chunks(3) {
+            fast.extend(chunk);
+            loop {
+                match fast.next_admit_response().unwrap() {
+                    DrainedAdmit::Admit { req_id, verdict } => drained.push((req_id, verdict)),
+                    DrainedAdmit::Pending => break,
+                    DrainedAdmit::Other(frame) => {
+                        tail = Some(frame);
+                        break;
+                    }
+                }
+            }
+        }
+        let expected: Vec<(u64, Verdict)> = verdicts
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u64 + 1, v))
+            .collect();
+        assert_eq!(drained, expected);
+        assert_eq!(tail, Some(Frame::Heartbeat { nonce: 9 }));
+        assert_eq!(fast.pending(), 0);
+
+        // And a generic drain of the same bytes agrees frame for frame.
+        let mut generic = FrameBuffer::new();
+        generic.extend(&wire);
+        for &(req_id, verdict) in &expected {
+            assert_eq!(
+                generic.next_frame(),
+                Ok(Some(Frame::AdmitResponse { req_id, verdict }))
+            );
+        }
+        assert_eq!(
+            generic.next_frame(),
+            Ok(Some(Frame::Heartbeat { nonce: 9 }))
         );
     }
 

@@ -1,5 +1,6 @@
 //! The gateway server: a fixed pool of reactor-driven workers
-//! multiplexing non-blocking connections with batched shard admission.
+//! multiplexing non-blocking connections with shard-bucketed wake
+//! batching and a zero-copy reply path.
 //!
 //! # Threading model
 //!
@@ -9,7 +10,7 @@
 //! registered for exclusive readiness — an incoming connect wakes one
 //! worker, which accepts directly into its own connection slab. Each
 //! worker owns its connections outright: per-connection state
-//! (reassembly buffer, pending write buffer, live ticket table) is plain
+//! (reassembly buffer, segmented reply ring, live ticket table) is plain
 //! mutable data with no locks; the only shared state is the admission
 //! service itself (which has its own sharding), the gateway's atomic
 //! counters, and the open-connection gauge guarded by the condvar that
@@ -18,19 +19,46 @@
 //! cross-thread [`Waker`] — a worker blocked in `epoll_wait` with zero
 //! traffic costs zero CPU and still reacts to drain immediately.
 //!
-//! # Batching
+//! # The wake batch (adaptive batching + shard presort)
 //!
-//! A worker drains **every** complete frame out of each `read()`. All
-//! consecutive admit requests in that batch are classified against one
-//! clock read and then resolved by a single
-//! [`admit_batch`](frap_service::AdmissionService::admit_batch) pass —
-//! one shard lock + one admission-gate acquisition for the whole run
-//! instead of one per decision, while producing verdict-for-verdict the
-//! same answers the one-at-a-time path would (the batch equivalence
-//! tests in `frap-service` pin this down). Replies are appended to one
-//! coalesced buffer, written back with as few `write()` calls as the
-//! socket accepts: a pipelining client pays roughly two syscalls and one
-//! lock round per *window*, not per decision.
+//! One reactor wake serves **every** ready connection before any
+//! admission work happens: each readable connection is drained to
+//! `WouldBlock`, its request bytes landing directly in its reassembly
+//! buffer ([`FrameBuffer::read_from`] — no scratch copy) and its admit
+//! requests parking as flat [`AdmitHead`]s in a **shared wake arena**.
+//! During that same drain pass each request is dropped into a
+//! stable-order **bucket list indexed by its connection's target
+//! shard** (assigned round-robin at accept). At the end of the wake the
+//! buckets resolve in ascending shard order, each through one
+//! [`admit_batch`](frap_service::AdmissionService::admit_batch) call
+//! whose requests all name the same shard — the service's uniform-run
+//! single-snapshot fast path — and replies are emitted in global
+//! arrival order so each connection's responses leave in its request
+//! order (the sequence of entry indices is the sequence tag). One clock
+//! read classifies the entire wake; counters are tallied locally and
+//! published with one atomic add per counter per wake.
+//!
+//! The latency bound is the wake itself: a wake with one ready
+//! connection resolves and flushes immediately after its drain — there
+//! is no timer holding small batches hostage, so an idle gateway
+//! answers a lone request with no added delay, while a busy gateway's
+//! wakes naturally carry many connections' requests into one resolve
+//! and one flush pass. A safety cap ([`WAKE_RESOLVE_CAP`]) resolves
+//! mid-wake if a single wake parks an extreme number of requests, so
+//! the arena stays bounded.
+//!
+//! # Zero-copy replies
+//!
+//! Responses are encoded **once**, directly into the connection's
+//! segmented [`OutRing`]: admit verdicts stamp a handful of fields into
+//! an interned response template
+//! ([`encode_admit_response`](crate::proto::encode_admit_response)) and
+//! the bytes go straight into ring segments. The flush pass hands the
+//! kernel an iovec over the unsent spans with one `writev` per
+//! connection per wake in the common case — no coalescing copy, and no
+//! memmove when the socket accepts a partial write. Segments recycle
+//! through a per-worker [`SegPool`], so steady state allocates nothing
+//! and idle connections hold no reply memory at all.
 //!
 //! # Deadline-aware timeouts
 //!
@@ -46,11 +74,12 @@
 //!
 //! The handshake advertises an in-flight **window**. The server bounds
 //! each connection's unacknowledged reply bytes to `window` maximum-size
-//! admit responses; while a client is not draining its responses the
-//! worker drops the connection's *read* interest, so TCP flow control
-//! pushes back to the sender instead of the gateway buffering without
-//! bound. Read interest returns the moment the reply backlog drains
-//! below the window.
+//! admit responses — counting both bytes already in the ring and
+//! requests parked in the wake arena — and while a client is not
+//! draining its responses the worker drops the connection's *read*
+//! interest, so TCP flow control pushes back to the sender instead of
+//! the gateway buffering without bound. Read interest returns the moment
+//! the reply backlog drains below the window.
 //!
 //! # Graceful drain
 //!
@@ -62,11 +91,12 @@
 //! released by RAII when the connection goes away — including abrupt
 //! client disconnects.
 
+use crate::outring::{OutRing, SegPool};
 use crate::proto::{
-    AdmitHead, BatchedFrame, Frame, FrameBuffer, Hello, HelloAck, StatsReport, Verdict, HELLO_LEN,
-    MAX_FRAME, VERSION,
+    encode_admit_response, AdmitHead, BatchedFrame, Frame, FrameBuffer, Hello, HelloAck,
+    StatsReport, Verdict, ADMIT_RESPONSE_MAX, HELLO_LEN, MAX_FRAME, VERSION,
 };
-use crate::reactor::{Event, Interest, Reactor, Waker, WAKE_TOKEN};
+use crate::reactor::{Event, Interest, IoTally, Reactor, Waker, WAKE_TOKEN};
 use frap_core::admission::ContributionModel;
 use frap_core::graph::{TaskGraph, TaskSpec};
 use frap_core::region::RegionTest;
@@ -75,7 +105,7 @@ use frap_core::time::TimeDelta;
 use frap_core::Importance;
 use frap_service::{AdmissionService, AdmissionTicket, BatchRequest, Clock, ServiceOutcome};
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -109,7 +139,9 @@ impl Default for GatewayConfig {
 }
 
 /// Monotone gateway-level counters (distinct from the service's own
-/// admission counters: these count *transport* events).
+/// admission counters: these count *transport* events). Hot-path
+/// counters are batched in a per-worker [`WakeTally`] and folded in
+/// with one atomic add per counter per wake.
 #[derive(Debug, Default)]
 struct GatewayCounters {
     accepted: AtomicU64,
@@ -124,6 +156,11 @@ struct GatewayCounters {
     protocol_errors: AtomicU64,
     backpressure_stalls: AtomicU64,
     idle_disconnects: AtomicU64,
+    wakeups: AtomicU64,
+    read_syscalls: AtomicU64,
+    write_syscalls: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
 }
 
 /// A point-in-time copy of the gateway's transport counters.
@@ -158,6 +195,26 @@ pub struct GatewaySnapshot {
     /// ([`GatewayConfig::idle_timeout`]): nothing read for longer than
     /// the cutoff. Their tickets were released on close.
     pub idle_disconnects: u64,
+    /// Reactor wakes (`epoll_wait`/`poll` returns) across all workers.
+    pub wakeups: u64,
+    /// `read(2)` calls issued against connection sockets (including the
+    /// trailing `WouldBlock` that ends each drain).
+    pub read_syscalls: u64,
+    /// `writev`/`write` calls issued against connection sockets.
+    pub write_syscalls: u64,
+    /// Payload bytes read off connection sockets.
+    pub bytes_in: u64,
+    /// Payload bytes accepted by connection sockets.
+    pub bytes_out: u64,
+}
+
+impl GatewaySnapshot {
+    /// Total kernel crossings attributable to the datapath: wakes plus
+    /// read plus write syscalls. Divided by decisions this is the
+    /// `syscalls_per_decision` wire-efficiency metric in BENCH_gateway.
+    pub fn syscalls(&self) -> u64 {
+        self.wakeups + self.read_syscalls + self.write_syscalls
+    }
 }
 
 struct Shared {
@@ -202,6 +259,11 @@ impl Shared {
             protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
             backpressure_stalls: s.backpressure_stalls.load(Ordering::Relaxed),
             idle_disconnects: s.idle_disconnects.load(Ordering::Relaxed),
+            wakeups: s.wakeups.load(Ordering::Relaxed),
+            read_syscalls: s.read_syscalls.load(Ordering::Relaxed),
+            write_syscalls: s.write_syscalls.load(Ordering::Relaxed),
+            bytes_in: s.bytes_in.load(Ordering::Relaxed),
+            bytes_out: s.bytes_out.load(Ordering::Relaxed),
         }
     }
 }
@@ -279,7 +341,7 @@ impl GatewayServer {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("frap-gateway-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, &service, listener, reactor, &cfg))
+                    .spawn(move || worker_loop(&shared, &service, listener, reactor, &cfg, w))
                     .expect("spawn worker"),
             );
         }
@@ -381,6 +443,11 @@ impl Drop for GatewayServer {
 const LISTENER_TOKEN: usize = 0;
 const FIRST_CONN: usize = 1;
 
+/// Entries parked in the wake arena before a mid-wake resolve is forced,
+/// bounding arena memory under a pathological wake (a single wake parks
+/// at most this many requests plus one connection's final drain).
+const WAKE_RESOLVE_CAP: usize = 4096;
+
 /// The reactor key for a socket: its raw descriptor on Unix, the token
 /// on the degraded non-Unix shim (which only needs a unique id).
 #[cfg(unix)]
@@ -393,16 +460,82 @@ fn reactor_key<S>(_sock: &S, token: usize) -> i32 {
     token as i32
 }
 
+/// FNV-1a, used for the graph cache keyed by stage-demand vectors. The
+/// demand vectors are short (a handful of `u64`s); FNV beats SipHash on
+/// them by a wide margin, and cache keys are server-derived values, not
+/// attacker-chosen hash-flood material (capping at
+/// [`GRAPH_CACHE_CAP`] bounds the damage regardless).
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// Multiplicative hash for the per-connection ticket table: ticket ids
+/// are dense sequence numbers, so one odd-constant multiply spreads them
+/// across buckets at a fraction of SipHash's cost.
+#[derive(Default)]
+struct TicketHasher(u64);
+
+impl Hasher for TicketHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (unused by the ticket table).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type GraphCache = HashMap<Vec<u64>, TaskGraph, BuildHasherDefault<FnvHasher>>;
+type TicketMap = HashMap<u64, AdmissionTicket, BuildHasherDefault<TicketHasher>>;
+
 /// Per-connection state owned by exactly one worker.
 struct Conn {
     stream: TcpStream,
     inbox: FrameBuffer,
-    outbox: Vec<u8>,
+    /// Segmented reply ring; encoded bytes go straight here and leave
+    /// via `writev`, touched once in each direction.
+    outbox: OutRing,
     /// Tickets admitted on this connection and not yet released. Dropping
     /// the map (disconnect, protocol error, shutdown) releases them all.
-    tickets: HashMap<u64, AdmissionTicket>,
+    tickets: TicketMap,
     greeted: bool,
-    hello_bytes: Vec<u8>,
+    /// Target shard for every admit this connection sends, assigned
+    /// round-robin at accept. Connection affinity makes each wake bucket
+    /// a uniform-target run (the service's single-snapshot fast path)
+    /// and makes per-connection reply order trivial to preserve — all of
+    /// a connection's requests sit in one bucket, in arrival order.
+    shard: usize,
+    /// Admit requests parked in the current wake's arena and not yet
+    /// resolved; counted against the reply window for backpressure.
+    batched: u32,
+    /// Whether this connection needs the end-of-wake flush pass.
+    dirty: bool,
     /// The interest currently registered with the reactor; reregistration
     /// happens only when the desired interest differs.
     interest: Interest,
@@ -414,42 +547,109 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(stream: TcpStream, shard: usize) -> Conn {
         Conn {
             stream,
             inbox: FrameBuffer::new(),
-            outbox: Vec::new(),
-            tickets: HashMap::new(),
+            outbox: OutRing::new(),
+            tickets: TicketMap::default(),
             greeted: false,
-            hello_bytes: Vec::with_capacity(HELLO_LEN),
+            shard,
+            batched: 0,
+            dirty: false,
             interest: Interest::READ,
             last_heard: Instant::now(),
         }
     }
+
+    /// Reply bytes this connection would owe if every parked request
+    /// resolved right now — the quantity the backpressure window bounds.
+    fn projected_outbox(&self) -> usize {
+        self.outbox.len() + self.batched as usize * ADMIT_RESPONSE_MAX
+    }
 }
 
-/// Reusable per-worker buffers for resolving one read's admit requests
-/// through the service's batch path without per-request allocation.
+/// One admit request parked in the wake arena: which connection slot it
+/// came from (plus the generation guarding against slot reuse), and the
+/// flat-decoded header indexing the shared demand arena. Arena order
+/// *is* the sequence tag: entries are appended in arrival order, and
+/// emission walks them in that order.
+struct Entry {
+    slot: u32,
+    gen: u32,
+    head: AdmitHead,
+}
+
+/// Per-worker counter deltas for one wake, folded into the shared
+/// atomics with one `fetch_add` per nonzero counter per wake instead of
+/// one per frame.
 #[derive(Default)]
-struct BatchScratch {
-    /// Admit headers accumulated from one read, in arrival order.
-    pending: Vec<AdmitHead>,
-    /// Stage-demand arena the headers index into (µs per stage).
+struct WakeTally {
+    io: IoTally,
+    frames_in: u64,
+    frames_out: u64,
+    admitted: u64,
+    rejected: u64,
+    expired_on_arrival: u64,
+    bad_requests: u64,
+    releases: u64,
+}
+
+impl WakeTally {
+    fn publish(&mut self, stats: &GatewayCounters) {
+        fn add(counter: &AtomicU64, v: u64) {
+            if v > 0 {
+                counter.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        add(&stats.wakeups, self.io.wakeups);
+        add(&stats.read_syscalls, self.io.read_calls);
+        add(&stats.write_syscalls, self.io.write_calls);
+        add(&stats.bytes_in, self.io.bytes_in);
+        add(&stats.bytes_out, self.io.bytes_out);
+        add(&stats.frames_in, self.frames_in);
+        add(&stats.frames_out, self.frames_out);
+        add(&stats.admitted, self.admitted);
+        add(&stats.rejected, self.rejected);
+        add(&stats.expired_on_arrival, self.expired_on_arrival);
+        add(&stats.bad_requests, self.bad_requests);
+        add(&stats.releases, self.releases);
+        *self = WakeTally::default();
+    }
+}
+
+/// The shared per-wake arena: every ready connection's drain parks its
+/// admit requests here, shard-bucketed, and one resolve pass at the end
+/// of the wake answers them all.
+#[derive(Default)]
+struct WakeBatch {
+    /// Stage-demand arena the parked heads index into (µs per stage).
     demands: Vec<u64>,
-    /// Built specs for the requests that reach the admission test.
+    /// Parked requests in global arrival order.
+    entries: Vec<Entry>,
+    /// Entry indices per target shard, each in arrival order. Indexed by
+    /// shard id; sized once per worker loop.
+    buckets: Vec<Vec<u32>>,
+    /// Slots needing the end-of-wake flush pass. May hold stale slots
+    /// (closed mid-wake); the connection's `dirty` flag is ground truth.
+    dirty: Vec<usize>,
+    /// Built specs for the bucket currently resolving.
     specs: Vec<TaskSpec>,
-    /// `pending` index of each entry in `specs` (arrival order).
-    lanes: Vec<usize>,
-    /// Verdict per `pending` entry; pre-classified ones (expired, bad)
-    /// are filled first, admission outcomes afterwards.
+    /// Entry index of each spec in the bucket currently resolving.
+    lanes: Vec<u32>,
+    /// Verdict per entry; `None` until classified/resolved (or forever,
+    /// for entries whose connection died before resolution).
     verdicts: Vec<Option<Verdict>>,
-    /// Service outcomes for `specs`, parallel to `lanes`.
+    /// Service outcomes for the bucket currently resolving.
     outcomes: Vec<ServiceOutcome>,
+    /// Reusable encode buffer for the rare owned-encode frames
+    /// (heartbeat acks, stats responses) so they do not allocate.
+    scratch_frame: Vec<u8>,
     /// Interned task graphs keyed by stage-demand vector. Task streams
     /// tend to reuse a bounded set of shapes, and a [`TaskGraph`] is
     /// immutable behind an `Arc` — so a hit turns ~10 allocations of
     /// graph construction into one atomic increment.
-    graphs: HashMap<Vec<u64>, TaskGraph>,
+    graphs: GraphCache,
 }
 
 /// Cap on distinct interned task shapes per worker. Insertion stops at
@@ -463,7 +663,7 @@ const GRAPH_CACHE_CAP: usize = 8192;
 /// costs a hash lookup and an `Arc` clone; a miss builds the pipeline
 /// chain exactly as [`frap_core::wire::WireTaskSpec::to_spec`] would.
 fn graph_for(
-    graphs: &mut HashMap<Vec<u64>, TaskGraph>,
+    graphs: &mut GraphCache,
     demands: &[u64],
 ) -> Result<TaskGraph, frap_core::error::GraphError> {
     if let Some(graph) = graphs.get(demands) {
@@ -487,6 +687,7 @@ fn worker_loop<R, M, C>(
     listener: TcpListener,
     mut reactor: Reactor,
     cfg: &GatewayConfig,
+    worker: usize,
 ) where
     R: RegionTest + Send + Sync + 'static,
     M: ContributionModel + Send + Sync + 'static,
@@ -511,10 +712,20 @@ fn worker_loop<R, M, C>(
     }
 
     let mut slab: Vec<Option<Conn>> = Vec::new();
+    // Generation per slot, bumped at close: parked arena entries carry
+    // the generation they were created under, so a slot recycled
+    // mid-wake can never receive a dead predecessor's replies.
+    let mut gens: Vec<u32> = Vec::new();
     let mut free: Vec<usize> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
-    let mut scratch = vec![0u8; 64 * 1024];
-    let mut batch = BatchScratch::default();
+    let mut batch = WakeBatch::default();
+    let shard_count = service.shards();
+    batch.buckets.resize_with(shard_count, Vec::new);
+    // Stagger the starting shard per worker so two workers' connections
+    // do not all pile onto shard 0.
+    let mut next_shard = worker % shard_count;
+    let mut pool = SegPool::default();
+    let mut tally = WakeTally::default();
     // Unacknowledged reply bytes allowed per connection before the worker
     // drops its read interest: the window in maximum-size admit responses.
     let reply_cap = cfg.window as usize * 32;
@@ -528,6 +739,7 @@ fn worker_loop<R, M, C>(
         if reactor.wait(&mut events, wait_timeout).is_err() {
             break;
         }
+        tally.io.wakeups += 1;
         let stopping = shared.stop.load(Ordering::Acquire);
         if stopping || shared.draining.load(Ordering::Acquire) {
             // Deregister before dropping: clones in other workers keep the
@@ -545,34 +757,57 @@ fn worker_loop<R, M, C>(
             match ev.token {
                 WAKE_TOKEN => {} // control-plane flags checked above
                 LISTENER_TOKEN => {
-                    accept_ready(shared, &mut reactor, &listener, &mut slab, &mut free);
+                    accept_ready(
+                        shared,
+                        &mut reactor,
+                        &listener,
+                        &mut slab,
+                        &mut gens,
+                        &mut free,
+                        &mut next_shard,
+                        shard_count,
+                    );
                 }
                 token => {
                     let slot = token - FIRST_CONN;
                     // A stale event for a slot closed (or recycled) earlier
                     // in this batch resolves to a skip or a spurious
                     // `WouldBlock` serve — both benign.
-                    let Some(conn) = slab.get_mut(slot).and_then(Option::as_mut) else {
-                        continue;
-                    };
-                    if serve_conn(
-                        conn,
-                        ev,
-                        service,
-                        shared,
-                        &mut reactor,
-                        token,
-                        cfg.window,
-                        reply_cap,
-                        &mut scratch,
-                        &mut batch,
-                    ) {
+                    if slab.get(slot).and_then(Option::as_ref).is_none() {
                         continue;
                     }
-                    close_conn(shared, &mut reactor, &mut slab, &mut free, slot);
+                    if !serve_event(
+                        &mut slab, &gens, slot, ev, service, shared, &mut batch, &mut tally,
+                        &mut pool, reply_cap, cfg.window,
+                    ) {
+                        close_conn(shared, &mut reactor, &mut slab, &mut gens, &mut free, slot);
+                    }
                 }
             }
         }
+
+        // End of wake: answer everything parked — one clock read, one
+        // uniform-target admit_batch per nonempty shard bucket — then
+        // flush each touched connection once.
+        resolve_batch(&mut slab, &gens, service, &mut batch, &mut tally, &mut pool);
+        while let Some(slot) = batch.dirty.pop() {
+            let flushed = match slab.get_mut(slot).and_then(Option::as_mut) {
+                // `dirty` unset: the slot was closed (and possibly
+                // reused) after this entry was pushed — nothing owed.
+                Some(conn) if conn.dirty => {
+                    conn.dirty = false;
+                    flush_conn(conn, &mut pool, &mut tally).is_ok()
+                }
+                _ => continue,
+            };
+            if !flushed {
+                close_conn(shared, &mut reactor, &mut slab, &mut gens, &mut free, slot);
+                continue;
+            }
+            let conn = slab[slot].as_mut().expect("flushed conn is live");
+            update_interest(conn, &mut reactor, FIRST_CONN + slot, reply_cap, shared);
+        }
+        tally.publish(&shared.stats);
 
         // Liveness sweep: a connection silent past the cutoff is dead to
         // us — close it so its tickets release and (for cluster peers)
@@ -589,12 +824,13 @@ fn worker_loop<R, M, C>(
                         .stats
                         .idle_disconnects
                         .fetch_add(1, Ordering::Relaxed);
-                    close_conn(shared, &mut reactor, &mut slab, &mut free, slot);
+                    close_conn(shared, &mut reactor, &mut slab, &mut gens, &mut free, slot);
                 }
             }
         }
     }
 
+    tally.publish(&shared.stats);
     // Worker exit drops the slab, releasing every still-held ticket.
     let dropped = slab.iter().filter(|slot| slot.is_some()).count();
     shared
@@ -604,16 +840,20 @@ fn worker_loop<R, M, C>(
     shared.conns_closed(dropped);
 }
 
-/// Closes one slab connection: deregisters it, releases its tickets (by
-/// drop), recycles the slot, and settles the gauges.
+/// Closes one slab connection: deregisters it, bumps the slot's
+/// generation (orphaning any entries it parked in the wake arena),
+/// releases its tickets (by drop), recycles the slot, and settles the
+/// gauges.
 fn close_conn(
     shared: &Shared,
     reactor: &mut Reactor,
     slab: &mut [Option<Conn>],
+    gens: &mut [u32],
     free: &mut Vec<usize>,
     slot: usize,
 ) {
     let conn = slab[slot].take().expect("conn vanished");
+    gens[slot] = gens[slot].wrapping_add(1);
     let _ = reactor.deregister(reactor_key(&conn.stream, FIRST_CONN + slot));
     drop(conn); // releases every still-held ticket
     free.push(slot);
@@ -621,13 +861,18 @@ fn close_conn(
     shared.conns_closed(1);
 }
 
-/// Accepts every pending connection into this worker's slab.
+/// Accepts every pending connection into this worker's slab, assigning
+/// each a target shard round-robin.
+#[allow(clippy::too_many_arguments)]
 fn accept_ready(
     shared: &Shared,
     reactor: &mut Reactor,
     listener: &Option<TcpListener>,
     slab: &mut Vec<Option<Conn>>,
+    gens: &mut Vec<u32>,
     free: &mut Vec<usize>,
+    next_shard: &mut usize,
+    shard_count: usize,
 ) {
     let Some(listener) = listener.as_ref() else {
         return;
@@ -641,6 +886,7 @@ fn accept_ready(
                 }
                 let slot = free.pop().unwrap_or_else(|| {
                     slab.push(None);
+                    gens.push(0);
                     slab.len() - 1
                 });
                 let token = FIRST_CONN + slot;
@@ -651,7 +897,8 @@ fn accept_ready(
                     free.push(slot);
                     continue;
                 }
-                slab[slot] = Some(Conn::new(stream));
+                slab[slot] = Some(Conn::new(stream, *next_shard));
+                *next_shard = (*next_shard + 1) % shard_count;
                 shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
                 shared.conns_opened(1);
             }
@@ -662,61 +909,189 @@ fn accept_ready(
     }
 }
 
-/// Serves one readiness event on a connection. Returns whether the
-/// connection stays open.
+/// Marks a connection for the end-of-wake flush pass (idempotent).
+fn mark_dirty(conn: &mut Conn, slot: usize, dirty: &mut Vec<usize>) {
+    if !conn.dirty {
+        conn.dirty = true;
+        dirty.push(slot);
+    }
+}
+
+/// Serves one readiness event on a connection: drains the socket to
+/// `WouldBlock`, parking admit requests in the wake arena. Returns
+/// whether the connection stays open. Replies are not flushed here —
+/// the end-of-wake pass does that once per touched connection — except
+/// that a writable event triggers an immediate flush of bytes already
+/// owed (that is what the event is for).
 #[allow(clippy::too_many_arguments)]
-fn serve_conn<R, M, C>(
-    conn: &mut Conn,
+fn serve_event<R, M, C>(
+    slab: &mut [Option<Conn>],
+    gens: &[u32],
+    slot: usize,
     ev: Event,
     service: &AdmissionService<R, M, C>,
     shared: &Shared,
-    reactor: &mut Reactor,
-    token: usize,
-    window: u16,
+    batch: &mut WakeBatch,
+    tally: &mut WakeTally,
+    pool: &mut SegPool,
     reply_cap: usize,
-    scratch: &mut [u8],
-    batch: &mut BatchScratch,
+    window: u16,
 ) -> bool
 where
     R: RegionTest + Send + Sync + 'static,
     M: ContributionModel + Send + Sync + 'static,
     C: Clock + 'static,
 {
-    // Push pending replies out first: draining the outbox is what lifts
-    // backpressure and what a writable event asks for.
-    if (ev.writable || !conn.outbox.is_empty())
-        && flush(&mut conn.stream, &mut conn.outbox).is_err()
     {
-        return false;
+        let conn = slab[slot].as_mut().expect("serving a live conn");
+        mark_dirty(conn, slot, &mut batch.dirty);
+        // A writable event means the socket drained below its high-water
+        // mark; push owed bytes now so backpressure lifts promptly.
+        if ev.writable && !conn.outbox.is_empty() && flush_conn(conn, pool, tally).is_err() {
+            return false;
+        }
     }
 
     if ev.readable {
         loop {
-            // Reply window full and the client not draining: stop reading
-            // so TCP pushes back on the sender (interest drops below).
-            if conn.outbox.len() >= reply_cap {
-                break;
+            let drained;
+            {
+                let conn = slab[slot].as_mut().expect("serving a live conn");
+                // Reply window full (counting parked requests) and the
+                // client not draining: stop reading so TCP pushes back on
+                // the sender (interest drops in the flush pass).
+                if conn.projected_outbox() >= reply_cap {
+                    break;
+                }
+                let res = conn.inbox.read_from_with_spare(&mut conn.stream);
+                tally.io.read_calls += 1;
+                match res {
+                    Ok((0, _)) => return false,
+                    Ok((n, spare)) => {
+                        tally.io.bytes_in += n as u64;
+                        conn.last_heard = Instant::now();
+                        // A short read proves the socket buffer is empty:
+                        // skip the confirming read that would only return
+                        // `WouldBlock` (level-triggered readiness re-arms
+                        // for bytes that arrive later).
+                        drained = n < spare;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
             }
-            let n = match conn.stream.read(scratch) {
-                Ok(0) => return false,
-                Ok(n) => n,
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => return false,
-            };
-            conn.last_heard = Instant::now();
-            if !ingest(conn, &scratch[..n], service, shared, window, batch) {
+            if !ingest_ready(
+                slab, gens, slot, service, shared, batch, tally, pool, window,
+            ) {
                 return false;
             }
-            // One coalesced write per read's worth of replies.
-            if flush(&mut conn.stream, &mut conn.outbox).is_err() {
+            if drained {
+                break;
+            }
+        }
+    }
+    true
+}
+
+/// Decodes every complete frame buffered on a connection: admit requests
+/// park in the wake arena (shard-bucketed, in arrival order), anything
+/// else forces the pending arena to resolve first (responses must leave
+/// in request order, and a release's capacity effect must land after the
+/// admits that precede it) and is then handled inline. Returns `false`
+/// on a protocol violation (already counted) that must end the
+/// connection.
+#[allow(clippy::too_many_arguments)]
+fn ingest_ready<R, M, C>(
+    slab: &mut [Option<Conn>],
+    gens: &[u32],
+    slot: usize,
+    service: &AdmissionService<R, M, C>,
+    shared: &Shared,
+    batch: &mut WakeBatch,
+    tally: &mut WakeTally,
+    pool: &mut SegPool,
+    window: u16,
+) -> bool
+where
+    R: RegionTest + Send + Sync + 'static,
+    M: ContributionModel + Send + Sync + 'static,
+    C: Clock + 'static,
+{
+    loop {
+        // Re-borrowed each iteration so the arms that resolve the shared
+        // arena can hand the whole slab to `resolve_batch`.
+        let conn = slab[slot].as_mut().expect("serving a live conn");
+
+        // The fixed-size hello precedes all framing.
+        if !conn.greeted {
+            if conn.inbox.pending() < HELLO_LEN {
+                return true;
+            }
+            let mut hello = [0u8; HELLO_LEN];
+            hello.copy_from_slice(&conn.inbox.peek()[..HELLO_LEN]);
+            conn.inbox.consume(HELLO_LEN);
+            match Hello::decode(&hello) {
+                Ok(hello) => {
+                    conn.greeted = true;
+                    let ack = HelloAck {
+                        // Negotiate down to what the client speaks; decode
+                        // already rejected anything below MIN_VERSION.
+                        version: hello.version.min(VERSION),
+                        window,
+                        max_frame: MAX_FRAME as u32,
+                        server_now_us: service.clock().now().as_micros(),
+                    };
+                    conn.outbox.append(&ack.encode(), pool);
+                }
+                Err(_) => {
+                    shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+
+        match conn.inbox.next_frame_into(&mut batch.demands) {
+            Ok(Some(BatchedFrame::Admit(head))) => {
+                tally.frames_in += 1;
+                let entry = batch.entries.len() as u32;
+                batch.buckets[conn.shard].push(entry);
+                batch.entries.push(Entry {
+                    slot: slot as u32,
+                    gen: gens[slot],
+                    head,
+                });
+                conn.batched += 1;
+                // Safety valve: an extreme wake resolves mid-drain so the
+                // arena cannot grow without bound.
+                if batch.entries.len() >= WAKE_RESOLVE_CAP {
+                    resolve_batch(slab, gens, service, batch, tally, pool);
+                }
+            }
+            Ok(Some(BatchedFrame::Other(frame))) => {
+                tally.frames_in += 1;
+                resolve_batch(slab, gens, service, batch, tally, pool);
+                let conn = slab[slot].as_mut().expect("serving a live conn");
+                if !handle_frame(conn, frame, service, tally, pool, &mut batch.scratch_frame) {
+                    shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+            Ok(None) => return true,
+            Err(_) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                // Answer every frame that arrived ahead of the violation
+                // (best effort — the socket is about to close), so the
+                // peer learns which of its in-flight requests were
+                // decided before the close voids the rest.
+                resolve_batch(slab, gens, service, batch, tally, pool);
+                let conn = slab[slot].as_mut().expect("serving a live conn");
+                conn.dirty = false;
+                let _ = flush_conn(conn, pool, tally);
                 return false;
             }
         }
     }
-
-    update_interest(conn, reactor, token, reply_cap, shared);
-    true
 }
 
 /// Recomputes the connection's desired readiness interest and
@@ -730,7 +1105,7 @@ fn update_interest(
     shared: &Shared,
 ) {
     let want = Interest {
-        readable: conn.outbox.len() < reply_cap,
+        readable: conn.projected_outbox() < reply_cap,
         writable: !conn.outbox.is_empty(),
     };
     if want == conn.interest {
@@ -750,233 +1125,190 @@ fn update_interest(
     }
 }
 
-/// Feeds freshly-read bytes through the handshake and frame decoder,
-/// resolving admit requests in batches. Returns `false` on a protocol
-/// violation (already counted) that must end the connection.
-fn ingest<R, M, C>(
-    conn: &mut Conn,
-    mut bytes: &[u8],
+/// Resolves every request parked in the wake arena: one clock read
+/// classifies all of them, then each nonempty shard bucket goes through
+/// one [`admit_batch`](AdmissionService::admit_batch) call whose
+/// requests are uniformly targeted at that shard — the service's
+/// single-snapshot fast path. Replies are emitted in global arrival
+/// order, so each connection's responses leave in its request order
+/// (verdict-for-verdict what unsorted serial resolution would produce:
+/// capacity totals are global, so bucket order cannot change any
+/// verdict decided at one instant — the bucketed-vs-unsorted
+/// differential test holds the two to that).
+fn resolve_batch<R, M, C>(
+    slab: &mut [Option<Conn>],
+    gens: &[u32],
     service: &AdmissionService<R, M, C>,
-    shared: &Shared,
-    window: u16,
-    batch: &mut BatchScratch,
-) -> bool
-where
-    R: RegionTest + Send + Sync + 'static,
-    M: ContributionModel + Send + Sync + 'static,
-    C: Clock + 'static,
-{
-    // The fixed-size hello precedes all framing.
-    if !conn.greeted {
-        let need = HELLO_LEN - conn.hello_bytes.len();
-        let take = need.min(bytes.len());
-        conn.hello_bytes.extend_from_slice(&bytes[..take]);
-        bytes = &bytes[take..];
-        if conn.hello_bytes.len() < HELLO_LEN {
-            return true;
-        }
-        let hello: [u8; HELLO_LEN] = conn.hello_bytes[..].try_into().unwrap();
-        match Hello::decode(&hello) {
-            Ok(hello) => {
-                conn.greeted = true;
-                let ack = HelloAck {
-                    // Negotiate down to what the client speaks; decode
-                    // already rejected anything below MIN_VERSION.
-                    version: hello.version.min(VERSION),
-                    window,
-                    max_frame: MAX_FRAME as u32,
-                    server_now_us: service.clock().now().as_micros(),
-                };
-                conn.outbox.extend_from_slice(&ack.encode());
-            }
-            Err(_) => {
-                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return false;
-            }
-        }
-    }
-
-    conn.inbox.extend(bytes);
-    debug_assert!(batch.pending.is_empty() && batch.demands.is_empty());
-    let ok = loop {
-        match conn.inbox.next_frame_into(&mut batch.demands) {
-            Ok(Some(BatchedFrame::Admit(head))) => {
-                shared.stats.frames_in.fetch_add(1, Ordering::Relaxed);
-                batch.pending.push(head);
-            }
-            Ok(Some(BatchedFrame::Other(frame))) => {
-                shared.stats.frames_in.fetch_add(1, Ordering::Relaxed);
-                // Responses must leave in request order, and a release's
-                // capacity effect must land after the admits that precede
-                // it — so the pending batch resolves first.
-                resolve_admits(conn, service, shared, batch);
-                if !handle_frame(conn, frame, service, shared) {
-                    shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    break false;
-                }
-            }
-            Ok(None) => break true,
-            Err(_) => {
-                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                break false;
-            }
-        }
-    };
-    if ok {
-        resolve_admits(conn, service, shared, batch);
-    } else {
-        batch.pending.clear();
-        batch.demands.clear();
-    }
-    ok
-}
-
-/// Resolves every pending admit request in one classification pass plus
-/// one [`admit_batch`](AdmissionService::admit_batch) call, emitting
-/// responses in arrival order. Verdict-for-verdict equivalent to calling
-/// the single-admit path per request under a fixed clock.
-fn resolve_admits<R, M, C>(
-    conn: &mut Conn,
-    service: &AdmissionService<R, M, C>,
-    shared: &Shared,
-    batch: &mut BatchScratch,
+    batch: &mut WakeBatch,
+    tally: &mut WakeTally,
+    pool: &mut SegPool,
 ) where
     R: RegionTest + Send + Sync + 'static,
     M: ContributionModel + Send + Sync + 'static,
     C: Clock + 'static,
 {
-    if batch.pending.is_empty() {
+    if batch.entries.is_empty() {
+        batch.demands.clear();
         return;
     }
-    batch.specs.clear();
-    batch.lanes.clear();
-    batch.verdicts.clear();
-    batch.outcomes.clear();
-
-    // One clock read classifies the whole batch: every request in it
-    // arrived in the same read, i.e. at the same instant.
+    // One clock read for the whole wake: every parked request arrived
+    // before this instant, and `admit_batch_into` hoists its own single
+    // read per call just the same.
     let now_us = service.clock().now().as_micros();
     let max_stages = service.region().stages();
-    for idx in 0..batch.pending.len() {
-        let head = batch.pending[idx];
-        // Deadline-aware timeout: transport slack already gone means the
-        // task cannot possibly meet its deadline; it never reaches a shard.
-        if now_us > head.expires_at_us {
-            service.note_expired_on_arrival();
-            shared
-                .stats
-                .expired_on_arrival
-                .fetch_add(1, Ordering::Relaxed);
-            batch.verdicts.push(Some(Verdict::Expired));
+    batch.verdicts.clear();
+    batch.verdicts.resize(batch.entries.len(), None);
+    let mut expired = 0u64;
+
+    for shard in 0..batch.buckets.len() {
+        if batch.buckets[shard].is_empty() {
             continue;
         }
-        // A task visiting more stages than the region models cannot be
-        // charged; answer without an admission test.
-        let (d0, d1) = head.demands;
-        if d1 - d0 > max_stages {
-            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            batch.verdicts.push(Some(Verdict::Rejected));
+        // Detach the bucket so the slab and the rest of the batch stay
+        // borrowable; its allocation is handed back (cleared) below.
+        let bucket = std::mem::take(&mut batch.buckets[shard]);
+        batch.specs.clear();
+        batch.lanes.clear();
+        for &entry_idx in &bucket {
+            let entry = &batch.entries[entry_idx as usize];
+            let slot = entry.slot as usize;
+            // Connection died (or its slot was recycled) after parking
+            // this request: nobody is listening for the answer, and its
+            // ticket table is gone — leave the verdict `None`.
+            if gens[slot] != entry.gen {
+                continue;
+            }
+            let head = entry.head;
+            // Deadline-aware timeout: transport slack already gone means
+            // the task cannot possibly meet its deadline; it never
+            // reaches a shard.
+            if now_us > head.expires_at_us {
+                expired += 1;
+                batch.verdicts[entry_idx as usize] = Some(Verdict::Expired);
+                continue;
+            }
+            // A task visiting more stages than the region models cannot
+            // be charged; answer without an admission test.
+            let (d0, d1) = head.demands;
+            if d1 - d0 > max_stages {
+                tally.bad_requests += 1;
+                batch.verdicts[entry_idx as usize] = Some(Verdict::Rejected);
+                continue;
+            }
+            // The graph depends only on the demand vector; deadline and
+            // importance ride alongside it in the spec. An interned graph
+            // yields a spec identical to what `WireTaskSpec::to_spec`
+            // builds.
+            match graph_for(&mut batch.graphs, &batch.demands[d0..d1]) {
+                Ok(graph) => {
+                    batch.specs.push(TaskSpec {
+                        deadline: TimeDelta::from_micros(head.deadline_us),
+                        importance: Importance::new(head.importance),
+                        graph,
+                    });
+                    batch.lanes.push(entry_idx);
+                }
+                Err(_) => {
+                    tally.bad_requests += 1;
+                    batch.verdicts[entry_idx as usize] = Some(Verdict::Rejected);
+                }
+            }
+        }
+
+        if !batch.specs.is_empty() {
+            let requests: Vec<BatchRequest<'_>> = batch
+                .specs
+                .iter()
+                .zip(&batch.lanes)
+                .map(|(spec, &entry_idx)| BatchRequest {
+                    spec,
+                    allow_shed: batch.entries[entry_idx as usize].head.allow_shed,
+                    // Uniform target: the whole bucket hits one shard in
+                    // one snapshot/lock acquisition.
+                    shard: Some(shard),
+                })
+                .collect();
+            batch.outcomes.clear();
+            service.admit_batch_into(&requests, &mut batch.outcomes);
+            for (&entry_idx, outcome) in batch.lanes.iter().zip(batch.outcomes.drain(..)) {
+                let slot = batch.entries[entry_idx as usize].slot as usize;
+                let conn = slab[slot].as_mut().expect("gen-checked conn is live");
+                batch.verdicts[entry_idx as usize] = Some(outcome_verdict(conn, outcome, tally));
+            }
+        }
+
+        let mut bucket = bucket;
+        bucket.clear();
+        batch.buckets[shard] = bucket;
+    }
+
+    if expired > 0 {
+        service.note_expired_on_arrival_n(expired);
+        tally.expired_on_arrival += expired;
+    }
+
+    // Emission in global arrival order: within one connection that is
+    // exactly its request order (its requests all carry ascending entry
+    // indices), so pipelined clients see responses in the order they
+    // asked.
+    for (i, entry) in batch.entries.iter().enumerate() {
+        let slot = entry.slot as usize;
+        if gens[slot] != entry.gen {
             continue;
         }
-        // The graph depends only on the demand vector; deadline and
-        // importance ride alongside it in the spec. An interned graph
-        // yields a spec identical to what `WireTaskSpec::to_spec` builds.
-        match graph_for(&mut batch.graphs, &batch.demands[d0..d1]) {
-            Ok(graph) => {
-                batch.specs.push(TaskSpec {
-                    deadline: TimeDelta::from_micros(head.deadline_us),
-                    importance: Importance::new(head.importance),
-                    graph,
-                });
-                batch.lanes.push(idx);
-                batch.verdicts.push(None);
-            }
-            Err(_) => {
-                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-                batch.verdicts.push(Some(Verdict::Rejected));
-            }
-        }
-    }
-
-    if !batch.specs.is_empty() {
-        let requests: Vec<BatchRequest<'_>> = batch
-            .specs
-            .iter()
-            .zip(&batch.lanes)
-            .map(|(spec, &idx)| BatchRequest {
-                spec,
-                allow_shed: batch.pending[idx].allow_shed,
-                shard: None,
-            })
-            .collect();
-        service.admit_batch_into(&requests, &mut batch.outcomes);
-    }
-
-    let mut outcomes = batch.outcomes.drain(..);
-    for (idx, slot) in batch.verdicts.iter_mut().enumerate() {
-        let verdict = match slot.take() {
-            Some(verdict) => verdict,
-            None => {
-                let outcome = outcomes.next().expect("outcome per spec");
-                outcome_verdict(conn, outcome, shared)
-            }
+        let conn = slab[slot].as_mut().expect("gen-checked conn is live");
+        conn.batched -= 1;
+        let Some(verdict) = batch.verdicts[i] else {
+            continue;
         };
-        Frame::AdmitResponse {
-            req_id: batch.pending[idx].req_id,
-            verdict,
-        }
-        .encode_into(&mut conn.outbox);
-        shared.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        let (buf, len) = encode_admit_response(entry.head.req_id, verdict);
+        conn.outbox.append(&buf[..len], pool);
+        tally.frames_out += 1;
+        mark_dirty(conn, slot, &mut batch.dirty);
     }
-    debug_assert!(outcomes.next().is_none(), "outcome count mismatch");
-    drop(outcomes);
-    batch.pending.clear();
+
+    batch.entries.clear();
     batch.demands.clear();
+    batch.verdicts.clear();
 }
 
 /// Converts a service outcome into a wire verdict, retaining any ticket
 /// in the connection's table.
-fn outcome_verdict(conn: &mut Conn, outcome: ServiceOutcome, shared: &Shared) -> Verdict {
+fn outcome_verdict(conn: &mut Conn, outcome: ServiceOutcome, tally: &mut WakeTally) -> Verdict {
     match outcome {
         ServiceOutcome::Admitted(ticket) => {
             let ticket_id = ticket.id();
             conn.tickets.insert(ticket_id, ticket);
-            shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            tally.admitted += 1;
             Verdict::Admitted { ticket_id }
         }
         ServiceOutcome::AdmittedAfterShedding { ticket, shed } => {
             let ticket_id = ticket.id();
             conn.tickets.insert(ticket_id, ticket);
-            shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            tally.admitted += 1;
             Verdict::AdmittedAfterShedding {
                 ticket_id,
                 shed: shed.len() as u32,
             }
         }
         ServiceOutcome::Rejected => {
-            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            tally.rejected += 1;
             Verdict::Rejected
         }
     }
 }
 
-/// Writes as much of `outbox` as the socket accepts without blocking.
-/// Returns whether any bytes moved; errors mean the peer is gone.
-fn flush(stream: &mut TcpStream, outbox: &mut Vec<u8>) -> std::io::Result<bool> {
-    let mut written = 0usize;
-    while written < outbox.len() {
-        match stream.write(&outbox[written..]) {
-            Ok(0) => break,
-            Ok(n) => written += n,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        }
+/// Writes as much of the connection's reply ring as the socket accepts
+/// without blocking — vectored, straight from the ring segments. Errors
+/// mean the peer is gone.
+fn flush_conn(conn: &mut Conn, pool: &mut SegPool, tally: &mut WakeTally) -> std::io::Result<()> {
+    if conn.outbox.is_empty() {
+        return Ok(());
     }
-    if written > 0 {
-        outbox.drain(..written);
-    }
-    Ok(written > 0)
+    let (written, calls) = conn.outbox.flush_to(&mut conn.stream, pool)?;
+    tally.io.write_calls += calls;
+    tally.io.bytes_out += written as u64;
+    Ok(())
 }
 
 /// Applies one non-admit client frame; returns `false` when the frame is
@@ -985,7 +1317,9 @@ fn handle_frame<R, M, C>(
     conn: &mut Conn,
     frame: Frame,
     service: &AdmissionService<R, M, C>,
-    shared: &Shared,
+    tally: &mut WakeTally,
+    pool: &mut SegPool,
+    scratch: &mut Vec<u8>,
 ) -> bool
 where
     R: RegionTest + Send + Sync + 'static,
@@ -993,22 +1327,25 @@ where
     C: Clock + 'static,
 {
     match frame {
-        // Admit requests are batched by the caller and never reach here.
-        Frame::AdmitRequest(_) => unreachable!("admits resolve through resolve_admits"),
+        // Admit requests park in the wake arena and never reach here.
+        Frame::AdmitRequest(_) => unreachable!("admits resolve through resolve_batch"),
         Frame::Release { ticket_id } => {
             if let Some(ticket) = conn.tickets.remove(&ticket_id) {
                 ticket.release();
-                shared.stats.releases.fetch_add(1, Ordering::Relaxed);
+                tally.releases += 1;
             }
             true
         }
         Frame::Heartbeat { nonce } => {
-            Frame::HeartbeatAck { nonce }.encode_into(&mut conn.outbox);
-            shared.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+            scratch.clear();
+            Frame::HeartbeatAck { nonce }.encode_into(scratch);
+            conn.outbox.append(scratch, pool);
+            tally.frames_out += 1;
             true
         }
         Frame::StatsRequest => {
             let snap = service.snapshot();
+            scratch.clear();
             Frame::StatsResponse(StatsReport {
                 admitted: snap.counters.admitted,
                 rejected: snap.counters.rejected,
@@ -1019,8 +1356,9 @@ where
                 live_tasks: snap.live_tasks as u64,
                 utilizations: snap.utilizations,
             })
-            .encode_into(&mut conn.outbox);
-            shared.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+            .encode_into(scratch);
+            conn.outbox.append(scratch, pool);
+            tally.frames_out += 1;
             true
         }
         // Server-to-client frames arriving at the server are violations,

@@ -39,6 +39,21 @@ fn small_task(stages: usize) -> WireTaskSpec {
     )
 }
 
+/// This process's resident set size in KiB, from `/proc/self/status`.
+#[cfg(target_os = "linux")]
+fn vm_rss_kib() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+    let line = status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))
+        .expect("VmRSS present");
+    line.split_ascii_whitespace()
+        .nth(1)
+        .expect("VmRSS value")
+        .parse()
+        .expect("VmRSS is numeric")
+}
+
 /// Waits until `live_tasks` drops to zero (releases ride on worker
 /// threads, so observation is asynchronous).
 fn wait_no_live_tasks(service: &Service, timeout: Duration) -> bool {
@@ -298,6 +313,8 @@ fn raw_next_frame(stream: &mut TcpStream, inbox: &mut FrameBuffer) -> Frame {
 fn a_thousand_mostly_idle_connections_stay_cheap_and_correct() {
     let (server, service) = start(2, 2);
     let addr = server.local_addr();
+    #[cfg(target_os = "linux")]
+    let rss_before_kib = vm_rss_kib();
 
     let mut clients: Vec<GatewayClient> = (0..1000)
         .map(|i| {
@@ -324,6 +341,21 @@ fn a_thousand_mostly_idle_connections_stay_cheap_and_correct() {
         "active connections starved behind idle ones: {:?}",
         active.elapsed()
     );
+
+    // The parked population must be cheap in memory, not just in CPU: a
+    // thousand idle connections (client and server ends both live in
+    // this process) budget ~64 KiB each — frame buffers shrink back
+    // after bursts and reply rings return their segments, so a
+    // connection that regressed to pinning buffer high-water marks
+    // blows this bound immediately.
+    #[cfg(target_os = "linux")]
+    {
+        let grown_kib = vm_rss_kib().saturating_sub(rss_before_kib);
+        assert!(
+            grown_kib < 64 * 1000,
+            "1000 mostly-idle connections grew RSS by {grown_kib} KiB (> 64 KiB each)"
+        );
+    }
 
     drop(clients);
     assert!(
@@ -675,6 +707,92 @@ fn batched_and_single_admit_paths_yield_identical_verdict_streams() {
         batched.iter().any(|v| matches!(v, Verdict::Rejected)),
         "trace never rejected — differential is vacuous"
     );
+}
+
+/// The multi-connection differential: the same global arrival order,
+/// once spread across four connections whose wake drains are
+/// shard-bucketed (round-robin conn→shard affinity, two shards), and
+/// once down a single connection resolved request by request, must
+/// produce the identical verdict stream — bucketing moves only where a
+/// decision's bookkeeping lives and in which run it resolves, never
+/// what is decided or the per-connection reply order.
+#[test]
+fn bucketed_multi_connection_drain_matches_serial_resolve() {
+    let trace = differential_trace();
+    let want = run_trace(false);
+
+    let (server, service) = start(2, 2);
+    let addr = server.local_addr();
+    let mut clients: Vec<GatewayClient> = (0..4)
+        .map(|_| GatewayClient::connect(addr).expect("connect"))
+        .collect();
+    let budget = TimeDelta::from_millis(30_000);
+
+    // Chunks go round-robin across the connections; each chunk lands in
+    // one write (one bucketed wake-batch on its connection's shard) and
+    // is drained fully before the next chunk anywhere, so the global
+    // arrival order is exactly the trace's.
+    let mut got: Vec<Verdict> = Vec::with_capacity(trace.len());
+    for (k, chunk) in trace.chunks(7).enumerate() {
+        let client = &mut clients[k % 4];
+        let mut expect: Vec<u64> = chunk
+            .iter()
+            .map(|(task, allow_shed)| client.queue_admit(task, budget, *allow_shed))
+            .collect();
+        client.flush().expect("flush");
+        let mut replies = Vec::new();
+        while replies.len() < chunk.len() {
+            client.recv_admits_into(&mut replies).expect("recv");
+        }
+        // Reply order on a connection is request order, always.
+        for (&(req_id, verdict), want_id) in replies.iter().zip(expect.drain(..)) {
+            assert_eq!(req_id, want_id, "reply out of order on conn {}", k % 4);
+            got.push(verdict);
+        }
+    }
+    assert_eq!(got, want, "bucketed drain diverged from serial resolve");
+
+    // A poisoned connection: two dead-on-arrival admits, then garbage.
+    // The frames before the poison are answered in order, the
+    // connection is closed with one protocol error, and the healthy
+    // connections keep working — the blast radius is one socket.
+    let mut bad = TcpStream::connect(addr).expect("connect");
+    bad.set_nodelay(true).expect("nodelay");
+    raw_handshake(&mut bad);
+    std::thread::sleep(Duration::from_millis(2)); // server clock > 1 µs
+    let task = small_task(2);
+    let mut bytes = Vec::new();
+    Frame::encode_admit_request_into(1, 1, false, &task, &mut bytes);
+    Frame::encode_admit_request_into(2, 1, true, &task, &mut bytes);
+    bytes.extend_from_slice(&[16, 0, 0, 0]); // declared length 16...
+    bytes.extend_from_slice(&[0xFF; 16]); // ...of an unknown frame type
+    bad.write_all(&bytes).expect("poisoned burst");
+    let mut inbox = FrameBuffer::new();
+    for req_id in [1u64, 2] {
+        assert_eq!(
+            raw_next_frame(&mut bad, &mut inbox),
+            Frame::AdmitResponse {
+                req_id,
+                verdict: Verdict::Expired
+            }
+        );
+    }
+    let mut rest = Vec::new();
+    bad.read_to_end(&mut rest)
+        .expect("server closes after poison");
+    assert!(rest.is_empty(), "no replies may follow the poison");
+
+    for client in &mut clients {
+        client
+            .heartbeat()
+            .expect("healthy conn survived the poison");
+    }
+    drop(clients);
+    assert!(server.wait_idle(Duration::from_secs(5)));
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.protocol_errors, 1);
+    assert!(wait_no_live_tasks(&service, Duration::from_secs(5)));
+    service.debug_validate();
 }
 
 /// Batched pipelining over loopback must clear 100k decisions/s in a

@@ -56,6 +56,10 @@ impl ServiceCounters {
         self.expired_on_arrival.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_expired_on_arrival_n(&self, n: u64) {
+        self.expired_on_arrival.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Counts a lock-free fast-path rejection. The decision is *not* also
     /// added to `rejected` here — the fast path pays exactly one atomic
     /// RMW per decision — `snapshot` folds the two together so

@@ -1157,6 +1157,16 @@ where
         self.inner.counters.add_expired_on_arrival();
     }
 
+    /// Batched [`AdmissionService::note_expired_on_arrival`]: charges `n`
+    /// arrivals that died in transit with one atomic add. A gateway
+    /// worker classifying a whole wake's drain against one clock read
+    /// uses this so the counter costs one RMW per wake, not per corpse.
+    pub fn note_expired_on_arrival_n(&self, n: u64) {
+        if n > 0 {
+            self.inner.counters.add_expired_on_arrival_n(n);
+        }
+    }
+
     /// Applies every due deadline decrement on every shard. The decision
     /// paths already drain a shard whose next-due hint comes due; call
     /// this periodically (or from a maintenance thread) so shards no
